@@ -1,0 +1,59 @@
+// Figure 2: learning curves ("avg" submodel accuracy per round) of
+// AdaptiveFL and the four baselines on the CIFAR-10/100 analogues with the
+// VGG16-style model, under IID and Dirichlet(0.6) partitions.
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace afl;
+  using namespace afl::bench;
+
+  print_header("Figure 2: learning curves (avg accuracy %, VGG16*)",
+               "Fig. 2 (a-d)");
+
+  const Algorithm algs[] = {Algorithm::kAllLarge, Algorithm::kDecoupled,
+                            Algorithm::kHeteroFl, Algorithm::kScaleFl,
+                            Algorithm::kAdaptiveFl};
+
+  struct Panel {
+    const char* title;
+    TaskKind task;
+    Partition partition;
+    double alpha;
+  };
+  const Panel panels[] = {
+      {"(a) CIFAR-10*, IID", TaskKind::kCifar10Like, Partition::kIid, 0.0},
+      {"(b) CIFAR-10*, alpha=0.6", TaskKind::kCifar10Like, Partition::kDirichlet, 0.6},
+      {"(c) CIFAR-100*, IID", TaskKind::kCifar100Like, Partition::kIid, 0.0},
+      {"(d) CIFAR-100*, alpha=0.6", TaskKind::kCifar100Like, Partition::kDirichlet,
+       0.6},
+  };
+
+  for (const Panel& panel : panels) {
+    ExperimentConfig cfg = scaled_config();
+    cfg.task = panel.task;
+    cfg.model = ModelKind::kMiniVgg;
+    cfg.partition = panel.partition;
+    cfg.alpha = panel.alpha;
+    const ExperimentEnv env = make_env(cfg);
+
+    std::vector<RunResult> results;
+    for (Algorithm a : algs) results.push_back(run_algorithm(a, env));
+
+    std::printf("%s\n", panel.title);
+    std::vector<std::string> header = {"round"};
+    for (const RunResult& r : results) header.push_back(r.algorithm);
+    Table table(header);
+    for (std::size_t i = 0; i < results[0].curve.size(); ++i) {
+      std::vector<std::string> row = {std::to_string(results[0].curve[i].round)};
+      for (const RunResult& r : results) {
+        row.push_back(i < r.curve.size() ? pct(r.curve[i].avg_acc) : "-");
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.to_markdown().c_str());
+  }
+  return 0;
+}

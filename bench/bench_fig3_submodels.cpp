@@ -1,0 +1,75 @@
+// Figure 3: accuracy of the per-level submodels of HeteroFL, ScaleFL and
+// AdaptiveFL (VGG16-style, CIFAR-10 analogue). The paper's headline
+// observation: HeteroFL/ScaleFL large (1.0x) submodels can underperform
+// their small counterparts, while AdaptiveFL's accuracy grows with submodel
+// size.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace afl;
+  using namespace afl::bench;
+  print_header("Figure 3: per-level submodel accuracy (%, final round)",
+               "Fig. 3");
+
+  ExperimentConfig cfg = scaled_config();
+  cfg.task = TaskKind::kCifar10Like;
+  cfg.model = ModelKind::kMiniVgg;
+  cfg.eval_every = std::max<std::size_t>(1, cfg.rounds / 5);
+  const ExperimentEnv env = make_env(cfg);
+
+  Table table({"Algorithm", "small", "medium", "large (full)"});
+  for (Algorithm a : {Algorithm::kHeteroFl, Algorithm::kScaleFl,
+                      Algorithm::kAdaptiveFl}) {
+    const RunResult r = run_algorithm(a, env);
+    // level_acc is keyed by label; collect in ascending-size order.
+    std::vector<std::pair<std::string, double>> levels(r.level_acc.begin(),
+                                                       r.level_acc.end());
+    // Labels differ per algorithm ("S1/M1/L1", "0.40x/0.66x/1.00x",
+    // "0.xx/dk"); sort by accuracy-independent size key: use the stored map
+    // order won't do — rely on the algorithm-specific naming conventions.
+    auto find_by = [&](std::initializer_list<const char*> keys) -> std::string {
+      for (const char* k : keys) {
+        auto it = r.level_acc.find(k);
+        if (it != r.level_acc.end()) return pct(it->second) + " (" + k + ")";
+      }
+      // Fallback: scan for a label containing any key as a substring.
+      for (const char* k : keys) {
+        for (const auto& [label, acc] : r.level_acc) {
+          if (label.find(k) != std::string::npos) {
+            return pct(acc) + " (" + label + ")";
+          }
+        }
+      }
+      return "-";
+    };
+    std::string small, medium, large;
+    if (a == Algorithm::kHeteroFl) {
+      small = find_by({"0.40x"});
+      medium = find_by({"0.66x"});
+      large = find_by({"1.00x"});
+    } else if (a == Algorithm::kAdaptiveFl) {
+      small = find_by({"S1"});
+      medium = find_by({"M1"});
+      large = find_by({"L1"});
+    } else {  // ScaleFL labels are "<width>x/d<depth>"
+      std::vector<std::pair<std::size_t, std::pair<std::string, double>>> byd;
+      for (const auto& [label, acc] : r.level_acc) {
+        const auto pos = label.find("/d");
+        const std::size_t depth =
+            pos == std::string::npos ? 0 : std::stoul(label.substr(pos + 2));
+        byd.push_back({depth, {label, acc}});
+      }
+      std::sort(byd.begin(), byd.end());
+      small = byd.size() > 0 ? pct(byd[0].second.second) + " (" + byd[0].second.first + ")" : "-";
+      medium = byd.size() > 1 ? pct(byd[1].second.second) + " (" + byd[1].second.first + ")" : "-";
+      large = byd.size() > 2 ? pct(byd[2].second.second) + " (" + byd[2].second.first + ")" : "-";
+    }
+    table.add_row({r.algorithm, small, medium, large});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 4: learning curves for different population sizes K (the paper uses
+// 50/100/200/500 clients on CIFAR-10 with ResNet18, alpha = 0.6; 10%
+// participate per round). The miniature substrate scales the populations
+// down proportionally at smoke scale.
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace afl;
+  using namespace afl::bench;
+  print_header("Figure 4: client-population scaling (avg acc %, ResNet18*)",
+               "Fig. 4");
+
+  const bool full = bench_scale() == BenchScale::kFull;
+  const std::size_t populations_full[] = {50, 100, 200, 500};
+  const std::size_t populations_smoke[] = {15, 30, 60, 120};
+  const Algorithm algs[] = {Algorithm::kAllLarge, Algorithm::kHeteroFl,
+                            Algorithm::kScaleFl, Algorithm::kAdaptiveFl};
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t population = (full ? populations_full : populations_smoke)[i];
+    ExperimentConfig cfg = scaled_config();
+    cfg.task = TaskKind::kCifar10Like;
+    cfg.model = ModelKind::kMiniResnet;
+    cfg.partition = Partition::kDirichlet;
+    cfg.alpha = 0.6;
+    cfg.num_clients = population;
+    cfg.clients_per_round = std::max<std::size_t>(2, population / 10);
+    cfg.eval_every = std::max<std::size_t>(1, cfg.rounds / 10);
+    const ExperimentEnv env = make_env(cfg);
+
+    std::vector<RunResult> results;
+    for (Algorithm a : algs) results.push_back(run_algorithm(a, env));
+
+    std::printf("K = %zu clients (%zu per round)\n", population,
+                cfg.clients_per_round);
+    std::vector<std::string> header = {"round"};
+    for (const RunResult& r : results) header.push_back(r.algorithm);
+    Table table(header);
+    for (std::size_t j = 0; j < results[0].curve.size(); ++j) {
+      std::vector<std::string> row = {std::to_string(results[0].curve[j].round)};
+      for (const RunResult& r : results) {
+        row.push_back(j < r.curve.size() ? pct(r.curve[j].avg_acc) : "-");
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.to_markdown().c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

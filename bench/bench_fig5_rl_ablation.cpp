@@ -1,0 +1,40 @@
+// Figure 5: ablation of the RL-based client selection on the CIFAR-100
+// analogue with the ResNet18-style model (IID):
+//   (a) communication waste rate 1 - sum(size(back)) / sum(size(sent))
+//   (b) accuracy of the selection-strategy variants
+// Variants: +Greed (always dispatch L1), +Random, +C (curiosity only),
+// +S (resource only), +CS (full AdaptiveFL).
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace afl;
+  using namespace afl::bench;
+  print_header("Figure 5: RL client-selection ablation (CIFAR-100*, ResNet18*)",
+               "Fig. 5 (a) + (b)");
+
+  ExperimentConfig cfg = scaled_config();
+  cfg.task = TaskKind::kCifar100Like;
+  cfg.model = ModelKind::kMiniResnet;
+  cfg.partition = Partition::kIid;
+  cfg.eval_every = std::max<std::size_t>(1, cfg.rounds / 5);
+  const ExperimentEnv env = make_env(cfg);
+
+  const Algorithm variants[] = {Algorithm::kAdaptiveFlGreed,
+                                Algorithm::kAdaptiveFlRandom,
+                                Algorithm::kAdaptiveFlC, Algorithm::kAdaptiveFlS,
+                                Algorithm::kAdaptiveFl};
+
+  Table table({"Variant", "comm waste rate (%)", "avg acc (%)", "full acc (%)"});
+  for (Algorithm a : variants) {
+    const RunResult r = run_algorithm(a, env);
+    table.add_row({r.algorithm, pct(r.comm.waste_rate()), pct(r.best_avg_acc()),
+                   pct(r.best_full_acc())});
+    std::printf("  done: %s\n", algorithm_name(a));
+    std::fflush(stdout);
+  }
+  std::printf("\n%s\n", table.to_markdown().c_str());
+  return 0;
+}

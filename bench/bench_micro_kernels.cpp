@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) for the computational kernels under
+// the FL simulation: GEMM variants, im2col, conv forward/backward, pruning
+// and heterogeneous aggregation throughput. Not part of the paper — these
+// document the substrate's performance envelope.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "arch/zoo.hpp"
+#include "fl/aggregate.hpp"
+#include "nn/conv2d.hpp"
+#include "prune/model_pool.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace afl;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = static_cast<std::size_t>(state.range(2));
+  Rng rng(1);
+  std::vector<float> a(m * k), b(k * n), c(m * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    gemm(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(2 * m * k * n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+BENCHMARK(BM_Gemm)->Args({16, 144, 2880})->Args({64, 576, 720})->Args({64, 256, 64});
+
+void BM_Im2Col(benchmark::State& state) {
+  const ConvGeom g{static_cast<std::size_t>(state.range(0)), 12, 12, 3, 1, 1};
+  Rng rng(2);
+  std::vector<float> img(g.channels * g.height * g.width);
+  for (auto& v : img) v = static_cast<float>(rng.normal());
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  for (auto _ : state) {
+    im2col(img.data(), g, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2Col)->Arg(3)->Arg(16)->Arg(64);
+
+void BM_ConvForward(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  Conv2D conv(16, 32, 3, 1, 1);
+  Rng rng(3);
+  Tensor x = Tensor::randn({batch, 16, 12, 12}, rng);
+  for (auto _ : state) {
+    Tensor out = conv.forward(x, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations() * batch));
+}
+BENCHMARK(BM_ConvForward)->Arg(1)->Arg(20)->Arg(64);
+
+void BM_ConvTrainStep(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  Conv2D conv(16, 32, 3, 1, 1);
+  Rng rng(4);
+  Tensor x = Tensor::randn({batch, 16, 12, 12}, rng);
+  for (auto _ : state) {
+    Tensor out = conv.forward(x, true);
+    Tensor gin = conv.backward(out);
+    benchmark::DoNotOptimize(gin.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations() * batch));
+}
+BENCHMARK(BM_ConvTrainStep)->Arg(20);
+
+void BM_PoolSplit(benchmark::State& state) {
+  ArchSpec spec = mini_vgg(10, 3, 12);
+  ModelPool pool(spec, PoolConfig::defaults_for(spec));
+  Rng rng(5);
+  Model full = build_full_model(spec, &rng);
+  ParamSet global = full.export_params();
+  const std::size_t entry = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ParamSet sub = pool.split(global, entry);
+    benchmark::DoNotOptimize(&sub);
+  }
+}
+BENCHMARK(BM_PoolSplit)->Arg(0)->Arg(3)->Arg(6);
+
+void BM_HeteroAggregate(benchmark::State& state) {
+  ArchSpec spec = mini_vgg(10, 3, 12);
+  ModelPool pool(spec, PoolConfig::defaults_for(spec));
+  Rng rng(6);
+  Model full = build_full_model(spec, &rng);
+  ParamSet global = full.export_params();
+  std::vector<ClientUpdate> updates;
+  const std::size_t n_updates = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n_updates; ++i) {
+    updates.push_back({pool.split(global, i % pool.size()), 20});
+  }
+  for (auto _ : state) {
+    ParamSet next = hetero_aggregate(global, updates);
+    benchmark::DoNotOptimize(&next);
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations() * n_updates));
+}
+BENCHMARK(BM_HeteroAggregate)->Arg(4)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Table 1: VGG16 split settings — #PARAMS, #FLOPS and size ratio for the
+// pool entries L1, M1-M3, S1-S3 with the paper's exact configuration
+// (r_w in {1.0, 0.66, 0.40}, I in {8, 6, 4}). This table is analytic (no
+// training) and computed on the real 33.65M-parameter VGG16 shape.
+// Also prints the corresponding split of the trainable mini architectures so
+// the learning benches' pools are documented.
+
+#include "arch/zoo.hpp"
+#include "bench_common.hpp"
+#include "prune/model_pool.hpp"
+
+namespace {
+
+void print_pool(const afl::ArchSpec& spec, const afl::PoolConfig& cfg) {
+  using namespace afl;
+  ModelPool pool(spec, cfg);
+  const double full = static_cast<double>(pool.largest().params);
+  Table table({"Level", "r_w", "I", "#PARAMS", "#FLOPS", "ratio"});
+  for (std::size_t i = pool.size(); i-- > 0;) {
+    const PoolEntry& e = pool.entry(i);
+    table.add_row({e.label(), e.level == Level::kLarge ? "1.00" : Table::fmt(e.r_w),
+                   e.level == Level::kLarge ? "N/A" : std::to_string(e.I),
+                   Table::fmt_count(e.params), Table::fmt_count(e.flops),
+                   Table::fmt(static_cast<double>(e.params) / full)});
+  }
+  std::printf("%s (%zu units, tau=%zu)\n%s\n", spec.name.c_str(), spec.num_units(),
+              spec.tau, table.to_markdown().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace afl;
+  using namespace afl::bench;
+  print_header("Table 1: VGG16 split settings", "Table 1");
+
+  ArchSpec paper_vgg = vgg16(10, 3, 32);
+  PoolConfig paper_cfg;
+  paper_cfg.p = 3;
+  paper_cfg.I_values = {8, 6, 4};
+  print_pool(paper_vgg, paper_cfg);
+
+  std::printf("Trainable miniature counterparts (default pools):\n\n");
+  for (ArchSpec spec : {mini_vgg(10, 3, 12), mini_resnet(10, 3, 12),
+                        mini_mobilenet(22, 1, 12)}) {
+    print_pool(spec, PoolConfig::defaults_for(spec));
+  }
+  return 0;
+}

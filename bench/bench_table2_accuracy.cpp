@@ -1,0 +1,70 @@
+// Table 2: test accuracy (%) of local ("avg") and global ("full") models for
+// All-Large / Decoupled / HeteroFL / ScaleFL / AdaptiveFL, over the
+// CIFAR-10 / CIFAR-100 analogues (IID, alpha=0.6, alpha=0.3) and the
+// FEMNIST analogue (naturally non-IID), for both VGG16- and ResNet18-style
+// models. Reported numbers are each run's best evaluation.
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace afl;
+  using namespace afl::bench;
+  print_header("Table 2: accuracy comparison (avg | full, %)", "Table 2");
+
+  struct Cell {
+    const char* name;
+    TaskKind task;
+    Partition partition;
+    double alpha;
+  };
+  const Cell cells[] = {
+      {"CIFAR-10* IID", TaskKind::kCifar10Like, Partition::kIid, 0},
+      {"CIFAR-10* a=0.6", TaskKind::kCifar10Like, Partition::kDirichlet, 0.6},
+      {"CIFAR-10* a=0.3", TaskKind::kCifar10Like, Partition::kDirichlet, 0.3},
+      {"CIFAR-100* IID", TaskKind::kCifar100Like, Partition::kIid, 0},
+      {"CIFAR-100* a=0.6", TaskKind::kCifar100Like, Partition::kDirichlet, 0.6},
+      {"CIFAR-100* a=0.3", TaskKind::kCifar100Like, Partition::kDirichlet, 0.3},
+      {"FEMNIST*", TaskKind::kFemnistLike, Partition::kNatural, 0},
+  };
+  const Algorithm algs[] = {Algorithm::kAllLarge, Algorithm::kDecoupled,
+                            Algorithm::kHeteroFl, Algorithm::kScaleFl,
+                            Algorithm::kAdaptiveFl};
+
+  for (ModelKind model : {ModelKind::kMiniVgg, ModelKind::kMiniResnet}) {
+    std::printf("Model: %s\n", model_name(model));
+    std::vector<std::string> header = {"Algorithm"};
+    for (const Cell& c : cells) {
+      header.push_back(std::string(c.name) + " avg");
+      header.push_back("full");
+    }
+    Table table(header);
+    std::vector<std::vector<std::string>> rows(5);
+    std::vector<ExperimentEnv> envs;
+    for (const Cell& c : cells) {
+      ExperimentConfig cfg = scaled_config();
+      cfg.task = c.task;
+      cfg.model = model;
+      cfg.partition = c.partition;
+      cfg.alpha = c.alpha;
+      cfg.eval_every = std::max<std::size_t>(1, cfg.rounds / 5);
+      envs.push_back(make_env(cfg));
+    }
+    for (std::size_t a = 0; a < 5; ++a) {
+      rows[a].push_back(algorithm_name(algs[a]));
+      for (const ExperimentEnv& env : envs) {
+        const RunResult r = run_algorithm(algs[a], env);
+        rows[a].push_back(algs[a] == Algorithm::kAllLarge ? "-"
+                                                          : pct(r.best_avg_acc()));
+        rows[a].push_back(pct(r.best_full_acc()));
+      }
+      table.add_row(rows[a]);
+      std::printf("  done: %s\n", algorithm_name(algs[a]));
+      std::fflush(stdout);
+    }
+    std::printf("\n%s\n", table.to_markdown().c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 3: performance under different weak:medium:strong device proportions
+// (4:3:3, 8:1:1, 1:8:1, 1:1:8) on the CIFAR-10 analogue with the VGG16-style
+// model. All-Large ignores device resources, so its column is constant by
+// construction (as in the paper).
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace afl;
+  using namespace afl::bench;
+  print_header("Table 3: device-proportion sweep (avg | full, %)", "Table 3");
+
+  const double props[][3] = {{4, 3, 3}, {8, 1, 1}, {1, 8, 1}, {1, 1, 8}};
+  const Algorithm algs[] = {Algorithm::kAllLarge, Algorithm::kHeteroFl,
+                            Algorithm::kScaleFl, Algorithm::kAdaptiveFl};
+
+  std::vector<std::string> header = {"Algorithm"};
+  for (const auto& p : props) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g:%g:%g avg", p[0], p[1], p[2]);
+    header.push_back(buf);
+    header.push_back("full");
+  }
+  Table table(header);
+
+  for (Algorithm a : algs) {
+    std::vector<std::string> row = {algorithm_name(a)};
+    for (const auto& p : props) {
+      ExperimentConfig cfg = scaled_config();
+      cfg.task = TaskKind::kCifar10Like;
+      cfg.model = ModelKind::kMiniVgg;
+      cfg.proportions = TierProportions::parse(p[0], p[1], p[2]);
+      cfg.eval_every = std::max<std::size_t>(1, cfg.rounds / 5);
+      const ExperimentEnv env = make_env(cfg);
+      const RunResult r = run_algorithm(a, env);
+      row.push_back(a == Algorithm::kAllLarge ? "-" : pct(r.best_avg_acc()));
+      row.push_back(pct(r.best_full_acc()));
+      std::fflush(stdout);
+    }
+    table.add_row(std::move(row));
+    std::printf("  done: %s\n", algorithm_name(a));
+    std::fflush(stdout);
+  }
+  std::printf("\n%s\n", table.to_markdown().c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table 4: ablation of fine-grained (p = 3) vs coarse-grained (p = 1) model
+// pruning for AdaptiveFL on the CIFAR-10/100 analogues with both model
+// families under IID / alpha=0.6 / alpha=0.3 partitions.
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace afl;
+  using namespace afl::bench;
+  print_header("Table 4: fine- vs coarse-grained pruning (global acc, %)",
+               "Table 4");
+
+  struct Dist {
+    const char* name;
+    Partition partition;
+    double alpha;
+  };
+  const Dist dists[] = {{"IID", Partition::kIid, 0},
+                        {"a=0.6", Partition::kDirichlet, 0.6},
+                        {"a=0.3", Partition::kDirichlet, 0.3}};
+
+  Table table({"Dataset", "Model", "Grained", "IID", "a=0.6", "a=0.3"});
+  for (TaskKind task : {TaskKind::kCifar10Like, TaskKind::kCifar100Like}) {
+    for (ModelKind model : {ModelKind::kMiniVgg, ModelKind::kMiniResnet}) {
+      double fine[3], coarse[3];
+      for (std::size_t p : {std::size_t{3}, std::size_t{1}}) {
+        for (int d = 0; d < 3; ++d) {
+          ExperimentConfig cfg = scaled_config();
+          cfg.task = task;
+          cfg.model = model;
+          cfg.partition = dists[d].partition;
+          cfg.alpha = dists[d].alpha;
+          cfg.pool_p = p;
+          cfg.eval_every = std::max<std::size_t>(1, cfg.rounds / 5);
+          const ExperimentEnv env = make_env(cfg);
+          const double acc = run_algorithm(Algorithm::kAdaptiveFl, env).best_full_acc();
+          (p == 3 ? fine : coarse)[d] = acc;
+          std::fflush(stdout);
+        }
+      }
+      table.add_row({task_name(task), model_name(model), "coarse",
+                     pct(coarse[0]), pct(coarse[1]), pct(coarse[2])});
+      char b0[32], b1[32], b2[32];
+      std::snprintf(b0, sizeof(b0), "%s (%+.2f)", pct(fine[0]).c_str(),
+                    100 * (fine[0] - coarse[0]));
+      std::snprintf(b1, sizeof(b1), "%s (%+.2f)", pct(fine[1]).c_str(),
+                    100 * (fine[1] - coarse[1]));
+      std::snprintf(b2, sizeof(b2), "%s (%+.2f)", pct(fine[2]).c_str(),
+                    100 * (fine[2] - coarse[2]));
+      table.add_row({task_name(task), model_name(model), "fine", b0, b1, b2});
+      std::printf("  done: %s / %s\n", task_name(task), model_name(model));
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n%s\n", table.to_markdown().c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Checkpointing and warm-started training: run AdaptiveFL for a first phase,
+// save the global model to disk, then resume a second phase from the
+// checkpoint (as a long-lived AIoT deployment would across server restarts).
+//
+//   ./resume_training [phase_rounds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "nn/checkpoint.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afl;
+
+  const std::size_t phase_rounds =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 25;
+
+  ExperimentConfig cfg;
+  cfg.task = TaskKind::kCifar10Like;
+  cfg.model = ModelKind::kMiniVgg;
+  cfg.num_clients = 20;
+  cfg.clients_per_round = 5;
+  cfg.samples_per_client = 20;
+  cfg.test_samples = 300;
+  cfg.rounds = phase_rounds;
+  cfg.eval_every = std::max<std::size_t>(1, phase_rounds / 5);
+  const ExperimentEnv env = make_env(cfg);
+
+  const char* ckpt_path = "adaptivefl_global.ckpt";
+
+  // Phase 1: train from scratch and checkpoint the global model.
+  AdaptiveFl phase1(env.spec, env.pool_config, env.data, env.devices, env.run, {});
+  const RunResult r1 = phase1.run();
+  save_checkpoint(phase1.global_params(), ckpt_path);
+  std::printf("phase 1: %zu rounds -> full %.2f%% (checkpoint: %s, %zu params)\n",
+              phase_rounds, 100 * r1.final_full_acc, ckpt_path,
+              param_count(phase1.global_params()));
+
+  // Phase 2: a fresh server process resumes from the checkpoint.
+  FlRunConfig run2 = env.run;
+  run2.seed = env.run.seed + 1;  // different round randomness, same weights
+  AdaptiveFl phase2(env.spec, env.pool_config, env.data, env.devices, run2, {});
+  phase2.set_initial_params(load_checkpoint(ckpt_path));
+  const RunResult r2 = phase2.run();
+  std::printf("phase 2 (resumed): %zu more rounds -> full %.2f%%\n", phase_rounds,
+              100 * r2.final_full_acc);
+
+  Table table({"phase", "rounds", "final full (%)", "final avg (%)"});
+  table.add_row({"1 (cold)", std::to_string(phase_rounds),
+                 Table::fmt_pct(r1.final_full_acc), Table::fmt_pct(r1.final_avg_acc)});
+  table.add_row({"2 (warm)", std::to_string(phase_rounds),
+                 Table::fmt_pct(r2.final_full_acc), Table::fmt_pct(r2.final_avg_acc)});
+  std::printf("\n%s", table.to_markdown().c_str());
+  std::printf("\nWarm phase should end above the cold phase: training continued\n"
+              "from the checkpoint rather than restarting.\n");
+  std::remove(ckpt_path);
+  return 0;
+}

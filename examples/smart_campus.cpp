@@ -1,0 +1,62 @@
+// Smart-campus scenario: the kind of AIoT deployment the paper's introduction
+// motivates. A campus runs 60 camera nodes of three hardware generations
+// (40% old weak nodes, 30% mid-range, 30% recent GPUs) that collaboratively
+// learn a 22-class activity recognizer from naturally non-IID data (each
+// building sees different activities and has its own sensor calibration).
+// Compares AdaptiveFL against HeteroFL and Decoupled on identical data, then
+// prints which model each node tier ends up serving.
+//
+//   ./smart_campus [rounds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afl;
+
+  ExperimentConfig cfg;
+  cfg.task = TaskKind::kWidarLike;  // 22-class sensing analogue
+  cfg.model = ModelKind::kMiniResnet;
+  cfg.partition = Partition::kNatural;  // per-building style + class skew
+  cfg.num_clients = 60;
+  cfg.clients_per_round = 8;
+  cfg.samples_per_client = 20;
+  cfg.test_samples = 440;
+  cfg.rounds = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+  cfg.eval_every = std::max<std::size_t>(1, cfg.rounds / 6);
+  cfg.proportions = TierProportions::parse(4, 3, 3);
+
+  std::printf("Smart campus: %zu nodes (4:3:3 old/mid/new), %zu-class activity "
+              "recognition, naturally non-IID per building\n\n",
+              cfg.num_clients, std::size_t{22});
+
+  const ExperimentEnv env = make_env(cfg);
+  Table table({"Algorithm", "best avg (%)", "best full (%)", "comm waste (%)",
+               "failed trainings"});
+  for (Algorithm a : {Algorithm::kDecoupled, Algorithm::kHeteroFl,
+                      Algorithm::kAdaptiveFl}) {
+    const RunResult r = run_algorithm(a, env);
+    table.add_row({r.algorithm, Table::fmt_pct(r.best_avg_acc()),
+                   Table::fmt_pct(r.best_full_acc()),
+                   Table::fmt_pct(r.comm.waste_rate()),
+                   std::to_string(r.failed_trainings)});
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+
+  // What each hardware tier can actually serve after training.
+  const ModelPool pool(env.spec, env.pool_config);
+  Table tiers({"node tier", "capacity (params)", "largest deployable model"});
+  for (DeviceTier t : {DeviceTier::kWeak, DeviceTier::kMedium, DeviceTier::kStrong}) {
+    const std::size_t cap = tier_capacity(pool, t);
+    const auto idx = pool.adapt(pool.largest_index(), cap);
+    tiers.add_row({device_tier_name(t), Table::fmt_count(cap),
+                   idx ? pool.entry(*idx).label() : "(none)"});
+  }
+  std::printf("Deployment map:\n%s\n", tiers.to_markdown().c_str());
+  std::printf("AdaptiveFL trains one weight space that serves all three tiers;\n"
+              "Decoupled would maintain three disjoint models instead.\n");
+  return 0;
+}

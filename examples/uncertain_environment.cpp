@@ -1,0 +1,52 @@
+// Uncertain-environment scenario (§1: "uncertain operating environments with
+// dynamically changing hardware resources"). Device capacity fluctuates every
+// round (multiplicative jitter); the server never observes it. The example
+// sweeps the jitter magnitude and reports how AdaptiveFL's on-device
+// resource-aware pruning and RL selection absorb the uncertainty, versus the
+// greedy dispatch strategy that ships the full model blindly.
+//
+//   ./uncertain_environment [rounds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afl;
+
+  const std::size_t rounds =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 50;
+
+  std::printf("Dynamic-resource sweep: capacity(t) = base * (1 +/- jitter)\n\n");
+
+  Table table({"jitter", "algorithm", "best full (%)", "comm waste (%)",
+               "failed trainings"});
+  for (double jitter : {0.0, 0.2, 0.4}) {
+    ExperimentConfig cfg;
+    cfg.task = TaskKind::kCifar10Like;
+    cfg.model = ModelKind::kMiniVgg;
+    cfg.num_clients = 24;
+    cfg.clients_per_round = 6;
+    cfg.samples_per_client = 20;
+    cfg.test_samples = 300;
+    cfg.rounds = rounds;
+    cfg.eval_every = std::max<std::size_t>(1, rounds / 5);
+    cfg.capacity_jitter = jitter;
+    const ExperimentEnv env = make_env(cfg);
+    for (Algorithm a : {Algorithm::kAdaptiveFl, Algorithm::kAdaptiveFlGreed}) {
+      const RunResult r = run_algorithm(a, env);
+      table.add_row({Table::fmt(jitter, 1), r.algorithm,
+                     Table::fmt_pct(r.best_full_acc()),
+                     Table::fmt_pct(r.comm.waste_rate()),
+                     std::to_string(r.failed_trainings)});
+    }
+  }
+  std::printf("%s\n", table.to_markdown().c_str());
+  std::printf(
+      "Expected shape: +CS keeps the waste rate low even under jitter (it\n"
+      "learns which devices can hold which sizes); +Greed ships L1 blindly,\n"
+      "so every weak/medium round-trip wastes the pruned-away parameters.\n");
+  return 0;
+}

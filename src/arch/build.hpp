@@ -1,0 +1,33 @@
+#pragma once
+// Materialize an (ArchSpec, WidthPlan) pair into a trainable Model.
+//
+// Parameter names depend only on the spec's unit index, never on the plan, so
+// differently-pruned instances of one architecture expose the same names with
+// prefix-sliced shapes — the contract required by heterogeneous aggregation.
+
+#include "arch/spec.hpp"
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+
+struct BuildOptions {
+  /// Keep only units 1..depth_units (0 = all). When truncated, the model's
+  /// classifier is the exit head "exit<depth_units>" appended to the pipeline
+  /// (GAP + Linear), matching the attached head of the same name in deeper
+  /// models. Used by the ScaleFL baseline's 2-D (width x depth) submodels.
+  std::size_t depth_units = 0;
+  /// Attach an early-exit head (GAP + Linear -> num_classes) after each listed
+  /// unit (1-based indices, each < effective depth).
+  std::vector<std::size_t> exits;
+};
+
+/// Builds the model; weights are Kaiming-initialized when `init_rng` is given,
+/// zero otherwise (use import_params to load them).
+Model build_model(const ArchSpec& spec, const WidthPlan& plan, Rng* init_rng = nullptr,
+                  const BuildOptions& options = {});
+
+/// Convenience overload for the full-width model.
+Model build_full_model(const ArchSpec& spec, Rng* init_rng = nullptr);
+
+}  // namespace afl

@@ -1,0 +1,44 @@
+#include "arch/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace afl {
+
+std::size_t scaled_width(std::size_t base, double mult) {
+  const double w = std::round(static_cast<double>(base) * mult);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(w));
+}
+
+WidthPlan deep_plan(const ArchSpec& spec, double r_w, std::size_t I) {
+  const std::size_t n = spec.num_units();
+  WidthPlan plan(n, 1.0);
+  if (r_w >= 1.0) return plan;
+  for (std::size_t j = I; j < n; ++j) plan[j] = r_w;  // unit index j+1 > I
+  return plan;
+}
+
+WidthPlan uniform_plan(const ArchSpec& spec, double r) {
+  return WidthPlan(spec.num_units(), r);
+}
+
+bool plan_is_valid(const ArchSpec& spec, const WidthPlan& plan) {
+  if (plan.size() != spec.num_units()) return false;
+  for (double m : plan) {
+    if (!(m > 0.0) || m > 1.0) return false;
+  }
+  for (std::size_t j = 1; j < plan.size(); ++j) {
+    if (plan[j] > plan[j - 1]) return false;  // must be non-increasing
+  }
+  return true;
+}
+
+bool plan_is_subplan(const WidthPlan& sub, const WidthPlan& super) {
+  if (sub.size() != super.size()) return false;
+  for (std::size_t j = 0; j < sub.size(); ++j) {
+    if (sub[j] > super[j] + 1e-12) return false;
+  }
+  return true;
+}
+
+}  // namespace afl

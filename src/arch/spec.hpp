@@ -1,0 +1,86 @@
+#pragma once
+// Architecture specifications and width plans.
+//
+// An ArchSpec describes a network as a sequence of *prunable units* plus a
+// fixed classifier. A unit is the granularity at which the paper's
+// fine-grained width-wise pruning operates: convolution layers, hidden FC
+// layers, residual blocks, or inverted-residual blocks. Unit indices are
+// 1-based to match the paper's "index of the starting pruning layer" I.
+//
+// A WidthPlan assigns every unit a width multiplier in (0, 1]. The paper's
+// (r_w, I) scheme (§3.2) maps to:
+//     mult[j] = 1      for j <= I   (shallow layers never pruned)
+//     mult[j] = r_w    for j >  I
+// HeteroFL's coarse scheme is the uniform plan mult[j] = r for all j.
+// The classifier's output dimension (num_classes) is never scaled; its input
+// dimension follows the last unit's width.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace afl {
+
+enum class UnitKind {
+  kConv,              // conv (+ReLU, optional maxpool after)
+  kLinear,            // hidden fully-connected layer (+ReLU)
+  kBasicBlock,        // ResNet-18 basic block (two 3x3 convs + shortcut)
+  kInvertedResidual,  // MobileNetV2 block (expand 1x1, dw 3x3, project 1x1)
+};
+
+struct Unit {
+  UnitKind kind = UnitKind::kConv;
+  std::size_t out_c = 0;       // base output channels / features
+  std::size_t kernel = 3;      // kConv only
+  std::size_t stride = 1;      // kConv / kBasicBlock / kInvertedResidual
+  std::size_t pad = 1;         // kConv only
+  double expansion = 1.0;      // kInvertedResidual: hidden = base_in * expansion
+  bool maxpool_after = false;  // kConv: 2x2/s2 max pool after activation (VGG 'M')
+  bool projection = false;     // kBasicBlock: base arch uses 1x1 projection shortcut
+  bool residual = false;       // kInvertedResidual: base arch has a residual add
+};
+
+struct ArchSpec {
+  std::string name;
+  std::size_t in_channels = 3;
+  std::size_t in_h = 32;
+  std::size_t in_w = 32;
+  std::size_t num_classes = 10;
+  std::vector<Unit> units;
+  /// Use global average pooling before the classifier (ResNet / MobileNet);
+  /// otherwise flatten (VGG).
+  bool gap_before_classifier = false;
+  /// τ: the minimum allowed starting-prune index; plans must keep units
+  /// 1..τ at full width so heterogeneous models share the shallow features.
+  std::size_t tau = 1;
+
+  std::size_t num_units() const { return units.size(); }
+  /// Stable parameter-name prefix for unit j (1-based).
+  static std::string unit_name(std::size_t j) { return "u" + std::to_string(j); }
+};
+
+/// Per-unit width multipliers; size == spec.num_units().
+using WidthPlan = std::vector<double>;
+
+/// Rounded width after applying a multiplier; never below 1.
+std::size_t scaled_width(std::size_t base, double mult);
+
+/// The paper's fine-grained plan: full width through unit I, r_w afterwards.
+/// I is clamped to [0, num_units]; I = 0 prunes every unit (HeteroFL regime);
+/// r_w = 1 yields the full plan regardless of I.
+WidthPlan deep_plan(const ArchSpec& spec, double r_w, std::size_t I);
+
+/// Uniform plan (coarse / HeteroFL): every unit at ratio r.
+WidthPlan uniform_plan(const ArchSpec& spec, double r);
+
+/// True iff the plan has one multiplier per unit, every multiplier is in
+/// (0, 1], and the plan is non-increasing (a prerequisite for parameter-free
+/// sliced-identity shortcuts). The τ constraint (I >= tau) is enforced where
+/// plans are generated — by the model pool (prune/model_pool.hpp).
+bool plan_is_valid(const ArchSpec& spec, const WidthPlan& plan);
+
+/// True iff model(sub) can be obtained from model(super) by width pruning
+/// alone, i.e. sub[j] <= super[j] for every unit.
+bool plan_is_subplan(const WidthPlan& sub, const WidthPlan& super);
+
+}  // namespace afl

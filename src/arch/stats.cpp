@@ -1,0 +1,107 @@
+#include "arch/stats.hpp"
+
+#include <stdexcept>
+
+namespace afl {
+namespace {
+
+std::size_t conv_out_dim(std::size_t in, std::size_t kernel, std::size_t stride,
+                         std::size_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace
+
+std::vector<std::size_t> unit_widths(const ArchSpec& spec, const WidthPlan& plan) {
+  if (plan.size() != spec.num_units()) {
+    throw std::invalid_argument("unit_widths: plan size mismatch");
+  }
+  std::vector<std::size_t> widths(spec.num_units());
+  for (std::size_t j = 0; j < spec.num_units(); ++j) {
+    widths[j] = scaled_width(spec.units[j].out_c, plan[j]);
+  }
+  return widths;
+}
+
+ModelStats arch_stats(const ArchSpec& spec, const WidthPlan& plan) {
+  const std::vector<std::size_t> widths = unit_widths(spec, plan);
+  ModelStats s;
+  std::size_t h = spec.in_h, w = spec.in_w;
+  std::size_t in_c = spec.in_channels;
+  bool spatial = true;
+  for (std::size_t j = 0; j < spec.num_units(); ++j) {
+    const Unit& u = spec.units[j];
+    const std::size_t out_c = widths[j];
+    switch (u.kind) {
+      case UnitKind::kConv: {
+        const std::size_t oh = conv_out_dim(h, u.kernel, u.stride, u.pad);
+        const std::size_t ow = conv_out_dim(w, u.kernel, u.stride, u.pad);
+        s.params += out_c * in_c * u.kernel * u.kernel + out_c;
+        s.flops += (out_c * in_c * u.kernel * u.kernel + out_c) * oh * ow;
+        h = oh;
+        w = ow;
+        if (u.maxpool_after) {
+          h /= 2;
+          w /= 2;
+        }
+        break;
+      }
+      case UnitKind::kBasicBlock: {
+        const std::size_t oh = conv_out_dim(h, 3, u.stride, 1);
+        const std::size_t ow = conv_out_dim(w, 3, u.stride, 1);
+        s.params += out_c * in_c * 9 + out_c;                 // conv1
+        s.flops += (out_c * in_c * 9 + out_c) * oh * ow;
+        s.params += out_c * out_c * 9 + out_c;                // conv2
+        s.flops += (out_c * out_c * 9 + out_c) * oh * ow;
+        if (u.projection) {
+          s.params += out_c * in_c + out_c;                   // 1x1 shortcut
+          s.flops += (out_c * in_c + out_c) * oh * ow;
+        }
+        h = oh;
+        w = ow;
+        break;
+      }
+      case UnitKind::kInvertedResidual: {
+        // Base hidden width follows the *unpruned* input channels of the
+        // block, scaled by this unit's multiplier, so the hidden dimension of
+        // a pruned block is a prefix of the full block's hidden dimension.
+        const std::size_t base_in =
+            (j == 0) ? spec.in_channels : spec.units[j - 1].out_c;
+        const std::size_t hidden = scaled_width(
+            static_cast<std::size_t>(static_cast<double>(base_in) * u.expansion),
+            plan[j]);
+        const std::size_t oh = conv_out_dim(h, 3, u.stride, 1);
+        const std::size_t ow = conv_out_dim(w, 3, u.stride, 1);
+        s.params += hidden * in_c + hidden;        // expand 1x1 (input spatial)
+        s.flops += (hidden * in_c + hidden) * h * w;
+        s.params += hidden * 9 + hidden;           // depthwise 3x3
+        s.flops += (hidden * 9 + hidden) * oh * ow;
+        s.params += out_c * hidden + out_c;        // project 1x1
+        s.flops += (out_c * hidden + out_c) * oh * ow;
+        h = oh;
+        w = ow;
+        break;
+      }
+      case UnitKind::kLinear: {
+        const std::size_t in_f =
+            spatial ? (spec.gap_before_classifier ? in_c : in_c * h * w) : in_c;
+        s.params += out_c * in_f + out_c;
+        s.flops += out_c * in_f + out_c;
+        spatial = false;
+        break;
+      }
+    }
+    in_c = out_c;
+  }
+  const std::size_t cls_in =
+      spatial ? (spec.gap_before_classifier ? in_c : in_c * h * w) : in_c;
+  s.params += spec.num_classes * cls_in + spec.num_classes;
+  s.flops += spec.num_classes * cls_in + spec.num_classes;
+  return s;
+}
+
+ModelStats arch_stats(const ArchSpec& spec) {
+  return arch_stats(spec, WidthPlan(spec.num_units(), 1.0));
+}
+
+}  // namespace afl

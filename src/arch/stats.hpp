@@ -1,0 +1,28 @@
+#pragma once
+// Analytic parameter and FLOP counting for an (ArchSpec, WidthPlan) pair.
+//
+// Counts must agree exactly with Model::param_count() of the built model
+// (tested in tests/arch_test.cpp); they are what the on-device resource-aware
+// pruning (§3.2) uses to evaluate size(prune(W; r_w, I)) without materializing
+// candidate models. FLOPs count forward multiply-accumulates plus bias adds,
+// the convention under which the paper's Table 1 reports 333.22M for VGG16.
+
+#include "arch/spec.hpp"
+
+namespace afl {
+
+struct ModelStats {
+  std::size_t params = 0;
+  std::size_t flops = 0;
+};
+
+/// Stats for the pipeline (units + classifier); exit heads are not included.
+ModelStats arch_stats(const ArchSpec& spec, const WidthPlan& plan);
+
+/// Convenience: stats of the unpruned architecture.
+ModelStats arch_stats(const ArchSpec& spec);
+
+/// Scaled output width of every unit under `plan` (index 0 = unit 1).
+std::vector<std::size_t> unit_widths(const ArchSpec& spec, const WidthPlan& plan);
+
+}  // namespace afl

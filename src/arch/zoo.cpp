@@ -1,0 +1,169 @@
+#include "arch/zoo.hpp"
+
+namespace afl {
+namespace {
+
+Unit conv(std::size_t out_c, bool maxpool_after = false) {
+  Unit u;
+  u.kind = UnitKind::kConv;
+  u.out_c = out_c;
+  u.kernel = 3;
+  u.stride = 1;
+  u.pad = 1;
+  u.maxpool_after = maxpool_after;
+  return u;
+}
+
+Unit dense(std::size_t out_f) {
+  Unit u;
+  u.kind = UnitKind::kLinear;
+  u.out_c = out_f;
+  return u;
+}
+
+Unit basic_block(std::size_t out_c, std::size_t stride, bool projection) {
+  Unit u;
+  u.kind = UnitKind::kBasicBlock;
+  u.out_c = out_c;
+  u.stride = stride;
+  u.projection = projection;
+  return u;
+}
+
+Unit inv_residual(std::size_t out_c, double expansion, std::size_t stride,
+                  bool residual) {
+  Unit u;
+  u.kind = UnitKind::kInvertedResidual;
+  u.out_c = out_c;
+  u.expansion = expansion;
+  u.stride = stride;
+  u.residual = residual;
+  return u;
+}
+
+}  // namespace
+
+ArchSpec vgg16(std::size_t num_classes, std::size_t in_channels, std::size_t in_hw) {
+  ArchSpec s;
+  s.name = "vgg16";
+  s.in_channels = in_channels;
+  s.in_h = s.in_w = in_hw;
+  s.num_classes = num_classes;
+  s.gap_before_classifier = false;
+  s.units = {
+      conv(64),  conv(64, true),   // block 1
+      conv(128), conv(128, true),  // block 2
+      conv(256), conv(256), conv(256, true),   // block 3
+      conv(512), conv(512), conv(512, true),   // block 4
+      conv(512), conv(512), conv(512, true),   // block 5
+      dense(4096), dense(4096),
+  };
+  s.tau = 4;  // the paper prunes VGG16 from I >= 4 (Table 1)
+  return s;
+}
+
+ArchSpec resnet18(std::size_t num_classes, std::size_t in_channels, std::size_t in_hw) {
+  ArchSpec s;
+  s.name = "resnet18";
+  s.in_channels = in_channels;
+  s.in_h = s.in_w = in_hw;
+  s.num_classes = num_classes;
+  s.gap_before_classifier = true;
+  s.units = {
+      conv(64),
+      basic_block(64, 1, false),  basic_block(64, 1, false),
+      basic_block(128, 2, true),  basic_block(128, 1, false),
+      basic_block(256, 2, true),  basic_block(256, 1, false),
+      basic_block(512, 2, true),  basic_block(512, 1, false),
+  };
+  s.tau = 2;
+  return s;
+}
+
+ArchSpec mobilenetv2(std::size_t num_classes, std::size_t in_channels,
+                     std::size_t in_hw) {
+  ArchSpec s;
+  s.name = "mobilenetv2";
+  s.in_channels = in_channels;
+  s.in_h = s.in_w = in_hw;
+  s.num_classes = num_classes;
+  s.gap_before_classifier = true;
+  // CIFAR-style MobileNetV2: the full 17-block schedule (n = 1,2,3,4,3,3,1)
+  // with the reduced stride plan commonly used for 32x32 inputs.
+  s.units = {
+      conv(32),
+      inv_residual(16, 1.0, 1, false),
+      inv_residual(24, 6.0, 1, false),  inv_residual(24, 6.0, 1, true),
+      inv_residual(32, 6.0, 2, false),  inv_residual(32, 6.0, 1, true),
+      inv_residual(32, 6.0, 1, true),
+      inv_residual(64, 6.0, 2, false),  inv_residual(64, 6.0, 1, true),
+      inv_residual(64, 6.0, 1, true),   inv_residual(64, 6.0, 1, true),
+      inv_residual(96, 6.0, 1, false),  inv_residual(96, 6.0, 1, true),
+      inv_residual(96, 6.0, 1, true),
+      inv_residual(160, 6.0, 2, false), inv_residual(160, 6.0, 1, true),
+      inv_residual(160, 6.0, 1, true),
+      inv_residual(320, 6.0, 1, false),
+      dense(1280),
+  };
+  s.tau = 2;
+  return s;
+}
+
+ArchSpec mini_vgg(std::size_t num_classes, std::size_t in_channels, std::size_t in_hw) {
+  ArchSpec s;
+  s.name = "mini_vgg";
+  s.in_channels = in_channels;
+  s.in_h = s.in_w = in_hw;
+  s.num_classes = num_classes;
+  s.gap_before_classifier = false;
+  s.units = {
+      conv(16), conv(16, true),
+      conv(32), conv(32, true),
+      conv(64), conv(64, true),
+      dense(64),
+  };
+  s.tau = 2;
+  return s;
+}
+
+ArchSpec mini_resnet(std::size_t num_classes, std::size_t in_channels,
+                     std::size_t in_hw) {
+  ArchSpec s;
+  s.name = "mini_resnet";
+  s.in_channels = in_channels;
+  s.in_h = s.in_w = in_hw;
+  s.num_classes = num_classes;
+  s.gap_before_classifier = true;
+  s.units = {
+      conv(16),
+      basic_block(16, 1, false),
+      basic_block(32, 2, true),
+      basic_block(32, 1, false),
+      basic_block(64, 2, true),
+      basic_block(64, 1, false),
+  };
+  s.tau = 2;
+  return s;
+}
+
+ArchSpec mini_mobilenet(std::size_t num_classes, std::size_t in_channels,
+                        std::size_t in_hw) {
+  ArchSpec s;
+  s.name = "mini_mobilenet";
+  s.in_channels = in_channels;
+  s.in_h = s.in_w = in_hw;
+  s.num_classes = num_classes;
+  s.gap_before_classifier = true;
+  s.units = {
+      conv(8),
+      inv_residual(12, 2.0, 1, false),
+      inv_residual(16, 2.0, 2, false),
+      inv_residual(16, 2.0, 1, true),
+      inv_residual(24, 2.0, 2, false),
+      inv_residual(24, 2.0, 1, true),
+  };
+  s.tau = 2;
+  return s;
+}
+
+}  // namespace afl

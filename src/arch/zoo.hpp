@@ -1,0 +1,36 @@
+#pragma once
+// Architecture zoo.
+//
+// Full-size specs (vgg16, resnet18, mobilenetv2) reproduce the paper's model
+// shapes for analytic size/FLOP tables (Table 1). The mini_* variants are the
+// trainable scaled-down counterparts used by the learning experiments on this
+// CPU-only substrate (see DESIGN.md substitutions); they preserve the layer
+// *structure* (conv stacks / residual blocks / inverted residuals) at reduced
+// width, depth, and input resolution.
+
+#include "arch/spec.hpp"
+
+namespace afl {
+
+/// VGG16 with CIFAR-style 32x32 inputs and the 4096-4096 dense head
+/// (33.65M parameters at 10 classes — the paper's Table 1 "L1" row).
+ArchSpec vgg16(std::size_t num_classes = 10, std::size_t in_channels = 3,
+               std::size_t in_hw = 32);
+
+/// ResNet-18 with 32x32 inputs (3x3 stem, no stem pooling), GAP classifier.
+ArchSpec resnet18(std::size_t num_classes = 10, std::size_t in_channels = 3,
+                  std::size_t in_hw = 32);
+
+/// MobileNetV2-style inverted-residual network at 32x32.
+ArchSpec mobilenetv2(std::size_t num_classes = 10, std::size_t in_channels = 3,
+                     std::size_t in_hw = 32);
+
+/// Trainable scaled-down variants (16x16 inputs by default).
+ArchSpec mini_vgg(std::size_t num_classes = 10, std::size_t in_channels = 3,
+                  std::size_t in_hw = 16);
+ArchSpec mini_resnet(std::size_t num_classes = 10, std::size_t in_channels = 3,
+                     std::size_t in_hw = 16);
+ArchSpec mini_mobilenet(std::size_t num_classes = 10, std::size_t in_channels = 3,
+                        std::size_t in_hw = 16);
+
+}  // namespace afl

@@ -1,0 +1,136 @@
+#include "core/adaptivefl.hpp"
+
+#include <stdexcept>
+
+#include "fl/aggregate.hpp"
+#include "fl/evaluate.hpp"
+#include "nn/init.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+
+namespace afl {
+
+void AdaptiveFl::set_initial_params(ParamSet params) {
+  Model probe = build_full_model(spec_);
+  probe.import_params(params);  // validates names and shapes
+  global_ = std::move(params);
+  has_initial_ = true;
+}
+
+AdaptiveFl::AdaptiveFl(const ArchSpec& spec, const PoolConfig& pool_config,
+                       const FederatedDataset& data, std::vector<DeviceSim> devices,
+                       FlRunConfig run_config, AdaptiveFlOptions options)
+    : spec_(spec),
+      pool_(spec, pool_config),
+      data_(data),
+      devices_(std::move(devices)),
+      config_(run_config),
+      options_(options),
+      selector_(pool_, data.num_clients(), options.strategy) {
+  if (devices_.size() != data_.num_clients()) {
+    throw std::invalid_argument("AdaptiveFl: one device profile per client required");
+  }
+}
+
+void AdaptiveFl::evaluate_round(std::size_t round, const ParamSet& global,
+                                RunResult& result) {
+  const std::size_t heads[3] = {pool_.level_head_index(Level::kLarge),
+                                pool_.level_head_index(Level::kMedium),
+                                pool_.level_head_index(Level::kSmall)};
+  double sum = 0.0;
+  double full = 0.0;
+  for (std::size_t h : heads) {
+    const PoolEntry& e = pool_.entry(h);
+    const double acc = eval_params(spec_, e.plan, {}, pool_.split(global, h),
+                                   data_.test, config_.eval_batch);
+    result.level_acc[e.label()] = acc;
+    sum += acc;
+    if (e.level == Level::kLarge) full = acc;
+  }
+  RoundRecord rec;
+  rec.round = round;
+  rec.full_acc = full;
+  rec.avg_acc = sum / 3.0;
+  rec.comm_waste = result.comm.waste_rate();
+  result.curve.push_back(rec);
+  result.final_full_acc = full;
+  result.final_avg_acc = rec.avg_acc;
+}
+
+RunResult AdaptiveFl::run() {
+  Stopwatch watch;
+  RunResult result;
+  result.algorithm = options_.greedy_dispatch
+                         ? "AdaptiveFL+Greed"
+                         : std::string("AdaptiveFL+") +
+                               selection_strategy_name(options_.strategy);
+
+  Rng rng(config_.seed);
+  if (!has_initial_) {
+    Model full_model = build_full_model(spec_, &rng);
+    global_ = full_model.export_params();
+  }
+  ParamSet& global = global_;
+
+  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    std::vector<bool> taken(data_.num_clients(), false);
+    std::vector<ClientUpdate> updates;
+    updates.reserve(config_.clients_per_round);
+    for (std::size_t slot = 0; slot < config_.clients_per_round; ++slot) {
+      // Step 2 (Model Selection): uniform draw from the pool — or always L1
+      // for the +Greed ablation.
+      const std::size_t sent = options_.greedy_dispatch
+                                   ? pool_.largest_index()
+                                   : rng.uniform_index(pool_.size());
+      // Step 3 (Client Selection).
+      const auto client = selector_.select(sent, taken, rng);
+      if (!client) break;  // every client already has a model this round
+      taken[*client] = true;
+      result.comm.record_dispatch(pool_.entry(sent).params);
+
+      // Unreachable device: the dispatched model is lost (counted as pure
+      // communication waste) and only the curiosity visit is recorded.
+      if (!devices_[*client].responds(rng)) {
+        ++result.failed_trainings;
+        selector_.tables().update_no_response(pool_.entry(sent).level, *client);
+        continue;
+      }
+
+      // Step 4 (Local Training with available-resource-aware pruning).
+      const std::size_t capacity = devices_[*client].capacity(rng);
+      const auto back = pool_.adapt(sent, capacity);
+      if (!back) {
+        ++result.failed_trainings;
+        selector_.tables().update_failure(sent, pool_.entry(sent).level, *client);
+        continue;
+      }
+      Model local = pool_.build(*back);
+      local.import_params(pool_.split(global, *back));
+      Rng crng = rng.fork();
+      local_train(local, data_.clients[*client], config_.local, crng);
+
+      // Step 5 (Model Uploading).
+      updates.push_back(
+          {local.export_params(), data_.clients[*client].size()});
+      result.comm.record_return(pool_.entry(*back).params);
+
+      // RL table update (Algorithm 1, lines 12-26).
+      selector_.tables().update(sent, pool_.entry(sent).level, *back,
+                                pool_.entry(*back).level, *client);
+    }
+    // Step 6 (Model Aggregation).
+    global = hetero_aggregate(global, updates);
+
+    if (config_.eval_every != 0 &&
+        (round % config_.eval_every == 0 || round == config_.rounds)) {
+      evaluate_round(round, global, result);
+      AFL_LOG_DEBUG << result.algorithm << " round " << round << ": full "
+                    << result.final_full_acc << ", avg " << result.final_avg_acc;
+    }
+  }
+  if (result.curve.empty()) evaluate_round(config_.rounds, global, result);
+  result.wall_seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace afl

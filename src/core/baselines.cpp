@@ -1,0 +1,225 @@
+#include "core/baselines.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "arch/stats.hpp"
+#include "fl/aggregate.hpp"
+#include "fl/evaluate.hpp"
+#include "prune/width_prune.hpp"
+#include "util/stopwatch.hpp"
+
+namespace afl {
+
+// ---------------------------------------------------------------------------
+// AllLarge (FedAvg)
+// ---------------------------------------------------------------------------
+
+AllLarge::AllLarge(const ArchSpec& spec, const FederatedDataset& data,
+                   FlRunConfig run_config)
+    : spec_(spec), data_(data), config_(run_config) {}
+
+RunResult AllLarge::run() {
+  Stopwatch watch;
+  RunResult result;
+  result.algorithm = "All-Large";
+  Rng rng(config_.seed);
+  Model model = build_full_model(spec_, &rng);
+  ParamSet global = model.export_params();
+  const std::size_t full_params = param_count(global);
+  const WidthPlan full_plan(spec_.num_units(), 1.0);
+
+  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    std::vector<ClientUpdate> updates;
+    for (std::size_t c : sample_clients(data_.num_clients(),
+                                        config_.clients_per_round, rng)) {
+      Model local = build_full_model(spec_);
+      local.import_params(global);
+      Rng crng = rng.fork();
+      local_train(local, data_.clients[c], config_.local, crng);
+      updates.push_back({local.export_params(), data_.clients[c].size()});
+      result.comm.record_dispatch(full_params);
+      result.comm.record_return(full_params);
+    }
+    global = fedavg_aggregate(global, updates);
+    if (config_.eval_every != 0 &&
+        (round % config_.eval_every == 0 || round == config_.rounds)) {
+      const double acc =
+          eval_params(spec_, full_plan, {}, global, data_.test, config_.eval_batch);
+      result.curve.push_back({round, acc, acc, result.comm.waste_rate()});
+      result.final_full_acc = acc;
+      result.final_avg_acc = acc;  // All-Large has no submodels; avg == full
+    }
+  }
+  result.level_acc["L1"] = result.final_full_acc;
+  result.wall_seconds = watch.seconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Decoupled
+// ---------------------------------------------------------------------------
+
+Decoupled::Decoupled(const ArchSpec& spec, const PoolConfig& pool_config,
+                     const FederatedDataset& data, std::vector<DeviceSim> devices,
+                     FlRunConfig run_config)
+    : spec_(spec),
+      pool_(spec, pool_config),
+      data_(data),
+      devices_(std::move(devices)),
+      config_(run_config) {
+  if (devices_.size() != data_.num_clients()) {
+    throw std::invalid_argument("Decoupled: one device profile per client required");
+  }
+}
+
+RunResult Decoupled::run() {
+  Stopwatch watch;
+  RunResult result;
+  result.algorithm = "Decoupled";
+  Rng rng(config_.seed);
+  // Three independent model families seeded from one full init so every
+  // family starts from the same shared shallow weights.
+  const std::size_t heads[3] = {pool_.level_head_index(Level::kLarge),
+                                pool_.level_head_index(Level::kMedium),
+                                pool_.level_head_index(Level::kSmall)};
+  Model seed_model = build_full_model(spec_, &rng);
+  const ParamSet seed = seed_model.export_params();
+  ParamSet globals[3];
+  for (int l = 0; l < 3; ++l) globals[l] = pool_.split(seed, heads[l]);
+
+  auto level_for_capacity = [&](std::size_t capacity) -> int {
+    for (int l = 0; l < 3; ++l) {
+      if (pool_.entry(heads[l]).params <= capacity) return l;  // largest fitting
+    }
+    return -1;
+  };
+
+  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    std::vector<ClientUpdate> updates[3];
+    for (std::size_t c : sample_clients(data_.num_clients(),
+                                        config_.clients_per_round, rng)) {
+      if (!devices_[c].responds(rng)) {
+        ++result.failed_trainings;
+        continue;
+      }
+      const int l = level_for_capacity(devices_[c].capacity(rng));
+      if (l < 0) {
+        ++result.failed_trainings;
+        continue;
+      }
+      const std::size_t head = heads[l];
+      Model local = pool_.build(head);
+      local.import_params(globals[l]);
+      Rng crng = rng.fork();
+      local_train(local, data_.clients[c], config_.local, crng);
+      updates[l].push_back({local.export_params(), data_.clients[c].size()});
+      result.comm.record_dispatch(pool_.entry(head).params);
+      result.comm.record_return(pool_.entry(head).params);
+    }
+    for (int l = 0; l < 3; ++l) {
+      globals[l] = fedavg_aggregate(globals[l], updates[l]);
+    }
+    if (config_.eval_every != 0 &&
+        (round % config_.eval_every == 0 || round == config_.rounds)) {
+      double sum = 0.0;
+      for (int l = 0; l < 3; ++l) {
+        const PoolEntry& e = pool_.entry(heads[l]);
+        const double acc = eval_params(spec_, e.plan, {}, globals[l], data_.test,
+                                       config_.eval_batch);
+        result.level_acc[e.label()] = acc;
+        sum += acc;
+        if (l == 0) result.final_full_acc = acc;
+      }
+      result.final_avg_acc = sum / 3.0;
+      result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
+                              result.comm.waste_rate()});
+    }
+  }
+  result.wall_seconds = watch.seconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// HeteroFL
+// ---------------------------------------------------------------------------
+
+HeteroFl::HeteroFl(const ArchSpec& spec, const PoolConfig& pool_config,
+                   const FederatedDataset& data, std::vector<DeviceSim> devices,
+                   FlRunConfig run_config)
+    : spec_(spec), data_(data), devices_(std::move(devices)), config_(run_config) {
+  if (devices_.size() != data_.num_clients()) {
+    throw std::invalid_argument("HeteroFl: one device profile per client required");
+  }
+  const double ratios[3] = {1.0, pool_config.r_medium, pool_config.r_small};
+  for (double r : ratios) {
+    WidthPlan plan = uniform_plan(spec_, r);
+    level_params_.push_back(arch_stats(spec_, plan).params);
+    level_plans_.push_back(std::move(plan));
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.2fx", r);
+    level_labels_.emplace_back(buf);
+  }
+}
+
+RunResult HeteroFl::run() {
+  Stopwatch watch;
+  RunResult result;
+  result.algorithm = "HeteroFL";
+  Rng rng(config_.seed);
+  Model full_model = build_full_model(spec_, &rng);
+  ParamSet global = full_model.export_params();
+
+  auto level_for_capacity = [&](std::size_t capacity) -> int {
+    for (int l = 0; l < 3; ++l) {
+      if (level_params_[static_cast<std::size_t>(l)] <= capacity) return l;
+    }
+    return -1;
+  };
+
+  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    std::vector<ClientUpdate> updates;
+    for (std::size_t c : sample_clients(data_.num_clients(),
+                                        config_.clients_per_round, rng)) {
+      if (!devices_[c].responds(rng)) {
+        ++result.failed_trainings;
+        continue;
+      }
+      const int l = level_for_capacity(devices_[c].capacity(rng));
+      if (l < 0) {
+        ++result.failed_trainings;
+        continue;
+      }
+      const WidthPlan& plan = level_plans_[static_cast<std::size_t>(l)];
+      Model local = build_model(spec_, plan);
+      local.import_params(prune_params(global, spec_, plan));
+      Rng crng = rng.fork();
+      local_train(local, data_.clients[c], config_.local, crng);
+      updates.push_back({local.export_params(), data_.clients[c].size()});
+      result.comm.record_dispatch(level_params_[static_cast<std::size_t>(l)]);
+      result.comm.record_return(level_params_[static_cast<std::size_t>(l)]);
+    }
+    global = hetero_aggregate(global, updates);
+    if (config_.eval_every != 0 &&
+        (round % config_.eval_every == 0 || round == config_.rounds)) {
+      double sum = 0.0;
+      for (std::size_t l = 0; l < 3; ++l) {
+        const double acc =
+            eval_params(spec_, level_plans_[l], {},
+                        prune_params(global, spec_, level_plans_[l]), data_.test,
+                        config_.eval_batch);
+        result.level_acc[level_labels_[l]] = acc;
+        sum += acc;
+        if (l == 0) result.final_full_acc = acc;
+      }
+      result.final_avg_acc = sum / 3.0;
+      result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
+                              result.comm.waste_rate()});
+    }
+  }
+  result.wall_seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace afl

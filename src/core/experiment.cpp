@@ -1,0 +1,188 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "arch/zoo.hpp"
+#include "util/logging.hpp"
+
+namespace afl {
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAllLarge:
+      return "All-Large";
+    case Algorithm::kDecoupled:
+      return "Decoupled";
+    case Algorithm::kHeteroFl:
+      return "HeteroFL";
+    case Algorithm::kScaleFl:
+      return "ScaleFL";
+    case Algorithm::kAdaptiveFl:
+      return "AdaptiveFL";
+    case Algorithm::kAdaptiveFlC:
+      return "AdaptiveFL+C";
+    case Algorithm::kAdaptiveFlS:
+      return "AdaptiveFL+S";
+    case Algorithm::kAdaptiveFlRandom:
+      return "AdaptiveFL+Random";
+    case Algorithm::kAdaptiveFlGreed:
+      return "AdaptiveFL+Greed";
+  }
+  return "?";
+}
+
+const char* task_name(TaskKind t) {
+  switch (t) {
+    case TaskKind::kCifar10Like:
+      return "CIFAR-10*";
+    case TaskKind::kCifar100Like:
+      return "CIFAR-100*";
+    case TaskKind::kFemnistLike:
+      return "FEMNIST*";
+    case TaskKind::kWidarLike:
+      return "Widar*";
+  }
+  return "?";
+}
+
+const char* model_name(ModelKind m) {
+  switch (m) {
+    case ModelKind::kMiniVgg:
+      return "VGG16*";
+    case ModelKind::kMiniResnet:
+      return "ResNet18*";
+    case ModelKind::kMiniMobilenet:
+      return "MobileNetV2*";
+  }
+  return "?";
+}
+
+namespace {
+
+SyntheticConfig task_config(TaskKind task, std::size_t hw) {
+  switch (task) {
+    case TaskKind::kCifar10Like:
+      return SyntheticConfig::cifar10_like(hw);
+    case TaskKind::kCifar100Like:
+      return SyntheticConfig::cifar100_like(hw);
+    case TaskKind::kFemnistLike:
+      return SyntheticConfig::femnist_like(hw);
+    case TaskKind::kWidarLike:
+      return SyntheticConfig::widar_like(hw);
+  }
+  throw std::invalid_argument("task_config: unknown task");
+}
+
+ArchSpec model_spec(ModelKind model, std::size_t classes, std::size_t channels,
+                    std::size_t hw) {
+  switch (model) {
+    case ModelKind::kMiniVgg:
+      return mini_vgg(classes, channels, hw);
+    case ModelKind::kMiniResnet:
+      return mini_resnet(classes, channels, hw);
+    case ModelKind::kMiniMobilenet:
+      return mini_mobilenet(classes, channels, hw);
+  }
+  throw std::invalid_argument("model_spec: unknown model");
+}
+
+}  // namespace
+
+ExperimentEnv make_env(const ExperimentConfig& config) {
+  ExperimentEnv env;
+  env.config = config;
+
+  const SyntheticConfig task_cfg = task_config(config.task, config.image_hw);
+  env.spec = model_spec(config.model, task_cfg.num_classes, task_cfg.channels,
+                        task_cfg.hw);
+  env.pool_config = PoolConfig::defaults_for(env.spec, config.pool_p);
+
+  Rng rng(config.seed);
+  const SyntheticTask task(task_cfg, rng);
+  FederatedConfig fed;
+  fed.num_clients = config.num_clients;
+  fed.samples_per_client = config.samples_per_client;
+  fed.test_samples = config.test_samples;
+  fed.partition = config.partition;
+  fed.alpha = config.alpha;
+  if (config.partition == Partition::kNatural) {
+    // FEMNIST-style: each writer covers roughly a quarter of the classes.
+    fed.classes_per_client = std::max<std::size_t>(3, task_cfg.num_classes / 4);
+  }
+  env.data = make_federated(task, fed, rng);
+
+  const ModelPool pool(env.spec, env.pool_config);
+  env.devices =
+      make_devices(pool, config.num_clients, config.proportions, rng,
+                   config.capacity_jitter);
+  for (DeviceSim& d : env.devices) d.availability = config.availability;
+  env.scalefl_budgets = {tier_capacity(pool, DeviceTier::kStrong),
+                         tier_capacity(pool, DeviceTier::kMedium),
+                         tier_capacity(pool, DeviceTier::kWeak)};
+
+  env.run.rounds = config.rounds;
+  env.run.clients_per_round = config.clients_per_round;
+  env.run.local.epochs = config.local_epochs;
+  env.run.local.batch_size = config.batch_size;
+  env.run.local.lr = config.lr;
+  env.run.local.momentum = config.momentum;
+  env.run.seed = config.seed + 1;
+  env.run.eval_every =
+      config.eval_every != 0 ? config.eval_every
+                             : std::max<std::size_t>(1, config.rounds / 10);
+  return env;
+}
+
+RunResult run_algorithm(Algorithm algorithm, const ExperimentEnv& env) {
+  AFL_LOG_INFO << "running " << algorithm_name(algorithm) << " on "
+               << task_name(env.config.task) << " / " << model_name(env.config.model)
+               << " (" << partition_name(env.config.partition)
+               << (env.config.partition == Partition::kDirichlet
+                       ? ", alpha=" + std::to_string(env.config.alpha)
+                       : "")
+               << ", " << env.config.rounds << " rounds)";
+  switch (algorithm) {
+    case Algorithm::kAllLarge:
+      return AllLarge(env.spec, env.data, env.run).run();
+    case Algorithm::kDecoupled:
+      return Decoupled(env.spec, env.pool_config, env.data, env.devices, env.run)
+          .run();
+    case Algorithm::kHeteroFl:
+      return HeteroFl(env.spec, env.pool_config, env.data, env.devices, env.run).run();
+    case Algorithm::kScaleFl:
+      return ScaleFl(env.spec, env.scalefl_budgets, env.data, env.devices, env.run)
+          .run();
+    case Algorithm::kAdaptiveFl: {
+      return AdaptiveFl(env.spec, env.pool_config, env.data, env.devices, env.run, {})
+          .run();
+    }
+    case Algorithm::kAdaptiveFlC: {
+      AdaptiveFlOptions opt;
+      opt.strategy = SelectionStrategy::kCuriosityOnly;
+      return AdaptiveFl(env.spec, env.pool_config, env.data, env.devices, env.run, opt)
+          .run();
+    }
+    case Algorithm::kAdaptiveFlS: {
+      AdaptiveFlOptions opt;
+      opt.strategy = SelectionStrategy::kResourceOnly;
+      return AdaptiveFl(env.spec, env.pool_config, env.data, env.devices, env.run, opt)
+          .run();
+    }
+    case Algorithm::kAdaptiveFlRandom: {
+      AdaptiveFlOptions opt;
+      opt.strategy = SelectionStrategy::kRandom;
+      return AdaptiveFl(env.spec, env.pool_config, env.data, env.devices, env.run, opt)
+          .run();
+    }
+    case Algorithm::kAdaptiveFlGreed: {
+      AdaptiveFlOptions opt;
+      opt.strategy = SelectionStrategy::kRandom;
+      opt.greedy_dispatch = true;
+      return AdaptiveFl(env.spec, env.pool_config, env.data, env.devices, env.run, opt)
+          .run();
+    }
+  }
+  throw std::invalid_argument("run_algorithm: unknown algorithm");
+}
+
+}  // namespace afl

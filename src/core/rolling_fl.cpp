@@ -1,0 +1,90 @@
+#include "core/rolling_fl.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "arch/stats.hpp"
+#include "fl/evaluate.hpp"
+#include "prune/rolling.hpp"
+#include "util/stopwatch.hpp"
+
+namespace afl {
+
+RollingFl::RollingFl(const ArchSpec& spec, const PoolConfig& pool_config,
+                     const FederatedDataset& data, std::vector<DeviceSim> devices,
+                     FlRunConfig run_config)
+    : spec_(spec), data_(data), devices_(std::move(devices)), config_(run_config) {
+  if (devices_.size() != data_.num_clients()) {
+    throw std::invalid_argument("RollingFl: one device profile per client required");
+  }
+  for (double r : {1.0, pool_config.r_medium, pool_config.r_small}) {
+    level_ratios_.push_back(r);
+    level_params_.push_back(arch_stats(spec_, uniform_plan(spec_, r)).params);
+  }
+}
+
+RunResult RollingFl::run() {
+  Stopwatch watch;
+  RunResult result;
+  result.algorithm = "FedRolex*";
+  Rng rng(config_.seed);
+  Model full_model = build_full_model(spec_, &rng);
+  ParamSet global = full_model.export_params();
+
+  auto level_for_capacity = [&](std::size_t capacity) -> int {
+    for (int l = 0; l < 3; ++l) {
+      if (level_params_[static_cast<std::size_t>(l)] <= capacity) return l;
+    }
+    return -1;
+  };
+
+  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    std::vector<RollingUpdate> updates;
+    for (std::size_t c : sample_clients(data_.num_clients(),
+                                        config_.clients_per_round, rng)) {
+      if (!devices_[c].responds(rng)) {
+        ++result.failed_trainings;
+        continue;
+      }
+      const int l = level_for_capacity(devices_[c].capacity(rng));
+      if (l < 0) {
+        ++result.failed_trainings;
+        continue;
+      }
+      const double ratio = level_ratios_[static_cast<std::size_t>(l)];
+      const RollingPlan plan = make_rolling_plan(spec_, ratio, round);
+      Model local = build_model(spec_, uniform_plan(spec_, ratio));
+      local.import_params(rolling_extract(global, spec_, plan));
+      Rng crng = rng.fork();
+      local_train(local, data_.clients[c], config_.local, crng);
+      updates.push_back({plan, local.export_params(), data_.clients[c].size()});
+      result.comm.record_dispatch(level_params_[static_cast<std::size_t>(l)]);
+      result.comm.record_return(level_params_[static_cast<std::size_t>(l)]);
+    }
+    global = rolling_aggregate(global, spec_, updates);
+
+    if (config_.eval_every != 0 &&
+        (round % config_.eval_every == 0 || round == config_.rounds)) {
+      double sum = 0.0;
+      for (std::size_t l = 0; l < 3; ++l) {
+        // Evaluate the level submodels through the *current* round's window.
+        const RollingPlan plan = make_rolling_plan(spec_, level_ratios_[l], round);
+        Model m = build_model(spec_, uniform_plan(spec_, level_ratios_[l]));
+        m.import_params(rolling_extract(global, spec_, plan));
+        const double acc = evaluate(m, data_.test, config_.eval_batch).accuracy;
+        char label[16];
+        std::snprintf(label, sizeof(label), "%.2fx", level_ratios_[l]);
+        result.level_acc[label] = acc;
+        sum += acc;
+        if (l == 0) result.final_full_acc = acc;
+      }
+      result.final_avg_acc = sum / 3.0;
+      result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
+                              result.comm.waste_rate()});
+    }
+  }
+  result.wall_seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace afl

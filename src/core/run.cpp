@@ -1,0 +1,54 @@
+#include "core/run.hpp"
+
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+#include "fl/evaluate.hpp"
+#include "prune/width_prune.hpp"
+#include "util/table.hpp"
+
+namespace afl {
+
+double RunResult::best_full_acc() const {
+  double best = final_full_acc;
+  for (const RoundRecord& r : curve) best = std::max(best, r.full_acc);
+  return best;
+}
+
+double RunResult::best_avg_acc() const {
+  double best = final_avg_acc;
+  for (const RoundRecord& r : curve) best = std::max(best, r.avg_acc);
+  return best;
+}
+
+void RunResult::write_curve_csv(const std::string& path) const {
+  Table table({"round", "full_acc", "avg_acc", "comm_waste"});
+  for (const RoundRecord& r : curve) {
+    table.add_row({std::to_string(r.round), Table::fmt(r.full_acc, 6),
+                   Table::fmt(r.avg_acc, 6), Table::fmt(r.comm_waste, 6)});
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_curve_csv: cannot open " + path);
+  out << table.to_csv();
+  if (!out) throw std::runtime_error("write_curve_csv: write failed for " + path);
+}
+
+double eval_params(const ArchSpec& spec, const WidthPlan& plan,
+                   const BuildOptions& options, const ParamSet& params,
+                   const Dataset& test, std::size_t eval_batch) {
+  Model model = build_model(spec, plan, /*init_rng=*/nullptr, options);
+  model.import_params(params);
+  return evaluate(model, test, eval_batch).accuracy;
+}
+
+std::vector<std::size_t> sample_clients(std::size_t num_clients, std::size_t k,
+                                        Rng& rng) {
+  std::vector<std::size_t> all(num_clients);
+  std::iota(all.begin(), all.end(), 0);
+  rng.shuffle(all);
+  all.resize(std::min(k, num_clients));
+  return all;
+}
+
+}  // namespace afl

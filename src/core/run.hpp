@@ -1,0 +1,67 @@
+#pragma once
+// Shared federated-run configuration and result types.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/build.hpp"
+#include "arch/spec.hpp"
+#include "data/federated.hpp"
+#include "fl/comm.hpp"
+#include "fl/local_train.hpp"
+#include "nn/param.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+
+struct FlRunConfig {
+  std::size_t rounds = 20;
+  std::size_t clients_per_round = 10;  // K (paper: 10% of the population)
+  LocalTrainConfig local;              // paper: 5 epochs, batch 50, SGD .01/.5
+  std::uint64_t seed = 1;
+  std::size_t eval_every = 1;  // evaluate the global model every N rounds (0 = final only)
+  std::size_t eval_batch = 256;
+};
+
+struct RoundRecord {
+  std::size_t round = 0;
+  double full_acc = 0.0;
+  double avg_acc = 0.0;     // mean over the L1/M1/S1-style level submodels
+  double comm_waste = 0.0;  // cumulative waste rate up to this round
+};
+
+struct RunResult {
+  std::string algorithm;
+  std::vector<RoundRecord> curve;
+  double final_full_acc = 0.0;
+  double final_avg_acc = 0.0;
+  /// Final accuracy of each level submodel ("L1"/"M1"/"S1" or the baseline's
+  /// equivalent labels), in descending size order.
+  std::map<std::string, double> level_acc;
+  CommStats comm;
+  std::size_t failed_trainings = 0;
+  double wall_seconds = 0.0;
+
+  /// Best accuracy over the evaluation curve (the convention FL papers use
+  /// when reporting a method's accuracy; also robust to end-of-run wobble).
+  double best_full_acc() const;
+  double best_avg_acc() const;
+
+  /// Writes the evaluation curve as CSV (round, full_acc, avg_acc,
+  /// comm_waste) for external plotting; throws std::runtime_error on I/O
+  /// failure.
+  void write_curve_csv(const std::string& path) const;
+};
+
+/// Evaluates a parameter set by materializing its model.
+double eval_params(const ArchSpec& spec, const WidthPlan& plan,
+                   const BuildOptions& options, const ParamSet& params,
+                   const Dataset& test, std::size_t eval_batch);
+
+/// K distinct client indices drawn uniformly at random.
+std::vector<std::size_t> sample_clients(std::size_t num_clients, std::size_t k,
+                                        Rng& rng);
+
+}  // namespace afl

@@ -1,0 +1,160 @@
+#include "core/scalefl.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "fl/aggregate.hpp"
+#include "prune/width_prune.hpp"
+#include "util/stopwatch.hpp"
+
+namespace afl {
+namespace {
+
+std::size_t params_of(const ArchSpec& spec, const WidthPlan& plan,
+                      const BuildOptions& options) {
+  Model m = build_model(spec, plan, /*init_rng=*/nullptr, options);
+  return m.param_count();
+}
+
+std::string width_label(double w) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.2fx", w);
+  return buf;
+}
+
+}  // namespace
+
+ScaleFl::ScaleFl(const ArchSpec& spec, const std::vector<std::size_t>& capacity_budgets,
+                 const FederatedDataset& data, std::vector<DeviceSim> devices,
+                 FlRunConfig run_config, double distill_weight)
+    : spec_(spec),
+      data_(data),
+      devices_(std::move(devices)),
+      config_(run_config),
+      distill_weight_(distill_weight) {
+  if (devices_.size() != data_.num_clients()) {
+    throw std::invalid_argument("ScaleFl: one device profile per client required");
+  }
+  if (capacity_budgets.size() != 3) {
+    throw std::invalid_argument("ScaleFl: exactly three capacity budgets required");
+  }
+  const std::size_t n = spec_.num_units();
+  // Depth cut points: ~55% and ~80% of the units for the small / medium
+  // levels (ScaleFL splits depth roughly evenly across exits). Both must be
+  // deep enough to leave a spatial feature map (>= 2 units here).
+  const std::size_t d_small =
+      std::max<std::size_t>(2, static_cast<std::size_t>(std::lround(0.55 * n)));
+  const std::size_t d_medium = std::max<std::size_t>(
+      d_small + 1, static_cast<std::size_t>(std::lround(0.8 * n)));
+  if (d_medium >= n) {
+    throw std::invalid_argument("ScaleFl: architecture too shallow for 2-D scaling");
+  }
+
+  global_options_.exits = {d_small, d_medium};
+
+  struct LevelDef {
+    std::size_t depth;
+    std::vector<std::size_t> exits;
+  };
+  const LevelDef defs[3] = {
+      {n, {d_small, d_medium}},  // L: full depth, both exits
+      {d_medium, {d_small}},     // M
+      {d_small, {}},             // S
+  };
+  for (int l = 0; l < 3; ++l) {
+    ScaleFlLevel level;
+    level.depth = defs[l].depth;
+    level.options.depth_units = defs[l].depth == n ? 0 : defs[l].depth;
+    level.options.exits = defs[l].exits;
+    // Fit the largest uniform width whose submodel fits the budget.
+    double chosen = 0.0;
+    for (double w = 1.0; w >= 0.099; w -= 0.05) {
+      WidthPlan plan = uniform_plan(spec_, w);
+      if (params_of(spec_, plan, level.options) <= capacity_budgets[l]) {
+        chosen = w;
+        break;
+      }
+    }
+    if (chosen == 0.0) {
+      throw std::invalid_argument("ScaleFl: no width fits level budget");
+    }
+    level.width = chosen;
+    level.plan = uniform_plan(spec_, chosen);
+    level.params = params_of(spec_, level.plan, level.options);
+    // Width + depth make the label unique even when two levels share a width.
+    level.label = width_label(chosen) + "/d" + std::to_string(level.depth);
+    levels_.push_back(std::move(level));
+  }
+}
+
+RunResult ScaleFl::run() {
+  Stopwatch watch;
+  RunResult result;
+  result.algorithm = "ScaleFL";
+  Rng rng(config_.seed);
+  Model global_model =
+      build_model(spec_, WidthPlan(spec_.num_units(), 1.0), &rng, global_options_);
+  ParamSet global = global_model.export_params();
+
+  auto level_for_capacity = [&](std::size_t capacity) -> int {
+    for (int l = 0; l < 3; ++l) {
+      if (levels_[static_cast<std::size_t>(l)].params <= capacity) return l;
+    }
+    return -1;
+  };
+
+  LocalTrainConfig local = config_.local;
+  local.distill_weight = distill_weight_;
+
+  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    std::vector<ClientUpdate> updates;
+    for (std::size_t c : sample_clients(data_.num_clients(),
+                                        config_.clients_per_round, rng)) {
+      if (!devices_[c].responds(rng)) {
+        ++result.failed_trainings;
+        continue;
+      }
+      const int li = level_for_capacity(devices_[c].capacity(rng));
+      if (li < 0) {
+        ++result.failed_trainings;
+        continue;
+      }
+      const ScaleFlLevel& level = levels_[static_cast<std::size_t>(li)];
+      Model model = build_model(spec_, level.plan, nullptr, level.options);
+      model.import_params(
+          prune_to_shapes(global, model_shapes(spec_, level.plan, level.options)));
+      Rng crng = rng.fork();
+      local_train_multi_exit(model, data_.clients[c], local, crng);
+      updates.push_back({model.export_params(), data_.clients[c].size()});
+      result.comm.record_dispatch(level.params);
+      result.comm.record_return(level.params);
+    }
+    global = hetero_aggregate(global, updates);
+
+    if (config_.eval_every != 0 &&
+        (round % config_.eval_every == 0 || round == config_.rounds)) {
+      double sum = 0.0;
+      for (std::size_t l = 0; l < levels_.size(); ++l) {
+        const ScaleFlLevel& level = levels_[l];
+        // Evaluate the level submodel through its own (deepest) classifier.
+        BuildOptions eval_options = level.options;
+        eval_options.exits.clear();  // attached heads don't affect forward()
+        const double acc = eval_params(
+            spec_, level.plan, eval_options,
+            prune_to_shapes(global, model_shapes(spec_, level.plan, eval_options)),
+            data_.test, config_.eval_batch);
+        result.level_acc[level.label] = acc;
+        sum += acc;
+        if (l == 0) result.final_full_acc = acc;
+      }
+      result.final_avg_acc = sum / static_cast<double>(levels_.size());
+      result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
+                              result.comm.waste_rate()});
+    }
+  }
+  result.wall_seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace afl

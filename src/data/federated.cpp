@@ -1,0 +1,74 @@
+#include "data/federated.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace afl {
+
+const char* partition_name(Partition p) {
+  switch (p) {
+    case Partition::kIid:
+      return "IID";
+    case Partition::kDirichlet:
+      return "dirichlet";
+    case Partition::kNatural:
+      return "natural";
+  }
+  return "?";
+}
+
+std::size_t FederatedDataset::total_train_samples() const {
+  std::size_t n = 0;
+  for (const auto& c : clients) n += c.size();
+  return n;
+}
+
+FederatedDataset make_federated(const SyntheticTask& task, const FederatedConfig& cfg,
+                                Rng& rng) {
+  const std::size_t classes = task.config().num_classes;
+  FederatedDataset fd;
+  fd.num_classes = classes;
+  fd.clients.reserve(cfg.num_clients);
+
+  for (std::size_t k = 0; k < cfg.num_clients; ++k) {
+    Rng crng = rng.fork();
+    switch (cfg.partition) {
+      case Partition::kIid: {
+        fd.clients.push_back(task.generate(cfg.samples_per_client, crng));
+        break;
+      }
+      case Partition::kDirichlet: {
+        const std::vector<double> weights = crng.dirichlet(cfg.alpha, classes);
+        fd.clients.push_back(task.generate(cfg.samples_per_client, crng, weights));
+        break;
+      }
+      case Partition::kNatural: {
+        // Writer-style non-IID: a per-client appearance style plus a skewed
+        // class subset.
+        const ClientStyle style = task.make_style(crng);
+        std::vector<double> weights(classes, 0.0);
+        std::size_t keep = cfg.classes_per_client == 0
+                               ? classes
+                               : std::min(cfg.classes_per_client, classes);
+        std::vector<std::size_t> order(classes);
+        std::iota(order.begin(), order.end(), 0);
+        crng.shuffle(order);
+        for (std::size_t i = 0; i < keep; ++i) {
+          // Skewed within the subset too (Zipf-ish weights).
+          weights[order[i]] = 1.0 / static_cast<double>(i + 1);
+        }
+        fd.clients.push_back(
+            task.generate(cfg.samples_per_client, crng, weights, &style));
+        break;
+      }
+    }
+  }
+
+  // The global test set is style-free and class-balanced: it measures the
+  // global model's ability to serve the whole population, as in the paper.
+  Rng trng = rng.fork();
+  fd.test = task.generate(cfg.test_samples, trng);
+  return fd;
+}
+
+}  // namespace afl

@@ -1,0 +1,44 @@
+#pragma once
+// Federated dataset construction: a shared test set plus per-client training
+// shards under the paper's three partition regimes (§4.1):
+//  - IID: every client draws uniformly from the same distribution.
+//  - Dirichlet(alpha): each client's class mix is a Dirichlet draw; smaller
+//    alpha means more heterogeneity (paper uses alpha = 0.6 and 0.3).
+//  - Natural: per-client styles and skewed class subsets (FEMNIST / Widar).
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+
+namespace afl {
+
+enum class Partition { kIid, kDirichlet, kNatural };
+
+const char* partition_name(Partition p);
+
+struct FederatedConfig {
+  std::size_t num_clients = 100;
+  std::size_t samples_per_client = 40;
+  std::size_t test_samples = 600;
+  Partition partition = Partition::kIid;
+  double alpha = 0.6;  // Dirichlet concentration (kDirichlet only)
+  /// kNatural: number of classes each client actually holds (0 = all).
+  std::size_t classes_per_client = 0;
+};
+
+struct FederatedDataset {
+  std::vector<Dataset> clients;
+  Dataset test;
+  std::size_t num_classes = 0;
+
+  std::size_t num_clients() const { return clients.size(); }
+  /// Total training samples across all clients.
+  std::size_t total_train_samples() const;
+};
+
+/// Builds the full federated dataset from a synthetic task definition.
+FederatedDataset make_federated(const SyntheticTask& task, const FederatedConfig& cfg,
+                                Rng& rng);
+
+}  // namespace afl

@@ -1,0 +1,177 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace afl {
+
+SyntheticConfig SyntheticConfig::cifar10_like(std::size_t hw) {
+  SyntheticConfig c;
+  c.num_classes = 10;
+  c.modes_per_class = 5;
+  c.channels = 3;
+  c.hw = hw;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::cifar100_like(std::size_t hw) {
+  SyntheticConfig c;
+  c.num_classes = 100;
+  c.modes_per_class = 2;
+  c.channels = 3;
+  c.hw = hw;
+  c.noise = 0.4;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::femnist_like(std::size_t hw) {
+  SyntheticConfig c;
+  c.num_classes = 62;  // 10 digits + 52 letters, as in LEAF's FEMNIST
+  c.modes_per_class = 2;
+  c.channels = 1;
+  c.hw = hw;
+  c.noise = 0.35;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::widar_like(std::size_t hw) {
+  SyntheticConfig c;
+  c.num_classes = 22;  // Widar3.0 gesture classes
+  c.modes_per_class = 2;
+  c.channels = 1;
+  c.hw = hw;
+  c.noise = 0.4;
+  return c;
+}
+
+namespace {
+
+/// Spatially-smooth pattern: a coarse 4x4 random grid bilinearly upsampled to
+/// hw x hw, giving convolution-friendly low-frequency structure.
+Tensor make_prototype(const SyntheticConfig& cfg, Rng& rng) {
+  constexpr std::size_t kGrid = 4;
+  Tensor proto({cfg.channels, cfg.hw, cfg.hw});
+  std::vector<float> grid(cfg.channels * kGrid * kGrid);
+  for (auto& g : grid) g = static_cast<float>(rng.normal());
+  const double step = static_cast<double>(kGrid) / static_cast<double>(cfg.hw);
+  for (std::size_t c = 0; c < cfg.channels; ++c) {
+    const float* gplane = grid.data() + c * kGrid * kGrid;
+    float* pplane = proto.data() + c * cfg.hw * cfg.hw;
+    for (std::size_t y = 0; y < cfg.hw; ++y) {
+      const double gy = static_cast<double>(y) * step;
+      const std::size_t y0 = std::min<std::size_t>(static_cast<std::size_t>(gy), kGrid - 1);
+      const std::size_t y1 = std::min(y0 + 1, kGrid - 1);
+      const double fy = gy - static_cast<double>(y0);
+      for (std::size_t x = 0; x < cfg.hw; ++x) {
+        const double gx = static_cast<double>(x) * step;
+        const std::size_t x0 =
+            std::min<std::size_t>(static_cast<std::size_t>(gx), kGrid - 1);
+        const std::size_t x1 = std::min(x0 + 1, kGrid - 1);
+        const double fx = gx - static_cast<double>(x0);
+        const double v00 = gplane[y0 * kGrid + x0];
+        const double v01 = gplane[y0 * kGrid + x1];
+        const double v10 = gplane[y1 * kGrid + x0];
+        const double v11 = gplane[y1 * kGrid + x1];
+        const double v = v00 * (1 - fy) * (1 - fx) + v01 * (1 - fy) * fx +
+                         v10 * fy * (1 - fx) + v11 * fy * fx;
+        pplane[y * cfg.hw + x] = static_cast<float>(v);
+      }
+    }
+  }
+  return proto;
+}
+
+}  // namespace
+
+SyntheticTask::SyntheticTask(const SyntheticConfig& config, Rng& rng) : config_(config) {
+  prototypes_.reserve(config_.num_classes * config_.modes_per_class);
+  for (std::size_t c = 0; c < config_.num_classes; ++c) {
+    for (std::size_t m = 0; m < config_.modes_per_class; ++m) {
+      prototypes_.push_back(make_prototype(config_, rng));
+    }
+  }
+}
+
+Tensor SyntheticTask::sample(int label, Rng& rng) const {
+  static const ClientStyle kNeutral{};
+  return sample(label, kNeutral, rng);
+}
+
+Tensor SyntheticTask::sample(int label, const ClientStyle& style, Rng& rng) const {
+  if (label < 0 || static_cast<std::size_t>(label) >= config_.num_classes) {
+    throw std::invalid_argument("SyntheticTask::sample: label out of range");
+  }
+  const std::size_t mode = rng.uniform_index(config_.modes_per_class);
+  const Tensor& proto =
+      prototypes_[static_cast<std::size_t>(label) * config_.modes_per_class + mode];
+  const std::size_t hw = config_.hw;
+  // Toroidal shift keeps all prototype energy in frame.
+  const std::size_t span = 2 * config_.max_shift + 1;
+  const long dy = static_cast<long>(rng.uniform_index(span)) -
+                  static_cast<long>(config_.max_shift);
+  const long dx = static_cast<long>(rng.uniform_index(span)) -
+                  static_cast<long>(config_.max_shift);
+  const float amp = static_cast<float>(config_.signal * rng.uniform(0.8, 1.2));
+  Tensor img({config_.channels, hw, hw});
+  const bool has_offset = !style.offset.empty();
+  for (std::size_t c = 0; c < config_.channels; ++c) {
+    const float* p = proto.data() + c * hw * hw;
+    float* o = img.data() + c * hw * hw;
+    const float* off = has_offset ? style.offset.data() + c * hw * hw : nullptr;
+    for (std::size_t y = 0; y < hw; ++y) {
+      const std::size_t sy =
+          static_cast<std::size_t>((static_cast<long>(y) + dy + static_cast<long>(hw)) %
+                                   static_cast<long>(hw));
+      for (std::size_t x = 0; x < hw; ++x) {
+        const std::size_t sx = static_cast<std::size_t>(
+            (static_cast<long>(x) + dx + static_cast<long>(hw)) %
+            static_cast<long>(hw));
+        float v = amp * p[sy * hw + sx] +
+                  static_cast<float>(rng.normal(0.0, config_.noise));
+        v = style.contrast * v + style.brightness;
+        if (off != nullptr) v += off[y * hw + x];
+        o[y * hw + x] = v;
+      }
+    }
+  }
+  return img;
+}
+
+Dataset SyntheticTask::generate(std::size_t n, Rng& rng,
+                                const std::vector<double>& class_weights,
+                                const ClientStyle* style) const {
+  if (!class_weights.empty() && class_weights.size() != config_.num_classes) {
+    throw std::invalid_argument("SyntheticTask::generate: weight size mismatch");
+  }
+  static const ClientStyle kNeutral{};
+  const ClientStyle& st = style != nullptr ? *style : kNeutral;
+  Dataset ds(config_.channels, config_.hw, config_.hw, config_.num_classes);
+  ds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    int label;
+    if (class_weights.empty()) {
+      label = static_cast<int>(rng.uniform_index(config_.num_classes));
+    } else {
+      label = static_cast<int>(rng.categorical(class_weights));
+    }
+    Tensor img = sample(label, st, rng);
+    if (config_.label_noise > 0.0 && rng.uniform() < config_.label_noise) {
+      label = static_cast<int>(rng.uniform_index(config_.num_classes));
+    }
+    ds.add(img, label);
+  }
+  return ds;
+}
+
+ClientStyle SyntheticTask::make_style(Rng& rng) const {
+  ClientStyle s;
+  s.contrast = static_cast<float>(rng.uniform(0.8, 1.2));
+  s.brightness = static_cast<float>(rng.normal(0.0, 0.15));
+  s.offset = make_prototype(config_, rng);
+  // Keep the style pattern well below the class signal so classes stay
+  // separable across clients.
+  for (std::size_t i = 0; i < s.offset.numel(); ++i) s.offset[i] *= 0.25f;
+  return s;
+}
+
+}  // namespace afl

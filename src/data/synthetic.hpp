@@ -1,0 +1,72 @@
+#pragma once
+// Synthetic image-classification task generator.
+//
+// Substitutes for CIFAR-10/100, FEMNIST and Widar (see DESIGN.md): each class
+// is a mixture of `modes_per_class` spatially-smooth prototype patterns; a
+// sample is a randomly shifted, contrast-jittered prototype plus pixel noise.
+// Multiple modes per class make capacity matter (small models underfit), and
+// a per-client "style" (contrast/brightness/offset pattern) provides the
+// natural non-IID writer effect of FEMNIST.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+
+struct SyntheticConfig {
+  std::size_t num_classes = 10;
+  std::size_t modes_per_class = 3;
+  std::size_t channels = 3;
+  std::size_t hw = 16;             // square images
+  double signal = 1.0;             // prototype amplitude
+  double noise = 0.35;             // pixel-noise stddev
+  std::size_t max_shift = 1;       // random toroidal shift, +/- pixels
+  double label_noise = 0.0;        // probability of a uniformly wrong label
+
+  /// Paper-analogue presets (class counts match the real datasets).
+  static SyntheticConfig cifar10_like(std::size_t hw = 16);
+  static SyntheticConfig cifar100_like(std::size_t hw = 16);
+  static SyntheticConfig femnist_like(std::size_t hw = 16);   // 62 classes, 1 channel
+  static SyntheticConfig widar_like(std::size_t hw = 16);     // 22 gesture classes
+};
+
+/// Per-client appearance shift for natural non-IID data.
+struct ClientStyle {
+  float contrast = 1.0f;
+  float brightness = 0.0f;
+  Tensor offset;  // per-pixel constant pattern added to every sample (may be empty)
+};
+
+class SyntheticTask {
+ public:
+  /// Draws the class/mode prototypes from `rng`; the same task object then
+  /// generates train and test data from the identical distribution.
+  SyntheticTask(const SyntheticConfig& config, Rng& rng);
+
+  const SyntheticConfig& config() const { return config_; }
+
+  /// One sample of class `label` (no style).
+  Tensor sample(int label, Rng& rng) const;
+  /// One sample of class `label` rendered with a client style.
+  Tensor sample(int label, const ClientStyle& style, Rng& rng) const;
+
+  /// A dataset of `n` samples with labels drawn from `class_weights`
+  /// (uniform when empty). Applies config().label_noise.
+  Dataset generate(std::size_t n, Rng& rng,
+                   const std::vector<double>& class_weights = {},
+                   const ClientStyle* style = nullptr) const;
+
+  /// A mild random style (contrast/brightness jitter + low-amplitude offset
+  /// pattern) for one client.
+  ClientStyle make_style(Rng& rng) const;
+
+ private:
+  SyntheticConfig config_;
+  // prototypes_[c * modes + m] is the [C, H, W] pattern of class c, mode m.
+  std::vector<Tensor> prototypes_;
+};
+
+}  // namespace afl

@@ -1,0 +1,10 @@
+#include "fl/comm.hpp"
+
+namespace afl {
+
+double CommStats::waste_rate() const {
+  if (sent_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(back_) / static_cast<double>(sent_);
+}
+
+}  // namespace afl

@@ -1,0 +1,29 @@
+#pragma once
+// Communication accounting. The paper's Figure 5a reports the
+// "communication waste rate" 1 - sum(size(ML_back)) / sum(size(ML_send)):
+// parameters shipped to a device that the device then pruned away before
+// training were wasted bandwidth.
+
+#include <cstddef>
+
+namespace afl {
+
+class CommStats {
+ public:
+  void record_dispatch(std::size_t params_sent) { sent_ += params_sent; }
+  void record_return(std::size_t params_back) { back_ += params_back; }
+
+  std::size_t params_sent() const { return sent_; }
+  std::size_t params_returned() const { return back_; }
+
+  /// 1 - back/sent; 0 when nothing was sent.
+  double waste_rate() const;
+
+  void reset() { sent_ = back_ = 0; }
+
+ private:
+  std::size_t sent_ = 0;
+  std::size_t back_ = 0;
+};
+
+}  // namespace afl

@@ -1,0 +1,31 @@
+#include "fl/evaluate.hpp"
+
+#include <numeric>
+
+#include "nn/loss.hpp"
+
+namespace afl {
+
+EvalResult evaluate(Model& model, const Dataset& data, std::size_t batch_size) {
+  EvalResult res;
+  if (data.empty()) return res;
+  std::size_t correct = 0;
+  double loss_sum = 0.0;
+  std::vector<std::size_t> idx(batch_size);
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, data.size());
+    idx.resize(end - start);
+    std::iota(idx.begin(), idx.end(), start);
+    const Batch batch = data.make_batch(idx);
+    const Tensor logits = model.forward(batch.images, /*train=*/false);
+    correct += count_correct(logits, batch.labels);
+    loss_sum +=
+        softmax_cross_entropy(logits, batch.labels).loss * static_cast<double>(idx.size());
+  }
+  res.samples = data.size();
+  res.accuracy = static_cast<double>(correct) / static_cast<double>(data.size());
+  res.mean_loss = loss_sum / static_cast<double>(data.size());
+  return res;
+}
+
+}  // namespace afl

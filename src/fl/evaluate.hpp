@@ -1,0 +1,18 @@
+#pragma once
+// Model evaluation on a dataset.
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace afl {
+
+struct EvalResult {
+  double accuracy = 0.0;
+  double mean_loss = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Top-1 accuracy + mean CE loss, evaluated in mini-batches of `batch_size`.
+EvalResult evaluate(Model& model, const Dataset& data, std::size_t batch_size = 128);
+
+}  // namespace afl

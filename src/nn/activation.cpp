@@ -1,0 +1,26 @@
+#include "nn/activation.hpp"
+
+namespace afl {
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor out(x.shape());
+  const std::size_t n = x.numel();
+  if (train) mask_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pos = x[i] > 0.0f;
+    out[i] = pos ? x[i] : 0.0f;
+    if (train && pos) mask_[i] = 1;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in(grad_out.shape());
+  const std::size_t n = grad_out.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    grad_in[i] = mask_[i] ? grad_out[i] : 0.0f;
+  }
+  return grad_in;
+}
+
+}  // namespace afl

@@ -1,0 +1,19 @@
+#pragma once
+// Activation layers.
+
+#include "nn/layer.hpp"
+
+namespace afl {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "relu"; }
+
+ private:
+  // 0/1 mask of positive inputs, cached in train mode.
+  std::vector<unsigned char> mask_;
+};
+
+}  // namespace afl

@@ -1,0 +1,81 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace afl {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'F', 'L', 'C', 'K', 'P', 'T', '1'};
+// Guards against loading corrupted / truncated files into huge allocations.
+constexpr std::uint64_t kMaxNameLen = 4096;
+constexpr std::uint64_t kMaxRank = 8;
+constexpr std::uint64_t kMaxNumel = 1ULL << 32;
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_checkpoint(const ParamSet& params, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path + " for write");
+  out.write(kMagic, sizeof(kMagic));
+  write_u64(out, params.size());
+  for (const auto& [name, tensor] : params) {
+    write_u64(out, name.size());
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u64(out, tensor.rank());
+    for (std::size_t d = 0; d < tensor.rank(); ++d) write_u64(out, tensor.dim(d));
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+ParamSet load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  const std::uint64_t count = read_u64(in);
+  ParamSet params;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t name_len = read_u64(in);
+    if (name_len > kMaxNameLen) throw std::runtime_error("checkpoint: name too long");
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    const std::uint64_t rank = read_u64(in);
+    if (rank > kMaxRank) throw std::runtime_error("checkpoint: rank too large");
+    Shape shape(rank);
+    std::uint64_t numel = 1;
+    for (std::uint64_t d = 0; d < rank; ++d) {
+      shape[d] = read_u64(in);
+      numel *= shape[d];
+      if (numel > kMaxNumel) throw std::runtime_error("checkpoint: tensor too large");
+    }
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("checkpoint: truncated tensor data");
+    if (!params.emplace(std::move(name), std::move(t)).second) {
+      throw std::runtime_error("checkpoint: duplicate parameter name");
+    }
+  }
+  return params;
+}
+
+}  // namespace afl

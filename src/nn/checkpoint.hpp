@@ -1,0 +1,25 @@
+#pragma once
+// Binary checkpointing of parameter sets.
+//
+// Format (little-endian, as written by the host):
+//   magic "AFLCKPT1" (8 bytes)
+//   u64 entry count
+//   per entry: u64 name length, name bytes, u64 rank, u64 dims[rank],
+//              f32 data[numel]
+// The format is self-describing enough to reload into any model exposing the
+// same names/shapes (server restart, warm-starting an experiment, shipping a
+// trained global model to an edge deployment).
+
+#include <string>
+
+#include "nn/param.hpp"
+
+namespace afl {
+
+/// Writes `params` to `path`; throws std::runtime_error on I/O failure.
+void save_checkpoint(const ParamSet& params, const std::string& path);
+
+/// Reads a checkpoint; throws std::runtime_error on I/O or format errors.
+ParamSet load_checkpoint(const std::string& path);
+
+}  // namespace afl

@@ -1,0 +1,102 @@
+#include "nn/depthwise_conv.hpp"
+
+#include <stdexcept>
+
+namespace afl {
+
+DepthwiseConv2D::DepthwiseConv2D(std::size_t channels, std::size_t kernel,
+                                 std::size_t stride, std::size_t pad, bool bias)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      w_({channels, kernel, kernel}),
+      b_(has_bias_ ? Tensor({channels}) : Tensor()),
+      gw_({channels, kernel, kernel}),
+      gb_(has_bias_ ? Tensor({channels}) : Tensor()) {}
+
+Tensor DepthwiseConv2D::forward(const Tensor& x, bool train) {
+  if (x.rank() != 4 || x.dim(1) != channels_) {
+    throw std::invalid_argument("DepthwiseConv2D: bad input shape " +
+                                shape_to_string(x.shape()));
+  }
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const ConvGeom g{1, h, w, kernel_, stride_, pad_};
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  Tensor out({n, channels_, oh, ow});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* src = x.data() + (i * channels_ + c) * h * w;
+      const float* ker = w_.data() + c * kernel_ * kernel_;
+      float* dst = out.data() + (i * channels_ + c) * oh * ow;
+      const float bv = has_bias_ ? b_[c] : 0.0f;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = bv;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const long iy = static_cast<long>(oy * stride_ + ky) - static_cast<long>(pad_);
+            if (iy < 0 || iy >= static_cast<long>(h)) continue;
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const long ix =
+                  static_cast<long>(ox * stride_ + kx) - static_cast<long>(pad_);
+              if (ix < 0 || ix >= static_cast<long>(w)) continue;
+              acc += ker[ky * kernel_ + kx] *
+                     src[static_cast<std::size_t>(iy) * w + static_cast<std::size_t>(ix)];
+            }
+          }
+          dst[oy * ow + ox] = acc;
+        }
+      }
+    }
+  }
+  if (train) cached_input_ = x;
+  return out;
+}
+
+Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const ConvGeom g{1, h, w, kernel_, stride_, pad_};
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  Tensor grad_in(x.shape());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* src = x.data() + (i * channels_ + c) * h * w;
+      const float* gout = grad_out.data() + (i * channels_ + c) * oh * ow;
+      const float* ker = w_.data() + c * kernel_ * kernel_;
+      float* gker = gw_.data() + c * kernel_ * kernel_;
+      float* gin = grad_in.data() + (i * channels_ + c) * h * w;
+      float gbias = 0.0f;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float gv = gout[oy * ow + ox];
+          gbias += gv;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const long iy = static_cast<long>(oy * stride_ + ky) - static_cast<long>(pad_);
+            if (iy < 0 || iy >= static_cast<long>(h)) continue;
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const long ix =
+                  static_cast<long>(ox * stride_ + kx) - static_cast<long>(pad_);
+              if (ix < 0 || ix >= static_cast<long>(w)) continue;
+              const std::size_t ii =
+                  static_cast<std::size_t>(iy) * w + static_cast<std::size_t>(ix);
+              gker[ky * kernel_ + kx] += gv * src[ii];
+              gin[ii] += gv * ker[ky * kernel_ + kx];
+            }
+          }
+        }
+      }
+      if (has_bias_) gb_[c] += gbias;
+    }
+  }
+  return grad_in;
+}
+
+void DepthwiseConv2D::collect_params(const std::string& prefix,
+                                     std::vector<ParamRef>& out) {
+  out.push_back({prefix + ".w", &w_, &gw_});
+  if (has_bias_) out.push_back({prefix + ".b", &b_, &gb_});
+}
+
+}  // namespace afl

@@ -1,0 +1,30 @@
+#pragma once
+// Depthwise 2-D convolution (one filter per channel), used by the
+// MobileNetV2-style inverted residual blocks (§4.5 test-bed experiment).
+// Weight layout [C, K, K]; width pruning slices the channel dimension.
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace afl {
+
+class DepthwiseConv2D final : public Layer {
+ public:
+  DepthwiseConv2D(std::size_t channels, std::size_t kernel, std::size_t stride,
+                  std::size_t pad, bool bias = true);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
+  std::string kind() const override { return "dwconv2d"; }
+
+  std::size_t channels() const { return channels_; }
+
+ private:
+  std::size_t channels_, kernel_, stride_, pad_;
+  bool has_bias_;
+  Tensor w_, b_, gw_, gb_;
+  Tensor cached_input_;
+};
+
+}  // namespace afl

@@ -1,0 +1,31 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace afl {
+
+void kaiming_init(Model& model, Rng& rng) {
+  for (ParamRef& p : model.params()) {
+    Tensor& t = *p.value;
+    const bool is_weight = p.name.size() >= 2 && p.name.rfind(".w") == p.name.size() - 2;
+    if (!is_weight) {
+      t.fill(0.0f);
+      continue;
+    }
+    std::size_t fan_in = 1;
+    const Shape& s = t.shape();
+    if (s.size() == 4) {
+      fan_in = s[1] * s[2] * s[3];
+    } else if (s.size() == 3) {
+      fan_in = s[1] * s[2];  // depthwise: per-channel K*K patch
+    } else if (s.size() == 2) {
+      fan_in = s[1];
+    }
+    const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+    for (std::size_t i = 0; i < t.numel(); ++i) {
+      t[i] = static_cast<float>(rng.normal(0.0, stddev));
+    }
+  }
+}
+
+}  // namespace afl

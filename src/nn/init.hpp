@@ -1,0 +1,17 @@
+#pragma once
+// Weight initialization. The library is normalization-free (see DESIGN.md), so
+// Kaiming/He initialization keeps activations well-scaled through ReLU stacks.
+
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+
+/// He-normal init for every ".w" parameter (std = sqrt(2 / fan_in)) and zero
+/// biases. fan_in is inferred from the weight shape:
+///  - conv [OC, IC, K, K]: IC*K*K
+///  - depthwise [C, K, K]: K*K
+///  - linear [O, F]: F
+void kaiming_init(Model& model, Rng& rng);
+
+}  // namespace afl

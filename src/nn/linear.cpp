@@ -1,0 +1,59 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "tensor/gemm.hpp"
+
+namespace afl {
+
+Linear::Linear(std::size_t in_f, std::size_t out_f, bool bias)
+    : in_f_(in_f),
+      out_f_(out_f),
+      has_bias_(bias),
+      w_({out_f, in_f}),
+      b_(has_bias_ ? Tensor({out_f}) : Tensor()),
+      gw_({out_f, in_f}),
+      gb_(has_bias_ ? Tensor({out_f}) : Tensor()) {}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  if (x.rank() != 2 || x.dim(1) != in_f_) {
+    throw std::invalid_argument("Linear: bad input shape " + shape_to_string(x.shape()) +
+                                " for in_f=" + std::to_string(in_f_));
+  }
+  const std::size_t n = x.dim(0);
+  Tensor out({n, out_f_});
+  // out[N, O] = x[N, F] * W[O, F]^T
+  gemm_bt(x.data(), w_.data(), out.data(), n, in_f_, out_f_);
+  if (has_bias_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      float* row = out.data() + i * out_f_;
+      for (std::size_t j = 0; j < out_f_; ++j) row[j] += b_[j];
+    }
+  }
+  if (train) cached_input_ = x;
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t n = x.dim(0);
+  // gW[O, F] += gout[N, O]^T * x[N, F]
+  gemm_at(grad_out.data(), x.data(), gw_.data(), out_f_, n, in_f_, /*accumulate=*/true);
+  if (has_bias_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = grad_out.data() + i * out_f_;
+      for (std::size_t j = 0; j < out_f_; ++j) gb_[j] += row[j];
+    }
+  }
+  // grad_in[N, F] = gout[N, O] * W[O, F]
+  Tensor grad_in({n, in_f_});
+  gemm(grad_out.data(), w_.data(), grad_in.data(), n, out_f_, in_f_);
+  return grad_in;
+}
+
+void Linear::collect_params(const std::string& prefix, std::vector<ParamRef>& out) {
+  out.push_back({prefix + ".w", &w_, &gw_});
+  if (has_bias_) out.push_back({prefix + ".b", &b_, &gb_});
+}
+
+}  // namespace afl

@@ -1,0 +1,96 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace afl {
+namespace {
+
+void softmax_row(const float* in, float* out, std::size_t c) {
+  float mx = in[0];
+  for (std::size_t j = 1; j < c; ++j) mx = std::max(mx, in[j]);
+  float denom = 0.0f;
+  for (std::size_t j = 0; j < c; ++j) {
+    out[j] = std::exp(in[j] - mx);
+    denom += out[j];
+  }
+  const float inv = 1.0f / denom;
+  for (std::size_t j = 0; j < c; ++j) out[j] *= inv;
+}
+
+}  // namespace
+
+Tensor softmax(const Tensor& logits) {
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  Tensor out({n, c});
+  for (std::size_t i = 0; i < n; ++i) {
+    softmax_row(logits.data() + i * c, out.data() + i * c, c);
+  }
+  return out;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.rank() != 2) throw std::invalid_argument("CE: rank-2 logits required");
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  if (labels.size() != n) throw std::invalid_argument("CE: label count mismatch");
+  LossResult r;
+  r.grad = Tensor({n, c});
+  const float invn = 1.0f / static_cast<float>(n);
+  std::vector<float> probs(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    softmax_row(logits.data() + i * c, probs.data(), c);
+    const int y = labels[i];
+    if (y < 0 || static_cast<std::size_t>(y) >= c) {
+      throw std::invalid_argument("CE: label out of range");
+    }
+    r.loss -= std::log(std::max(probs[static_cast<std::size_t>(y)], 1e-12f));
+    float* g = r.grad.data() + i * c;
+    for (std::size_t j = 0; j < c; ++j) g[j] = probs[j] * invn;
+    g[static_cast<std::size_t>(y)] -= invn;
+  }
+  r.loss /= static_cast<double>(n);
+  return r;
+}
+
+LossResult distillation_kl(const Tensor& student_logits, const Tensor& teacher_logits,
+                           double temperature) {
+  if (!student_logits.same_shape(teacher_logits)) {
+    throw std::invalid_argument("KD: logits shape mismatch");
+  }
+  const std::size_t n = student_logits.dim(0), c = student_logits.dim(1);
+  const float t = static_cast<float>(temperature);
+  LossResult r;
+  r.grad = Tensor({n, c});
+  std::vector<float> ps(c), pt(c), scaled(c);
+  const float invn = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < c; ++j) scaled[j] = student_logits[i * c + j] / t;
+    softmax_row(scaled.data(), ps.data(), c);
+    for (std::size_t j = 0; j < c; ++j) scaled[j] = teacher_logits[i * c + j] / t;
+    softmax_row(scaled.data(), pt.data(), c);
+    for (std::size_t j = 0; j < c; ++j) {
+      r.loss += pt[j] * (std::log(std::max(pt[j], 1e-12f)) -
+                         std::log(std::max(ps[j], 1e-12f)));
+      // d/d(student logit) of T^2 * KL = T * (ps - pt); divided by batch.
+      r.grad[i * c + j] = t * (ps[j] - pt[j]) * invn;
+    }
+  }
+  r.loss = r.loss * temperature * temperature * invn;
+  return r;
+}
+
+std::size_t count_correct(const Tensor& logits, const std::vector<int>& labels) {
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (static_cast<int>(best) == labels[i]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace afl

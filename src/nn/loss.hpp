@@ -1,0 +1,31 @@
+#pragma once
+// Classification losses: softmax cross-entropy (the paper's training loss)
+// and a temperature-scaled distillation KL term (used by the ScaleFL
+// baseline's self-distillation).
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace afl {
+
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad;  // dLoss/dLogits, same shape as the logits, already / batch.
+};
+
+/// Mean cross-entropy over the batch. logits: [N, C]; labels: N ints in [0,C).
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Mean KL(softmax(teacher/T) || softmax(student/T)) * T^2 with gradient w.r.t.
+/// the *student* logits only (teacher treated as a constant).
+LossResult distillation_kl(const Tensor& student_logits, const Tensor& teacher_logits,
+                           double temperature);
+
+/// Row-wise softmax (for inspection / tests).
+Tensor softmax(const Tensor& logits);
+
+/// Number of argmax-correct rows.
+std::size_t count_correct(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace afl

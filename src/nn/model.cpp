@@ -1,0 +1,112 @@
+#include "nn/model.hpp"
+
+#include <stdexcept>
+
+namespace afl {
+
+std::size_t Model::append(std::string name, std::unique_ptr<Layer> layer) {
+  layers_.push_back({std::move(name), std::move(layer)});
+  return layers_.size() - 1;
+}
+
+void Model::attach_exit(std::string name, std::size_t after_index,
+                        std::unique_ptr<Sequential> head) {
+  if (after_index >= layers_.size()) {
+    throw std::out_of_range("attach_exit: layer index out of range");
+  }
+  exits_.push_back({std::move(name), after_index, std::move(head)});
+}
+
+Tensor Model::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& nl : layers_) h = nl.layer->forward(h, train);
+  return h;
+}
+
+std::vector<Tensor> Model::forward_all_exits(const Tensor& x, bool train) {
+  std::vector<Tensor> outs;
+  Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].layer->forward(h, train);
+    for (auto& e : exits_) {
+      if (e.after_index == i) outs.push_back(e.head->forward(h, train));
+    }
+  }
+  outs.push_back(std::move(h));
+  return outs;
+}
+
+void Model::backward(const Tensor& grad_final) {
+  Tensor g = grad_final;
+  for (std::size_t i = layers_.size(); i-- > 0;) g = layers_[i].layer->backward(g);
+}
+
+void Model::backward_multi(const std::vector<Tensor>& grads) {
+  if (grads.size() != exits_.size() + 1) {
+    throw std::invalid_argument("backward_multi: need one gradient per exit + final");
+  }
+  Tensor g = grads.back();
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    // Inject exit-head gradients at their junctions (heads are attached
+    // *after* layer i, so their input-grad joins before layer i's backward).
+    for (std::size_t e = exits_.size(); e-- > 0;) {
+      if (exits_[e].after_index != i) continue;
+      const Tensor& ge = grads[e];
+      if (ge.empty()) continue;
+      Tensor gh = exits_[e].head->backward(ge);
+      if (g.empty()) {
+        g = std::move(gh);
+      } else {
+        if (!g.same_shape(gh)) {
+          throw std::logic_error("backward_multi: junction shape mismatch");
+        }
+        for (std::size_t k = 0; k < g.numel(); ++k) g[k] += gh[k];
+      }
+    }
+    if (g.empty()) {
+      throw std::invalid_argument("backward_multi: no gradient reaches layer " +
+                                  layers_[i].name);
+    }
+    g = layers_[i].layer->backward(g);
+  }
+}
+
+std::vector<ParamRef> Model::params() {
+  std::vector<ParamRef> out;
+  for (auto& nl : layers_) nl.layer->collect_params(nl.name, out);
+  for (auto& e : exits_) e.head->collect_params(e.name, out);
+  return out;
+}
+
+ParamSet Model::export_params() {
+  ParamSet ps;
+  for (const ParamRef& p : params()) ps.emplace(p.name, *p.value);
+  return ps;
+}
+
+void Model::import_params(const ParamSet& ps) {
+  for (ParamRef& p : params()) {
+    auto it = ps.find(p.name);
+    if (it == ps.end()) {
+      throw std::invalid_argument("import_params: missing parameter " + p.name);
+    }
+    if (it->second.shape() != p.value->shape()) {
+      throw std::invalid_argument("import_params: shape mismatch for " + p.name + ": " +
+                                  shape_to_string(it->second.shape()) + " vs " +
+                                  shape_to_string(p.value->shape()));
+    }
+    *p.value = it->second;
+  }
+}
+
+void Model::zero_grads() {
+  for (ParamRef& p : params()) p.grad->fill(0.0f);
+}
+
+std::size_t Model::param_count() {
+  std::size_t n = 0;
+  for (const ParamRef& p : params()) n += p.value->numel();
+  return n;
+}
+
+}  // namespace afl

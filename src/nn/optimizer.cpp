@@ -1,0 +1,31 @@
+#include "nn/optimizer.hpp"
+
+namespace afl {
+
+SGD::SGD(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+void SGD::step(const std::vector<ParamRef>& params) {
+  const float lr = static_cast<float>(lr_);
+  const float mom = static_cast<float>(momentum_);
+  const float wd = static_cast<float>(weight_decay_);
+  for (const ParamRef& p : params) {
+    auto [it, inserted] = velocity_.try_emplace(p.name, Tensor::zeros(p.value->shape()));
+    Tensor& v = it->second;
+    if (!inserted && v.shape() != p.value->shape()) {
+      // Parameter was re-instantiated at a different width: reset state.
+      v = Tensor::zeros(p.value->shape());
+    }
+    float* w = p.value->data();
+    const float* g = p.grad->data();
+    float* vel = v.data();
+    const std::size_t n = p.value->numel();
+    for (std::size_t i = 0; i < n; ++i) {
+      const float grad = g[i] + wd * w[i];
+      vel[i] = mom * vel[i] + grad;
+      w[i] -= lr * vel[i];
+    }
+  }
+}
+
+}  // namespace afl

@@ -1,0 +1,29 @@
+#pragma once
+// SGD with momentum — the optimizer the paper uses for every method
+// (lr = 0.01, momentum = 0.5, §4).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace afl {
+
+class SGD {
+ public:
+  explicit SGD(double lr = 0.01, double momentum = 0.5, double weight_decay = 0.0);
+
+  /// Applies one update: v <- m*v + g (+ wd*w); w <- w - lr*v.
+  /// Velocity buffers are keyed by parameter name and lazily created.
+  void step(const std::vector<ParamRef>& params);
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_, momentum_, weight_decay_;
+  std::map<std::string, Tensor> velocity_;
+};
+
+}  // namespace afl

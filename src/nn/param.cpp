@@ -1,0 +1,55 @@
+#include "nn/param.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace afl {
+
+std::size_t param_count(const ParamSet& params) {
+  std::size_t n = 0;
+  for (const auto& [name, t] : params) n += t.numel();
+  return n;
+}
+
+bool same_structure(const ParamSet& a, const ParamSet& b) {
+  if (a.size() != b.size()) return false;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  for (; ia != a.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) return false;
+    if (ia->second.shape() != ib->second.shape()) return false;
+  }
+  return true;
+}
+
+bool is_prefix_of(const ParamSet& sub, const ParamSet& full) {
+  if (sub.size() != full.size()) return false;
+  auto is = sub.begin();
+  auto ifu = full.begin();
+  for (; is != sub.end(); ++is, ++ifu) {
+    if (is->first != ifu->first) return false;
+    const Shape& ss = is->second.shape();
+    const Shape& fs = ifu->second.shape();
+    if (ss.size() != fs.size()) return false;
+    for (std::size_t d = 0; d < ss.size(); ++d) {
+      if (ss[d] > fs[d]) return false;
+    }
+  }
+  return true;
+}
+
+double max_abs_diff(const ParamSet& a, const ParamSet& b) {
+  if (!same_structure(a, b)) {
+    throw std::invalid_argument("max_abs_diff(ParamSet): structure mismatch");
+  }
+  double m = 0.0;
+  auto ib = b.begin();
+  for (auto ia = a.begin(); ia != a.end(); ++ia, ++ib) {
+    m = std::max(m, max_abs_diff(ia->second, ib->second));
+  }
+  return m;
+}
+
+}  // namespace afl

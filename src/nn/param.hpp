@@ -1,0 +1,41 @@
+#pragma once
+// Named parameter sets.
+//
+// Every model exports its parameters as a name -> Tensor map. Names are stable
+// across width-pruned variants of the same architecture; a pruned model's
+// tensor is a prefix-slice (in every dimension) of the full model's tensor
+// with the same name. All of FL aggregation (§3.4) and pruning (§3.2) operate
+// on ParamSets.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace afl {
+
+/// std::map keeps deterministic iteration order (important for reproducible
+/// aggregation and serialization).
+using ParamSet = std::map<std::string, Tensor>;
+
+/// Mutable reference to one named parameter and its gradient inside a model.
+struct ParamRef {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+/// Total number of scalar parameters.
+std::size_t param_count(const ParamSet& params);
+
+/// True iff both sets have identical names and shapes.
+bool same_structure(const ParamSet& a, const ParamSet& b);
+
+/// True iff for every name, sub's tensor shape is dimension-wise <= full's.
+bool is_prefix_of(const ParamSet& sub, const ParamSet& full);
+
+/// Max |a-b| across all tensors (requires same structure).
+double max_abs_diff(const ParamSet& a, const ParamSet& b);
+
+}  // namespace afl

@@ -1,0 +1,45 @@
+#pragma once
+// Pooling and shape layers: max pool, global average pool, flatten.
+
+#include "nn/layer.hpp"
+
+namespace afl {
+
+class MaxPool2D final : public Layer {
+ public:
+  explicit MaxPool2D(std::size_t kernel = 2, std::size_t stride = 2);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "maxpool2d"; }
+
+ private:
+  std::size_t kernel_, stride_;
+  Shape input_shape_;
+  // Flat input index of the argmax for each output element.
+  std::vector<std::size_t> argmax_;
+};
+
+/// [N, C, H, W] -> [N, C]: mean over the spatial dimensions.
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "gap"; }
+
+ private:
+  Shape input_shape_;
+};
+
+/// [N, C, H, W] -> [N, C*H*W].
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace afl

@@ -1,0 +1,124 @@
+#include "nn/residual.hpp"
+
+#include <stdexcept>
+
+namespace afl {
+
+Tensor sliced_identity_forward(const Tensor& x, std::size_t out_c) {
+  const std::size_t n = x.dim(0), c = x.dim(1), spatial = x.dim(2) * x.dim(3);
+  if (out_c > c) throw std::invalid_argument("sliced identity: out_c > in_c");
+  Tensor out({n, out_c, x.dim(2), x.dim(3)});
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* src = x.data() + i * c * spatial;
+    float* dst = out.data() + i * out_c * spatial;
+    for (std::size_t ch = 0; ch < out_c * spatial; ++ch) dst[ch] = src[ch];
+  }
+  return out;
+}
+
+void sliced_identity_backward(const Tensor& grad_out, Tensor& grad_in) {
+  const std::size_t n = grad_out.dim(0), oc = grad_out.dim(1),
+                    spatial = grad_out.dim(2) * grad_out.dim(3);
+  const std::size_t ic = grad_in.dim(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* src = grad_out.data() + i * oc * spatial;
+    float* dst = grad_in.data() + i * ic * spatial;
+    for (std::size_t ch = 0; ch < oc * spatial; ++ch) dst[ch] += src[ch];
+  }
+}
+
+BasicBlock::BasicBlock(std::size_t in_c, std::size_t out_c, std::size_t stride,
+                       bool projection)
+    : in_c_(in_c),
+      out_c_(out_c),
+      stride_(stride),
+      conv1_(in_c, out_c, 3, stride, 1),
+      conv2_(out_c, out_c, 3, 1, 1),
+      proj_(projection ? std::make_unique<Conv2D>(in_c, out_c, 1, stride, 0) : nullptr) {
+  if (!projection && (stride != 1 || out_c > in_c)) {
+    throw std::invalid_argument(
+        "BasicBlock: identity shortcut requires stride 1 and out_c <= in_c");
+  }
+}
+
+Tensor BasicBlock::forward(const Tensor& x, bool train) {
+  if (train) input_shape_ = x.shape();
+  Tensor main = relu1_.forward(conv1_.forward(x, train), train);
+  main = conv2_.forward(main, train);
+  Tensor sc = proj_ ? proj_->forward(x, train) : sliced_identity_forward(x, out_c_);
+  if (!main.same_shape(sc)) {
+    throw std::logic_error("BasicBlock: main/shortcut shape mismatch");
+  }
+  const std::size_t n = main.numel();
+  for (std::size_t i = 0; i < n; ++i) main[i] += sc[i];
+  return relu2_.forward(main, train);
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_out) {
+  Tensor g = relu2_.backward(grad_out);
+  // g flows both into the main path and the shortcut.
+  Tensor grad_in = conv1_.backward(relu1_.backward(conv2_.backward(g)));
+  if (proj_) {
+    Tensor gsc = proj_->backward(g);
+    const std::size_t n = grad_in.numel();
+    for (std::size_t i = 0; i < n; ++i) grad_in[i] += gsc[i];
+  } else {
+    sliced_identity_backward(g, grad_in);
+  }
+  return grad_in;
+}
+
+void BasicBlock::collect_params(const std::string& prefix, std::vector<ParamRef>& out) {
+  conv1_.collect_params(prefix + ".conv1", out);
+  conv2_.collect_params(prefix + ".conv2", out);
+  if (proj_) proj_->collect_params(prefix + ".proj", out);
+}
+
+InvertedResidualBlock::InvertedResidualBlock(std::size_t in_c, std::size_t hidden_c,
+                                             std::size_t out_c, std::size_t stride,
+                                             bool residual)
+    : in_c_(in_c),
+      hidden_c_(hidden_c),
+      out_c_(out_c),
+      stride_(stride),
+      use_residual_(residual),
+      expand_(in_c, hidden_c, 1, 1, 0),
+      project_(hidden_c, out_c, 1, 1, 0),
+      dw_(hidden_c, 3, stride, 1) {
+  if (use_residual_ && (stride != 1 || out_c > in_c)) {
+    throw std::invalid_argument(
+        "InvertedResidualBlock: residual requires stride 1 and out_c <= in_c");
+  }
+}
+
+Tensor InvertedResidualBlock::forward(const Tensor& x, bool train) {
+  if (train) input_shape_ = x.shape();
+  Tensor h = relu1_.forward(expand_.forward(x, train), train);
+  h = relu2_.forward(dw_.forward(h, train), train);
+  Tensor out = project_.forward(h, train);
+  if (use_residual_) {
+    Tensor sc = sliced_identity_forward(x, out_c_);
+    const std::size_t n = out.numel();
+    for (std::size_t i = 0; i < n; ++i) out[i] += sc[i];
+  }
+  return out;
+}
+
+Tensor InvertedResidualBlock::backward(const Tensor& grad_out) {
+  Tensor g = project_.backward(grad_out);
+  g = relu2_.backward(g);
+  g = dw_.backward(g);
+  g = relu1_.backward(g);
+  Tensor grad_in = expand_.backward(g);
+  if (use_residual_) sliced_identity_backward(grad_out, grad_in);
+  return grad_in;
+}
+
+void InvertedResidualBlock::collect_params(const std::string& prefix,
+                                           std::vector<ParamRef>& out) {
+  expand_.collect_params(prefix + ".expand", out);
+  dw_.collect_params(prefix + ".dw", out);
+  project_.collect_params(prefix + ".project", out);
+}
+
+}  // namespace afl

@@ -1,0 +1,30 @@
+#include "nn/sequential.hpp"
+
+namespace afl {
+
+Sequential::Sequential(std::vector<std::unique_ptr<Layer>> layers)
+    : layers_(std::move(layers)) {}
+
+void Sequential::append(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = layers_.size(); i-- > 0;) g = layers_[i]->backward(g);
+  return g;
+}
+
+void Sequential::collect_params(const std::string& prefix, std::vector<ParamRef>& out) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->collect_params(prefix + "." + std::to_string(i), out);
+  }
+}
+
+}  // namespace afl

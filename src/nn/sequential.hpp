@@ -1,0 +1,31 @@
+#pragma once
+// Composite layer running sub-layers in order. Used for early-exit heads in
+// the ScaleFL baseline and anywhere a small layer pipeline is convenient.
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace afl {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<std::unique_ptr<Layer>> layers);
+
+  void append(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(const std::string& prefix, std::vector<ParamRef>& out) override;
+  std::string kind() const override { return "sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace afl

@@ -1,0 +1,137 @@
+#include "prune/model_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "arch/build.hpp"
+
+namespace afl {
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kSmall:
+      return "S";
+    case Level::kMedium:
+      return "M";
+    case Level::kLarge:
+      return "L";
+  }
+  return "?";
+}
+
+std::string PoolEntry::label() const {
+  return std::string(level_name(level)) + std::to_string(sublevel);
+}
+
+PoolConfig PoolConfig::defaults_for(const ArchSpec& spec, std::size_t p) {
+  PoolConfig cfg;
+  cfg.p = std::max<std::size_t>(1, p);
+  // Anchor the grid at tau: I in {tau + p - 1, ..., tau + 1, tau}. Keeping I
+  // small (deep tail pruned) preserves the size ordering S1 < M_p required by
+  // the pool; I grids too close to the output would shrink S models less than
+  // M models. The largest I must still leave at least one pruned unit.
+  const std::size_t max_I = spec.tau + cfg.p - 1;
+  if (max_I >= spec.num_units()) {
+    throw std::invalid_argument("PoolConfig::defaults_for: p too large for " +
+                                spec.name);
+  }
+  cfg.I_values.clear();
+  for (std::size_t j = 0; j < cfg.p; ++j) cfg.I_values.push_back(max_I - j);
+  return cfg;
+}
+
+ModelPool::ModelPool(const ArchSpec& spec, const PoolConfig& config)
+    : spec_(spec), config_(config) {
+  if (config_.I_values.size() != config_.p) {
+    throw std::invalid_argument("ModelPool: need exactly p I-values");
+  }
+  for (std::size_t i = 0; i < config_.I_values.size(); ++i) {
+    if (config_.I_values[i] < spec_.tau) {
+      throw std::invalid_argument("ModelPool: I < tau violates shared-shallow-layers");
+    }
+    if (i > 0 && config_.I_values[i] >= config_.I_values[i - 1]) {
+      throw std::invalid_argument("ModelPool: I values must be strictly descending");
+    }
+  }
+  auto push_level = [&](Level level, double r_w) {
+    // Sublevel p (smallest I) first so entries ascend in size.
+    for (std::size_t s = config_.p; s >= 1; --s) {
+      PoolEntry e;
+      e.level = level;
+      e.sublevel = s;
+      e.r_w = r_w;
+      e.I = config_.I_values[s - 1];
+      e.plan = deep_plan(spec_, r_w, e.I);
+      const ModelStats st = arch_stats(spec_, e.plan);
+      e.params = st.params;
+      e.flops = st.flops;
+      entries_.push_back(std::move(e));
+      if (s == 1) break;  // std::size_t underflow guard
+    }
+  };
+  push_level(Level::kSmall, config_.r_small);
+  push_level(Level::kMedium, config_.r_medium);
+  {
+    PoolEntry l1;
+    l1.level = Level::kLarge;
+    l1.sublevel = 1;
+    l1.r_w = 1.0;
+    l1.I = spec_.num_units();
+    l1.plan = WidthPlan(spec_.num_units(), 1.0);
+    const ModelStats st = arch_stats(spec_, l1.plan);
+    l1.params = st.params;
+    l1.flops = st.flops;
+    entries_.push_back(std::move(l1));
+  }
+  // Sanity: sizes must ascend, otherwise the T_r update semantics (ranges
+  // "m_i .. m_L1") would not mean "this size and larger".
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].params <= entries_[i - 1].params) {
+      throw std::invalid_argument("ModelPool: entries not strictly ascending in size (" +
+                                  entries_[i - 1].label() + " vs " +
+                                  entries_[i].label() + ")");
+    }
+  }
+  shape_cache_.resize(entries_.size());
+}
+
+std::size_t ModelPool::level_head_index(Level level) const {
+  switch (level) {
+    case Level::kSmall:
+      return config_.p - 1;
+    case Level::kMedium:
+      return 2 * config_.p - 1;
+    case Level::kLarge:
+      return 2 * config_.p;
+  }
+  throw std::logic_error("level_head_index");
+}
+
+std::optional<std::size_t> ModelPool::adapt(std::size_t from,
+                                            std::size_t capacity) const {
+  const PoolEntry& src = entries_.at(from);
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i <= from; ++i) {
+    const PoolEntry& cand = entries_[i];
+    if (cand.params > capacity) continue;
+    if (!plan_is_subplan(cand.plan, src.plan)) continue;
+    if (!best || cand.params > entries_[*best].params) best = i;
+  }
+  return best;
+}
+
+const ShapeMap& ModelPool::shapes(std::size_t i) const {
+  ShapeMap& cached = shape_cache_.at(i);
+  if (cached.empty()) cached = model_shapes(spec_, entries_[i].plan);
+  return cached;
+}
+
+ParamSet ModelPool::split(const ParamSet& global, std::size_t i) const {
+  return prune_to_shapes(global, shapes(i));
+}
+
+Model ModelPool::build(std::size_t i, Rng* init_rng) const {
+  return build_model(spec_, entries_.at(i).plan, init_rng);
+}
+
+}  // namespace afl

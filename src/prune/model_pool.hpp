@@ -1,0 +1,89 @@
+#pragma once
+// The server's model pool R = {m_Sp, ..., m_S1, m_Mp, ..., m_M1, m_L1}
+// (Algorithm 1, line 4).
+//
+// Three levels share the paper's width ratios (L: 1.0, M: 0.66, S: 0.40); the
+// p sublevels per level differ in the starting-prune index I (fine-grained
+// knob). Entries are ordered ascending by size, so entry indices double as the
+// rows of the RL resource table T_r.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/spec.hpp"
+#include "arch/stats.hpp"
+#include "nn/model.hpp"
+#include "nn/param.hpp"
+#include "prune/width_prune.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+
+/// Model type in the paper's sense: type(m_{S_k}) = S etc.
+enum class Level { kSmall = 0, kMedium = 1, kLarge = 2 };
+const char* level_name(Level level);
+
+struct PoolEntry {
+  Level level = Level::kLarge;
+  std::size_t sublevel = 1;  // 1..p within the level (1 = largest, I = I_values[0])
+  double r_w = 1.0;
+  std::size_t I = 0;  // starting-prune unit index (units > I are pruned)
+  WidthPlan plan;
+  std::size_t params = 0;  // analytic parameter count
+  std::size_t flops = 0;   // analytic forward FLOPs
+
+  std::string label() const;  // "S2", "M1", "L1"
+};
+
+struct PoolConfig {
+  double r_medium = 0.66;
+  double r_small = 0.40;
+  std::size_t p = 3;                  // sublevels per (non-L) level
+  std::vector<std::size_t> I_values;  // descending, size p, each >= spec.tau
+
+  /// I_j = num_units - j (j = 1..p), clamped to >= spec.tau. p = 1 gives the
+  /// coarse-grained ablation configuration (Table 4).
+  static PoolConfig defaults_for(const ArchSpec& spec, std::size_t p = 3);
+};
+
+class ModelPool {
+ public:
+  ModelPool(const ArchSpec& spec, const PoolConfig& config);
+
+  const ArchSpec& spec() const { return spec_; }
+  const PoolConfig& config() const { return config_; }
+
+  /// Entries ascending by size: S_p..S_1, M_p..M_1, L_1 (2p+1 entries).
+  std::size_t size() const { return entries_.size(); }
+  const PoolEntry& entry(std::size_t i) const { return entries_.at(i); }
+  const std::vector<PoolEntry>& entries() const { return entries_; }
+  std::size_t largest_index() const { return entries_.size() - 1; }
+  const PoolEntry& largest() const { return entries_.back(); }
+
+  /// Index of the level's largest entry ("L1" / "M1" / "S1").
+  std::size_t level_head_index(Level level) const;
+
+  /// Available-resource-aware pruning (§3.2): the largest entry reachable
+  /// from entry `from` by pruning alone (a sub-plan of it) whose size fits
+  /// `capacity` parameters. Returns nullopt when even the smallest reachable
+  /// entry exceeds the capacity (local training would fail).
+  std::optional<std::size_t> adapt(std::size_t from, std::size_t capacity) const;
+
+  /// Split (Algorithm 1, line 4): prune the global parameters to entry i.
+  ParamSet split(const ParamSet& global, std::size_t i) const;
+
+  /// Build a trainable model for entry i.
+  Model build(std::size_t i, Rng* init_rng = nullptr) const;
+
+ private:
+  const ShapeMap& shapes(std::size_t i) const;  // lazily computed
+
+  ArchSpec spec_;
+  PoolConfig config_;
+  std::vector<PoolEntry> entries_;
+  mutable std::vector<ShapeMap> shape_cache_;
+};
+
+}  // namespace afl

@@ -1,0 +1,36 @@
+#pragma once
+// Width-wise pruning of parameter sets (§3.2).
+//
+// A pruned model's parameters are prefix slices of the full model's tensors:
+// W_rw^k = W_g^k[: d_k * r_w][: n_k * r_w]. We express the target as a shape
+// map (name -> pruned shape) obtained from a built model, so the same routine
+// serves every architecture and plan, including depth-truncated (ScaleFL)
+// submodels whose shape maps simply omit the deep layers.
+
+#include <map>
+
+#include "arch/build.hpp"
+#include "arch/spec.hpp"
+#include "nn/param.hpp"
+
+namespace afl {
+
+using ShapeMap = std::map<std::string, Shape>;
+
+/// Shape map of a model's current parameters.
+ShapeMap shapes_of(Model& model);
+
+/// Shape map of (spec, plan, options) without keeping the model around.
+ShapeMap model_shapes(const ArchSpec& spec, const WidthPlan& plan,
+                      const BuildOptions& options = {});
+
+/// Prefix-slice every tensor named in `shapes` out of `full`. Entries of
+/// `full` not named in `shapes` are dropped (depth pruning); every name in
+/// `shapes` must exist in `full` with dimension-wise >= shape.
+ParamSet prune_to_shapes(const ParamSet& full, const ShapeMap& shapes);
+
+/// Convenience: prune a full parameter set to a width plan of the same spec.
+ParamSet prune_params(const ParamSet& full, const ArchSpec& spec,
+                      const WidthPlan& plan, const BuildOptions& options = {});
+
+}  // namespace afl

@@ -1,0 +1,87 @@
+#include "rl/selector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace afl {
+
+const char* selection_strategy_name(SelectionStrategy s) {
+  switch (s) {
+    case SelectionStrategy::kResourceCuriosity:
+      return "CS";
+    case SelectionStrategy::kCuriosityOnly:
+      return "C";
+    case SelectionStrategy::kResourceOnly:
+      return "S";
+    case SelectionStrategy::kRandom:
+      return "Random";
+  }
+  return "?";
+}
+
+ClientSelector::ClientSelector(const ModelPool& pool, std::size_t num_clients,
+                               SelectionStrategy strategy)
+    : pool_(pool),
+      num_clients_(num_clients),
+      strategy_(strategy),
+      tables_(pool.size(), pool.config().p, num_clients) {}
+
+std::vector<std::size_t> ClientSelector::level_entries(Level level) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (pool_.entry(i).level == level) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<double> ClientSelector::probabilities(
+    std::size_t model_index, const std::vector<bool>& taken) const {
+  const Level type = pool_.entry(model_index).level;
+  const std::vector<std::size_t> entries = level_entries(type);
+  std::vector<double> weights(num_clients_, 0.0);
+  for (std::size_t c = 0; c < num_clients_; ++c) {
+    if (c < taken.size() && taken[c]) continue;
+    double w = 0.0;
+    switch (strategy_) {
+      case SelectionStrategy::kResourceCuriosity:
+        w = tables_.reward(entries, type, c);
+        break;
+      case SelectionStrategy::kCuriosityOnly:
+        w = tables_.curiosity_reward(type, c);
+        break;
+      case SelectionStrategy::kResourceOnly:
+        w = std::min(0.5, tables_.resource_reward(entries, c));
+        break;
+      case SelectionStrategy::kRandom:
+        w = 1.0;
+        break;
+    }
+    weights[c] = w;
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    // Every candidate has zero reward: fall back to uniform over untaken
+    // clients so a model is still dispatched.
+    for (std::size_t c = 0; c < num_clients_; ++c) {
+      weights[c] = (c < taken.size() && taken[c]) ? 0.0 : 1.0;
+    }
+    total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return weights;  // all clients taken
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+std::optional<std::size_t> ClientSelector::select(std::size_t model_index,
+                                                  const std::vector<bool>& taken,
+                                                  Rng& rng) const {
+  const std::vector<double> probs = probabilities(model_index, taken);
+  double total = 0.0;
+  for (double p : probs) total += p;
+  if (total <= 0.0) return std::nullopt;
+  return rng.categorical(probs);
+}
+
+}  // namespace afl

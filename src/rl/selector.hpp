@@ -1,0 +1,51 @@
+#pragma once
+// Client selection strategies (§3.3 + the Figure 5 ablation variants).
+
+#include <optional>
+#include <vector>
+
+#include "prune/model_pool.hpp"
+#include "rl/tables.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+
+enum class SelectionStrategy {
+  kResourceCuriosity,  // AdaptiveFL+CS (the full method)
+  kCuriosityOnly,      // AdaptiveFL+C
+  kResourceOnly,       // AdaptiveFL+S
+  kRandom,             // AdaptiveFL+Random
+};
+
+const char* selection_strategy_name(SelectionStrategy s);
+
+class ClientSelector {
+ public:
+  ClientSelector(const ModelPool& pool, std::size_t num_clients,
+                 SelectionStrategy strategy);
+
+  RlTables& tables() { return tables_; }
+  const RlTables& tables() const { return tables_; }
+
+  /// Picks a client for pool entry `model_index`, excluding clients whose
+  /// slot in `taken` is true (each client trains at most one model per
+  /// round). Returns nullopt when no client is available.
+  std::optional<std::size_t> select(std::size_t model_index,
+                                    const std::vector<bool>& taken, Rng& rng) const;
+
+  /// Selection probabilities P(m_i, c) over all clients (taken ones get 0).
+  std::vector<double> probabilities(std::size_t model_index,
+                                    const std::vector<bool>& taken) const;
+
+  /// Pool indices of the sublevels belonging to `level` (the k = T_p..T_1
+  /// range of the R_s numerator).
+  std::vector<std::size_t> level_entries(Level level) const;
+
+ private:
+  const ModelPool& pool_;
+  std::size_t num_clients_;
+  SelectionStrategy strategy_;
+  RlTables tables_;
+};
+
+}  // namespace afl

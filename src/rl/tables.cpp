@@ -1,0 +1,92 @@
+#include "rl/tables.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace afl {
+
+RlTables::RlTables(std::size_t pool_size, std::size_t p, std::size_t num_clients)
+    : pool_size_(pool_size),
+      p_(p),
+      num_clients_(num_clients),
+      tc_(3, std::vector<double>(num_clients, 1.0)),
+      tr_(pool_size, std::vector<double>(num_clients, 1.0)) {
+  if (pool_size_ != 2 * p_ + 1) {
+    throw std::invalid_argument("RlTables: pool size must be 2p+1");
+  }
+}
+
+double RlTables::curiosity(Level type, std::size_t client) const {
+  return tc_.at(static_cast<std::size_t>(type)).at(client);
+}
+
+double RlTables::resource_score(std::size_t entry, std::size_t client) const {
+  return tr_.at(entry).at(client);
+}
+
+void RlTables::update(std::size_t sent, Level sent_type, std::size_t back,
+                      Level back_type, std::size_t client) {
+  if (back > sent) {
+    throw std::invalid_argument("RlTables::update: returned model grew");
+  }
+  // Lines 12-13: curiosity counts for both the sent and the returned type.
+  tc_[static_cast<std::size_t>(sent_type)][client] += 1.0;
+  tc_[static_cast<std::size_t>(back_type)][client] += 1.0;
+  const std::size_t last = pool_size_ - 1;  // L_1
+  if (back == sent) {
+    // Lines 15-18: no local pruning happened, so the client's capacity covers
+    // m_i; reward m_i and everything above it, with an extra bonus on L_1.
+    for (std::size_t t = sent; t <= last; ++t) tr_[t][client] += 1.0;
+    tr_[last][client] += static_cast<double>(p_) - 1.0;
+  } else {
+    // Lines 20-25: capacity sits between size(m_i') and the next-larger pool
+    // model; boost m_i' and progressively punish larger entries.
+    tr_[back][client] += static_cast<double>(p_);
+    double tau = 0.0;
+    for (std::size_t t = back; t <= last; ++t) {
+      tr_[t][client] = std::max(tr_[t][client] - tau, 0.0);
+      tau += 1.0;
+    }
+  }
+}
+
+void RlTables::update_failure(std::size_t sent, Level sent_type, std::size_t client) {
+  tc_[static_cast<std::size_t>(sent_type)][client] += 1.0;
+  for (std::size_t t = sent; t < pool_size_; ++t) {
+    tr_[t][client] = std::max(tr_[t][client] - static_cast<double>(p_), 0.0);
+  }
+}
+
+void RlTables::update_no_response(Level sent_type, std::size_t client) {
+  tc_[static_cast<std::size_t>(sent_type)][client] += 1.0;
+}
+
+double RlTables::resource_reward(const std::vector<std::size_t>& level_entries,
+                                 std::size_t client) const {
+  // Numerator: for each sublevel k of type(m_i), the tail-sum of scores from
+  // k up to L_1. Denominator: p * (total score over the whole pool).
+  double numerator = 0.0;
+  for (std::size_t k : level_entries) {
+    for (std::size_t t = k; t < pool_size_; ++t) numerator += tr_[t][client];
+  }
+  double total = 0.0;
+  for (std::size_t t = 0; t < pool_size_; ++t) total += tr_[t][client];
+  const double denominator = static_cast<double>(p_) * total;
+  if (denominator <= 0.0) return 0.0;
+  return numerator / denominator;
+}
+
+double RlTables::curiosity_reward(Level type, std::size_t client) const {
+  return 1.0 / std::sqrt(curiosity(type, client));
+}
+
+double RlTables::reward(const std::vector<std::size_t>& level_entries, Level type,
+                        std::size_t client) const {
+  // R = min(0.5, R_s) * R_c: the 50% cap stops strong clients from
+  // monopolizing selection; beyond it, curiosity decides (§3.3).
+  return std::min(0.5, resource_reward(level_entries, client)) *
+         curiosity_reward(type, client);
+}
+
+}  // namespace afl

@@ -1,0 +1,63 @@
+#pragma once
+// RL state for client selection (§3.3 / Algorithm 1).
+//
+// Curiosity table T_c[type][client]: how often each *model type* (S/M/L) was
+// involved (sent or returned) with each client; drives the MBIE-EB bonus
+// R_c = 1/sqrt(T_c). Resource table T_r[pool-entry][client]: training scores
+// from which the server infers (without ever reading device state) which
+// model sizes a client can train. Both initialize to 1 (Algorithm 1, l.1-2).
+
+#include <cstddef>
+#include <vector>
+
+#include "prune/model_pool.hpp"
+
+namespace afl {
+
+class RlTables {
+ public:
+  /// `pool_size` = 2p+1 entries, `p` sublevels per level, over `num_clients`.
+  RlTables(std::size_t pool_size, std::size_t p, std::size_t num_clients);
+
+  std::size_t num_clients() const { return num_clients_; }
+  std::size_t pool_size() const { return pool_size_; }
+
+  double curiosity(Level type, std::size_t client) const;
+  double resource_score(std::size_t entry, std::size_t client) const;
+
+  /// Algorithm 1 lines 12-26: record a dispatch of pool entry `sent` to
+  /// `client` that came back as entry `back` (back == sent when the device
+  /// did not prune; back < sent when it adaptively pruned).
+  void update(std::size_t sent, Level sent_type, std::size_t back, Level back_type,
+              std::size_t client);
+
+  /// Extension (failure injection): the device could not train even the
+  /// smallest reachable submodel. Punishes every entry >= `sent` and still
+  /// counts the curiosity visit.
+  void update_failure(std::size_t sent, Level sent_type, std::size_t client);
+
+  /// Extension (availability): the device never replied. No resource
+  /// information was gained, so only the curiosity visit is recorded.
+  void update_no_response(Level sent_type, std::size_t client);
+
+  /// Resource reward R_s(m_i, c) (§3.3). `level_entries` lists the pool
+  /// indices of type(m_i)'s sublevels; the tail-sum runs to the pool's last
+  /// (largest) entry.
+  double resource_reward(const std::vector<std::size_t>& level_entries,
+                         std::size_t client) const;
+
+  /// Curiosity reward R_c(m_i, c) = 1/sqrt(T_c[type][c]) (MBIE-EB).
+  double curiosity_reward(Level type, std::size_t client) const;
+
+  /// Combined reward R = min(0.5, R_s) * R_c.
+  double reward(const std::vector<std::size_t>& level_entries, Level type,
+                std::size_t client) const;
+
+ private:
+  std::size_t pool_size_, p_, num_clients_;
+  // T_c: 3 x |C|; T_r: (2p+1) x |C|.
+  std::vector<std::vector<double>> tc_;
+  std::vector<std::vector<double>> tr_;
+};
+
+}  // namespace afl

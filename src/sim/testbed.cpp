@@ -1,0 +1,33 @@
+#include "sim/testbed.hpp"
+
+namespace afl {
+
+const std::vector<TestbedRow>& testbed_rows() {
+  static const std::vector<TestbedRow> rows = {
+      {"Client-Weak", "Raspberry Pi 4B", "ARM Cortex-A72 CPU", "2G", 4,
+       DeviceTier::kWeak},
+      {"Client-Medium", "Jetson Nano", "128-core Maxwell GPU", "8G", 10,
+       DeviceTier::kMedium},
+      {"Client-Strong", "Jetson Xavier AGX", "512-core NVIDIA GPU", "32G", 3,
+       DeviceTier::kStrong},
+  };
+  return rows;
+}
+
+std::vector<DeviceSim> make_testbed_devices(const ModelPool& pool, Rng& rng,
+                                            double jitter) {
+  std::vector<DeviceTier> tiers;
+  for (const TestbedRow& row : testbed_rows()) {
+    for (std::size_t i = 0; i < row.count; ++i) tiers.push_back(row.tier);
+  }
+  rng.shuffle(tiers);
+  std::vector<DeviceSim> devices(tiers.size());
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    devices[i].tier = tiers[i];
+    devices[i].base_capacity = tier_capacity(pool, tiers[i]);
+    devices[i].jitter = jitter;
+  }
+  return devices;
+}
+
+}  // namespace afl

@@ -1,0 +1,29 @@
+#pragma once
+// The paper's real test-bed platform (Table 5), reproduced as simulated
+// device profiles: 4 Raspberry Pi 4B (weak), 10 Jetson Nano (medium),
+// 3 Jetson Xavier AGX (strong), one server.
+
+#include <string>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace afl {
+
+struct TestbedRow {
+  std::string type;
+  std::string device;
+  std::string compute;
+  std::string memory;
+  std::size_t count;
+  DeviceTier tier;
+};
+
+/// The static Table 5 content.
+const std::vector<TestbedRow>& testbed_rows();
+
+/// 17 devices in Table 5's mix (4 weak / 10 medium / 3 strong), shuffled.
+std::vector<DeviceSim> make_testbed_devices(const ModelPool& pool, Rng& rng,
+                                            double jitter = 0.0);
+
+}  // namespace afl

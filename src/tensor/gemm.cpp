@@ -1,0 +1,129 @@
+#include "tensor/gemm.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace afl {
+
+// All kernels process 4 output rows per sweep so each streamed row of B is
+// reused 4x from registers; the inner j loops are contiguous and
+// auto-vectorize (AVX-512 on the target machine). This is not a BLAS — it is
+// sized for the layer shapes in this repo (M = dozens of channels,
+// N = batch * spatial positions in the thousands).
+
+void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+          std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + (i + 0) * k;
+    const float* a1 = a + (i + 1) * k;
+    const float* a2 = a + (i + 2) * k;
+    const float* a3 = a + (i + 3) * k;
+    float* c0 = c + (i + 0) * n;
+    float* c1 = c + (i + 1) * n;
+    float* c2 = c + (i + 2) * n;
+    float* c3 = c + (i + 3) * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      const float* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float bv = brow[j];
+        c0[j] += v0 * bv;
+        c1[j] += v1 * bv;
+        c2[j] += v2 * bv;
+        c3[j] += v3 * bv;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  // A stored [k x m]; effective A[i][p] = a[p*m + i].
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    float* c0 = c + (i + 0) * n;
+    float* c1 = c + (i + 1) * n;
+    float* c2 = c + (i + 2) * n;
+    float* c3 = c + (i + 3) * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* acol = a + p * m + i;
+      const float v0 = acol[0], v1 = acol[1], v2 = acol[2], v3 = acol[3];
+      const float* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float bv = brow[j];
+        c0[j] += v0 * bv;
+        c1[j] += v1 * bv;
+        c2[j] += v2 * bv;
+        c3[j] += v3 * bv;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    float* crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a[p * m + i];
+      const float* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate) {
+  // B stored [n x k]; C[i][j] = dot(a_row_i, b_row_j). Four A rows share each
+  // streamed B row.
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + (i + 0) * k;
+    const float* a1 = a + (i + 1) * k;
+    const float* a2 = a + (i + 2) * k;
+    const float* a3 = a + (i + 3) * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float bv = brow[p];
+        d0 += a0[p] * bv;
+        d1 += a1[p] * bv;
+        d2 += a2[p] * bv;
+        d3 += a3[p] * bv;
+      }
+      if (accumulate) {
+        c[(i + 0) * n + j] += d0;
+        c[(i + 1) * n + j] += d1;
+        c[(i + 2) * n + j] += d2;
+        c[(i + 3) * n + j] += d3;
+      } else {
+        c[(i + 0) * n + j] = d0;
+        c[(i + 1) * n + j] = d1;
+        c[(i + 2) * n + j] = d2;
+        c[(i + 3) * n + j] = d3;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      if (accumulate) crow[j] += acc;
+      else crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace afl

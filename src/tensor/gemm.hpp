@@ -1,0 +1,20 @@
+#pragma once
+// Small single-threaded GEMM used by conv (via im2col) and linear layers.
+
+#include <cstddef>
+
+namespace afl {
+
+/// C[m x n] = A[m x k] * B[k x n] (+ C if accumulate). Row-major.
+void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+          std::size_t n, bool accumulate = false);
+
+/// C[m x n] = A^T[k x m]^T * B ... i.e. A is stored [k x m] and used transposed.
+void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate = false);
+
+/// C[m x n] = A[m x k] * B^T where B is stored [n x k].
+void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate = false);
+
+}  // namespace afl

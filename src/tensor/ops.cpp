@@ -1,0 +1,82 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace afl {
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+}
+}  // namespace
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  check_same_shape(x, y, "axpy");
+  const float* xs = x.data();
+  float* ys = y.data();
+  const std::size_t n = x.numel();
+  for (std::size_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+}
+
+void scale(Tensor& x, float alpha) {
+  float* xs = x.data();
+  const std::size_t n = x.numel();
+  for (std::size_t i = 0; i < n; ++i) xs[i] *= alpha;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  const std::size_t n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out(a.shape());
+  const std::size_t n = a.numel();
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double sum(const Tensor& x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) s += x[i];
+  return s;
+}
+
+double mean(const Tensor& x) {
+  if (x.numel() == 0) return 0.0;
+  return sum(x) / static_cast<double>(x.numel());
+}
+
+double squared_norm(const Tensor& x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    s += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  return s;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+bool all_finite(const Tensor& x) {
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    if (!std::isfinite(x[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace afl

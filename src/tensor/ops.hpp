@@ -1,0 +1,37 @@
+#pragma once
+// Elementwise and reduction operations on tensors.
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace afl {
+
+/// y += alpha * x (shapes must match).
+void axpy(float alpha, const Tensor& x, Tensor& y);
+
+/// x *= alpha.
+void scale(Tensor& x, float alpha);
+
+/// Elementwise add: out = a + b.
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// Elementwise subtract: out = a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// Sum of all elements.
+double sum(const Tensor& x);
+
+/// Mean of all elements.
+double mean(const Tensor& x);
+
+/// Squared L2 norm.
+double squared_norm(const Tensor& x);
+
+/// Max absolute difference between two same-shaped tensors.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// True iff all elements are finite.
+bool all_finite(const Tensor& x);
+
+}  // namespace afl

@@ -1,0 +1,35 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace afl {
+
+std::string env_or(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+int env_or(const std::string& name, int fallback) {
+  const std::string v = env_or(name, std::string());
+  if (v.empty()) return fallback;
+  return std::atoi(v.c_str());
+}
+
+double env_or(const std::string& name, double fallback) {
+  const std::string v = env_or(name, std::string());
+  if (v.empty()) return fallback;
+  return std::atof(v.c_str());
+}
+
+BenchScale bench_scale() {
+  const std::string v = env_or("ADAPTIVEFL_BENCH_SCALE", "smoke");
+  if (v == "full") return BenchScale::kFull;
+  return BenchScale::kSmoke;
+}
+
+const char* bench_scale_name(BenchScale scale) {
+  return scale == BenchScale::kFull ? "full" : "smoke";
+}
+
+}  // namespace afl

@@ -1,0 +1,52 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace afl {
+namespace {
+
+std::mutex g_log_mutex;
+
+LogLevel initial_threshold() {
+  const char* env = std::getenv("AFL_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  const std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel& threshold_ref() {
+  static LogLevel level = initial_threshold();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return threshold_ref(); }
+void set_log_threshold(LogLevel level) { threshold_ref() = level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace afl

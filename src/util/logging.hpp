@@ -1,0 +1,45 @@
+#pragma once
+// Minimal leveled logging to stderr. Experiments print their tables to stdout;
+// logging never pollutes the table stream.
+
+#include <sstream>
+#include <string>
+
+namespace afl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kInfo and
+/// can be overridden with the AFL_LOG_LEVEL environment variable
+/// (debug|info|warn|error).
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define AFL_LOG_DEBUG ::afl::detail::LogLine(::afl::LogLevel::kDebug)
+#define AFL_LOG_INFO ::afl::detail::LogLine(::afl::LogLevel::kInfo)
+#define AFL_LOG_WARN ::afl::detail::LogLine(::afl::LogLevel::kWarn)
+#define AFL_LOG_ERROR ::afl::detail::LogLine(::afl::LogLevel::kError)
+
+}  // namespace afl

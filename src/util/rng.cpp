@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace afl {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::gamma(double shape) {
+  assert(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape >= 1 and correct with a power of a uniform.
+    const double u = uniform();
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, std::size_t k) {
+  std::vector<double> out(k);
+  double sum = 0.0;
+  for (auto& v : out) {
+    v = gamma(alpha);
+    sum += v;
+  }
+  if (sum <= 0.0) {
+    // Degenerate draw (all zeros can happen for tiny alpha in float math):
+    // fall back to a uniform simplex point.
+    for (auto& v : out) v = 1.0 / static_cast<double>(k);
+    return out;
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace afl

@@ -1,0 +1,65 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components of the library (weight init, data synthesis,
+// Dirichlet partitioning, client sampling, RL selection) draw from an afl::Rng
+// seeded explicitly, so a full federated run is bit-reproducible given a seed.
+
+#include <cstdint>
+#include <vector>
+
+namespace afl {
+
+/// xoshiro256** PRNG. Small, fast, and good enough statistical quality for
+/// simulation workloads; not for cryptographic use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Gamma(shape, 1) sampler (Marsaglia-Tsang); shape > 0.
+  double gamma(double shape);
+
+  /// Dirichlet(alpha, ..., alpha) over `k` categories.
+  std::vector<double> dirichlet(double alpha, std::size_t k);
+
+  /// Sample an index from an (unnormalized, non-negative) weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-client streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace afl

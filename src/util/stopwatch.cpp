@@ -1,0 +1,9 @@
+#include "util/stopwatch.hpp"
+
+namespace afl {
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(clock::now() - start_).count();
+}
+
+}  // namespace afl

@@ -1,0 +1,22 @@
+#pragma once
+// Wall-clock stopwatch for coarse experiment timing.
+
+#include <chrono>
+
+namespace afl {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace afl

@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace afl {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string Table::fmt_pct(double v, int decimals) { return fmt(100.0 * v, decimals); }
+
+std::string Table::fmt_count(std::size_t v) {
+  char buf[64];
+  const double d = static_cast<double>(v);
+  if (v >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", d / 1e6);
+  } else if (v >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fK", d / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu", v);
+  }
+  return buf;
+}
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    out += "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : header_[c];
+      out += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  std::string out;
+  emit_row(header_, out);
+  out += "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += std::string(width[c] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += "\"";
+    return out;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) out += ",";
+    out += escape(header_[c]);
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) out += ",";
+      if (c < row.size()) out += escape(row[c]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace afl

@@ -1,0 +1,34 @@
+#pragma once
+// Markdown / CSV table rendering used by every bench binary to print
+// paper-style tables.
+
+#include <string>
+#include <vector>
+
+namespace afl {
+
+/// A simple row/column table with string cells. Cells are set via add_row or
+/// set(); render as GitHub-flavored markdown or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Number formatting helpers.
+  static std::string fmt(double v, int decimals = 2);
+  static std::string fmt_pct(double v, int decimals = 2);      // 0.8312 -> "83.12"
+  static std::string fmt_count(std::size_t v);                 // 33650000 -> "33.65M"
+
+  std::string to_markdown() const;
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace afl

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "arch/zoo.hpp"
+#include "fl/aggregate.hpp"
+#include "fl/comm.hpp"
+#include "prune/model_pool.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+namespace {
+
+ParamSet single(const std::string& name, Tensor t) {
+  ParamSet ps;
+  ps.emplace(name, std::move(t));
+  return ps;
+}
+
+TEST(FedAvg, WeightedMean) {
+  ParamSet global = single("w", Tensor::zeros({2}));
+  std::vector<ClientUpdate> updates;
+  updates.push_back({single("w", Tensor::from_vector({2}, {1, 10})), 1});
+  updates.push_back({single("w", Tensor::from_vector({2}, {4, 40})), 3});
+  ParamSet out = fedavg_aggregate(global, updates);
+  EXPECT_NEAR(out.at("w")[0], (1 * 1 + 4 * 3) / 4.0, 1e-5);
+  EXPECT_NEAR(out.at("w")[1], (10 * 1 + 40 * 3) / 4.0, 1e-5);
+}
+
+TEST(FedAvg, EmptyUpdatesKeepGlobal) {
+  ParamSet global = single("w", Tensor::from_vector({2}, {5, 6}));
+  ParamSet out = fedavg_aggregate(global, {});
+  EXPECT_EQ(max_abs_diff(out, global), 0.0);
+}
+
+TEST(FedAvg, RejectsStructureMismatch) {
+  ParamSet global = single("w", Tensor::zeros({2}));
+  std::vector<ClientUpdate> updates;
+  updates.push_back({single("w", Tensor::zeros({3})), 1});
+  EXPECT_THROW(fedavg_aggregate(global, updates), std::invalid_argument);
+}
+
+TEST(HeteroAgg, FullCoverageEqualsFedAvg) {
+  Rng rng(1);
+  ParamSet global = single("w", Tensor::randn({3, 3}, rng));
+  std::vector<ClientUpdate> updates;
+  updates.push_back({single("w", Tensor::randn({3, 3}, rng)), 2});
+  updates.push_back({single("w", Tensor::randn({3, 3}, rng)), 5});
+  ParamSet fa = fedavg_aggregate(global, updates);
+  ParamSet ha = hetero_aggregate(global, updates);
+  EXPECT_LT(max_abs_diff(fa, ha), 1e-5);
+}
+
+TEST(HeteroAgg, UncoveredElementsKeepGlobalValues) {
+  // Algorithm 2, line 14: parameters not present in any upload are unchanged.
+  ParamSet global = single("w", Tensor::from_vector({2, 2}, {1, 2, 3, 4}));
+  std::vector<ClientUpdate> updates;
+  updates.push_back({single("w", Tensor::from_vector({1, 1}, {100})), 1});
+  ParamSet out = hetero_aggregate(global, updates);
+  EXPECT_FLOAT_EQ(out.at("w")[0], 100.0f);  // covered
+  EXPECT_FLOAT_EQ(out.at("w")[1], 2.0f);    // untouched
+  EXPECT_FLOAT_EQ(out.at("w")[2], 3.0f);
+  EXPECT_FLOAT_EQ(out.at("w")[3], 4.0f);
+}
+
+TEST(HeteroAgg, NestedPrefixWeighting) {
+  // Two clients: one covers a 1x1 prefix, the other the full 2x2.
+  ParamSet global = single("w", Tensor::zeros({2, 2}));
+  std::vector<ClientUpdate> updates;
+  updates.push_back({single("w", Tensor::from_vector({1, 1}, {10})), 1});
+  updates.push_back({single("w", Tensor::from_vector({2, 2}, {2, 2, 2, 2})), 1});
+  ParamSet out = hetero_aggregate(global, updates);
+  EXPECT_FLOAT_EQ(out.at("w")[0], 6.0f);  // (10 + 2) / 2
+  EXPECT_FLOAT_EQ(out.at("w")[1], 2.0f);  // only the big client
+  EXPECT_FLOAT_EQ(out.at("w")[3], 2.0f);
+}
+
+TEST(HeteroAgg, DataSizeWeighting) {
+  ParamSet global = single("w", Tensor::zeros({1}));
+  std::vector<ClientUpdate> updates;
+  updates.push_back({single("w", Tensor::from_vector({1}, {0})), 30});
+  updates.push_back({single("w", Tensor::from_vector({1}, {10})), 10});
+  ParamSet out = hetero_aggregate(global, updates);
+  EXPECT_NEAR(out.at("w")[0], 2.5f, 1e-5);
+}
+
+TEST(HeteroAgg, MissingNamesSkipped) {
+  // Depth-pruned models simply lack deep layers; their absence must not
+  // disturb those layers.
+  ParamSet global;
+  global.emplace("shallow.w", Tensor::from_vector({1}, {1}));
+  global.emplace("deep.w", Tensor::from_vector({1}, {7}));
+  std::vector<ClientUpdate> updates;
+  updates.push_back({single("shallow.w", Tensor::from_vector({1}, {3})), 1});
+  ParamSet out = hetero_aggregate(global, updates);
+  EXPECT_FLOAT_EQ(out.at("shallow.w")[0], 3.0f);
+  EXPECT_FLOAT_EQ(out.at("deep.w")[0], 7.0f);
+}
+
+TEST(HeteroAgg, RejectsOversizedClientTensor) {
+  ParamSet global = single("w", Tensor::zeros({2}));
+  std::vector<ClientUpdate> updates;
+  updates.push_back({single("w", Tensor::zeros({3})), 1});
+  EXPECT_THROW(hetero_aggregate(global, updates), std::invalid_argument);
+}
+
+TEST(HeteroAgg, EndToEndWithModelPool) {
+  // Submodels trained at three different pool entries aggregate back into a
+  // loadable global model; shallow layers are fully covered, deepest-width
+  // tail only by L1.
+  Rng rng(2);
+  ArchSpec spec = mini_vgg(10, 3, 12);
+  ModelPool pool(spec, PoolConfig::defaults_for(spec));
+  Model full = build_full_model(spec, &rng);
+  ParamSet global = full.export_params();
+
+  std::vector<ClientUpdate> updates;
+  for (std::size_t i : {std::size_t{0}, pool.level_head_index(Level::kMedium),
+                        pool.largest_index()}) {
+    ParamSet sub = pool.split(global, i);
+    // Perturb to simulate training.
+    for (auto& [name, tensor] : sub) {
+      for (std::size_t k = 0; k < tensor.numel(); ++k) tensor[k] += 0.01f;
+    }
+    updates.push_back({std::move(sub), 10});
+  }
+  ParamSet next = hetero_aggregate(global, updates);
+  Model reloaded = build_full_model(spec);
+  EXPECT_NO_THROW(reloaded.import_params(next));
+  // Every covered element moved by exactly +0.01 (all clients agree).
+  EXPECT_NEAR(next.at("u1.w")[0] - global.at("u1.w")[0], 0.01f, 1e-5);
+}
+
+TEST(HeteroAgg, IdentityWhenClientsReturnUnchanged) {
+  // If every client returns exactly what it was sent, aggregation must be a
+  // no-op on the global model.
+  Rng rng(3);
+  ArchSpec spec = mini_resnet(10, 3, 12);
+  ModelPool pool(spec, PoolConfig::defaults_for(spec));
+  Model full = build_full_model(spec, &rng);
+  ParamSet global = full.export_params();
+  std::vector<ClientUpdate> updates;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    updates.push_back({pool.split(global, i), 1 + i});
+  }
+  ParamSet next = hetero_aggregate(global, updates);
+  EXPECT_LT(max_abs_diff(next, global), 1e-6);
+}
+
+TEST(CommStats, WasteRate) {
+  CommStats s;
+  EXPECT_DOUBLE_EQ(s.waste_rate(), 0.0);
+  s.record_dispatch(100);
+  s.record_return(75);
+  EXPECT_DOUBLE_EQ(s.waste_rate(), 0.25);
+  s.record_dispatch(100);
+  s.record_return(100);
+  EXPECT_DOUBLE_EQ(s.waste_rate(), 0.125);
+  s.reset();
+  EXPECT_EQ(s.params_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace afl

@@ -1,0 +1,91 @@
+// Tests for the device-availability (dropout/straggler) extension.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "sim/device.hpp"
+
+namespace afl {
+namespace {
+
+TEST(Availability, FullyAvailableNeverDraws) {
+  DeviceSim d;
+  d.availability = 1.0;
+  Rng a(1), b(1);
+  EXPECT_TRUE(d.responds(a));
+  // The RNG stream must be untouched for availability == 1.
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Availability, ZeroNeverResponds) {
+  DeviceSim d;
+  d.availability = 0.0;
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(d.responds(rng));
+}
+
+TEST(Availability, RateApproximatelyRespected) {
+  DeviceSim d;
+  d.availability = 0.7;
+  Rng rng(3);
+  int up = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) up += d.responds(rng);
+  EXPECT_NEAR(static_cast<double>(up) / n, 0.7, 0.02);
+}
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.num_clients = 8;
+  cfg.clients_per_round = 4;
+  cfg.samples_per_client = 10;
+  cfg.test_samples = 40;
+  cfg.image_hw = 8;
+  cfg.rounds = 4;
+  cfg.local_epochs = 1;
+  cfg.batch_size = 10;
+  cfg.eval_every = 1;
+  return cfg;
+}
+
+TEST(Availability, DropoutsCountedAcrossAlgorithms) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.availability = 0.0;  // nobody ever replies
+  const ExperimentEnv env = make_env(cfg);
+  for (Algorithm a : {Algorithm::kDecoupled, Algorithm::kHeteroFl,
+                      Algorithm::kScaleFl, Algorithm::kAdaptiveFl}) {
+    const RunResult r = run_algorithm(a, env);
+    EXPECT_EQ(r.failed_trainings, 4u * 4u) << algorithm_name(a);
+    EXPECT_EQ(r.comm.params_returned(), 0u) << algorithm_name(a);
+  }
+}
+
+TEST(Availability, AdaptiveFlCountsLostDispatchAsWaste) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.availability = 0.0;
+  const ExperimentEnv env = make_env(cfg);
+  const RunResult r = run_algorithm(Algorithm::kAdaptiveFl, env);
+  // AdaptiveFL ships the model before discovering the device is down, so the
+  // whole dispatch is waste.
+  EXPECT_GT(r.comm.params_sent(), 0u);
+  EXPECT_DOUBLE_EQ(r.comm.waste_rate(), 1.0);
+}
+
+TEST(Availability, PartialDropoutStillLearns) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.rounds = 6;
+  cfg.availability = 0.6;
+  const ExperimentEnv env = make_env(cfg);
+  const RunResult r = run_algorithm(Algorithm::kAdaptiveFl, env);
+  EXPECT_GT(r.failed_trainings, 0u);
+  EXPECT_GT(r.comm.params_returned(), 0u);
+  EXPECT_GT(r.final_full_acc, 0.0);
+}
+
+TEST(Availability, DefaultIsFullyAvailable) {
+  const ExperimentEnv env = make_env(tiny_config());
+  for (const DeviceSim& d : env.devices) EXPECT_DOUBLE_EQ(d.availability, 1.0);
+}
+
+}  // namespace
+}  // namespace afl

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/experiment.hpp"
+
+namespace afl {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.num_clients = 8;
+  cfg.clients_per_round = 4;
+  cfg.samples_per_client = 10;
+  cfg.test_samples = 40;
+  cfg.image_hw = 8;
+  cfg.rounds = 2;
+  cfg.local_epochs = 1;
+  cfg.batch_size = 10;
+  cfg.eval_every = 1;
+  return cfg;
+}
+
+TEST(AllLarge, RunsAndReportsFullOnly) {
+  const ExperimentEnv env = make_env(tiny_config());
+  RunResult r = run_algorithm(Algorithm::kAllLarge, env);
+  EXPECT_EQ(r.algorithm, "All-Large");
+  EXPECT_EQ(r.curve.size(), 2u);
+  EXPECT_GT(r.final_full_acc, 0.0);
+  // FedAvg returns everything it sends: zero communication waste.
+  EXPECT_DOUBLE_EQ(r.comm.waste_rate(), 0.0);
+  EXPECT_EQ(r.level_acc.size(), 1u);
+}
+
+TEST(AllLarge, ImprovesOverTrainingOnEasyTask) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.rounds = 8;
+  cfg.samples_per_client = 20;
+  cfg.local_epochs = 2;
+  const ExperimentEnv env = make_env(cfg);
+  RunResult r = run_algorithm(Algorithm::kAllLarge, env);
+  // Accuracy after training must clearly beat the 10-class chance level.
+  EXPECT_GT(r.final_full_acc, 0.15);
+}
+
+TEST(Decoupled, RunsWithThreeLevels) {
+  const ExperimentEnv env = make_env(tiny_config());
+  RunResult r = run_algorithm(Algorithm::kDecoupled, env);
+  EXPECT_EQ(r.algorithm, "Decoupled");
+  EXPECT_EQ(r.level_acc.size(), 3u);
+  EXPECT_TRUE(r.level_acc.count("L1"));
+  EXPECT_TRUE(r.level_acc.count("S1"));
+  EXPECT_GT(r.final_avg_acc, 0.0);
+}
+
+TEST(Decoupled, NoFailuresWithStandardTiers) {
+  const ExperimentEnv env = make_env(tiny_config());
+  RunResult r = run_algorithm(Algorithm::kDecoupled, env);
+  EXPECT_EQ(r.failed_trainings, 0u);
+}
+
+TEST(HeteroFl, RunsWithUniformLevels) {
+  const ExperimentEnv env = make_env(tiny_config());
+  RunResult r = run_algorithm(Algorithm::kHeteroFl, env);
+  EXPECT_EQ(r.algorithm, "HeteroFL");
+  EXPECT_EQ(r.level_acc.size(), 3u);
+  EXPECT_TRUE(r.level_acc.count("1.00x"));
+  EXPECT_TRUE(r.level_acc.count("0.66x"));
+  EXPECT_TRUE(r.level_acc.count("0.40x"));
+}
+
+TEST(HeteroFl, UniformSubmodelsFitTierBudgets) {
+  // The uniform 0.66 / 0.40 submodels must fit the medium / weak budgets the
+  // pool's deep plans define, otherwise the static assignment would fail.
+  const ExperimentEnv env = make_env(tiny_config());
+  RunResult r = run_algorithm(Algorithm::kHeteroFl, env);
+  EXPECT_EQ(r.failed_trainings, 0u);
+  EXPECT_DOUBLE_EQ(r.comm.waste_rate(), 0.0);  // static matching wastes nothing
+}
+
+TEST(Baselines, DeterministicGivenSeed) {
+  const ExperimentEnv env = make_env(tiny_config());
+  for (Algorithm a : {Algorithm::kAllLarge, Algorithm::kDecoupled,
+                      Algorithm::kHeteroFl}) {
+    RunResult r1 = run_algorithm(a, env);
+    RunResult r2 = run_algorithm(a, env);
+    EXPECT_DOUBLE_EQ(r1.final_full_acc, r2.final_full_acc) << algorithm_name(a);
+  }
+}
+
+TEST(Baselines, RunOnAllArchitectures) {
+  for (ModelKind m : {ModelKind::kMiniResnet, ModelKind::kMiniMobilenet}) {
+    ExperimentConfig cfg = tiny_config();
+    cfg.model = m;
+    cfg.rounds = 1;
+    const ExperimentEnv env = make_env(cfg);
+    for (Algorithm a : {Algorithm::kAllLarge, Algorithm::kDecoupled,
+                        Algorithm::kHeteroFl}) {
+      EXPECT_GT(run_algorithm(a, env).final_full_acc, 0.0)
+          << algorithm_name(a) << " on " << model_name(m);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace afl

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "arch/build.hpp"
+#include "arch/zoo.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/model.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return std::string(::testing::TempDir()) + "/afl_ckpt_" + tag + ".bin";
+}
+
+TEST(Checkpoint, RoundTripsModelParams) {
+  Rng rng(1);
+  ArchSpec spec = mini_vgg(7, 3, 8);
+  Model m = build_full_model(spec, &rng);
+  const ParamSet saved = m.export_params();
+  const std::string path = temp_path("roundtrip");
+  save_checkpoint(saved, path);
+  const ParamSet loaded = load_checkpoint(path);
+  ASSERT_TRUE(same_structure(saved, loaded));
+  EXPECT_EQ(max_abs_diff(saved, loaded), 0.0);
+  // The loaded set must import cleanly into a fresh model.
+  Model fresh = build_full_model(spec);
+  EXPECT_NO_THROW(fresh.import_params(loaded));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, EmptySet) {
+  const std::string path = temp_path("empty");
+  save_checkpoint({}, path);
+  EXPECT_TRUE(load_checkpoint(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.bin"), std::runtime_error);
+}
+
+TEST(Checkpoint, BadMagicThrows) {
+  const std::string path = temp_path("badmagic");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTACKPTxxxxxxxxxxxx";
+  }
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedFileThrows) {
+  Rng rng(2);
+  ParamSet ps;
+  ps.emplace("w", Tensor::randn({8, 8}, rng));
+  const std::string path = temp_path("trunc");
+  save_checkpoint(ps, path);
+  // Chop the file in half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, PreservesShapesExactly) {
+  Rng rng(3);
+  ParamSet ps;
+  ps.emplace("a", Tensor::randn({2, 3, 4, 5}, rng));
+  ps.emplace("b", Tensor::randn({7}, rng));
+  ps.emplace("c.long.dotted.name", Tensor::randn({1, 1}, rng));
+  const std::string path = temp_path("shapes");
+  save_checkpoint(ps, path);
+  const ParamSet loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.at("a").shape(), (Shape{2, 3, 4, 5}));
+  EXPECT_EQ(loaded.at("b").shape(), (Shape{7}));
+  EXPECT_EQ(loaded.at("c.long.dotted.name").shape(), (Shape{1, 1}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace afl

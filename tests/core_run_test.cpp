@@ -1,0 +1,148 @@
+// Tests for the shared run infrastructure (core/run.hpp) and experiment
+// harness helpers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "core/experiment.hpp"
+#include "core/run.hpp"
+
+namespace afl {
+namespace {
+
+TEST(RunResult, BestOverCurve) {
+  RunResult r;
+  r.final_full_acc = 0.4;
+  r.final_avg_acc = 0.3;
+  r.curve.push_back({1, 0.2, 0.1, 0.0});
+  r.curve.push_back({2, 0.7, 0.5, 0.0});
+  r.curve.push_back({3, 0.4, 0.3, 0.0});
+  EXPECT_DOUBLE_EQ(r.best_full_acc(), 0.7);
+  EXPECT_DOUBLE_EQ(r.best_avg_acc(), 0.5);
+}
+
+TEST(RunResult, BestFallsBackToFinal) {
+  RunResult r;
+  r.final_full_acc = 0.42;
+  r.final_avg_acc = 0.33;
+  EXPECT_DOUBLE_EQ(r.best_full_acc(), 0.42);
+  EXPECT_DOUBLE_EQ(r.best_avg_acc(), 0.33);
+}
+
+TEST(RunResult, CurveCsvExport) {
+  RunResult r;
+  r.curve.push_back({1, 0.25, 0.2, 0.1});
+  r.curve.push_back({2, 0.5, 0.4, 0.05});
+  const std::string path = std::string(::testing::TempDir()) + "/afl_curve.csv";
+  r.write_curve_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header, row1, row2;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(header, "round,full_acc,avg_acc,comm_waste");
+  EXPECT_EQ(row1.substr(0, 2), "1,");
+  EXPECT_NE(row2.find("0.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RunResult, CurveCsvBadPathThrows) {
+  RunResult r;
+  EXPECT_THROW(r.write_curve_csv("/nonexistent/dir/x.csv"), std::runtime_error);
+}
+
+TEST(SampleClients, DistinctAndInRange) {
+  Rng rng(1);
+  const auto picked = sample_clients(20, 7, rng);
+  ASSERT_EQ(picked.size(), 7u);
+  std::set<std::size_t> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 7u);
+  for (std::size_t c : picked) EXPECT_LT(c, 20u);
+}
+
+TEST(SampleClients, ClampsToPopulation) {
+  Rng rng(2);
+  EXPECT_EQ(sample_clients(5, 10, rng).size(), 5u);
+}
+
+TEST(SampleClients, CoversPopulationOverDraws) {
+  Rng rng(3);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 50; ++i) {
+    for (std::size_t c : sample_clients(10, 3, rng)) seen.insert(c);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Experiment, Names) {
+  EXPECT_STREQ(algorithm_name(Algorithm::kAllLarge), "All-Large");
+  EXPECT_STREQ(algorithm_name(Algorithm::kAdaptiveFlGreed), "AdaptiveFL+Greed");
+  EXPECT_STREQ(task_name(TaskKind::kFemnistLike), "FEMNIST*");
+  EXPECT_STREQ(model_name(ModelKind::kMiniMobilenet), "MobileNetV2*");
+}
+
+TEST(Experiment, EnvMatchesConfig) {
+  ExperimentConfig cfg;
+  cfg.task = TaskKind::kFemnistLike;
+  cfg.model = ModelKind::kMiniResnet;
+  cfg.num_clients = 14;
+  cfg.samples_per_client = 5;
+  cfg.test_samples = 30;
+  cfg.image_hw = 8;
+  cfg.rounds = 7;
+  cfg.eval_every = 2;
+  const ExperimentEnv env = make_env(cfg);
+  EXPECT_EQ(env.data.num_clients(), 14u);
+  EXPECT_EQ(env.data.num_classes, 62u);
+  EXPECT_EQ(env.data.test.size(), 30u);
+  EXPECT_EQ(env.devices.size(), 14u);
+  EXPECT_EQ(env.spec.num_classes, 62u);
+  EXPECT_EQ(env.spec.in_channels, 1u);  // FEMNIST* is single-channel
+  EXPECT_EQ(env.run.rounds, 7u);
+  EXPECT_EQ(env.run.eval_every, 2u);
+  EXPECT_DOUBLE_EQ(env.run.local.lr, cfg.lr);
+  ASSERT_EQ(env.scalefl_budgets.size(), 3u);
+  EXPECT_GT(env.scalefl_budgets[0], env.scalefl_budgets[1]);
+  EXPECT_GT(env.scalefl_budgets[1], env.scalefl_budgets[2]);
+}
+
+TEST(Experiment, AutoEvalEvery) {
+  ExperimentConfig cfg;
+  cfg.rounds = 100;
+  cfg.eval_every = 0;  // auto
+  cfg.num_clients = 4;
+  cfg.samples_per_client = 2;
+  cfg.test_samples = 4;
+  cfg.image_hw = 8;
+  const ExperimentEnv env = make_env(cfg);
+  EXPECT_EQ(env.run.eval_every, 10u);
+}
+
+TEST(Experiment, DatasetIdenticalAcrossEnvBuilds) {
+  // Two envs from the same config must hold identical data so algorithm
+  // comparisons are paired.
+  ExperimentConfig cfg;
+  cfg.num_clients = 5;
+  cfg.samples_per_client = 4;
+  cfg.test_samples = 10;
+  cfg.image_hw = 8;
+  const ExperimentEnv a = make_env(cfg);
+  const ExperimentEnv b = make_env(cfg);
+  const Batch ba = a.data.test.all();
+  const Batch bb = b.data.test.all();
+  ASSERT_EQ(ba.images.numel(), bb.images.numel());
+  for (std::size_t i = 0; i < ba.images.numel(); ++i) {
+    ASSERT_EQ(ba.images[i], bb.images[i]);
+  }
+  for (std::size_t c = 0; c < a.devices.size(); ++c) {
+    EXPECT_EQ(static_cast<int>(a.devices[c].tier),
+              static_cast<int>(b.devices[c].tier));
+  }
+}
+
+}  // namespace
+}  // namespace afl

@@ -1,0 +1,140 @@
+// Tests for the FL engine pieces not covered elsewhere: evaluation and local
+// training semantics (including warm-started AdaptiveFL).
+
+#include <gtest/gtest.h>
+
+#include "arch/zoo.hpp"
+#include "core/experiment.hpp"
+#include "fl/evaluate.hpp"
+#include "fl/local_train.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace afl {
+namespace {
+
+TEST(Evaluate, PerfectModelScoresOne) {
+  // A linear model with a huge diagonal weight on a one-hot-ish task.
+  Dataset ds(1, 1, 3, 3);
+  for (int label = 0; label < 3; ++label) {
+    Tensor img({1, 1, 3});
+    img[static_cast<std::size_t>(label)] = 10.0f;
+    ds.add(img, label);
+  }
+  Model m;
+  m.append("flat", std::make_unique<Flatten>());
+  auto lin = std::make_unique<Linear>(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) lin->weight()[i * 3 + i] = 1.0f;
+  m.append("cls", std::move(lin));
+  const EvalResult r = evaluate(m, ds);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_EQ(r.samples, 3u);
+  EXPECT_LT(r.mean_loss, 0.01);
+}
+
+TEST(Evaluate, EmptyDataset) {
+  Dataset ds(1, 2, 2, 2);
+  Model m;
+  m.append("flat", std::make_unique<Flatten>());
+  m.append("cls", std::make_unique<Linear>(4, 2));
+  const EvalResult r = evaluate(m, ds);
+  EXPECT_EQ(r.samples, 0u);
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.0);
+}
+
+TEST(Evaluate, BatchSizeDoesNotChangeResult) {
+  Rng rng(1);
+  SyntheticTask task(SyntheticConfig::cifar10_like(8), rng);
+  Dataset ds = task.generate(37, rng);
+  ArchSpec spec = mini_vgg(10, 3, 8);
+  Model m = build_full_model(spec, &rng);
+  const EvalResult a = evaluate(m, ds, 8);
+  const EvalResult b = evaluate(m, ds, 64);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_NEAR(a.mean_loss, b.mean_loss, 1e-5);
+}
+
+TEST(LocalTrain, CountsSamplesAcrossEpochs) {
+  Rng rng(2);
+  SyntheticTask task(SyntheticConfig::cifar10_like(8), rng);
+  Dataset ds = task.generate(23, rng);
+  ArchSpec spec = mini_vgg(10, 3, 8);
+  Model m = build_full_model(spec, &rng);
+  LocalTrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 10;
+  const LocalTrainResult r = local_train(m, ds, cfg, rng);
+  EXPECT_EQ(r.samples_seen, 3u * 23u);
+  EXPECT_GT(r.mean_loss, 0.0);
+}
+
+TEST(LocalTrain, EmptyDatasetIsNoop) {
+  Rng rng(3);
+  Dataset empty(3, 8, 8, 10);
+  ArchSpec spec = mini_vgg(10, 3, 8);
+  Model m = build_full_model(spec, &rng);
+  const ParamSet before = m.export_params();
+  LocalTrainConfig cfg;
+  const LocalTrainResult r = local_train(m, empty, cfg, rng);
+  EXPECT_EQ(r.samples_seen, 0u);
+  EXPECT_EQ(max_abs_diff(m.export_params(), before), 0.0);
+}
+
+TEST(LocalTrain, ChangesOnlyWithData) {
+  Rng rng(4);
+  SyntheticTask task(SyntheticConfig::cifar10_like(8), rng);
+  Dataset ds = task.generate(10, rng);
+  ArchSpec spec = mini_vgg(10, 3, 8);
+  Model m = build_full_model(spec, &rng);
+  const ParamSet before = m.export_params();
+  LocalTrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 10;
+  local_train(m, ds, cfg, rng);
+  EXPECT_GT(max_abs_diff(m.export_params(), before), 0.0);
+}
+
+TEST(WarmStart, ResumesFromCheckpointedParams) {
+  ExperimentConfig cfg;
+  cfg.num_clients = 8;
+  cfg.clients_per_round = 4;
+  cfg.samples_per_client = 10;
+  cfg.test_samples = 40;
+  cfg.image_hw = 8;
+  cfg.rounds = 2;
+  cfg.local_epochs = 1;
+  cfg.batch_size = 10;
+  cfg.eval_every = 1;
+  const ExperimentEnv env = make_env(cfg);
+
+  AdaptiveFl phase1(env.spec, env.pool_config, env.data, env.devices, env.run, {});
+  phase1.run();
+  const ParamSet snapshot = phase1.global_params();
+
+  AdaptiveFl phase2(env.spec, env.pool_config, env.data, env.devices, env.run, {});
+  phase2.set_initial_params(snapshot);
+  // Before any training, the warm-started global equals the snapshot.
+  EXPECT_EQ(max_abs_diff(phase2.global_params(), snapshot), 0.0);
+  phase2.run();
+  // After training it moved.
+  EXPECT_GT(max_abs_diff(phase2.global_params(), snapshot), 0.0);
+}
+
+TEST(WarmStart, RejectsWrongStructure) {
+  ExperimentConfig cfg;
+  cfg.num_clients = 4;
+  cfg.clients_per_round = 2;
+  cfg.samples_per_client = 4;
+  cfg.test_samples = 10;
+  cfg.image_hw = 8;
+  cfg.rounds = 1;
+  const ExperimentEnv env = make_env(cfg);
+  AdaptiveFl alg(env.spec, env.pool_config, env.data, env.devices, env.run, {});
+  ParamSet wrong;
+  wrong.emplace("bogus.w", Tensor({2, 2}));
+  EXPECT_THROW(alg.set_initial_params(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace afl

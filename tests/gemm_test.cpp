@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+namespace {
+
+std::vector<float> random_matrix(std::size_t n, Rng& rng) {
+  std::vector<float> m(n);
+  for (auto& v : m) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+void reference_gemm(const std::vector<float>& a, const std::vector<float>& b,
+                    std::vector<float>& c, std::size_t m, std::size_t k,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += double(a[i * k + p]) * b[p * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+}
+
+struct Dims {
+  std::size_t m, k, n;
+};
+
+class GemmShapes : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(GemmShapes, MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000 + k * 10 + n);
+  auto a = random_matrix(m * k, rng);
+  auto b = random_matrix(k * n, rng);
+  std::vector<float> ref(m * n), got(m * n);
+  reference_gemm(a, b, ref, m, k, n);
+  gemm(a.data(), b.data(), got.data(), m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i], ref[i], 1e-3f) << "at " << i;
+  }
+}
+
+TEST_P(GemmShapes, TransposedAMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(7 * m + k + n);
+  auto at = random_matrix(k * m, rng);  // stored [k x m]
+  auto b = random_matrix(k * n, rng);
+  // Build the untransposed A for the reference.
+  std::vector<float> a(m * k);
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t i = 0; i < m; ++i) a[i * k + p] = at[p * m + i];
+  std::vector<float> ref(m * n), got(m * n);
+  reference_gemm(a, b, ref, m, k, n);
+  gemm_at(at.data(), b.data(), got.data(), m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(got[i], ref[i], 1e-3f);
+}
+
+TEST_P(GemmShapes, TransposedBMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m + 13 * k + n);
+  auto a = random_matrix(m * k, rng);
+  auto bt = random_matrix(n * k, rng);  // stored [n x k]
+  std::vector<float> b(k * n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t p = 0; p < k; ++p) b[p * n + j] = bt[j * k + p];
+  std::vector<float> ref(m * n), got(m * n);
+  reference_gemm(a, b, ref, m, k, n);
+  gemm_bt(a.data(), bt.data(), got.data(), m, k, n);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(got[i], ref[i], 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(Dims{1, 1, 1}, Dims{3, 5, 7}, Dims{4, 4, 4}, Dims{5, 9, 2},
+                      Dims{8, 27, 33}, Dims{16, 144, 50}, Dims{17, 31, 19},
+                      Dims{2, 64, 128}, Dims{64, 16, 3}));
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  Rng rng(4);
+  auto a = random_matrix(4 * 3, rng);
+  auto b = random_matrix(3 * 5, rng);
+  std::vector<float> base(4 * 5, 1.0f), once(4 * 5);
+  gemm(a.data(), b.data(), once.data(), 4, 3, 5);
+  gemm(a.data(), b.data(), base.data(), 4, 3, 5, /*accumulate=*/true);
+  for (std::size_t i = 0; i < once.size(); ++i) EXPECT_NEAR(base[i], once[i] + 1.0f, 1e-4f);
+}
+
+TEST(Im2Col, IdentityKernelIsCopy) {
+  // 1x1 kernel, stride 1, no pad: cols == image.
+  const ConvGeom g{2, 3, 3, 1, 1, 0};
+  std::vector<float> img(2 * 9);
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = static_cast<float>(i);
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  im2col(img.data(), g, cols.data());
+  for (std::size_t i = 0; i < img.size(); ++i) EXPECT_EQ(cols[i], img[i]);
+}
+
+TEST(Im2Col, PaddingProducesZeros) {
+  const ConvGeom g{1, 2, 2, 3, 1, 1};
+  std::vector<float> img = {1, 2, 3, 4};
+  std::vector<float> cols(g.col_rows() * g.col_cols());
+  im2col(img.data(), g, cols.data());
+  // Top-left kernel position over output (0,0) reads the padded corner.
+  EXPECT_EQ(cols[0], 0.0f);
+  // Center kernel tap (row 4) over output (0,0) is img(0,0).
+  EXPECT_EQ(cols[4 * g.col_cols() + 0], 1.0f);
+}
+
+TEST(Im2Col, Col2ImIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property ensures
+  // conv backward is the true gradient of forward.
+  const ConvGeom g{3, 5, 4, 3, 2, 1};
+  Rng rng(9);
+  std::vector<float> x(3 * 5 * 4), y(g.col_rows() * g.col_cols());
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto& v : y) v = static_cast<float>(rng.normal());
+  std::vector<float> cols(y.size());
+  im2col(x.data(), g, cols.data());
+  std::vector<float> xt(x.size(), 0.0f);
+  col2im(y.data(), g, xt.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) lhs += double(cols[i]) * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += double(x[i]) * xt[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2Col, StridedMatchesDense) {
+  const ConvGeom g{2, 4, 4, 3, 1, 1};
+  Rng rng(11);
+  std::vector<float> img(2 * 16);
+  for (auto& v : img) v = static_cast<float>(rng.normal());
+  const std::size_t s = g.col_cols();
+  std::vector<float> dense(g.col_rows() * s);
+  im2col(img.data(), g, dense.data());
+  // Write into a 3-sample-wide buffer at offset of "sample 1".
+  std::vector<float> widebuf(g.col_rows() * 3 * s, -1.0f);
+  im2col_strided(img.data(), g, widebuf.data(), 3 * s, s);
+  for (std::size_t r = 0; r < g.col_rows(); ++r)
+    for (std::size_t c = 0; c < s; ++c)
+      EXPECT_EQ(widebuf[r * 3 * s + s + c], dense[r * s + c]);
+}
+
+TEST(Im2Col, OutputDims) {
+  const ConvGeom g{1, 32, 32, 3, 2, 1};
+  EXPECT_EQ(g.out_h(), 16u);
+  EXPECT_EQ(g.out_w(), 16u);
+  const ConvGeom g2{1, 5, 5, 3, 1, 0};
+  EXPECT_EQ(g2.out_h(), 3u);
+}
+
+}  // namespace
+}  // namespace afl

@@ -1,0 +1,266 @@
+// Numerical gradient verification for every layer type and for whole models.
+// This is the correctness backbone of the NN substrate: backward() must equal
+// the central finite difference of forward() through the loss.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "arch/build.hpp"
+#include "arch/zoo.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/depthwise_conv.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+namespace {
+
+constexpr double kEps = 1e-3;
+constexpr double kTol = 2e-2;  // relative-ish tolerance for float32 central diffs
+
+/// Scalar loss used to collapse a layer output: sum(out * probe) with a fixed
+/// random probe so every output element contributes a distinct gradient.
+struct Probe {
+  Tensor weights;
+  explicit Probe(const Shape& shape, Rng& rng) : weights(Tensor::randn(shape, rng)) {}
+  double loss(const Tensor& out) const {
+    double l = 0.0;
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      l += static_cast<double>(out[i]) * weights[i];
+    }
+    return l;
+  }
+  Tensor grad() const { return weights; }
+};
+
+void check_layer_gradients(Layer& layer, const Shape& input_shape, Rng& rng,
+                           double tol = kTol) {
+  Tensor x = Tensor::randn(input_shape, rng, 0.0f, 1.0f);
+  // Initialize layer params to small random values.
+  std::vector<ParamRef> params;
+  layer.collect_params("p", params);
+  for (ParamRef& p : params) {
+    *p.value = Tensor::randn(p.value->shape(), rng, 0.0f, 0.3f);
+    p.grad->fill(0.0f);
+  }
+  Tensor out = layer.forward(x, /*train=*/true);
+  Probe probe(out.shape(), rng);
+  Tensor grad_in = layer.backward(probe.grad());
+
+  auto eval = [&]() { return probe.loss(layer.forward(x, /*train=*/false)); };
+
+  // Input gradient.
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < x.numel(); i += std::max<std::size_t>(1, x.numel() / 24)) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(kEps);
+    const double up = eval();
+    x[i] = orig - static_cast<float>(kEps);
+    const double down = eval();
+    x[i] = orig;
+    const double numeric = (up - down) / (2 * kEps);
+    EXPECT_NEAR(grad_in[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+        << layer.kind() << " input grad at " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+
+  // Parameter gradients.
+  for (ParamRef& p : params) {
+    Tensor& w = *p.value;
+    for (std::size_t i = 0; i < w.numel();
+         i += std::max<std::size_t>(1, w.numel() / 16)) {
+      const float orig = w[i];
+      w[i] = orig + static_cast<float>(kEps);
+      const double up = eval();
+      w[i] = orig - static_cast<float>(kEps);
+      const double down = eval();
+      w[i] = orig;
+      const double numeric = (up - down) / (2 * kEps);
+      EXPECT_NEAR((*p.grad)[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+          << layer.kind() << " param " << p.name << " grad at " << i;
+    }
+  }
+}
+
+TEST(GradCheck, Conv2D) {
+  Rng rng(1);
+  Conv2D layer(3, 4, 3, 1, 1);
+  check_layer_gradients(layer, {2, 3, 5, 5}, rng);
+}
+
+TEST(GradCheck, Conv2DStride2NoPad) {
+  Rng rng(2);
+  Conv2D layer(2, 3, 3, 2, 1);
+  check_layer_gradients(layer, {2, 2, 6, 6}, rng);
+}
+
+TEST(GradCheck, Conv2D1x1) {
+  Rng rng(3);
+  Conv2D layer(4, 2, 1, 1, 0);
+  check_layer_gradients(layer, {3, 4, 4, 4}, rng);
+}
+
+TEST(GradCheck, DepthwiseConv) {
+  Rng rng(4);
+  DepthwiseConv2D layer(3, 3, 1, 1);
+  check_layer_gradients(layer, {2, 3, 5, 5}, rng);
+}
+
+TEST(GradCheck, DepthwiseConvStride2) {
+  Rng rng(5);
+  DepthwiseConv2D layer(2, 3, 2, 1);
+  check_layer_gradients(layer, {2, 2, 6, 6}, rng);
+}
+
+TEST(GradCheck, Linear) {
+  Rng rng(6);
+  Linear layer(10, 7);
+  check_layer_gradients(layer, {4, 10}, rng);
+}
+
+TEST(GradCheck, ReLU) {
+  Rng rng(7);
+  ReLU layer;
+  check_layer_gradients(layer, {2, 3, 4, 4}, rng);
+}
+
+TEST(GradCheck, MaxPool) {
+  Rng rng(8);
+  MaxPool2D layer;
+  check_layer_gradients(layer, {2, 2, 6, 6}, rng);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  Rng rng(9);
+  GlobalAvgPool layer;
+  check_layer_gradients(layer, {2, 3, 4, 4}, rng);
+}
+
+TEST(GradCheck, BasicBlockIdentity) {
+  Rng rng(10);
+  BasicBlock layer(4, 4, 1, /*projection=*/false);
+  check_layer_gradients(layer, {2, 4, 5, 5}, rng);
+}
+
+TEST(GradCheck, BasicBlockSlicedIdentity) {
+  Rng rng(11);
+  BasicBlock layer(6, 4, 1, /*projection=*/false);  // pruned boundary shape
+  check_layer_gradients(layer, {2, 6, 5, 5}, rng);
+}
+
+TEST(GradCheck, BasicBlockProjection) {
+  Rng rng(12);
+  BasicBlock layer(4, 6, 2, /*projection=*/true);
+  check_layer_gradients(layer, {2, 4, 6, 6}, rng);
+}
+
+TEST(GradCheck, InvertedResidualWithResidual) {
+  Rng rng(13);
+  InvertedResidualBlock layer(4, 8, 4, 1, /*residual=*/true);
+  check_layer_gradients(layer, {2, 4, 5, 5}, rng);
+}
+
+TEST(GradCheck, InvertedResidualSlicedResidual) {
+  Rng rng(14);
+  InvertedResidualBlock layer(6, 8, 4, 1, /*residual=*/true);
+  check_layer_gradients(layer, {2, 6, 5, 5}, rng);
+}
+
+TEST(GradCheck, InvertedResidualNoResidualStride2) {
+  Rng rng(15);
+  InvertedResidualBlock layer(3, 6, 5, 2, /*residual=*/false);
+  check_layer_gradients(layer, {2, 3, 6, 6}, rng);
+}
+
+// Whole-model gradient check through the CE loss, including multi-exit
+// backward (the ScaleFL path).
+TEST(GradCheck, WholeModelCrossEntropy) {
+  Rng rng(16);
+  ArchSpec spec = mini_vgg(4, 2, 8);
+  Model model = build_full_model(spec, &rng);
+  Tensor x = Tensor::randn({3, 2, 8, 8}, rng);
+  const std::vector<int> labels = {0, 2, 3};
+
+  model.zero_grads();
+  Tensor logits = model.forward(x, true);
+  LossResult lr = softmax_cross_entropy(logits, labels);
+  model.backward(lr.grad);
+
+  auto eval = [&]() {
+    return softmax_cross_entropy(model.forward(x, false), labels).loss;
+  };
+  int checked = 0;
+  for (ParamRef& p : model.params()) {
+    Tensor& w = *p.value;
+    for (std::size_t i = 0; i < w.numel();
+         i += std::max<std::size_t>(1, w.numel() / 4)) {
+      const float orig = w[i];
+      w[i] = orig + static_cast<float>(kEps);
+      const double up = eval();
+      w[i] = orig - static_cast<float>(kEps);
+      const double down = eval();
+      w[i] = orig;
+      const double numeric = (up - down) / (2 * kEps);
+      EXPECT_NEAR((*p.grad)[i], numeric, 5e-2 * std::max(0.2, std::abs(numeric)))
+          << p.name << "[" << i << "]";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(GradCheck, MultiExitModel) {
+  Rng rng(17);
+  ArchSpec spec = mini_resnet(4, 2, 8);
+  BuildOptions opts;
+  opts.exits = {3};
+  Model model = build_model(spec, WidthPlan(spec.num_units(), 1.0), &rng, opts);
+  Tensor x = Tensor::randn({2, 2, 8, 8}, rng);
+  const std::vector<int> labels = {1, 3};
+
+  auto total_loss = [&](bool train) {
+    std::vector<Tensor> outs = model.forward_all_exits(x, train);
+    double l = 0.0;
+    for (const Tensor& o : outs) l += softmax_cross_entropy(o, labels).loss;
+    return l;
+  };
+
+  model.zero_grads();
+  std::vector<Tensor> outs = model.forward_all_exits(x, true);
+  std::vector<Tensor> grads;
+  for (const Tensor& o : outs) {
+    grads.push_back(softmax_cross_entropy(o, labels).grad);
+  }
+  model.backward_multi(grads);
+
+  int checked = 0;
+  for (ParamRef& p : model.params()) {
+    Tensor& w = *p.value;
+    const std::size_t step = std::max<std::size_t>(1, w.numel() / 3);
+    for (std::size_t i = 0; i < w.numel(); i += step) {
+      const float orig = w[i];
+      w[i] = orig + static_cast<float>(kEps);
+      const double up = total_loss(false);
+      w[i] = orig - static_cast<float>(kEps);
+      const double down = total_loss(false);
+      w[i] = orig;
+      const double numeric = (up - down) / (2 * kEps);
+      EXPECT_NEAR((*p.grad)[i], numeric, 5e-2 * std::max(0.2, std::abs(numeric)))
+          << p.name << "[" << i << "]";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+}  // namespace
+}  // namespace afl

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(1);
+  Tensor logits = Tensor::randn({5, 7}, rng, 0.0f, 3.0f);
+  Tensor p = softmax(logits);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_GE(p[i * 7 + j], 0.0f);
+      s += p[i * 7 + j];
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, InvariantToShift) {
+  Tensor a = Tensor::from_vector({1, 3}, {1, 2, 3});
+  Tensor b = Tensor::from_vector({1, 3}, {101, 102, 103});
+  Tensor pa = softmax(a), pb = softmax(b);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(pa[j], pb[j], 1e-6f);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits = Tensor::zeros({4, 10});
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 2, 3});
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-5);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZeroLoss) {
+  Tensor logits = Tensor::zeros({1, 3});
+  logits[1] = 50.0f;
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_LT(r.loss, 1e-5);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOnehotOverN) {
+  Tensor logits = Tensor::from_vector({2, 3}, {1, 2, 3, 0, 0, 0});
+  const LossResult r = softmax_cross_entropy(logits, {2, 0});
+  const Tensor p = softmax(logits);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double onehot = (i == 0 && j == 2) || (i == 1 && j == 0) ? 1.0 : 0.0;
+      EXPECT_NEAR(r.grad[i * 3 + j], (p[i * 3 + j] - onehot) / 2.0, 1e-5);
+    }
+  }
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Rng rng(2);
+  Tensor logits = Tensor::randn({6, 5}, rng);
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 2, 3, 4, 0});
+  for (std::size_t i = 0; i < 6; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) s += r.grad[i * 5 + j];
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, Validates) {
+  Tensor logits = Tensor::zeros({2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 5}), std::invalid_argument);
+}
+
+TEST(Distillation, ZeroWhenTeacherEqualsStudent) {
+  Rng rng(3);
+  Tensor logits = Tensor::randn({4, 6}, rng);
+  const LossResult r = distillation_kl(logits, logits, 2.0);
+  EXPECT_NEAR(r.loss, 0.0, 1e-6);
+  for (std::size_t i = 0; i < r.grad.numel(); ++i) EXPECT_NEAR(r.grad[i], 0.0f, 1e-6f);
+}
+
+TEST(Distillation, PositiveWhenDifferent) {
+  Tensor s = Tensor::from_vector({1, 3}, {0, 0, 0});
+  Tensor t = Tensor::from_vector({1, 3}, {5, 0, -5});
+  const LossResult r = distillation_kl(s, t, 1.0);
+  EXPECT_GT(r.loss, 0.1);
+}
+
+TEST(Distillation, GradientMatchesFiniteDifference) {
+  Rng rng(4);
+  Tensor s = Tensor::randn({2, 4}, rng);
+  Tensor t = Tensor::randn({2, 4}, rng);
+  const double temp = 2.0;
+  const LossResult r = distillation_kl(s, t, temp);
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < s.numel(); ++i) {
+    const float orig = s[i];
+    s[i] = orig + static_cast<float>(eps);
+    const double up = distillation_kl(s, t, temp).loss;
+    s[i] = orig - static_cast<float>(eps);
+    const double down = distillation_kl(s, t, temp).loss;
+    s[i] = orig;
+    EXPECT_NEAR(r.grad[i], (up - down) / (2 * eps), 5e-3);
+  }
+}
+
+TEST(CountCorrect, CountsArgmaxMatches) {
+  Tensor logits = Tensor::from_vector({3, 2}, {1, 0,  //
+                                               0, 1,  //
+                                               3, 2});
+  EXPECT_EQ(count_correct(logits, {0, 1, 0}), 3u);
+  EXPECT_EQ(count_correct(logits, {1, 1, 0}), 2u);
+  EXPECT_EQ(count_correct(logits, {1, 0, 1}), 0u);
+}
+
+}  // namespace
+}  // namespace afl

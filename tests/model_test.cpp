@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/build.hpp"
+#include "arch/zoo.hpp"
+#include "nn/linear.hpp"
+#include "nn/model.hpp"
+#include "nn/pool.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+namespace {
+
+TEST(Model, ParamNamesAreStableAcrossPlans) {
+  ArchSpec spec = mini_vgg(10, 3, 16);
+  Model full = build_full_model(spec);
+  Model pruned = build_model(spec, deep_plan(spec, 0.4, 3));
+  ParamSet fp = full.export_params();
+  ParamSet pp = pruned.export_params();
+  ASSERT_EQ(fp.size(), pp.size());
+  auto fi = fp.begin();
+  auto pi = pp.begin();
+  for (; fi != fp.end(); ++fi, ++pi) {
+    EXPECT_EQ(fi->first, pi->first);
+  }
+  EXPECT_TRUE(is_prefix_of(pp, fp));
+}
+
+TEST(Model, ExportImportRoundTrip) {
+  Rng rng(1);
+  ArchSpec spec = mini_resnet(5, 1, 8);
+  Model a = build_full_model(spec, &rng);
+  ParamSet saved = a.export_params();
+  Model b = build_full_model(spec);  // zero init
+  b.import_params(saved);
+  EXPECT_EQ(max_abs_diff(b.export_params(), saved), 0.0);
+  // Outputs must match too.
+  Tensor x = Tensor::randn({2, 1, 8, 8}, rng);
+  EXPECT_EQ(max_abs_diff(a.forward(x, false), b.forward(x, false)), 0.0);
+}
+
+TEST(Model, ImportRejectsMissingAndMismatched) {
+  ArchSpec spec = mini_vgg(3, 1, 8);
+  Model m = build_full_model(spec);
+  ParamSet ps = m.export_params();
+  ParamSet missing = ps;
+  missing.erase(missing.begin());
+  EXPECT_THROW(m.import_params(missing), std::invalid_argument);
+  ParamSet wrong = ps;
+  wrong.begin()->second = Tensor({1});
+  EXPECT_THROW(m.import_params(wrong), std::invalid_argument);
+}
+
+TEST(Model, ZeroGradsClears) {
+  Rng rng(2);
+  ArchSpec spec = mini_vgg(3, 1, 8);
+  Model m = build_full_model(spec, &rng);
+  Tensor x = Tensor::randn({2, 1, 8, 8}, rng);
+  Tensor out = m.forward(x, true);
+  Tensor g = Tensor::full(out.shape(), 1.0f);
+  m.backward(g);
+  double norm = 0.0;
+  for (ParamRef& p : m.params()) norm += squared_norm(*p.grad);
+  EXPECT_GT(norm, 0.0);
+  m.zero_grads();
+  norm = 0.0;
+  for (ParamRef& p : m.params()) norm += squared_norm(*p.grad);
+  EXPECT_EQ(norm, 0.0);
+}
+
+TEST(Model, ForwardAllExitsOrderAndShapes) {
+  Rng rng(3);
+  ArchSpec spec = mini_resnet(7, 1, 16);
+  BuildOptions opts;
+  opts.exits = {2, 4};
+  Model m = build_model(spec, WidthPlan(spec.num_units(), 1.0), &rng, opts);
+  EXPECT_EQ(m.num_exits(), 2u);
+  Tensor x = Tensor::randn({3, 1, 16, 16}, rng);
+  std::vector<Tensor> outs = m.forward_all_exits(x, false);
+  ASSERT_EQ(outs.size(), 3u);
+  for (const Tensor& o : outs) EXPECT_EQ(o.shape(), (Shape{3, 7}));
+  // Final element must equal plain forward().
+  EXPECT_EQ(max_abs_diff(outs.back(), m.forward(x, false)), 0.0);
+}
+
+TEST(Model, TruncatedModelClassifiesThroughExitHead) {
+  Rng rng(4);
+  ArchSpec spec = mini_resnet(5, 1, 16);
+  BuildOptions trunc;
+  trunc.depth_units = 3;
+  Model m = build_model(spec, WidthPlan(spec.num_units(), 1.0), &rng, trunc);
+  Tensor x = Tensor::randn({2, 1, 16, 16}, rng);
+  EXPECT_EQ(m.forward(x, false).shape(), (Shape{2, 5}));
+  // Its classifier parameters carry the exit head's name.
+  bool found = false;
+  for (ParamRef& p : m.params()) {
+    if (p.name == "exit3.1.w") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Model, TruncatedAndDeepExitHeadsShareNames) {
+  ArchSpec spec = mini_resnet(5, 1, 16);
+  BuildOptions trunc;
+  trunc.depth_units = 3;
+  Model small = build_model(spec, WidthPlan(spec.num_units(), 1.0), nullptr, trunc);
+  BuildOptions deep;
+  deep.exits = {3};
+  Model big = build_model(spec, WidthPlan(spec.num_units(), 1.0), nullptr, deep);
+  ParamSet sp = small.export_params();
+  ParamSet bp = big.export_params();
+  for (const auto& [name, tensor] : sp) {
+    auto it = bp.find(name);
+    ASSERT_NE(it, bp.end()) << name << " missing in deep model";
+    EXPECT_EQ(it->second.shape(), tensor.shape()) << name;
+  }
+}
+
+TEST(Model, BackwardMultiRejectsWrongArity) {
+  Rng rng(5);
+  ArchSpec spec = mini_resnet(3, 1, 8);
+  BuildOptions opts;
+  opts.exits = {2};
+  Model m = build_model(spec, WidthPlan(spec.num_units(), 1.0), &rng, opts);
+  Tensor x = Tensor::randn({1, 1, 8, 8}, rng);
+  m.forward_all_exits(x, true);
+  std::vector<Tensor> grads(1);  // needs 2
+  EXPECT_THROW(m.backward_multi(grads), std::invalid_argument);
+}
+
+TEST(Model, ParamCountMatchesExport) {
+  Rng rng(6);
+  ArchSpec spec = mini_mobilenet(9, 3, 16);
+  Model m = build_full_model(spec, &rng);
+  EXPECT_EQ(m.param_count(), param_count(m.export_params()));
+  EXPECT_GT(m.param_count(), 1000u);
+}
+
+}  // namespace
+}  // namespace afl

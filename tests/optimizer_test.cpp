@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.hpp"
+
+namespace afl {
+namespace {
+
+ParamRef ref(const std::string& name, Tensor& w, Tensor& g) {
+  return ParamRef{name, &w, &g};
+}
+
+TEST(SGD, PlainStepWithoutMomentum) {
+  Tensor w = Tensor::from_vector({2}, {1.0f, 2.0f});
+  Tensor g = Tensor::from_vector({2}, {0.5f, -1.0f});
+  SGD opt(0.1, 0.0);
+  opt.step({ref("w", w, g)});
+  EXPECT_NEAR(w[0], 0.95f, 1e-6f);
+  EXPECT_NEAR(w[1], 2.1f, 1e-6f);
+}
+
+TEST(SGD, MomentumAccumulates) {
+  Tensor w = Tensor::from_vector({1}, {0.0f});
+  Tensor g = Tensor::from_vector({1}, {1.0f});
+  SGD opt(1.0, 0.5);
+  opt.step({ref("w", w, g)});  // v=1, w=-1
+  EXPECT_NEAR(w[0], -1.0f, 1e-6f);
+  opt.step({ref("w", w, g)});  // v=1.5, w=-2.5
+  EXPECT_NEAR(w[0], -2.5f, 1e-6f);
+  opt.step({ref("w", w, g)});  // v=1.75, w=-4.25
+  EXPECT_NEAR(w[0], -4.25f, 1e-6f);
+}
+
+TEST(SGD, WeightDecayPullsTowardZero) {
+  Tensor w = Tensor::from_vector({1}, {10.0f});
+  Tensor g = Tensor::from_vector({1}, {0.0f});
+  SGD opt(0.1, 0.0, 0.1);
+  opt.step({ref("w", w, g)});
+  EXPECT_NEAR(w[0], 10.0f - 0.1f * (0.1f * 10.0f), 1e-5f);
+}
+
+TEST(SGD, SeparateStatePerName) {
+  Tensor w1 = Tensor::from_vector({1}, {0.0f});
+  Tensor w2 = Tensor::from_vector({1}, {0.0f});
+  Tensor g1 = Tensor::from_vector({1}, {1.0f});
+  Tensor g0 = Tensor::from_vector({1}, {0.0f});
+  SGD opt(1.0, 0.9);
+  opt.step({ref("a", w1, g1), ref("b", w2, g0)});
+  opt.step({ref("a", w1, g0), ref("b", w2, g1)});
+  // "a" momentum carries over; "b" starts fresh on the second step.
+  EXPECT_NEAR(w1[0], -1.9f, 1e-6f);
+  EXPECT_NEAR(w2[0], -1.0f, 1e-6f);
+}
+
+TEST(SGD, StateResetsOnShapeChange) {
+  Tensor w1 = Tensor::from_vector({1}, {0.0f});
+  Tensor g1 = Tensor::from_vector({1}, {1.0f});
+  SGD opt(1.0, 0.9);
+  opt.step({ref("w", w1, g1)});
+  // Re-instantiate the "same" parameter at a different width (pruned model).
+  Tensor w2 = Tensor::from_vector({2}, {0.0f, 0.0f});
+  Tensor g2 = Tensor::from_vector({2}, {1.0f, 1.0f});
+  EXPECT_NO_THROW(opt.step({ref("w", w2, g2)}));
+  EXPECT_NEAR(w2[0], -1.0f, 1e-6f);  // fresh velocity, no stale momentum
+}
+
+TEST(SGD, LrSetter) {
+  SGD opt(0.01, 0.5);
+  EXPECT_DOUBLE_EQ(opt.lr(), 0.01);
+  opt.set_lr(0.1);
+  EXPECT_DOUBLE_EQ(opt.lr(), 0.1);
+}
+
+}  // namespace
+}  // namespace afl

@@ -1,0 +1,270 @@
+// Cross-module property sweeps (parameterized gtest): randomized invariants
+// that complement the example-based unit tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/zoo.hpp"
+#include "core/run.hpp"
+#include "fl/aggregate.hpp"
+#include "fl/local_train.hpp"
+#include "prune/model_pool.hpp"
+#include "rl/selector.hpp"
+#include "rl/tables.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Heterogeneous aggregation: element-wise weighted-mean property on random
+// nested prefix shapes, checked against a brute-force reference.
+// ---------------------------------------------------------------------------
+
+class HeteroAggProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeteroAggProperty, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 77 + 5);
+  const std::size_t rank = 1 + rng.uniform_index(3);
+  Shape full(rank);
+  for (auto& d : full) d = 2 + rng.uniform_index(5);
+  Tensor g = Tensor::randn(full, rng);
+  ParamSet global;
+  global.emplace("w", g);
+
+  const std::size_t n_clients = 1 + rng.uniform_index(4);
+  std::vector<ClientUpdate> updates;
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    Shape sub(rank);
+    for (std::size_t d = 0; d < rank; ++d) sub[d] = 1 + rng.uniform_index(full[d]);
+    ParamSet ps;
+    ps.emplace("w", Tensor::randn(sub, rng));
+    updates.push_back({std::move(ps), 1 + rng.uniform_index(9)});
+  }
+  const ParamSet out = hetero_aggregate(global, updates);
+  const Tensor& result = out.at("w");
+
+  // Brute force: iterate every global element's multi-index, gather covering
+  // clients.
+  std::vector<std::size_t> idx(rank, 0);
+  for (std::size_t flat = 0; flat < g.numel(); ++flat) {
+    double acc = 0.0, weight = 0.0;
+    for (const auto& u : updates) {
+      const Tensor& t = u.params.at("w");
+      bool covered = true;
+      for (std::size_t d = 0; d < rank; ++d) {
+        if (idx[d] >= t.shape()[d]) {
+          covered = false;
+          break;
+        }
+      }
+      if (!covered) continue;
+      acc += static_cast<double>(t.at(idx)) * static_cast<double>(u.data_size);
+      weight += static_cast<double>(u.data_size);
+    }
+    const float expected =
+        weight > 0.0 ? static_cast<float>(acc / weight) : g.at(idx);
+    EXPECT_NEAR(result.at(idx), expected, 1e-5) << "flat " << flat;
+    // Advance the odometer.
+    for (std::size_t d = rank; d-- > 0;) {
+      if (++idx[d] < full[d]) break;
+      idx[d] = 0;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCases, HeteroAggProperty, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// Pool adaptation: adapt() must return the maximal valid target (brute-force
+// cross-check over every (entry, capacity) pair).
+// ---------------------------------------------------------------------------
+
+class AdaptProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdaptProperty, MaximalValidTarget) {
+  ArchSpec spec;
+  switch (GetParam() % 3) {
+    case 0:
+      spec = mini_vgg(10, 3, 12);
+      break;
+    case 1:
+      spec = mini_resnet(10, 3, 12);
+      break;
+    default:
+      spec = mini_mobilenet(10, 3, 12);
+      break;
+  }
+  ModelPool pool(spec, PoolConfig::defaults_for(spec));
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (std::size_t from = 0; from < pool.size(); ++from) {
+    // Try capacities around every entry boundary plus random ones.
+    std::vector<std::size_t> capacities;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      capacities.push_back(pool.entry(i).params);
+      capacities.push_back(pool.entry(i).params - 1);
+      capacities.push_back(pool.entry(i).params + 1);
+    }
+    capacities.push_back(rng.uniform_index(pool.largest().params + 1000));
+    for (std::size_t cap : capacities) {
+      const auto got = pool.adapt(from, cap);
+      // Brute force.
+      std::optional<std::size_t> expected;
+      for (std::size_t i = 0; i <= from; ++i) {
+        if (pool.entry(i).params > cap) continue;
+        if (!plan_is_subplan(pool.entry(i).plan, pool.entry(from).plan)) continue;
+        if (!expected || pool.entry(i).params > pool.entry(*expected).params) {
+          expected = i;
+        }
+      }
+      EXPECT_EQ(got, expected) << spec.name << " from=" << from << " cap=" << cap;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, AdaptProperty, ::testing::Range(0, 3));
+
+// ---------------------------------------------------------------------------
+// R_s formula: hand-computed check of §3.3's resource reward on a small
+// table.
+// ---------------------------------------------------------------------------
+
+TEST(ResourceRewardFormula, MatchesHandComputation) {
+  // p = 1 pool (3 entries: S1 M1 L1), 1 client, all scores 1 initially.
+  RlTables t(3, 1, 1);
+  // R_s(S) = tail(S..L) / (1 * total) = 3/3 = 1.
+  EXPECT_NEAR(t.resource_reward({0}, 0), 1.0, 1e-12);
+  // R_s(M) = (1+1)/3.
+  EXPECT_NEAR(t.resource_reward({1}, 0), 2.0 / 3.0, 1e-12);
+  // R_s(L) = 1/3.
+  EXPECT_NEAR(t.resource_reward({2}, 0), 1.0 / 3.0, 1e-12);
+
+  // After a successful L1 round-trip: T_r = {1, 1, 2+p-1=2}? For p=1 the L1
+  // bonus (p-1) is zero, so scores become {1, 1, 2}... update: sent=2,
+  // back=2 -> +1 on entry 2, then +0 extra.
+  t.update(2, Level::kLarge, 2, Level::kLarge, 0);
+  EXPECT_NEAR(t.resource_score(2, 0), 2.0, 1e-12);
+  EXPECT_NEAR(t.resource_reward({2}, 0), 2.0 / 4.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Local training reduces loss on every trainable architecture.
+// ---------------------------------------------------------------------------
+
+class TrainingReducesLoss : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrainingReducesLoss, LossDropsOverEpochs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  ArchSpec spec;
+  switch (GetParam()) {
+    case 0:
+      spec = mini_vgg(6, 2, 8);
+      break;
+    case 1:
+      spec = mini_resnet(6, 2, 8);
+      break;
+    default:
+      spec = mini_mobilenet(6, 2, 8);
+      break;
+  }
+  SyntheticConfig dcfg;
+  dcfg.num_classes = 6;
+  dcfg.channels = 2;
+  dcfg.hw = 8;
+  SyntheticTask task(dcfg, rng);
+  Dataset data = task.generate(80, rng);
+  Model model = build_full_model(spec, &rng);
+  LocalTrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 20;
+  cfg.lr = 0.05;
+  const double first = local_train(model, data, cfg, rng).mean_loss;
+  double last = first;
+  for (int e = 0; e < 5; ++e) last = local_train(model, data, cfg, rng).mean_loss;
+  EXPECT_LT(last, first) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, TrainingReducesLoss, ::testing::Range(0, 3));
+
+// ---------------------------------------------------------------------------
+// Pruned-training round trip: training a pruned model and aggregating it back
+// never disturbs parameters outside its coverage.
+// ---------------------------------------------------------------------------
+
+class PrunedRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrunedRoundTrip, OutsideCoverageUntouched) {
+  Rng rng(11 + GetParam());
+  ArchSpec spec = mini_vgg(6, 2, 8);
+  ModelPool pool(spec, PoolConfig::defaults_for(spec));
+  const std::size_t entry = GetParam();
+  ASSERT_LT(entry, pool.size());
+
+  Model full = build_full_model(spec, &rng);
+  ParamSet global = full.export_params();
+
+  SyntheticConfig dcfg;
+  dcfg.num_classes = 6;
+  dcfg.channels = 2;
+  dcfg.hw = 8;
+  SyntheticTask task(dcfg, rng);
+  Dataset data = task.generate(20, rng);
+
+  Model local = pool.build(entry);
+  local.import_params(pool.split(global, entry));
+  LocalTrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 10;
+  local_train(local, data, cfg, rng);
+
+  const ParamSet next =
+      hetero_aggregate(global, {{local.export_params(), data.size()}});
+  // Elements beyond the entry's coverage must be bit-identical to the old
+  // global; spot-check the deepest tensor's last element (only L1 covers it).
+  if (entry != pool.largest_index()) {
+    const Tensor& old_t = global.at("cls.w");
+    const Tensor& new_t = next.at("cls.w");
+    EXPECT_EQ(new_t[new_t.numel() - 1], old_t[old_t.numel() - 1]);
+  }
+  // And the very first element of the first layer is always covered:
+  const Tensor& old0 = global.at("u1.w");
+  const Tensor& new0 = next.at("u1.w");
+  EXPECT_NE(new0[0], old0[0]);  // training moved it (overwhelmingly likely)
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryPoolEntry, PrunedRoundTrip,
+                         ::testing::Range<std::size_t>(0, 7));
+
+// ---------------------------------------------------------------------------
+// Selection probabilities remain a distribution as tables evolve randomly.
+// ---------------------------------------------------------------------------
+
+TEST(SelectorProperty, ProbabilitiesStayNormalizedUnderRandomUpdates) {
+  ArchSpec spec = mini_vgg(10, 3, 12);
+  ModelPool pool(spec, PoolConfig::defaults_for(spec));
+  ClientSelector sel(pool, 6, SelectionStrategy::kResourceCuriosity);
+  Rng rng(21);
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t sent = rng.uniform_index(pool.size());
+    const std::size_t client = rng.uniform_index(6);
+    const auto back_opt = pool.adapt(sent, pool.entry(rng.uniform_index(sent + 1)).params);
+    const std::size_t back = back_opt.value_or(0);
+    sel.tables().update(sent, pool.entry(sent).level, back, pool.entry(back).level,
+                        client);
+    std::vector<bool> taken(6, false);
+    taken[rng.uniform_index(6)] = true;
+    const auto probs = sel.probabilities(rng.uniform_index(pool.size()), taken);
+    double sum = 0.0;
+    for (double p : probs) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_TRUE(std::isfinite(p));
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace afl

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "arch/zoo.hpp"
+#include "prune/model_pool.hpp"
+#include "tensor/ops.hpp"
+#include "prune/width_prune.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+namespace {
+
+TEST(WidthPrune, PrunedParamsArePrefixSlices) {
+  Rng rng(1);
+  ArchSpec spec = mini_vgg(10, 3, 16);
+  Model full = build_full_model(spec, &rng);
+  ParamSet fp = full.export_params();
+  const WidthPlan plan = deep_plan(spec, 0.4, 3);
+  ParamSet pp = prune_params(fp, spec, plan);
+  EXPECT_TRUE(is_prefix_of(pp, fp));
+  // Values in the pruned set must equal the corresponding prefix of the full
+  // tensor.
+  for (const auto& [name, tensor] : pp) {
+    const Tensor ref = fp.at(name).prefix_slice(tensor.shape());
+    EXPECT_EQ(max_abs_diff(ref, tensor), 0.0) << name;
+  }
+}
+
+TEST(WidthPrune, PrunedModelLoadsAndRuns) {
+  Rng rng(2);
+  ArchSpec spec = mini_resnet(10, 3, 16);
+  Model full = build_full_model(spec, &rng);
+  const WidthPlan plan = deep_plan(spec, 0.66, 2);
+  Model pruned = build_model(spec, plan);
+  pruned.import_params(prune_params(full.export_params(), spec, plan));
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  EXPECT_EQ(pruned.forward(x, false).shape(), (Shape{2, 10}));
+}
+
+TEST(WidthPrune, MissingNameThrows) {
+  ShapeMap shapes;
+  shapes["nonexistent.w"] = {2, 2};
+  ParamSet full;
+  full.emplace("other.w", Tensor({4, 4}));
+  EXPECT_THROW(prune_to_shapes(full, shapes), std::invalid_argument);
+}
+
+TEST(WidthPrune, DepthTruncationDropsDeepNames) {
+  ArchSpec spec = mini_resnet(10, 3, 16);
+  BuildOptions trunc;
+  trunc.depth_units = 3;
+  ShapeMap shallow = model_shapes(spec, uniform_plan(spec, 0.5), trunc);
+  ShapeMap deep = model_shapes(spec, WidthPlan(spec.num_units(), 1.0));
+  EXPECT_LT(shallow.size(), deep.size());
+  // u5/u6 layers must be absent from the truncated map.
+  for (const auto& [name, shape] : shallow) {
+    EXPECT_EQ(name.find("u5"), std::string::npos) << name;
+  }
+}
+
+class PoolFixture : public ::testing::Test {
+ protected:
+  PoolFixture() : spec_(mini_vgg(10, 3, 16)), pool_(spec_, PoolConfig::defaults_for(spec_)) {}
+  ArchSpec spec_;
+  ModelPool pool_;
+};
+
+TEST_F(PoolFixture, PoolHas2pPlus1Entries) {
+  EXPECT_EQ(pool_.size(), 7u);
+  EXPECT_EQ(pool_.entry(0).level, Level::kSmall);
+  EXPECT_EQ(pool_.entry(0).sublevel, 3u);
+  EXPECT_EQ(pool_.entry(2).sublevel, 1u);
+  EXPECT_EQ(pool_.entry(6).level, Level::kLarge);
+  EXPECT_EQ(pool_.entry(6).label(), "L1");
+  EXPECT_EQ(pool_.entry(0).label(), "S3");
+  EXPECT_EQ(pool_.entry(5).label(), "M1");
+}
+
+TEST_F(PoolFixture, SizesStrictlyAscend) {
+  for (std::size_t i = 1; i < pool_.size(); ++i) {
+    EXPECT_GT(pool_.entry(i).params, pool_.entry(i - 1).params);
+  }
+}
+
+TEST_F(PoolFixture, LevelHeads) {
+  EXPECT_EQ(pool_.level_head_index(Level::kSmall), 2u);
+  EXPECT_EQ(pool_.level_head_index(Level::kMedium), 5u);
+  EXPECT_EQ(pool_.level_head_index(Level::kLarge), 6u);
+  EXPECT_EQ(pool_.largest_index(), 6u);
+}
+
+TEST_F(PoolFixture, IRespectsTau) {
+  for (const PoolEntry& e : pool_.entries()) {
+    if (e.level != Level::kLarge) EXPECT_GE(e.I, spec_.tau) << e.label();
+  }
+}
+
+TEST_F(PoolFixture, AdaptFromL1ReachesEverything) {
+  // L1 can be pruned to any entry, so adapt picks the largest fitting one.
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    const auto r = pool_.adapt(pool_.largest_index(), pool_.entry(i).params);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, i);
+  }
+}
+
+TEST_F(PoolFixture, AdaptRespectsSubplanConstraint) {
+  // From M3 (small I), S-level entries with larger I are unreachable: the
+  // adapt target must be a subplan even if it fits the capacity.
+  const std::size_t m3 = 3;  // entries: S3 S2 S1 M3 M2 M1 L1
+  ASSERT_EQ(pool_.entry(m3).label(), "M3");
+  const std::size_t s1 = 2;
+  ASSERT_EQ(pool_.entry(s1).label(), "S1");
+  const auto r = pool_.adapt(m3, pool_.entry(s1).params);
+  ASSERT_TRUE(r.has_value());
+  // S1 fits by size but has I > I(M3); result must be an S entry with I <=
+  // I(M3), i.e. S3 (and not S1).
+  EXPECT_TRUE(plan_is_subplan(pool_.entry(*r).plan, pool_.entry(m3).plan));
+  EXPECT_LT(*r, s1);
+}
+
+TEST_F(PoolFixture, AdaptReturnsSelfWhenFits) {
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    const auto r = pool_.adapt(i, pool_.entry(i).params + 100);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, i);
+  }
+}
+
+TEST_F(PoolFixture, AdaptFailsBelowSmallest) {
+  const auto r = pool_.adapt(pool_.largest_index(), 10);
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST_F(PoolFixture, SplitShapesMatchBuiltModels) {
+  Rng rng(3);
+  Model full = build_full_model(spec_, &rng);
+  ParamSet global = full.export_params();
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    ParamSet sub = pool_.split(global, i);
+    Model m = pool_.build(i);
+    EXPECT_NO_THROW(m.import_params(sub)) << pool_.entry(i).label();
+    EXPECT_EQ(param_count(sub), pool_.entry(i).params) << pool_.entry(i).label();
+  }
+}
+
+TEST(PoolConfig, DefaultsAnchorAtTau) {
+  ArchSpec spec = mini_vgg();
+  PoolConfig cfg = PoolConfig::defaults_for(spec, 3);
+  ASSERT_EQ(cfg.I_values.size(), 3u);
+  EXPECT_EQ(cfg.I_values[0], spec.tau + 2);
+  EXPECT_EQ(cfg.I_values[2], spec.tau);
+}
+
+TEST(PoolConfig, CoarseGrainedP1) {
+  ArchSpec spec = mini_vgg();
+  PoolConfig cfg = PoolConfig::defaults_for(spec, 1);
+  ModelPool pool(spec, cfg);
+  EXPECT_EQ(pool.size(), 3u);  // S1, M1, L1 only
+  EXPECT_EQ(pool.entry(0).label(), "S1");
+  EXPECT_EQ(pool.entry(1).label(), "M1");
+  EXPECT_EQ(pool.entry(2).label(), "L1");
+}
+
+TEST(PoolConfig, ValidationErrors) {
+  ArchSpec spec = mini_vgg();
+  PoolConfig cfg = PoolConfig::defaults_for(spec, 3);
+  cfg.I_values = {4, 3};  // wrong count
+  EXPECT_THROW(ModelPool(spec, cfg), std::invalid_argument);
+  cfg.I_values = {4, 4, 3};  // not strictly descending
+  EXPECT_THROW(ModelPool(spec, cfg), std::invalid_argument);
+  cfg.I_values = {4, 3, 1};  // below tau (tau = 2)
+  EXPECT_THROW(ModelPool(spec, cfg), std::invalid_argument);
+}
+
+TEST(PoolConfig, PaperVgg16Grid) {
+  // The paper's exact Table 1 grid must produce a valid ascending pool.
+  ArchSpec spec = vgg16(10, 3, 32);
+  PoolConfig cfg;
+  cfg.p = 3;
+  cfg.I_values = {8, 6, 4};
+  ModelPool pool(spec, cfg);
+  EXPECT_EQ(pool.size(), 7u);
+  for (std::size_t i = 1; i < pool.size(); ++i) {
+    EXPECT_GT(pool.entry(i).params, pool.entry(i - 1).params);
+  }
+}
+
+TEST(Pool, WorksForAllMiniArchs) {
+  for (auto spec : {mini_vgg(), mini_resnet(), mini_mobilenet()}) {
+    EXPECT_NO_THROW(ModelPool(spec, PoolConfig::defaults_for(spec))) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace afl

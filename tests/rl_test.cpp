@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/zoo.hpp"
+#include "rl/selector.hpp"
+#include "rl/tables.hpp"
+
+namespace afl {
+namespace {
+
+TEST(RlTables, InitializedToOne) {
+  RlTables t(7, 3, 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(t.curiosity(Level::kSmall, c), 1.0);
+    EXPECT_DOUBLE_EQ(t.curiosity(Level::kLarge, c), 1.0);
+    for (std::size_t e = 0; e < 7; ++e) EXPECT_DOUBLE_EQ(t.resource_score(e, c), 1.0);
+  }
+}
+
+TEST(RlTables, RejectsBadPoolSize) {
+  EXPECT_THROW(RlTables(6, 3, 4), std::invalid_argument);
+}
+
+TEST(RlTables, NoPruneUpdateRewardsTail) {
+  // Algorithm 1, lines 15-18: back == sent increments [sent..L1] and adds
+  // p-1 extra onto L1.
+  RlTables t(7, 3, 2);
+  t.update(3, Level::kMedium, 3, Level::kMedium, 0);
+  for (std::size_t e = 0; e < 3; ++e) EXPECT_DOUBLE_EQ(t.resource_score(e, 0), 1.0);
+  for (std::size_t e = 3; e < 6; ++e) EXPECT_DOUBLE_EQ(t.resource_score(e, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t.resource_score(6, 0), 2.0 + 2.0);  // +1 then +(p-1)
+  // Curiosity counted twice for the same type (sent and back).
+  EXPECT_DOUBLE_EQ(t.curiosity(Level::kMedium, 0), 3.0);
+  // Other client untouched.
+  EXPECT_DOUBLE_EQ(t.resource_score(4, 1), 1.0);
+}
+
+TEST(RlTables, PruneUpdateBoostsBackAndPunishesLarger) {
+  // Lines 20-25: back < sent gets +p on back, then tau-progressive punishment
+  // on larger entries.
+  RlTables t(7, 3, 1);
+  t.update(6, Level::kLarge, 2, Level::kSmall, 0);
+  EXPECT_DOUBLE_EQ(t.resource_score(2, 0), 1.0 + 3.0 - 0.0);  // +p, tau=0
+  EXPECT_DOUBLE_EQ(t.resource_score(3, 0), 0.0);              // 1 - 1
+  EXPECT_DOUBLE_EQ(t.resource_score(4, 0), 0.0);              // max(1-2, 0)
+  EXPECT_DOUBLE_EQ(t.resource_score(6, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.curiosity(Level::kLarge, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t.curiosity(Level::kSmall, 0), 2.0);
+}
+
+TEST(RlTables, ScoresNeverNegative) {
+  RlTables t(7, 3, 1);
+  for (int i = 0; i < 10; ++i) t.update(6, Level::kLarge, 0, Level::kSmall, 0);
+  for (std::size_t e = 0; e < 7; ++e) EXPECT_GE(t.resource_score(e, 0), 0.0);
+}
+
+TEST(RlTables, UpdateRejectsGrowth) {
+  RlTables t(7, 3, 1);
+  EXPECT_THROW(t.update(2, Level::kSmall, 4, Level::kMedium, 0),
+               std::invalid_argument);
+}
+
+TEST(RlTables, FailureUpdatePunishes) {
+  RlTables t(7, 3, 1);
+  t.update_failure(0, Level::kSmall, 0);
+  for (std::size_t e = 0; e < 7; ++e) EXPECT_DOUBLE_EQ(t.resource_score(e, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.curiosity(Level::kSmall, 0), 2.0);
+}
+
+TEST(RlTables, CuriosityRewardIsMbieEb) {
+  RlTables t(7, 3, 1);
+  EXPECT_DOUBLE_EQ(t.curiosity_reward(Level::kSmall, 0), 1.0);
+  t.update(0, Level::kSmall, 0, Level::kSmall, 0);  // T_c -> 3
+  EXPECT_NEAR(t.curiosity_reward(Level::kSmall, 0), 1.0 / std::sqrt(3.0), 1e-12);
+}
+
+TEST(RlTables, ResourceRewardInitiallyFavorsSmall) {
+  RlTables t(7, 3, 1);
+  const std::vector<std::size_t> s_entries = {0, 1, 2};
+  const std::vector<std::size_t> l_entries = {6};
+  EXPECT_GT(t.resource_reward(s_entries, 0), t.resource_reward(l_entries, 0));
+}
+
+TEST(RlTables, ResourceRewardGrowsForCapableClient) {
+  RlTables t(7, 3, 2);
+  const std::vector<std::size_t> l_entries = {6};
+  const double before = t.resource_reward(l_entries, 0);
+  // Client 0 successfully trains L1 repeatedly.
+  for (int i = 0; i < 5; ++i) t.update(6, Level::kLarge, 6, Level::kLarge, 0);
+  EXPECT_GT(t.resource_reward(l_entries, 0), before);
+  // Client 1 keeps failing down to S: its L reward shrinks.
+  for (int i = 0; i < 5; ++i) t.update(6, Level::kLarge, 0, Level::kSmall, 1);
+  EXPECT_LT(t.resource_reward(l_entries, 1), t.resource_reward(l_entries, 0));
+}
+
+class SelectorFixture : public ::testing::Test {
+ protected:
+  SelectorFixture()
+      : spec_(mini_vgg(10, 3, 16)),
+        pool_(spec_, PoolConfig::defaults_for(spec_)),
+        selector_(pool_, 5, SelectionStrategy::kResourceCuriosity) {}
+  ArchSpec spec_;
+  ModelPool pool_;
+  ClientSelector selector_;
+};
+
+TEST_F(SelectorFixture, ProbabilitiesSumToOne) {
+  std::vector<bool> taken(5, false);
+  for (std::size_t m = 0; m < pool_.size(); ++m) {
+    const auto p = selector_.probabilities(m, taken);
+    double sum = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_F(SelectorFixture, TakenClientsExcluded) {
+  std::vector<bool> taken = {true, false, true, false, true};
+  const auto p = selector_.probabilities(0, taken);
+  EXPECT_EQ(p[0], 0.0);
+  EXPECT_EQ(p[2], 0.0);
+  EXPECT_EQ(p[4], 0.0);
+  EXPECT_GT(p[1], 0.0);
+}
+
+TEST_F(SelectorFixture, AllTakenReturnsNullopt) {
+  std::vector<bool> taken(5, true);
+  Rng rng(1);
+  EXPECT_FALSE(selector_.select(0, taken, rng).has_value());
+}
+
+TEST_F(SelectorFixture, LearnsToAvoidWeakClientsForLargeModels) {
+  // Clients 0-2 always prune L1 down to S3; clients 3-4 train L1 fine.
+  for (int round = 0; round < 30; ++round) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      selector_.tables().update(pool_.largest_index(), Level::kLarge, 0,
+                                Level::kSmall, c);
+    }
+    for (std::size_t c = 3; c < 5; ++c) {
+      selector_.tables().update(pool_.largest_index(), Level::kLarge,
+                                pool_.largest_index(), Level::kLarge, c);
+    }
+  }
+  std::vector<bool> taken(5, false);
+  const auto p = selector_.probabilities(pool_.largest_index(), taken);
+  const double weak = p[0] + p[1] + p[2];
+  const double strong = p[3] + p[4];
+  EXPECT_GT(strong, weak * 2);
+}
+
+TEST_F(SelectorFixture, LevelEntriesPartitionPool) {
+  const auto s = selector_.level_entries(Level::kSmall);
+  const auto m = selector_.level_entries(Level::kMedium);
+  const auto l = selector_.level_entries(Level::kLarge);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(l.size(), 1u);
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(l[0], 6u);
+}
+
+TEST(Selector, RandomStrategyIsUniform) {
+  ArchSpec spec = mini_vgg(10, 3, 16);
+  ModelPool pool(spec, PoolConfig::defaults_for(spec));
+  ClientSelector sel(pool, 4, SelectionStrategy::kRandom);
+  // Skew the tables heavily; Random must ignore them.
+  for (int i = 0; i < 20; ++i) {
+    sel.tables().update(pool.largest_index(), Level::kLarge, 0, Level::kSmall, 0);
+  }
+  std::vector<bool> taken(4, false);
+  const auto p = sel.probabilities(pool.largest_index(), taken);
+  for (double v : p) EXPECT_NEAR(v, 0.25, 1e-9);
+}
+
+TEST(Selector, CuriosityPrefersUnvisited) {
+  ArchSpec spec = mini_vgg(10, 3, 16);
+  ModelPool pool(spec, PoolConfig::defaults_for(spec));
+  ClientSelector sel(pool, 3, SelectionStrategy::kCuriosityOnly);
+  // Client 0 visited many times with L models.
+  for (int i = 0; i < 15; ++i) {
+    sel.tables().update(pool.largest_index(), Level::kLarge, pool.largest_index(),
+                        Level::kLarge, 0);
+  }
+  std::vector<bool> taken(3, false);
+  const auto p = sel.probabilities(pool.largest_index(), taken);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_NEAR(p[1], p[2], 1e-9);
+}
+
+TEST(Selector, StrategyNames) {
+  EXPECT_STREQ(selection_strategy_name(SelectionStrategy::kResourceCuriosity), "CS");
+  EXPECT_STREQ(selection_strategy_name(SelectionStrategy::kCuriosityOnly), "C");
+  EXPECT_STREQ(selection_strategy_name(SelectionStrategy::kResourceOnly), "S");
+  EXPECT_STREQ(selection_strategy_name(SelectionStrategy::kRandom), "Random");
+}
+
+}  // namespace
+}  // namespace afl

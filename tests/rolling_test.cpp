@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/zoo.hpp"
+#include "core/rolling_fl.hpp"
+#include "data/federated.hpp"
+#include "prune/rolling.hpp"
+#include "prune/width_prune.hpp"
+#include "sim/device.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+namespace {
+
+TEST(RollingPlan, Round0IsPrefix) {
+  ArchSpec spec = mini_vgg(10, 3, 12);
+  const RollingPlan plan = make_rolling_plan(spec, 0.5, 0);
+  for (std::size_t j = 0; j < spec.num_units(); ++j) {
+    const auto& set = plan.unit_channels[j];
+    ASSERT_FALSE(set.empty());
+    for (std::size_t i = 0; i < set.size(); ++i) EXPECT_EQ(set[i], i);
+  }
+}
+
+TEST(RollingPlan, WindowWrapsAround) {
+  ArchSpec spec = mini_vgg(10, 3, 12);
+  // Unit 1 has 16 channels; at round 14 with ratio 0.5 (keep 8) the window is
+  // {14, 15, 0, 1, 2, 3, 4, 5}.
+  const RollingPlan plan = make_rolling_plan(spec, 0.5, 14);
+  const auto& set = plan.unit_channels[0];
+  ASSERT_EQ(set.size(), 8u);
+  EXPECT_EQ(set[0], 14u);
+  EXPECT_EQ(set[1], 15u);
+  EXPECT_EQ(set[2], 0u);
+  EXPECT_EQ(set[7], 5u);
+}
+
+TEST(RollingPlan, RejectsResidualArchs) {
+  ArchSpec spec = mini_resnet(10, 3, 12);
+  EXPECT_THROW(make_rolling_plan(spec, 0.5, 0), std::invalid_argument);
+}
+
+TEST(RollingExtract, Round0MatchesPrefixPrune) {
+  // At round 0 rolling extraction must equal the uniform prefix prune.
+  Rng rng(1);
+  ArchSpec spec = mini_vgg(10, 3, 12);
+  Model full = build_full_model(spec, &rng);
+  const ParamSet global = full.export_params();
+  const ParamSet rolled =
+      rolling_extract(global, spec, make_rolling_plan(spec, 0.5, 0));
+  const ParamSet prefixed = prune_params(global, spec, uniform_plan(spec, 0.5));
+  ASSERT_TRUE(same_structure(rolled, prefixed));
+  EXPECT_EQ(max_abs_diff(rolled, prefixed), 0.0);
+}
+
+TEST(RollingExtract, ShapesMatchUniformPlanModel) {
+  Rng rng(2);
+  ArchSpec spec = mini_vgg(10, 3, 12);
+  Model full = build_full_model(spec, &rng);
+  const ParamSet global = full.export_params();
+  for (std::size_t round : {1u, 5u, 17u}) {
+    const ParamSet sub =
+        rolling_extract(global, spec, make_rolling_plan(spec, 0.4, round));
+    Model m = build_model(spec, uniform_plan(spec, 0.4));
+    EXPECT_NO_THROW(m.import_params(sub)) << "round " << round;
+  }
+}
+
+TEST(RollingExtract, GathersExactGlobalValues) {
+  Rng rng(3);
+  ArchSpec spec = mini_vgg(10, 3, 12);
+  Model full = build_full_model(spec, &rng);
+  const ParamSet global = full.export_params();
+  const std::size_t round = 7;
+  const RollingPlan plan = make_rolling_plan(spec, 0.5, round);
+  const ParamSet sub = rolling_extract(global, spec, plan);
+  // Check u2.w: rows from unit-2 window, cols from unit-1 window.
+  const Tensor& g = global.at("u2.w");
+  const Tensor& s = sub.at("u2.w");
+  const auto& rows = plan.unit_channels[1];
+  const auto& cols = plan.unit_channels[0];
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      for (std::size_t k = 0; k < 9; ++k) {
+        EXPECT_EQ(s[(r * cols.size() + c) * 9 + k],
+                  g[(rows[r] * g.shape()[1] + cols[c]) * 9 + k]);
+      }
+    }
+  }
+}
+
+TEST(RollingAggregate, IdentityWhenUnchanged) {
+  Rng rng(4);
+  ArchSpec spec = mini_vgg(10, 3, 12);
+  Model full = build_full_model(spec, &rng);
+  const ParamSet global = full.export_params();
+  std::vector<RollingUpdate> updates;
+  for (std::size_t round : {0u, 3u, 9u}) {
+    const RollingPlan plan = make_rolling_plan(spec, 0.66, round);
+    updates.push_back({plan, rolling_extract(global, spec, plan), 10});
+  }
+  const ParamSet next = rolling_aggregate(global, spec, updates);
+  EXPECT_LT(max_abs_diff(next, global), 1e-6);
+}
+
+TEST(RollingAggregate, UncoveredKeepOldValues) {
+  Rng rng(5);
+  ArchSpec spec = mini_vgg(10, 3, 12);
+  Model full = build_full_model(spec, &rng);
+  const ParamSet global = full.export_params();
+  const RollingPlan plan = make_rolling_plan(spec, 0.4, 0);
+  ParamSet sub = rolling_extract(global, spec, plan);
+  for (auto& [name, tensor] : sub) {
+    for (std::size_t i = 0; i < tensor.numel(); ++i) tensor[i] += 1.0f;
+  }
+  const ParamSet next =
+      rolling_aggregate(global, spec, {{plan, std::move(sub), 5}});
+  // Covered element (channel 0 of unit 1) moved by +1, uncovered (last
+  // channel) untouched.
+  const Tensor& g = global.at("u1.w");
+  const Tensor& n = next.at("u1.w");
+  EXPECT_NEAR(n[0] - g[0], 1.0f, 1e-5);
+  const std::size_t last = g.numel() - 1;  // channel 15 kernel tail
+  EXPECT_EQ(n[last], g[last]);
+}
+
+TEST(RollingAggregate, FullCoverageOverRounds) {
+  // Rolling the window over enough rounds must touch every channel of every
+  // unit (the property motivating FedRolex).
+  ArchSpec spec = mini_vgg(10, 3, 12);
+  for (std::size_t j = 0; j < spec.num_units(); ++j) {
+    std::set<std::size_t> seen;
+    const std::size_t base = spec.units[j].out_c;
+    for (std::size_t round = 0; round < base; ++round) {
+      const RollingPlan plan = make_rolling_plan(spec, 0.4, round);
+      seen.insert(plan.unit_channels[j].begin(), plan.unit_channels[j].end());
+    }
+    EXPECT_EQ(seen.size(), base) << "unit " << j + 1;
+  }
+}
+
+TEST(RollingFl, RunsEndToEnd) {
+  Rng rng(6);
+  SyntheticTask task(SyntheticConfig::cifar10_like(8), rng);
+  FederatedConfig fed;
+  fed.num_clients = 8;
+  fed.samples_per_client = 10;
+  fed.test_samples = 40;
+  FederatedDataset data = make_federated(task, fed, rng);
+  ArchSpec spec = mini_vgg(10, 3, 8);
+  PoolConfig pool_cfg = PoolConfig::defaults_for(spec);
+  ModelPool pool(spec, pool_cfg);
+  std::vector<DeviceSim> devices =
+      make_devices(pool, fed.num_clients, TierProportions{}, rng);
+  FlRunConfig run;
+  run.rounds = 2;
+  run.clients_per_round = 4;
+  run.local.epochs = 1;
+  run.local.batch_size = 10;
+  run.eval_every = 1;
+  RollingFl alg(spec, pool_cfg, data, devices, run);
+  RunResult r = alg.run();
+  EXPECT_EQ(r.algorithm, "FedRolex*");
+  EXPECT_EQ(r.curve.size(), 2u);
+  EXPECT_GT(r.final_full_acc, 0.0);
+  EXPECT_EQ(r.failed_trainings, 0u);
+}
+
+}  // namespace
+}  // namespace afl

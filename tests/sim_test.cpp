@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "arch/zoo.hpp"
+#include "sim/device.hpp"
+#include "sim/testbed.hpp"
+
+namespace afl {
+namespace {
+
+class SimFixture : public ::testing::Test {
+ protected:
+  SimFixture()
+      : spec_(mini_vgg(10, 3, 16)), pool_(spec_, PoolConfig::defaults_for(spec_)) {}
+  ArchSpec spec_;
+  ModelPool pool_;
+};
+
+TEST_F(SimFixture, TierCapacitiesMatchLevelHeads) {
+  EXPECT_EQ(tier_capacity(pool_, DeviceTier::kWeak),
+            pool_.entry(pool_.level_head_index(Level::kSmall)).params);
+  EXPECT_EQ(tier_capacity(pool_, DeviceTier::kMedium),
+            pool_.entry(pool_.level_head_index(Level::kMedium)).params);
+  EXPECT_EQ(tier_capacity(pool_, DeviceTier::kStrong),
+            pool_.entry(pool_.level_head_index(Level::kLarge)).params);
+}
+
+TEST_F(SimFixture, WeakDeviceFitsOnlySmallModels) {
+  const std::size_t weak = tier_capacity(pool_, DeviceTier::kWeak);
+  // Every S entry fits, no M or L entry fits.
+  for (const PoolEntry& e : pool_.entries()) {
+    if (e.level == Level::kSmall) {
+      EXPECT_LE(e.params, weak) << e.label();
+    } else {
+      EXPECT_GT(e.params, weak) << e.label();
+    }
+  }
+}
+
+TEST_F(SimFixture, MediumDeviceFitsUpToMedium) {
+  const std::size_t medium = tier_capacity(pool_, DeviceTier::kMedium);
+  for (const PoolEntry& e : pool_.entries()) {
+    if (e.level == Level::kLarge) {
+      EXPECT_GT(e.params, medium) << e.label();
+    } else {
+      EXPECT_LE(e.params, medium) << e.label();
+    }
+  }
+}
+
+TEST_F(SimFixture, ProportionsProduceExpectedTierCounts) {
+  Rng rng(1);
+  auto devices = make_devices(pool_, 100, TierProportions{0.4, 0.3, 0.3}, rng);
+  ASSERT_EQ(devices.size(), 100u);
+  std::size_t counts[3] = {0, 0, 0};
+  for (const DeviceSim& d : devices) ++counts[static_cast<int>(d.tier)];
+  EXPECT_EQ(counts[0], 40u);
+  EXPECT_EQ(counts[1], 30u);
+  EXPECT_EQ(counts[2], 30u);
+}
+
+TEST_F(SimFixture, ExtremeProportions) {
+  Rng rng(2);
+  auto devices = make_devices(pool_, 10, TierProportions::parse(8, 1, 1), rng);
+  std::size_t counts[3] = {0, 0, 0};
+  for (const DeviceSim& d : devices) ++counts[static_cast<int>(d.tier)];
+  EXPECT_EQ(counts[0], 8u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST_F(SimFixture, JitterVariesCapacityWithinBounds) {
+  Rng rng(3);
+  DeviceSim d;
+  d.base_capacity = 10000;
+  d.jitter = 0.2;
+  std::size_t lo = d.base_capacity, hi = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t c = d.capacity(rng);
+    EXPECT_GE(c, 8000u - 1);
+    EXPECT_LE(c, 12000u + 1);
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_LT(lo, 8600u);  // actually varies
+  EXPECT_GT(hi, 11400u);
+}
+
+TEST_F(SimFixture, ZeroJitterIsDeterministic) {
+  Rng rng(4);
+  DeviceSim d;
+  d.base_capacity = 5000;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.capacity(rng), 5000u);
+}
+
+TEST(TierProportions, ParseNormalizes) {
+  const TierProportions p = TierProportions::parse(4, 3, 3);
+  EXPECT_NEAR(p.weak, 0.4, 1e-12);
+  EXPECT_NEAR(p.medium, 0.3, 1e-12);
+  EXPECT_NEAR(p.strong, 0.3, 1e-12);
+  EXPECT_EQ(p.label(), "4:3:3");
+}
+
+TEST(DeviceTier, Names) {
+  EXPECT_STREQ(device_tier_name(DeviceTier::kWeak), "weak");
+  EXPECT_STREQ(device_tier_name(DeviceTier::kMedium), "medium");
+  EXPECT_STREQ(device_tier_name(DeviceTier::kStrong), "strong");
+}
+
+TEST_F(SimFixture, TestbedMatchesTable5) {
+  const auto& rows = testbed_rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].device, "Raspberry Pi 4B");
+  EXPECT_EQ(rows[0].count, 4u);
+  EXPECT_EQ(rows[1].device, "Jetson Nano");
+  EXPECT_EQ(rows[1].count, 10u);
+  EXPECT_EQ(rows[2].device, "Jetson Xavier AGX");
+  EXPECT_EQ(rows[2].count, 3u);
+
+  Rng rng(5);
+  auto devices = make_testbed_devices(pool_, rng);
+  EXPECT_EQ(devices.size(), 17u);
+  std::size_t counts[3] = {0, 0, 0};
+  for (const DeviceSim& d : devices) ++counts[static_cast<int>(d.tier)];
+  EXPECT_EQ(counts[0], 4u);
+  EXPECT_EQ(counts[1], 10u);
+  EXPECT_EQ(counts[2], 3u);
+}
+
+}  // namespace
+}  // namespace afl

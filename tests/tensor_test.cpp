@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+namespace {
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.dim(1), 3u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillAndFull) {
+  Tensor t = Tensor::full({3, 3}, 2.5f);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(t[i], 2.5f);
+  t.fill(-1.0f);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(t[i], -1.0f);
+}
+
+TEST(Tensor, OffsetRowMajor) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.offset({0, 0, 0}), 0u);
+  EXPECT_EQ(t.offset({0, 0, 3}), 3u);
+  EXPECT_EQ(t.offset({0, 1, 0}), 4u);
+  EXPECT_EQ(t.offset({1, 2, 3}), 23u);
+}
+
+TEST(Tensor, AtReadsWrites) {
+  Tensor t({2, 2});
+  t.at({1, 0}) = 7.0f;
+  EXPECT_EQ(t[2], 7.0f);
+  EXPECT_EQ(t.at({1, 0}), 7.0f);
+}
+
+TEST(Tensor, FromVectorValidates) {
+  EXPECT_NO_THROW(Tensor::from_vector({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, PrefixSlice2D) {
+  Tensor t = Tensor::from_vector({3, 4}, {0, 1, 2,  3,  //
+                                          4, 5, 6,  7,  //
+                                          8, 9, 10, 11});
+  Tensor s = t.prefix_slice({2, 3});
+  ASSERT_EQ(s.shape(), (Shape{2, 3}));
+  EXPECT_EQ(s[0], 0.0f);
+  EXPECT_EQ(s[1], 1.0f);
+  EXPECT_EQ(s[2], 2.0f);
+  EXPECT_EQ(s[3], 4.0f);
+  EXPECT_EQ(s[5], 6.0f);
+}
+
+TEST(Tensor, PrefixSliceIdentity) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({3, 2, 5}, rng);
+  Tensor s = t.prefix_slice(t.shape());
+  EXPECT_EQ(max_abs_diff(t, s), 0.0);
+}
+
+TEST(Tensor, PrefixSliceRejectsGrowth) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.prefix_slice({3, 2}), std::invalid_argument);
+  EXPECT_THROW(t.prefix_slice({2}), std::invalid_argument);
+}
+
+TEST(Tensor, PrefixSlice4DMatchesManual) {
+  Rng rng(2);
+  Tensor t = Tensor::randn({4, 3, 2, 2}, rng);
+  Tensor s = t.prefix_slice({2, 2, 2, 2});
+  for (std::size_t a = 0; a < 2; ++a)
+    for (std::size_t b = 0; b < 2; ++b)
+      for (std::size_t c = 0; c < 2; ++c)
+        for (std::size_t d = 0; d < 2; ++d)
+          EXPECT_EQ(s.at({a, b, c, d}), t.at({a, b, c, d}));
+}
+
+TEST(Tensor, AssignPrefixRoundTrips) {
+  Rng rng(3);
+  Tensor big = Tensor::randn({4, 5}, rng);
+  Tensor sub = Tensor::randn({2, 3}, rng);
+  Tensor copy = big;
+  copy.assign_prefix(sub);
+  // Prefix region replaced...
+  EXPECT_EQ(max_abs_diff(copy.prefix_slice({2, 3}), sub), 0.0);
+  // ...rest untouched.
+  EXPECT_EQ(copy.at({3, 4}), big.at({3, 4}));
+  EXPECT_EQ(copy.at({0, 4}), big.at({0, 4}));
+  EXPECT_EQ(copy.at({3, 0}), big.at({3, 0}));
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.at({2, 1}), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Ops, AxpyAndScale) {
+  Tensor x = Tensor::from_vector({3}, {1, 2, 3});
+  Tensor y = Tensor::from_vector({3}, {10, 20, 30});
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y[0], 12.0f);
+  EXPECT_EQ(y[2], 36.0f);
+  scale(y, 0.5f);
+  EXPECT_EQ(y[0], 6.0f);
+}
+
+TEST(Ops, AddSub) {
+  Tensor a = Tensor::from_vector({2}, {1, 5});
+  Tensor b = Tensor::from_vector({2}, {3, 2});
+  EXPECT_EQ(add(a, b)[0], 4.0f);
+  EXPECT_EQ(sub(a, b)[1], 3.0f);
+  Tensor c({3});
+  EXPECT_THROW(add(a, c), std::invalid_argument);
+}
+
+TEST(Ops, Reductions) {
+  Tensor a = Tensor::from_vector({4}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(sum(a), 10.0);
+  EXPECT_DOUBLE_EQ(mean(a), 2.5);
+  EXPECT_DOUBLE_EQ(squared_norm(a), 30.0);
+}
+
+TEST(Ops, AllFinite) {
+  Tensor a = Tensor::from_vector({2}, {1.0f, 2.0f});
+  EXPECT_TRUE(all_finite(a));
+  a[1] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(all_finite(a));
+  a[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(all_finite(a));
+}
+
+// Property sweep: prefix_slice then assign_prefix back is idempotent for many
+// random shapes.
+class PrefixSliceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixSliceProperty, SliceAssignRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t rank = 1 + rng.uniform_index(4);
+  Shape full(rank), sub(rank);
+  for (std::size_t d = 0; d < rank; ++d) {
+    full[d] = 1 + rng.uniform_index(6);
+    sub[d] = 1 + rng.uniform_index(full[d]);
+  }
+  Tensor t = Tensor::randn(full, rng);
+  Tensor original = t;
+  Tensor s = t.prefix_slice(sub);
+  EXPECT_EQ(s.shape(), sub);
+  t.assign_prefix(s);  // writing the slice back must change nothing
+  EXPECT_EQ(max_abs_diff(t, original), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, PrefixSliceProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace afl

@@ -1,0 +1,115 @@
+// Structural tests of the architecture zoo against the published shapes.
+
+#include <gtest/gtest.h>
+
+#include "arch/stats.hpp"
+#include "arch/zoo.hpp"
+
+namespace afl {
+namespace {
+
+TEST(Zoo, Vgg16Structure) {
+  const ArchSpec s = vgg16(10, 3, 32);
+  EXPECT_EQ(s.num_units(), 15u);  // 13 convs + 2 hidden FCs
+  std::size_t convs = 0, denses = 0, pools = 0;
+  for (const Unit& u : s.units) {
+    if (u.kind == UnitKind::kConv) {
+      ++convs;
+      pools += u.maxpool_after;
+    } else if (u.kind == UnitKind::kLinear) {
+      ++denses;
+    }
+  }
+  EXPECT_EQ(convs, 13u);
+  EXPECT_EQ(denses, 2u);
+  EXPECT_EQ(pools, 5u);  // 32x32 -> 1x1
+  EXPECT_FALSE(s.gap_before_classifier);
+  EXPECT_EQ(s.tau, 4u);
+  // Channel progression of the standard VGG16.
+  EXPECT_EQ(s.units[0].out_c, 64u);
+  EXPECT_EQ(s.units[12].out_c, 512u);
+  EXPECT_EQ(s.units[13].out_c, 4096u);
+}
+
+TEST(Zoo, Resnet18Structure) {
+  const ArchSpec s = resnet18(10, 3, 32);
+  EXPECT_EQ(s.num_units(), 9u);  // stem conv + 8 basic blocks
+  EXPECT_TRUE(s.gap_before_classifier);
+  std::size_t blocks = 0, projections = 0;
+  for (const Unit& u : s.units) {
+    if (u.kind == UnitKind::kBasicBlock) {
+      ++blocks;
+      projections += u.projection;
+    }
+  }
+  EXPECT_EQ(blocks, 8u);
+  EXPECT_EQ(projections, 3u);  // the three stage transitions
+  // ResNet-18 at 10 classes has ~11.2M params; ours is normalization-free so
+  // expect the conv/fc mass only (within 5% of 11.17M).
+  const ModelStats stats = arch_stats(s);
+  EXPECT_NEAR(static_cast<double>(stats.params), 11.17e6, 0.05 * 11.17e6);
+}
+
+TEST(Zoo, MobilenetV2Structure) {
+  const ArchSpec s = mobilenetv2(10, 3, 32);
+  EXPECT_TRUE(s.gap_before_classifier);
+  std::size_t inv = 0, residuals = 0;
+  for (const Unit& u : s.units) {
+    if (u.kind == UnitKind::kInvertedResidual) {
+      ++inv;
+      residuals += u.residual;
+    }
+  }
+  EXPECT_EQ(inv, 17u);  // 1 + 2 + 3 + 4 + 3 + 3 + 1
+  EXPECT_GT(residuals, 0u);
+  // MobileNetV2 is ~2-3.5M parameters.
+  const ModelStats stats = arch_stats(s);
+  EXPECT_GT(stats.params, 1500000u);
+  EXPECT_LT(stats.params, 4000000u);
+}
+
+TEST(Zoo, MiniVariantsAreSmall) {
+  for (const ArchSpec& s : {mini_vgg(), mini_resnet(), mini_mobilenet()}) {
+    const ModelStats stats = arch_stats(s);
+    EXPECT_LT(stats.params, 500000u) << s.name;
+    EXPECT_GT(stats.params, 1000u) << s.name;
+  }
+}
+
+TEST(Zoo, ClassAndChannelParametersRespected) {
+  const ArchSpec s = mini_vgg(62, 1, 16);
+  EXPECT_EQ(s.num_classes, 62u);
+  EXPECT_EQ(s.in_channels, 1u);
+  EXPECT_EQ(s.in_h, 16u);
+  // More classes -> more classifier params.
+  EXPECT_GT(arch_stats(mini_vgg(100, 3, 16)).params,
+            arch_stats(mini_vgg(10, 3, 16)).params);
+}
+
+TEST(Zoo, ResidualFlagsConsistent) {
+  // kInvertedResidual units flagged residual must have stride 1 and equal
+  // base in/out channels (so the sliced identity stays valid after pruning).
+  for (const ArchSpec& s : {mobilenetv2(), mini_mobilenet()}) {
+    for (std::size_t j = 0; j < s.num_units(); ++j) {
+      const Unit& u = s.units[j];
+      if (u.kind != UnitKind::kInvertedResidual || !u.residual) continue;
+      ASSERT_GT(j, 0u);
+      EXPECT_EQ(u.stride, 1u) << s.name << " unit " << j + 1;
+      EXPECT_EQ(u.out_c, s.units[j - 1].out_c) << s.name << " unit " << j + 1;
+    }
+  }
+}
+
+TEST(Zoo, BasicBlockProjectionWhereShapeChanges) {
+  for (const ArchSpec& s : {resnet18(), mini_resnet()}) {
+    for (std::size_t j = 1; j < s.num_units(); ++j) {
+      const Unit& u = s.units[j];
+      if (u.kind != UnitKind::kBasicBlock) continue;
+      const bool changes = u.stride != 1 || u.out_c != s.units[j - 1].out_c;
+      EXPECT_EQ(u.projection, changes) << s.name << " unit " << j + 1;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace afl
