@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rolling.dir/bench_ablation_rolling.cpp.o"
+  "CMakeFiles/bench_ablation_rolling.dir/bench_ablation_rolling.cpp.o.d"
+  "bench_ablation_rolling"
+  "bench_ablation_rolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_submodels.dir/bench_fig3_submodels.cpp.o"
+  "CMakeFiles/bench_fig3_submodels.dir/bench_fig3_submodels.cpp.o.d"
+  "bench_fig3_submodels"
+  "bench_fig3_submodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_submodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_splits.cpp" "bench/CMakeFiles/bench_table1_splits.dir/bench_table1_splits.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_splits.dir/bench_table1_splits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/afl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/afl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/afl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/afl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/afl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prune/CMakeFiles/afl_prune.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/afl_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/afl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/afl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

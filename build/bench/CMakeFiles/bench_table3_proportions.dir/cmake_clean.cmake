@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_proportions.dir/bench_table3_proportions.cpp.o"
+  "CMakeFiles/bench_table3_proportions.dir/bench_table3_proportions.cpp.o.d"
+  "bench_table3_proportions"
+  "bench_table3_proportions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_proportions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

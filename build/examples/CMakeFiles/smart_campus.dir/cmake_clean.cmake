@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_campus.dir/smart_campus.cpp.o"
+  "CMakeFiles/smart_campus.dir/smart_campus.cpp.o.d"
+  "smart_campus"
+  "smart_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertain_environment.dir/uncertain_environment.cpp.o"
+  "CMakeFiles/uncertain_environment.dir/uncertain_environment.cpp.o.d"
+  "uncertain_environment"
+  "uncertain_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertain_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/build.cpp" "src/arch/CMakeFiles/afl_arch.dir/build.cpp.o" "gcc" "src/arch/CMakeFiles/afl_arch.dir/build.cpp.o.d"
+  "/root/repo/src/arch/spec.cpp" "src/arch/CMakeFiles/afl_arch.dir/spec.cpp.o" "gcc" "src/arch/CMakeFiles/afl_arch.dir/spec.cpp.o.d"
+  "/root/repo/src/arch/stats.cpp" "src/arch/CMakeFiles/afl_arch.dir/stats.cpp.o" "gcc" "src/arch/CMakeFiles/afl_arch.dir/stats.cpp.o.d"
+  "/root/repo/src/arch/zoo.cpp" "src/arch/CMakeFiles/afl_arch.dir/zoo.cpp.o" "gcc" "src/arch/CMakeFiles/afl_arch.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/afl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/afl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afl_arch.dir/build.cpp.o"
+  "CMakeFiles/afl_arch.dir/build.cpp.o.d"
+  "CMakeFiles/afl_arch.dir/spec.cpp.o"
+  "CMakeFiles/afl_arch.dir/spec.cpp.o.d"
+  "CMakeFiles/afl_arch.dir/stats.cpp.o"
+  "CMakeFiles/afl_arch.dir/stats.cpp.o.d"
+  "CMakeFiles/afl_arch.dir/zoo.cpp.o"
+  "CMakeFiles/afl_arch.dir/zoo.cpp.o.d"
+  "libafl_arch.a"
+  "libafl_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afl_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afl_core.dir/adaptivefl.cpp.o"
+  "CMakeFiles/afl_core.dir/adaptivefl.cpp.o.d"
+  "CMakeFiles/afl_core.dir/baselines.cpp.o"
+  "CMakeFiles/afl_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/afl_core.dir/experiment.cpp.o"
+  "CMakeFiles/afl_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/afl_core.dir/rolling_fl.cpp.o"
+  "CMakeFiles/afl_core.dir/rolling_fl.cpp.o.d"
+  "CMakeFiles/afl_core.dir/run.cpp.o"
+  "CMakeFiles/afl_core.dir/run.cpp.o.d"
+  "CMakeFiles/afl_core.dir/scalefl.cpp.o"
+  "CMakeFiles/afl_core.dir/scalefl.cpp.o.d"
+  "libafl_core.a"
+  "libafl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

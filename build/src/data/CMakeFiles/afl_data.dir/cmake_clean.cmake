@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afl_data.dir/dataset.cpp.o"
+  "CMakeFiles/afl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/afl_data.dir/federated.cpp.o"
+  "CMakeFiles/afl_data.dir/federated.cpp.o.d"
+  "CMakeFiles/afl_data.dir/synthetic.cpp.o"
+  "CMakeFiles/afl_data.dir/synthetic.cpp.o.d"
+  "libafl_data.a"
+  "libafl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

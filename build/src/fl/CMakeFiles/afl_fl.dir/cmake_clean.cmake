@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afl_fl.dir/aggregate.cpp.o"
+  "CMakeFiles/afl_fl.dir/aggregate.cpp.o.d"
+  "CMakeFiles/afl_fl.dir/comm.cpp.o"
+  "CMakeFiles/afl_fl.dir/comm.cpp.o.d"
+  "CMakeFiles/afl_fl.dir/evaluate.cpp.o"
+  "CMakeFiles/afl_fl.dir/evaluate.cpp.o.d"
+  "CMakeFiles/afl_fl.dir/local_train.cpp.o"
+  "CMakeFiles/afl_fl.dir/local_train.cpp.o.d"
+  "libafl_fl.a"
+  "libafl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

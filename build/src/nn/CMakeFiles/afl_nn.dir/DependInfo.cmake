@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/afl_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/afl_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/afl_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/depthwise_conv.cpp" "src/nn/CMakeFiles/afl_nn.dir/depthwise_conv.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/depthwise_conv.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/afl_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/afl_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/afl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/afl_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/afl_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/param.cpp" "src/nn/CMakeFiles/afl_nn.dir/param.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/param.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/afl_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/afl_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/afl_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/afl_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/afl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afl_nn.dir/activation.cpp.o"
+  "CMakeFiles/afl_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/afl_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/afl_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/afl_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/afl_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/afl_nn.dir/depthwise_conv.cpp.o"
+  "CMakeFiles/afl_nn.dir/depthwise_conv.cpp.o.d"
+  "CMakeFiles/afl_nn.dir/init.cpp.o"
+  "CMakeFiles/afl_nn.dir/init.cpp.o.d"
+  "CMakeFiles/afl_nn.dir/linear.cpp.o"
+  "CMakeFiles/afl_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/afl_nn.dir/loss.cpp.o"
+  "CMakeFiles/afl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/afl_nn.dir/model.cpp.o"
+  "CMakeFiles/afl_nn.dir/model.cpp.o.d"
+  "CMakeFiles/afl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/afl_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/afl_nn.dir/param.cpp.o"
+  "CMakeFiles/afl_nn.dir/param.cpp.o.d"
+  "CMakeFiles/afl_nn.dir/pool.cpp.o"
+  "CMakeFiles/afl_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/afl_nn.dir/residual.cpp.o"
+  "CMakeFiles/afl_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/afl_nn.dir/sequential.cpp.o"
+  "CMakeFiles/afl_nn.dir/sequential.cpp.o.d"
+  "libafl_nn.a"
+  "libafl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prune/model_pool.cpp" "src/prune/CMakeFiles/afl_prune.dir/model_pool.cpp.o" "gcc" "src/prune/CMakeFiles/afl_prune.dir/model_pool.cpp.o.d"
+  "/root/repo/src/prune/rolling.cpp" "src/prune/CMakeFiles/afl_prune.dir/rolling.cpp.o" "gcc" "src/prune/CMakeFiles/afl_prune.dir/rolling.cpp.o.d"
+  "/root/repo/src/prune/width_prune.cpp" "src/prune/CMakeFiles/afl_prune.dir/width_prune.cpp.o" "gcc" "src/prune/CMakeFiles/afl_prune.dir/width_prune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/afl_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/afl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/afl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/afl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afl_prune.dir/model_pool.cpp.o"
+  "CMakeFiles/afl_prune.dir/model_pool.cpp.o.d"
+  "CMakeFiles/afl_prune.dir/rolling.cpp.o"
+  "CMakeFiles/afl_prune.dir/rolling.cpp.o.d"
+  "CMakeFiles/afl_prune.dir/width_prune.cpp.o"
+  "CMakeFiles/afl_prune.dir/width_prune.cpp.o.d"
+  "libafl_prune.a"
+  "libafl_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afl_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

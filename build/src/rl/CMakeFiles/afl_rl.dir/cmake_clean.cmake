@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afl_rl.dir/selector.cpp.o"
+  "CMakeFiles/afl_rl.dir/selector.cpp.o.d"
+  "CMakeFiles/afl_rl.dir/tables.cpp.o"
+  "CMakeFiles/afl_rl.dir/tables.cpp.o.d"
+  "libafl_rl.a"
+  "libafl_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afl_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

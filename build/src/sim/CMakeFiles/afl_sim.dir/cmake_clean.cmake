@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afl_sim.dir/device.cpp.o"
+  "CMakeFiles/afl_sim.dir/device.cpp.o.d"
+  "CMakeFiles/afl_sim.dir/testbed.cpp.o"
+  "CMakeFiles/afl_sim.dir/testbed.cpp.o.d"
+  "libafl_sim.a"
+  "libafl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

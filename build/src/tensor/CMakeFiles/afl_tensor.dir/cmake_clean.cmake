@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afl_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/afl_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/afl_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/afl_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/afl_tensor.dir/ops.cpp.o"
+  "CMakeFiles/afl_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/afl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/afl_tensor.dir/tensor.cpp.o.d"
+  "libafl_tensor.a"
+  "libafl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

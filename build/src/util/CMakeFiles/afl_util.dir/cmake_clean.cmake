@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afl_util.dir/env.cpp.o"
+  "CMakeFiles/afl_util.dir/env.cpp.o.d"
+  "CMakeFiles/afl_util.dir/logging.cpp.o"
+  "CMakeFiles/afl_util.dir/logging.cpp.o.d"
+  "CMakeFiles/afl_util.dir/rng.cpp.o"
+  "CMakeFiles/afl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/afl_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/afl_util.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/afl_util.dir/table.cpp.o"
+  "CMakeFiles/afl_util.dir/table.cpp.o.d"
+  "libafl_util.a"
+  "libafl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

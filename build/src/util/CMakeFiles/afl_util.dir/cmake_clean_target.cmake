@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libafl_util.a"
+)

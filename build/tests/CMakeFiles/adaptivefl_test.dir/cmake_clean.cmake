@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptivefl_test.dir/adaptivefl_test.cpp.o"
+  "CMakeFiles/adaptivefl_test.dir/adaptivefl_test.cpp.o.d"
+  "adaptivefl_test"
+  "adaptivefl_test.pdb"
+  "adaptivefl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptivefl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_run_test.dir/core_run_test.cpp.o"
+  "CMakeFiles/core_run_test.dir/core_run_test.cpp.o.d"
+  "core_run_test"
+  "core_run_test.pdb"
+  "core_run_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalefl_test.dir/scalefl_test.cpp.o"
+  "CMakeFiles/scalefl_test.dir/scalefl_test.cpp.o.d"
+  "scalefl_test"
+  "scalefl_test.pdb"
+  "scalefl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalefl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_test.dir/zoo_test.cpp.o"
+  "CMakeFiles/zoo_test.dir/zoo_test.cpp.o.d"
+  "zoo_test"
+  "zoo_test.pdb"
+  "zoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
