@@ -2,14 +2,23 @@
 // the FL simulation: GEMM variants, im2col, conv forward/backward, pruning
 // and heterogeneous aggregation throughput. Not part of the paper — these
 // document the substrate's performance envelope.
+//
+// Kernel profiling (obs::KernelTimer inside gemm/im2col) is switched on by
+// default here so the run ends with a per-kernel histogram summary on stderr;
+// AFL_KERNEL_PROFILE=0 restores the production no-op path for overhead
+// measurements.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "arch/zoo.hpp"
 #include "fl/aggregate.hpp"
 #include "nn/conv2d.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "prune/model_pool.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
@@ -110,6 +119,30 @@ void BM_HeteroAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_HeteroAggregate)->Arg(4)->Arg(10);
 
+void print_kernel_histograms() {
+  if (!obs::kernel_profiling_enabled()) return;
+  std::fprintf(stderr, "\nobs kernel histograms (afl.tensor.*):\n");
+  std::fprintf(stderr, "%-30s %12s %12s %12s %12s\n", "histogram", "count",
+               "p50 (us)", "p95 (us)", "p99 (us)");
+  for (const auto& [name, s] : obs::metrics().histograms()) {
+    if (s.count == 0) continue;
+    std::fprintf(stderr, "%-30s %12llu %12.3f %12.3f %12.3f\n", name.c_str(),
+                 static_cast<unsigned long long>(s.count), s.p50 * 1e6, s.p95 * 1e6,
+                 s.p99 * 1e6);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Profile kernels unless the caller explicitly opted out.
+  if (std::getenv("AFL_KERNEL_PROFILE") == nullptr) {
+    afl::obs::set_kernel_profiling(true);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_kernel_histograms();
+  return 0;
+}

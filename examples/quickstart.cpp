@@ -3,6 +3,10 @@
 // curves plus the final per-level submodel accuracies.
 //
 //   ./quickstart [rounds] [num_clients]
+//
+// Observability (see docs/OBSERVABILITY.md): set AFL_TRACE_JSONL=<path> to
+// stream structured trace events, AFL_METRICS_JSONL=<path> to dump per-round
+// metrics for the AdaptiveFL run on exit.
 
 #include <cstdio>
 #include <cstdlib>
@@ -54,5 +58,11 @@ int main(int argc, char** argv) {
               100 * adaptive.comm.waste_rate(), adaptive.wall_seconds);
   std::printf("All-Large : full %.2f%% (idealized: ignores device limits), %.1fs\n",
               100 * fedavg.final_full_acc, fedavg.wall_seconds);
+
+  if (const char* metrics_path = std::getenv("AFL_METRICS_JSONL");
+      metrics_path != nullptr && metrics_path[0] != '\0') {
+    adaptive.write_metrics_jsonl(metrics_path);
+    std::fprintf(stderr, "wrote per-round metrics to %s\n", metrics_path);
+  }
   return 0;
 }

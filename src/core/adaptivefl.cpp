@@ -5,6 +5,8 @@
 #include "fl/aggregate.hpp"
 #include "fl/evaluate.hpp"
 #include "nn/init.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -52,6 +54,7 @@ void AdaptiveFl::evaluate_round(std::size_t round, const ParamSet& global,
   rec.full_acc = full;
   rec.avg_acc = sum / 3.0;
   rec.comm_waste = result.comm.waste_rate();
+  rec.round_waste = result.comm.round_waste_rate();
   result.curve.push_back(rec);
   result.final_full_acc = full;
   result.final_avg_acc = rec.avg_acc;
@@ -73,6 +76,7 @@ RunResult AdaptiveFl::run() {
   ParamSet& global = global_;
 
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    RoundTelemetry telemetry(result, round);
     std::vector<bool> taken(data_.num_clients(), false);
     std::vector<ClientUpdate> updates;
     updates.reserve(config_.clients_per_round);
@@ -87,11 +91,18 @@ RunResult AdaptiveFl::run() {
       if (!client) break;  // every client already has a model this round
       taken[*client] = true;
       result.comm.record_dispatch(pool_.entry(sent).params);
+      obs::TraceSpan dispatch("dispatch");
+      dispatch.field("round", static_cast<std::uint64_t>(round))
+          .field("client", static_cast<std::uint64_t>(*client))
+          .field("sent", static_cast<std::uint64_t>(sent))
+          .field("params", static_cast<std::uint64_t>(pool_.entry(sent).params));
 
       // Unreachable device: the dispatched model is lost (counted as pure
       // communication waste) and only the curiosity visit is recorded.
       if (!devices_[*client].responds(rng)) {
         ++result.failed_trainings;
+        telemetry.client_failed();
+        dispatch.field("outcome", "no_response");
         selector_.tables().update_no_response(pool_.entry(sent).level, *client);
         continue;
       }
@@ -101,29 +112,57 @@ RunResult AdaptiveFl::run() {
       const auto back = pool_.adapt(sent, capacity);
       if (!back) {
         ++result.failed_trainings;
+        telemetry.client_failed();
+        dispatch.field("outcome", "adapt_failed");
         selector_.tables().update_failure(sent, pool_.entry(sent).level, *client);
         continue;
       }
       Model local = pool_.build(*back);
       local.import_params(pool_.split(global, *back));
       Rng crng = rng.fork();
-      local_train(local, data_.clients[*client], config_.local, crng);
+      const LocalTrainResult trained =
+          local_train(local, data_.clients[*client], config_.local, crng);
+      telemetry.add_train_seconds(trained.seconds);
 
       // Step 5 (Model Uploading).
       updates.push_back(
           {local.export_params(), data_.clients[*client].size()});
       result.comm.record_return(pool_.entry(*back).params);
+      telemetry.client_ok();
+      dispatch.field("outcome", "ok")
+          .field("back", static_cast<std::uint64_t>(*back))
+          .field("train_ms", trained.seconds * 1e3);
 
       // RL table update (Algorithm 1, lines 12-26).
       selector_.tables().update(sent, pool_.entry(sent).level, *back,
                                 pool_.entry(*back).level, *client);
     }
     // Step 6 (Model Aggregation).
-    global = hetero_aggregate(global, updates);
+    {
+      Stopwatch agg_watch;
+      global = hetero_aggregate(global, updates);
+      telemetry.add_aggregate_seconds(agg_watch.seconds());
+    }
+
+    // Selector-policy telemetry: how concentrated has client selection become
+    // for the largest model, plus the round's RL table snapshot.
+    const double entropy = selector_.selection_entropy(pool_.largest_index());
+    telemetry.set_selector_entropy(entropy);
+    obs::metrics().gauge("afl.rl.selector.entropy").set(entropy);
+    if (obs::trace_enabled()) {
+      obs::TraceEvent tables_ev("rl_tables");
+      tables_ev.field("round", static_cast<std::uint64_t>(round))
+          .field("selector_entropy", entropy)
+          .field("mean_curiosity", selector_.tables().mean_curiosity())
+          .field("mean_resource", selector_.tables().mean_resource());
+      tables_ev.emit();
+    }
 
     if (config_.eval_every != 0 &&
         (round % config_.eval_every == 0 || round == config_.rounds)) {
+      Stopwatch eval_watch;
       evaluate_round(round, global, result);
+      telemetry.add_eval_seconds(eval_watch.seconds());
       AFL_LOG_DEBUG << result.algorithm << " round " << round << ": full "
                     << result.final_full_acc << ", avg " << result.final_avg_acc;
     }

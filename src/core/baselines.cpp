@@ -7,6 +7,7 @@
 #include "arch/stats.hpp"
 #include "fl/aggregate.hpp"
 #include "fl/evaluate.hpp"
+#include "obs/trace.hpp"
 #include "prune/width_prune.hpp"
 #include "util/stopwatch.hpp"
 
@@ -31,23 +32,39 @@ RunResult AllLarge::run() {
   const WidthPlan full_plan(spec_.num_units(), 1.0);
 
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    RoundTelemetry telemetry(result, round);
     std::vector<ClientUpdate> updates;
     for (std::size_t c : sample_clients(data_.num_clients(),
                                         config_.clients_per_round, rng)) {
+      obs::TraceSpan dispatch("dispatch");
+      dispatch.field("round", static_cast<std::uint64_t>(round))
+          .field("client", static_cast<std::uint64_t>(c))
+          .field("params", static_cast<std::uint64_t>(full_params));
       Model local = build_full_model(spec_);
       local.import_params(global);
       Rng crng = rng.fork();
-      local_train(local, data_.clients[c], config_.local, crng);
+      const LocalTrainResult trained =
+          local_train(local, data_.clients[c], config_.local, crng);
+      telemetry.add_train_seconds(trained.seconds);
+      telemetry.client_ok();
+      dispatch.field("outcome", "ok");
       updates.push_back({local.export_params(), data_.clients[c].size()});
       result.comm.record_dispatch(full_params);
       result.comm.record_return(full_params);
     }
-    global = fedavg_aggregate(global, updates);
+    {
+      Stopwatch agg_watch;
+      global = fedavg_aggregate(global, updates);
+      telemetry.add_aggregate_seconds(agg_watch.seconds());
+    }
     if (config_.eval_every != 0 &&
         (round % config_.eval_every == 0 || round == config_.rounds)) {
+      Stopwatch eval_watch;
       const double acc =
           eval_params(spec_, full_plan, {}, global, data_.test, config_.eval_batch);
-      result.curve.push_back({round, acc, acc, result.comm.waste_rate()});
+      telemetry.add_eval_seconds(eval_watch.seconds());
+      result.curve.push_back({round, acc, acc, result.comm.waste_rate(),
+                              result.comm.round_waste_rate()});
       result.final_full_acc = acc;
       result.final_avg_acc = acc;  // All-Large has no submodels; avg == full
     }
@@ -97,32 +114,50 @@ RunResult Decoupled::run() {
   };
 
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    RoundTelemetry telemetry(result, round);
     std::vector<ClientUpdate> updates[3];
     for (std::size_t c : sample_clients(data_.num_clients(),
                                         config_.clients_per_round, rng)) {
+      obs::TraceSpan dispatch("dispatch");
+      dispatch.field("round", static_cast<std::uint64_t>(round))
+          .field("client", static_cast<std::uint64_t>(c));
       if (!devices_[c].responds(rng)) {
         ++result.failed_trainings;
+        telemetry.client_failed();
+        dispatch.field("outcome", "no_response");
         continue;
       }
       const int l = level_for_capacity(devices_[c].capacity(rng));
       if (l < 0) {
         ++result.failed_trainings;
+        telemetry.client_failed();
+        dispatch.field("outcome", "no_fit");
         continue;
       }
       const std::size_t head = heads[l];
       Model local = pool_.build(head);
       local.import_params(globals[l]);
       Rng crng = rng.fork();
-      local_train(local, data_.clients[c], config_.local, crng);
+      const LocalTrainResult trained =
+          local_train(local, data_.clients[c], config_.local, crng);
+      telemetry.add_train_seconds(trained.seconds);
+      telemetry.client_ok();
+      dispatch.field("outcome", "ok")
+          .field("params", static_cast<std::uint64_t>(pool_.entry(head).params));
       updates[l].push_back({local.export_params(), data_.clients[c].size()});
       result.comm.record_dispatch(pool_.entry(head).params);
       result.comm.record_return(pool_.entry(head).params);
     }
-    for (int l = 0; l < 3; ++l) {
-      globals[l] = fedavg_aggregate(globals[l], updates[l]);
+    {
+      Stopwatch agg_watch;
+      for (int l = 0; l < 3; ++l) {
+        globals[l] = fedavg_aggregate(globals[l], updates[l]);
+      }
+      telemetry.add_aggregate_seconds(agg_watch.seconds());
     }
     if (config_.eval_every != 0 &&
         (round % config_.eval_every == 0 || round == config_.rounds)) {
+      Stopwatch eval_watch;
       double sum = 0.0;
       for (int l = 0; l < 3; ++l) {
         const PoolEntry& e = pool_.entry(heads[l]);
@@ -132,9 +167,11 @@ RunResult Decoupled::run() {
         sum += acc;
         if (l == 0) result.final_full_acc = acc;
       }
+      telemetry.add_eval_seconds(eval_watch.seconds());
       result.final_avg_acc = sum / 3.0;
       result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
-                              result.comm.waste_rate()});
+                              result.comm.waste_rate(),
+                              result.comm.round_waste_rate()});
     }
   }
   result.wall_seconds = watch.seconds();
@@ -179,30 +216,49 @@ RunResult HeteroFl::run() {
   };
 
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    RoundTelemetry telemetry(result, round);
     std::vector<ClientUpdate> updates;
     for (std::size_t c : sample_clients(data_.num_clients(),
                                         config_.clients_per_round, rng)) {
+      obs::TraceSpan dispatch("dispatch");
+      dispatch.field("round", static_cast<std::uint64_t>(round))
+          .field("client", static_cast<std::uint64_t>(c));
       if (!devices_[c].responds(rng)) {
         ++result.failed_trainings;
+        telemetry.client_failed();
+        dispatch.field("outcome", "no_response");
         continue;
       }
       const int l = level_for_capacity(devices_[c].capacity(rng));
       if (l < 0) {
         ++result.failed_trainings;
+        telemetry.client_failed();
+        dispatch.field("outcome", "no_fit");
         continue;
       }
       const WidthPlan& plan = level_plans_[static_cast<std::size_t>(l)];
       Model local = build_model(spec_, plan);
       local.import_params(prune_params(global, spec_, plan));
       Rng crng = rng.fork();
-      local_train(local, data_.clients[c], config_.local, crng);
+      const LocalTrainResult trained =
+          local_train(local, data_.clients[c], config_.local, crng);
+      telemetry.add_train_seconds(trained.seconds);
+      telemetry.client_ok();
+      dispatch.field("outcome", "ok")
+          .field("params",
+                 static_cast<std::uint64_t>(level_params_[static_cast<std::size_t>(l)]));
       updates.push_back({local.export_params(), data_.clients[c].size()});
       result.comm.record_dispatch(level_params_[static_cast<std::size_t>(l)]);
       result.comm.record_return(level_params_[static_cast<std::size_t>(l)]);
     }
-    global = hetero_aggregate(global, updates);
+    {
+      Stopwatch agg_watch;
+      global = hetero_aggregate(global, updates);
+      telemetry.add_aggregate_seconds(agg_watch.seconds());
+    }
     if (config_.eval_every != 0 &&
         (round % config_.eval_every == 0 || round == config_.rounds)) {
+      Stopwatch eval_watch;
       double sum = 0.0;
       for (std::size_t l = 0; l < 3; ++l) {
         const double acc =
@@ -213,9 +269,11 @@ RunResult HeteroFl::run() {
         sum += acc;
         if (l == 0) result.final_full_acc = acc;
       }
+      telemetry.add_eval_seconds(eval_watch.seconds());
       result.final_avg_acc = sum / 3.0;
       result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
-                              result.comm.waste_rate()});
+                              result.comm.waste_rate(),
+                              result.comm.round_waste_rate()});
     }
   }
   result.wall_seconds = watch.seconds();

@@ -1,9 +1,12 @@
 #include "core/experiment.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "arch/zoo.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
+#include "util/table.hpp"
 
 namespace afl {
 
@@ -88,6 +91,54 @@ ArchSpec model_spec(ModelKind model, std::size_t classes, std::size_t channels,
 
 }  // namespace
 
+void print_run_summary(const RunResult& result) {
+  if (static_cast<int>(log_threshold()) > static_cast<int>(LogLevel::kInfo)) return;
+  double train = 0.0, agg = 0.0, eval = 0.0;
+  std::size_t ok = 0, failed = 0;
+  double entropy = 0.0;
+  for (const RoundMetrics& m : result.round_metrics) {
+    train += m.train_seconds;
+    agg += m.aggregate_seconds;
+    eval += m.eval_seconds;
+    ok += m.clients_ok;
+    failed += m.clients_failed;
+    entropy = m.selector_entropy;  // keep the final round's value
+  }
+  const double rounds = result.round_metrics.empty()
+                            ? 1.0
+                            : static_cast<double>(result.round_metrics.size());
+  std::fprintf(stderr, "-- %s run summary --\n", result.algorithm.c_str());
+  Table summary({"metric", "total", "per round"});
+  summary.add_row({"wall seconds", Table::fmt(result.wall_seconds, 3),
+                   Table::fmt(result.wall_seconds / rounds, 4)});
+  summary.add_row({"local-train seconds", Table::fmt(train, 3),
+                   Table::fmt(train / rounds, 4)});
+  summary.add_row({"aggregate seconds", Table::fmt(agg, 3), Table::fmt(agg / rounds, 4)});
+  summary.add_row({"evaluate seconds", Table::fmt(eval, 3), Table::fmt(eval / rounds, 4)});
+  summary.add_row({"params sent", std::to_string(result.comm.params_sent()),
+                   Table::fmt(static_cast<double>(result.comm.params_sent()) / rounds, 1)});
+  summary.add_row({"params returned", std::to_string(result.comm.params_returned()),
+                   Table::fmt(static_cast<double>(result.comm.params_returned()) / rounds, 1)});
+  summary.add_row({"comm waste rate", Table::fmt(result.comm.waste_rate(), 4), "-"});
+  summary.add_row({"clients trained", std::to_string(ok),
+                   Table::fmt(static_cast<double>(ok) / rounds, 2)});
+  summary.add_row({"clients failed", std::to_string(failed),
+                   Table::fmt(static_cast<double>(failed) / rounds, 2)});
+  summary.add_row({"selector entropy (final)", Table::fmt(entropy, 4), "-"});
+  std::fprintf(stderr, "%s", summary.to_markdown().c_str());
+  // Kernel-level view, present only when AFL_KERNEL_PROFILE was on.
+  Table kernels({"histogram", "count", "p50 us", "p95 us", "p99 us", "total s"});
+  bool any = false;
+  for (const auto& [name, s] : obs::metrics().histograms()) {
+    if (s.count == 0 || name.rfind("afl.tensor.", 0) != 0) continue;
+    any = true;
+    kernels.add_row({name, std::to_string(s.count), Table::fmt(s.p50 * 1e6, 2),
+                     Table::fmt(s.p95 * 1e6, 2), Table::fmt(s.p99 * 1e6, 2),
+                     Table::fmt(s.sum, 3)});
+  }
+  if (any) std::fprintf(stderr, "%s", kernels.to_markdown().c_str());
+}
+
 ExperimentEnv make_env(const ExperimentConfig& config) {
   ExperimentEnv env;
   env.config = config;
@@ -133,14 +184,9 @@ ExperimentEnv make_env(const ExperimentConfig& config) {
   return env;
 }
 
-RunResult run_algorithm(Algorithm algorithm, const ExperimentEnv& env) {
-  AFL_LOG_INFO << "running " << algorithm_name(algorithm) << " on "
-               << task_name(env.config.task) << " / " << model_name(env.config.model)
-               << " (" << partition_name(env.config.partition)
-               << (env.config.partition == Partition::kDirichlet
-                       ? ", alpha=" + std::to_string(env.config.alpha)
-                       : "")
-               << ", " << env.config.rounds << " rounds)";
+namespace {
+
+RunResult run_algorithm_impl(Algorithm algorithm, const ExperimentEnv& env) {
   switch (algorithm) {
     case Algorithm::kAllLarge:
       return AllLarge(env.spec, env.data, env.run).run();
@@ -183,6 +229,21 @@ RunResult run_algorithm(Algorithm algorithm, const ExperimentEnv& env) {
     }
   }
   throw std::invalid_argument("run_algorithm: unknown algorithm");
+}
+
+}  // namespace
+
+RunResult run_algorithm(Algorithm algorithm, const ExperimentEnv& env) {
+  AFL_LOG_INFO << "running " << algorithm_name(algorithm) << " on "
+               << task_name(env.config.task) << " / " << model_name(env.config.model)
+               << " (" << partition_name(env.config.partition)
+               << (env.config.partition == Partition::kDirichlet
+                       ? ", alpha=" + std::to_string(env.config.alpha)
+                       : "")
+               << ", " << env.config.rounds << " rounds)";
+  RunResult result = run_algorithm_impl(algorithm, env);
+  print_run_summary(result);
+  return result;
 }
 
 }  // namespace afl

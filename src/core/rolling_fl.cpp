@@ -5,6 +5,7 @@
 
 #include "arch/stats.hpp"
 #include "fl/evaluate.hpp"
+#include "obs/trace.hpp"
 #include "prune/rolling.hpp"
 #include "util/stopwatch.hpp"
 
@@ -39,16 +40,24 @@ RunResult RollingFl::run() {
   };
 
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    RoundTelemetry telemetry(result, round);
     std::vector<RollingUpdate> updates;
     for (std::size_t c : sample_clients(data_.num_clients(),
                                         config_.clients_per_round, rng)) {
+      obs::TraceSpan dispatch("dispatch");
+      dispatch.field("round", static_cast<std::uint64_t>(round))
+          .field("client", static_cast<std::uint64_t>(c));
       if (!devices_[c].responds(rng)) {
         ++result.failed_trainings;
+        telemetry.client_failed();
+        dispatch.field("outcome", "no_response");
         continue;
       }
       const int l = level_for_capacity(devices_[c].capacity(rng));
       if (l < 0) {
         ++result.failed_trainings;
+        telemetry.client_failed();
+        dispatch.field("outcome", "no_fit");
         continue;
       }
       const double ratio = level_ratios_[static_cast<std::size_t>(l)];
@@ -56,15 +65,26 @@ RunResult RollingFl::run() {
       Model local = build_model(spec_, uniform_plan(spec_, ratio));
       local.import_params(rolling_extract(global, spec_, plan));
       Rng crng = rng.fork();
-      local_train(local, data_.clients[c], config_.local, crng);
+      const LocalTrainResult trained =
+          local_train(local, data_.clients[c], config_.local, crng);
+      telemetry.add_train_seconds(trained.seconds);
+      telemetry.client_ok();
+      dispatch.field("outcome", "ok")
+          .field("params",
+                 static_cast<std::uint64_t>(level_params_[static_cast<std::size_t>(l)]));
       updates.push_back({plan, local.export_params(), data_.clients[c].size()});
       result.comm.record_dispatch(level_params_[static_cast<std::size_t>(l)]);
       result.comm.record_return(level_params_[static_cast<std::size_t>(l)]);
     }
-    global = rolling_aggregate(global, spec_, updates);
+    {
+      Stopwatch agg_watch;
+      global = rolling_aggregate(global, spec_, updates);
+      telemetry.add_aggregate_seconds(agg_watch.seconds());
+    }
 
     if (config_.eval_every != 0 &&
         (round % config_.eval_every == 0 || round == config_.rounds)) {
+      Stopwatch eval_watch;
       double sum = 0.0;
       for (std::size_t l = 0; l < 3; ++l) {
         // Evaluate the level submodels through the *current* round's window.
@@ -79,8 +99,10 @@ RunResult RollingFl::run() {
         if (l == 0) result.final_full_acc = acc;
       }
       result.final_avg_acc = sum / 3.0;
+      telemetry.add_eval_seconds(eval_watch.seconds());
       result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
-                              result.comm.waste_rate()});
+                              result.comm.waste_rate(),
+                              result.comm.round_waste_rate()});
     }
   }
   result.wall_seconds = watch.seconds();

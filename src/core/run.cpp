@@ -2,9 +2,13 @@
 
 #include <fstream>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 
 #include "fl/evaluate.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "prune/width_prune.hpp"
 #include "util/table.hpp"
 
@@ -23,15 +27,67 @@ double RunResult::best_avg_acc() const {
 }
 
 void RunResult::write_curve_csv(const std::string& path) const {
-  Table table({"round", "full_acc", "avg_acc", "comm_waste"});
+  Table table({"round", "full_acc", "avg_acc", "comm_waste", "round_waste"});
   for (const RoundRecord& r : curve) {
     table.add_row({std::to_string(r.round), Table::fmt(r.full_acc, 6),
-                   Table::fmt(r.avg_acc, 6), Table::fmt(r.comm_waste, 6)});
+                   Table::fmt(r.avg_acc, 6), Table::fmt(r.comm_waste, 6),
+                   Table::fmt(r.round_waste, 6)});
   }
   std::ofstream out(path, std::ios::trunc);
   if (!out) throw std::runtime_error("write_curve_csv: cannot open " + path);
   out << table.to_csv();
   if (!out) throw std::runtime_error("write_curve_csv: write failed for " + path);
+}
+
+void RunResult::write_metrics_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_metrics_jsonl: cannot open " + path);
+  for (const RoundMetrics& m : round_metrics) {
+    std::ostringstream line;
+    line << "{\"algo\":\"" << obs::json_escape(algorithm) << "\",\"round\":" << m.round
+         << ",\"round_seconds\":" << m.round_seconds
+         << ",\"train_seconds\":" << m.train_seconds
+         << ",\"aggregate_seconds\":" << m.aggregate_seconds
+         << ",\"eval_seconds\":" << m.eval_seconds
+         << ",\"clients_ok\":" << m.clients_ok
+         << ",\"clients_failed\":" << m.clients_failed
+         << ",\"params_sent\":" << m.params_sent
+         << ",\"params_returned\":" << m.params_returned
+         << ",\"round_waste\":" << m.round_waste
+         << ",\"selector_entropy\":" << m.selector_entropy << "}";
+    out << line.str() << '\n';
+  }
+  if (!out) throw std::runtime_error("write_metrics_jsonl: write failed for " + path);
+}
+
+RoundTelemetry::RoundTelemetry(RunResult& result, std::size_t round)
+    : result_(result) {
+  m_.round = round;
+  result_.comm.begin_round();
+}
+
+RoundTelemetry::~RoundTelemetry() {
+  m_.round_seconds = watch_.seconds();
+  m_.params_sent = result_.comm.round_sent();
+  m_.params_returned = result_.comm.round_returned();
+  m_.round_waste = result_.comm.round_waste_rate();
+  static obs::Histogram& hist = obs::metrics().histogram("afl.run.round.seconds");
+  hist.record(m_.round_seconds);
+  obs::metrics().counter("afl.run.rounds").inc();
+  obs::TraceEvent ev("round");
+  ev.field("algo", result_.algorithm)
+      .field("round", static_cast<std::uint64_t>(m_.round))
+      .field("clients_ok", static_cast<std::uint64_t>(m_.clients_ok))
+      .field("clients_failed", static_cast<std::uint64_t>(m_.clients_failed))
+      .field("params_sent", static_cast<std::uint64_t>(m_.params_sent))
+      .field("params_returned", static_cast<std::uint64_t>(m_.params_returned))
+      .field("round_waste", m_.round_waste)
+      .field("train_ms", m_.train_seconds * 1e3)
+      .field("aggregate_ms", m_.aggregate_seconds * 1e3)
+      .field("eval_ms", m_.eval_seconds * 1e3)
+      .field("dur_ms", m_.round_seconds * 1e3);
+  ev.emit();
+  result_.round_metrics.push_back(m_);
 }
 
 double eval_params(const ArchSpec& spec, const WidthPlan& plan,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fl/aggregate.hpp"
+#include "obs/trace.hpp"
 #include "prune/width_prune.hpp"
 #include "util/stopwatch.hpp"
 
@@ -108,16 +109,24 @@ RunResult ScaleFl::run() {
   local.distill_weight = distill_weight_;
 
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    RoundTelemetry telemetry(result, round);
     std::vector<ClientUpdate> updates;
     for (std::size_t c : sample_clients(data_.num_clients(),
                                         config_.clients_per_round, rng)) {
+      obs::TraceSpan dispatch("dispatch");
+      dispatch.field("round", static_cast<std::uint64_t>(round))
+          .field("client", static_cast<std::uint64_t>(c));
       if (!devices_[c].responds(rng)) {
         ++result.failed_trainings;
+        telemetry.client_failed();
+        dispatch.field("outcome", "no_response");
         continue;
       }
       const int li = level_for_capacity(devices_[c].capacity(rng));
       if (li < 0) {
         ++result.failed_trainings;
+        telemetry.client_failed();
+        dispatch.field("outcome", "no_fit");
         continue;
       }
       const ScaleFlLevel& level = levels_[static_cast<std::size_t>(li)];
@@ -125,15 +134,25 @@ RunResult ScaleFl::run() {
       model.import_params(
           prune_to_shapes(global, model_shapes(spec_, level.plan, level.options)));
       Rng crng = rng.fork();
-      local_train_multi_exit(model, data_.clients[c], local, crng);
+      const LocalTrainResult trained =
+          local_train_multi_exit(model, data_.clients[c], local, crng);
+      telemetry.add_train_seconds(trained.seconds);
+      telemetry.client_ok();
+      dispatch.field("outcome", "ok")
+          .field("params", static_cast<std::uint64_t>(level.params));
       updates.push_back({model.export_params(), data_.clients[c].size()});
       result.comm.record_dispatch(level.params);
       result.comm.record_return(level.params);
     }
-    global = hetero_aggregate(global, updates);
+    {
+      Stopwatch agg_watch;
+      global = hetero_aggregate(global, updates);
+      telemetry.add_aggregate_seconds(agg_watch.seconds());
+    }
 
     if (config_.eval_every != 0 &&
         (round % config_.eval_every == 0 || round == config_.rounds)) {
+      Stopwatch eval_watch;
       double sum = 0.0;
       for (std::size_t l = 0; l < levels_.size(); ++l) {
         const ScaleFlLevel& level = levels_[l];
@@ -149,8 +168,10 @@ RunResult ScaleFl::run() {
         if (l == 0) result.final_full_acc = acc;
       }
       result.final_avg_acc = sum / static_cast<double>(levels_.size());
+      telemetry.add_eval_seconds(eval_watch.seconds());
       result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
-                              result.comm.waste_rate()});
+                              result.comm.waste_rate(),
+                              result.comm.round_waste_rate()});
     }
   }
   result.wall_seconds = watch.seconds();

@@ -3,8 +3,21 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
 namespace afl {
 namespace {
+
+obs::Histogram& aggregate_hist() {
+  static obs::Histogram& h = obs::metrics().histogram("afl.fl.aggregate.seconds");
+  return h;
+}
+
+obs::Counter& aggregate_updates() {
+  static obs::Counter& c = obs::metrics().counter("afl.fl.aggregate.updates");
+  return c;
+}
 
 /// Accumulates `src` (a prefix-slice-shaped tensor) into the flat accumulator
 /// of the global tensor `ref`, adding weight into coverage counters.
@@ -46,6 +59,12 @@ void accumulate_prefix(const Tensor& src, const Tensor& ref, double weight,
 
 ParamSet fedavg_aggregate(const ParamSet& global,
                           const std::vector<ClientUpdate>& updates) {
+  obs::ScopedTimer timer(aggregate_hist());
+  obs::TraceSpan span("aggregate");
+  span.field("algo", "fedavg")
+      .field("updates", static_cast<std::uint64_t>(updates.size()))
+      .field("tensors", static_cast<std::uint64_t>(global.size()));
+  aggregate_updates().inc(updates.size());
   if (updates.empty()) return global;
   double total = 0.0;
   for (const auto& u : updates) {
@@ -70,6 +89,12 @@ ParamSet fedavg_aggregate(const ParamSet& global,
 
 ParamSet hetero_aggregate(const ParamSet& global,
                           const std::vector<ClientUpdate>& updates) {
+  obs::ScopedTimer timer(aggregate_hist());
+  obs::TraceSpan span("aggregate");
+  span.field("algo", "hetero")
+      .field("updates", static_cast<std::uint64_t>(updates.size()))
+      .field("tensors", static_cast<std::uint64_t>(global.size()));
+  aggregate_updates().inc(updates.size());
   ParamSet out;
   std::vector<double> acc, cover;
   for (const auto& [name, g] : global) {

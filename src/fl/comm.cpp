@@ -7,4 +7,10 @@ double CommStats::waste_rate() const {
   return 1.0 - static_cast<double>(back_) / static_cast<double>(sent_);
 }
 
+double CommStats::round_waste_rate() const {
+  const std::size_t sent = round_sent();
+  if (sent == 0) return 0.0;
+  return 1.0 - static_cast<double>(round_returned()) / static_cast<double>(sent);
+}
+
 }  // namespace afl

@@ -3,6 +3,11 @@
 // "communication waste rate" 1 - sum(size(ML_back)) / sum(size(ML_send)):
 // parameters shipped to a device that the device then pruned away before
 // training were wasted bandwidth.
+//
+// Besides the cumulative totals, CommStats tracks per-round deltas: call
+// begin_round() at the start of every round and round_sent() /
+// round_returned() / round_waste_rate() report traffic since that mark —
+// this is what a per-round Fig. 5a-style curve needs.
 
 #include <cstddef>
 
@@ -19,11 +24,27 @@ class CommStats {
   /// 1 - back/sent; 0 when nothing was sent.
   double waste_rate() const;
 
-  void reset() { sent_ = back_ = 0; }
+  /// Marks the start of a round; per-round accessors report deltas since the
+  /// last call.
+  void begin_round() {
+    round_sent_mark_ = sent_;
+    round_back_mark_ = back_;
+  }
+
+  std::size_t round_sent() const { return sent_ - round_sent_mark_; }
+  std::size_t round_returned() const { return back_ - round_back_mark_; }
+
+  /// Waste rate of the current round only; 0 when nothing was sent since
+  /// begin_round().
+  double round_waste_rate() const;
+
+  void reset() { sent_ = back_ = round_sent_mark_ = round_back_mark_ = 0; }
 
  private:
   std::size_t sent_ = 0;
   std::size_t back_ = 0;
+  std::size_t round_sent_mark_ = 0;
+  std::size_t round_back_mark_ = 0;
 };
 
 }  // namespace afl

@@ -3,10 +3,15 @@
 #include <numeric>
 
 #include "nn/loss.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace afl {
 
 EvalResult evaluate(Model& model, const Dataset& data, std::size_t batch_size) {
+  static obs::Histogram& hist = obs::metrics().histogram("afl.fl.evaluate.seconds");
+  obs::ScopedTimer timer(hist);
+  obs::TraceSpan span("evaluate");
   EvalResult res;
   if (data.empty()) return res;
   std::size_t correct = 0;
@@ -25,6 +30,10 @@ EvalResult evaluate(Model& model, const Dataset& data, std::size_t batch_size) {
   res.samples = data.size();
   res.accuracy = static_cast<double>(correct) / static_cast<double>(data.size());
   res.mean_loss = loss_sum / static_cast<double>(data.size());
+  res.seconds = timer.seconds();
+  span.field("samples", static_cast<std::uint64_t>(res.samples))
+      .field("accuracy", res.accuracy)
+      .field("mean_loss", res.mean_loss);
   return res;
 }
 

@@ -10,6 +10,7 @@ struct EvalResult {
   double accuracy = 0.0;
   double mean_loss = 0.0;
   std::size_t samples = 0;
+  double seconds = 0.0;  // wall time spent in this evaluation call
 };
 
 /// Top-1 accuracy + mean CE loss, evaluated in mini-batches of `batch_size`.

@@ -2,12 +2,29 @@
 
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace afl {
+namespace {
+
+obs::Histogram& train_hist() {
+  static obs::Histogram& h = obs::metrics().histogram("afl.fl.local_train.seconds");
+  return h;
+}
+
+obs::Counter& train_samples() {
+  static obs::Counter& c = obs::metrics().counter("afl.fl.local_train.samples");
+  return c;
+}
+
+}  // namespace
 
 LocalTrainResult local_train(Model& model, const Dataset& data,
                              const LocalTrainConfig& cfg, Rng& rng) {
+  obs::ScopedTimer timer(train_hist());
+  obs::TraceSpan span("local_train");
   LocalTrainResult res;
   if (data.empty()) return res;
   SGD opt(cfg.lr, cfg.momentum);
@@ -27,6 +44,11 @@ LocalTrainResult local_train(Model& model, const Dataset& data,
     }
   }
   res.mean_loss = steps ? loss_sum / static_cast<double>(steps) : 0.0;
+  res.seconds = timer.seconds();
+  train_samples().inc(res.samples_seen);
+  span.field("samples", static_cast<std::uint64_t>(res.samples_seen))
+      .field("epochs", static_cast<std::uint64_t>(cfg.epochs))
+      .field("mean_loss", res.mean_loss);
   return res;
 }
 
@@ -35,6 +57,8 @@ LocalTrainResult local_train_multi_exit(Model& model, const Dataset& data,
   LocalTrainResult res;
   if (data.empty()) return res;
   if (model.num_exits() == 0) return local_train(model, data, cfg, rng);
+  obs::ScopedTimer timer(train_hist());
+  obs::TraceSpan span("local_train");
   SGD opt(cfg.lr, cfg.momentum);
   double loss_sum = 0.0;
   std::size_t steps = 0;
@@ -76,6 +100,12 @@ LocalTrainResult local_train_multi_exit(Model& model, const Dataset& data,
     }
   }
   res.mean_loss = steps ? loss_sum / static_cast<double>(steps) : 0.0;
+  res.seconds = timer.seconds();
+  train_samples().inc(res.samples_seen);
+  span.field("samples", static_cast<std::uint64_t>(res.samples_seen))
+      .field("epochs", static_cast<std::uint64_t>(cfg.epochs))
+      .field("exits", static_cast<std::uint64_t>(model.num_exits()))
+      .field("mean_loss", res.mean_loss);
   return res;
 }
 

@@ -21,6 +21,7 @@ struct LocalTrainConfig {
 struct LocalTrainResult {
   double mean_loss = 0.0;
   std::size_t samples_seen = 0;
+  double seconds = 0.0;  // wall time spent in this training call
 };
 
 /// Plain local training on the model's final classifier.

@@ -1,0 +1,21 @@
+#pragma once
+// Minimal JSON utilities for the observability layer: string escaping for the
+// JSONL trace/metrics writers and a strict validator used by tests and the
+// trace smoke checker. Not a general-purpose JSON library — no DOM, no
+// numbers-to-double parsing, just syntax.
+
+#include <string>
+#include <string_view>
+
+namespace afl::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view s);
+
+/// True when `text` is exactly one syntactically valid JSON value
+/// (object/array/string/number/true/false/null) with nothing but whitespace
+/// around it.
+bool json_validate(std::string_view text);
+
+}  // namespace afl::obs

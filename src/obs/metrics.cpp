@@ -1,0 +1,211 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace afl::obs {
+namespace {
+
+void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void Gauge::add(double d) { atomic_add(v_, d); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? default_time_bounds() : std::move(bounds)),
+      buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+    }
+  }
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+void Histogram::record(double v) {
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min() const {
+  const double m = min_.load(std::memory_order_relaxed);
+  return std::isfinite(m) ? m : 0.0;
+}
+
+double Histogram::max() const {
+  const double m = max_.load(std::memory_order_relaxed);
+  return std::isfinite(m) ? m : 0.0;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      const double upper = i < bounds_.size() ? bounds_[i] : max();
+      return std::clamp(upper, min(), max());
+    }
+  }
+  return max();
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.mean = mean();
+  s.min = min();
+  s.max = max();
+  s.p50 = percentile(50);
+  s.p95 = percentile(95);
+  s.p99 = percentile(99);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double lo, double hi, std::size_t n) {
+  if (n < 2 || lo <= 0.0 || hi <= lo) {
+    throw std::invalid_argument("Histogram::exponential_bounds: need n>=2, 0<lo<hi");
+  }
+  std::vector<double> bounds(n);
+  const double ratio = std::pow(hi / lo, 1.0 / static_cast<double>(n - 1));
+  double b = lo;
+  for (std::size_t i = 0; i < n; ++i, b *= ratio) bounds[i] = b;
+  bounds.back() = hi;
+  return bounds;
+}
+
+std::vector<double> Histogram::default_time_bounds() {
+  return exponential_bounds(1e-6, 100.0, 56);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h->snapshot());
+  return out;
+}
+
+std::string Registry::to_jsonl() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters()) {
+    os << "{\"metric\":\"" << json_escape(name) << "\",\"type\":\"counter\",\"value\":"
+       << v << "}\n";
+  }
+  for (const auto& [name, v] : gauges()) {
+    os << "{\"metric\":\"" << json_escape(name) << "\",\"type\":\"gauge\",\"value\":"
+       << fmt_double(v) << "}\n";
+  }
+  for (const auto& [name, s] : histograms()) {
+    os << "{\"metric\":\"" << json_escape(name) << "\",\"type\":\"histogram\",\"count\":"
+       << s.count << ",\"sum\":" << fmt_double(s.sum) << ",\"mean\":" << fmt_double(s.mean)
+       << ",\"min\":" << fmt_double(s.min) << ",\"max\":" << fmt_double(s.max)
+       << ",\"p50\":" << fmt_double(s.p50) << ",\"p95\":" << fmt_double(s.p95)
+       << ",\"p99\":" << fmt_double(s.p99) << "}\n";
+  }
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->set(0.0);
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& metrics() {
+  static Registry* registry = new Registry();  // leaked: usable during shutdown
+  return *registry;
+}
+
+}  // namespace afl::obs

@@ -1,0 +1,116 @@
+#pragma once
+// Process-wide metrics: named counters, gauges, and fixed-bucket histograms
+// with percentile summaries. All instruments are thread-safe and lock-free on
+// the record path; the registry itself takes a mutex only on name lookup, so
+// hot paths should cache the returned reference (function-local static).
+//
+// Naming scheme (see docs/OBSERVABILITY.md): `afl.<layer>.<what>.<unit>`,
+// e.g. afl.tensor.gemm.seconds, afl.fl.local_train.samples,
+// afl.rl.selector.entropy.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace afl::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus-style "le" semantics: a sample `v`
+/// lands in the first bucket whose upper bound is >= v; samples above the last
+/// bound land in an implicit overflow bucket. percentile() walks the
+/// cumulative counts and reports the crossing bucket's upper bound clamped to
+/// the observed [min, max], so on inputs that sit exactly on bucket bounds the
+/// percentiles are exact.
+class Histogram {
+ public:
+  /// `bounds` must be ascending; empty selects default_time_bounds().
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void record(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double mean() const;
+
+  /// p in [0, 100]. Returns 0 when empty.
+  double percentile(double p) const;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0, mean = 0.0, min = 0.0, max = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  void reset();
+
+  /// Geometric bounds from `lo` to `hi` inclusive, `n` >= 2 buckets.
+  static std::vector<double> exponential_bounds(double lo, double hi, std::size_t n);
+  /// Default bounds for wall-time samples in seconds: 1 microsecond .. 100 s.
+  static std::vector<double> default_time_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1 (overflow)
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Named instrument registry. Lookup creates on first use; returned references
+/// stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is honored only on first creation of `name`.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms() const;
+
+  /// One JSON object per instrument, one per line.
+  std::string to_jsonl() const;
+
+  /// Zeroes every instrument (names are kept).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry every instrumentation site records into.
+Registry& metrics();
+
+}  // namespace afl::obs

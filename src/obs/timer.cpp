@@ -1,0 +1,28 @@
+#include "obs/timer.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace afl::obs {
+namespace {
+
+std::atomic<bool>& kernel_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("AFL_KERNEL_PROFILE");
+    return env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0';
+  }();
+  return flag;
+}
+
+}  // namespace
+
+bool kernel_profiling_enabled() {
+  return kernel_flag().load(std::memory_order_relaxed);
+}
+
+void set_kernel_profiling(bool on) {
+  kernel_flag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace afl::obs

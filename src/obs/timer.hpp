@@ -1,0 +1,56 @@
+#pragma once
+// RAII timers feeding histograms.
+//
+// ScopedTimer always records — use it on paths whose work dwarfs two clock
+// reads (local training, aggregation, evaluation, a whole round).
+//
+// KernelTimer is for per-call instrumentation of the tensor kernels (gemm,
+// im2col), which can run in the microsecond range: it is a no-op — a single
+// relaxed atomic load — unless kernel profiling is switched on via
+// AFL_KERNEL_PROFILE=1 or set_kernel_profiling(true).
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace afl::obs {
+
+bool kernel_profiling_enabled();
+void set_kernel_profiling(bool on);
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) : h_(&h), start_(clock::now()) {}
+  ~ScopedTimer() { h_->record(seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed so far (the value record()ed at scope exit).
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  Histogram* h_;
+  clock::time_point start_;
+};
+
+class KernelTimer {
+ public:
+  explicit KernelTimer(Histogram& h) : h_(kernel_profiling_enabled() ? &h : nullptr) {
+    if (h_) start_ = clock::now();
+  }
+  ~KernelTimer() {
+    if (h_) h_->record(std::chrono::duration<double>(clock::now() - start_).count());
+  }
+  KernelTimer(const KernelTimer&) = delete;
+  KernelTimer& operator=(const KernelTimer&) = delete;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  Histogram* h_;
+  clock::time_point start_{};
+};
+
+}  // namespace afl::obs

@@ -1,0 +1,171 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "obs/json.hpp"
+
+namespace afl::obs {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+clock::time_point process_start() {
+  static const clock::time_point start = clock::now();
+  return start;
+}
+
+struct TraceState {
+  std::mutex mu;
+  std::ofstream out;
+  std::atomic<bool> enabled{false};
+
+  TraceState() {
+    process_start();  // pin the timebase as early as possible
+    const char* env = std::getenv("AFL_TRACE_JSONL");
+    if (env != nullptr && env[0] != '\0') open(env);
+  }
+
+  void open(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (out.is_open()) out.close();
+    if (path.empty()) {
+      enabled.store(false, std::memory_order_relaxed);
+      return;
+    }
+    out.open(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "[WARN] obs: cannot open trace file %s; tracing disabled\n",
+                   path.c_str());
+      enabled.store(false, std::memory_order_relaxed);
+      return;
+    }
+    enabled.store(true, std::memory_order_relaxed);
+  }
+
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!out.is_open()) return;
+    out << line << '\n';
+    out.flush();  // trace volume is low (control-plane events, not kernels)
+  }
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: usable during shutdown
+  return *s;
+}
+
+void append_number(std::string& buf, double v) {
+  if (!std::isfinite(v)) {
+    buf += '0';
+    return;
+  }
+  char tmp[32];
+  std::snprintf(tmp, sizeof(tmp), "%.6g", v);
+  buf += tmp;
+}
+
+}  // namespace
+
+bool trace_enabled() { return state().enabled.load(std::memory_order_relaxed); }
+
+void set_trace_path(const std::string& path) { state().open(path); }
+
+double trace_now_ms() {
+  return std::chrono::duration<double, std::milli>(clock::now() - process_start())
+      .count();
+}
+
+TraceEvent::TraceEvent(std::string_view kind) : enabled_(trace_enabled()) {
+  if (!enabled_) return;
+  buf_.reserve(160);
+  buf_ += "{\"ts_ms\":";
+  append_number(buf_, trace_now_ms());
+  buf_ += ",\"kind\":\"";
+  buf_ += json_escape(kind);
+  buf_ += '"';
+}
+
+TraceEvent::~TraceEvent() { emit(); }
+
+TraceEvent& TraceEvent::field(std::string_view key, double v) {
+  if (!enabled_) return *this;
+  buf_ += ",\"";
+  buf_ += json_escape(key);
+  buf_ += "\":";
+  append_number(buf_, v);
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view key, std::uint64_t v) {
+  if (!enabled_) return *this;
+  buf_ += ",\"";
+  buf_ += json_escape(key);
+  buf_ += "\":";
+  buf_ += std::to_string(v);
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view key, std::int64_t v) {
+  if (!enabled_) return *this;
+  buf_ += ",\"";
+  buf_ += json_escape(key);
+  buf_ += "\":";
+  buf_ += std::to_string(v);
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view key, bool v) {
+  if (!enabled_) return *this;
+  buf_ += ",\"";
+  buf_ += json_escape(key);
+  buf_ += "\":";
+  buf_ += v ? "true" : "false";
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view key, std::string_view v) {
+  if (!enabled_) return *this;
+  buf_ += ",\"";
+  buf_ += json_escape(key);
+  buf_ += "\":\"";
+  buf_ += json_escape(v);
+  buf_ += '"';
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view key, const std::vector<double>& v) {
+  if (!enabled_) return *this;
+  buf_ += ",\"";
+  buf_ += json_escape(key);
+  buf_ += "\":[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) buf_ += ',';
+    append_number(buf_, v[i]);
+  }
+  buf_ += ']';
+  return *this;
+}
+
+void TraceEvent::emit() {
+  if (!enabled_ || emitted_) return;
+  emitted_ = true;
+  buf_ += '}';
+  state().write_line(buf_);
+}
+
+TraceSpan::~TraceSpan() {
+  if (ev_.enabled()) {
+    ev_.field("dur_ms", std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+  }
+  ev_.emit();
+}
+
+}  // namespace afl::obs

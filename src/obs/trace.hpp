@@ -1,0 +1,80 @@
+#pragma once
+// Structured JSONL trace emitter. Every record is one JSON object per line
+// with at least {"ts_ms": <ms since process start>, "kind": "<event kind>"};
+// spans additionally carry "dur_ms". Tracing is off by default and enabled by
+// pointing AFL_TRACE_JSONL at a file path (or programmatically via
+// set_trace_path). When disabled, events cost one relaxed atomic load.
+//
+// Event kinds emitted by the FL runtime: round, dispatch, local_train,
+// aggregate, evaluate, rl_update, rl_tables (see docs/OBSERVABILITY.md).
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afl::obs {
+
+/// Fast check: is a trace sink attached?
+bool trace_enabled();
+
+/// Opens (truncating) `path` as the trace sink; empty path closes the sink
+/// and disables tracing. Thread-safe.
+void set_trace_path(const std::string& path);
+
+/// Milliseconds since process start (well, since the obs layer was first
+/// touched) — the timebase of every trace record.
+double trace_now_ms();
+
+/// One trace record under construction. All field() calls are no-ops when
+/// tracing is disabled; emit() writes the line (and is called by the
+/// destructor if not invoked explicitly).
+class TraceEvent {
+ public:
+  explicit TraceEvent(std::string_view kind);
+  ~TraceEvent();
+  TraceEvent(const TraceEvent&) = delete;
+  TraceEvent& operator=(const TraceEvent&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  TraceEvent& field(std::string_view key, double v);
+  TraceEvent& field(std::string_view key, std::uint64_t v);
+  TraceEvent& field(std::string_view key, std::int64_t v);
+  TraceEvent& field(std::string_view key, int v) { return field(key, static_cast<std::int64_t>(v)); }
+  TraceEvent& field(std::string_view key, bool v);
+  TraceEvent& field(std::string_view key, std::string_view v);
+  TraceEvent& field(std::string_view key, const char* v) { return field(key, std::string_view(v)); }
+  TraceEvent& field(std::string_view key, const std::vector<double>& v);
+
+  void emit();
+
+ private:
+  bool enabled_;
+  bool emitted_ = false;
+  std::string buf_;
+};
+
+/// RAII span: emits its event with a "dur_ms" field on destruction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view kind) : ev_(kind) {
+    if (ev_.enabled()) start_ = std::chrono::steady_clock::now();
+  }
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  template <typename T>
+  TraceSpan& field(std::string_view key, const T& v) {
+    ev_.field(key, v);
+    return *this;
+  }
+
+ private:
+  TraceEvent ev_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace afl::obs

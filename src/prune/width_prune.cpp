@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/timer.hpp"
+
 namespace afl {
 
 ShapeMap shapes_of(Model& model) {
@@ -17,6 +19,9 @@ ShapeMap model_shapes(const ArchSpec& spec, const WidthPlan& plan,
 }
 
 ParamSet prune_to_shapes(const ParamSet& full, const ShapeMap& shapes) {
+  static obs::Histogram& hist =
+      obs::metrics().histogram("afl.prune.prune_to_shapes.seconds");
+  obs::ScopedTimer timer(hist);
   ParamSet out;
   for (const auto& [name, shape] : shapes) {
     auto it = full.find(name);

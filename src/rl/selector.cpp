@@ -1,6 +1,7 @@
 #include "rl/selector.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace afl {
@@ -72,6 +73,16 @@ std::vector<double> ClientSelector::probabilities(
   }
   for (double& w : weights) w /= total;
   return weights;
+}
+
+double ClientSelector::selection_entropy(std::size_t model_index) const {
+  if (num_clients_ < 2) return 0.0;
+  const std::vector<double> probs = probabilities(model_index, {});
+  double h = 0.0;
+  for (double p : probs) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h / std::log(static_cast<double>(num_clients_));
 }
 
 std::optional<std::size_t> ClientSelector::select(std::size_t model_index,

@@ -41,6 +41,12 @@ class ClientSelector {
   /// range of the R_s numerator).
   std::vector<std::size_t> level_entries(Level level) const;
 
+  /// Normalized Shannon entropy (in [0, 1]) of the selection distribution for
+  /// `model_index` with no clients taken. 1 = uniform (no learned preference),
+  /// 0 = deterministic. Telemetry for how concentrated the RL policy has
+  /// become.
+  double selection_entropy(std::size_t model_index) const;
+
  private:
   const ModelPool& pool_;
   std::size_t num_clients_;

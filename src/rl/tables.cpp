@@ -2,9 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace afl {
+namespace {
+
+obs::Counter& rl_updates() {
+  static obs::Counter& c = obs::metrics().counter("afl.rl.updates");
+  return c;
+}
+
+double row_mean(const std::vector<double>& row) {
+  if (row.empty()) return 0.0;
+  return std::accumulate(row.begin(), row.end(), 0.0) / static_cast<double>(row.size());
+}
+
+}  // namespace
 
 RlTables::RlTables(std::size_t pool_size, std::size_t p, std::size_t num_clients)
     : pool_size_(pool_size),
@@ -30,6 +47,12 @@ void RlTables::update(std::size_t sent, Level sent_type, std::size_t back,
   if (back > sent) {
     throw std::invalid_argument("RlTables::update: returned model grew");
   }
+  rl_updates().inc();
+  obs::TraceSpan span("rl_update");
+  span.field("outcome", back == sent ? "full" : "pruned")
+      .field("client", static_cast<std::uint64_t>(client))
+      .field("sent", static_cast<std::uint64_t>(sent))
+      .field("back", static_cast<std::uint64_t>(back));
   // Lines 12-13: curiosity counts for both the sent and the returned type.
   tc_[static_cast<std::size_t>(sent_type)][client] += 1.0;
   tc_[static_cast<std::size_t>(back_type)][client] += 1.0;
@@ -52,6 +75,11 @@ void RlTables::update(std::size_t sent, Level sent_type, std::size_t back,
 }
 
 void RlTables::update_failure(std::size_t sent, Level sent_type, std::size_t client) {
+  rl_updates().inc();
+  obs::TraceSpan span("rl_update");
+  span.field("outcome", "failure")
+      .field("client", static_cast<std::uint64_t>(client))
+      .field("sent", static_cast<std::uint64_t>(sent));
   tc_[static_cast<std::size_t>(sent_type)][client] += 1.0;
   for (std::size_t t = sent; t < pool_size_; ++t) {
     tr_[t][client] = std::max(tr_[t][client] - static_cast<double>(p_), 0.0);
@@ -59,7 +87,25 @@ void RlTables::update_failure(std::size_t sent, Level sent_type, std::size_t cli
 }
 
 void RlTables::update_no_response(Level sent_type, std::size_t client) {
+  rl_updates().inc();
+  obs::TraceSpan span("rl_update");
+  span.field("outcome", "no_response")
+      .field("client", static_cast<std::uint64_t>(client));
   tc_[static_cast<std::size_t>(sent_type)][client] += 1.0;
+}
+
+std::vector<double> RlTables::mean_curiosity() const {
+  std::vector<double> out;
+  out.reserve(tc_.size());
+  for (const auto& row : tc_) out.push_back(row_mean(row));
+  return out;
+}
+
+std::vector<double> RlTables::mean_resource() const {
+  std::vector<double> out;
+  out.reserve(tr_.size());
+  for (const auto& row : tr_) out.push_back(row_mean(row));
+  return out;
 }
 
 double RlTables::resource_reward(const std::vector<std::size_t>& level_entries,

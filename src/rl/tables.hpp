@@ -53,6 +53,11 @@ class RlTables {
   double reward(const std::vector<std::size_t>& level_entries, Level type,
                 std::size_t client) const;
 
+  /// Telemetry snapshots: mean table value per model type (3 entries) /
+  /// per pool entry (2p+1 entries), averaged over clients.
+  std::vector<double> mean_curiosity() const;
+  std::vector<double> mean_resource() const;
+
  private:
   std::size_t pool_size_, p_, num_clients_;
   // T_c: 3 x |C|; T_r: (2p+1) x |C|.

@@ -3,7 +3,19 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/timer.hpp"
+
 namespace afl {
+namespace {
+
+// One histogram per kernel variant; looked up once (function-local statics in
+// the kernels below) so the steady-state cost with profiling off is a single
+// relaxed atomic load per call.
+obs::Histogram& gemm_hist(const char* name) {
+  return obs::metrics().histogram(name);
+}
+
+}  // namespace
 
 // All kernels process 4 output rows per sweep so each streamed row of B is
 // reused 4x from registers; the inner j loops are contiguous and
@@ -13,6 +25,8 @@ namespace afl {
 
 void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
           std::size_t n, bool accumulate) {
+  static obs::Histogram& hist = gemm_hist("afl.tensor.gemm.seconds");
+  obs::KernelTimer timer(hist);
   if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
   std::size_t i = 0;
   for (; i + 4 <= m; i += 4) {
@@ -49,6 +63,8 @@ void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k
 
 void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
              std::size_t n, bool accumulate) {
+  static obs::Histogram& hist = gemm_hist("afl.tensor.gemm_at.seconds");
+  obs::KernelTimer timer(hist);
   if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
   // A stored [k x m]; effective A[i][p] = a[p*m + i].
   std::size_t i = 0;
@@ -82,6 +98,8 @@ void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_
 
 void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
              std::size_t n, bool accumulate) {
+  static obs::Histogram& hist = gemm_hist("afl.tensor.gemm_bt.seconds");
+  obs::KernelTimer timer(hist);
   // B stored [n x k]; C[i][j] = dot(a_row_i, b_row_j). Four A rows share each
   // streamed B row.
   std::size_t i = 0;

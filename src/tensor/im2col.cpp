@@ -1,9 +1,13 @@
 #include "tensor/im2col.hpp"
 
+#include "obs/timer.hpp"
+
 namespace afl {
 
 void im2col_strided(const float* image, const ConvGeom& g, float* cols,
                     std::size_t row_stride, std::size_t col0) {
+  static obs::Histogram& hist = obs::metrics().histogram("afl.tensor.im2col.seconds");
+  obs::KernelTimer timer(hist);
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
   const std::size_t plane = g.height * g.width;
@@ -39,6 +43,8 @@ void im2col(const float* image, const ConvGeom& g, float* cols) {
 
 void col2im_strided(const float* cols, const ConvGeom& g, float* image,
                     std::size_t row_stride, std::size_t col0) {
+  static obs::Histogram& hist = obs::metrics().histogram("afl.tensor.col2im.seconds");
+  obs::KernelTimer timer(hist);
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
   const std::size_t plane = g.height * g.width;

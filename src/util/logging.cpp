@@ -1,7 +1,9 @@
 #include "util/logging.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace afl {
@@ -44,9 +46,24 @@ LogLevel log_threshold() { return threshold_ref(); }
 void set_log_threshold(LogLevel level) { threshold_ref() = level; }
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  if (!log_enabled(level)) return;
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &secs);
+#else
+  localtime_r(&secs, &tm_buf);
+#endif
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "%s.%03d [%s] %s\n", stamp, static_cast<int>(ms),
+               level_name(level), msg.c_str());
 }
 
 }  // namespace afl

@@ -15,24 +15,36 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
 
+/// True when a message at `level` would actually be emitted.
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_threshold());
+}
+
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {
+/// Stream-style log line. The threshold is checked once at construction so a
+/// dropped line never formats its operands — `AFL_LOG_DEBUG << expensive()`
+/// still evaluates `expensive()` (C++ has no lazy operands), but its result is
+/// never streamed, and types with costly operator<< pay nothing.
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, stream_.str()); }
+  explicit LogLine(LogLevel level) : level_(level), enabled_(log_enabled(level)) {}
+  ~LogLine() {
+    if (enabled_) log_message(level_, stream_.str());
+  }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
   template <typename T>
   LogLine& operator<<(const T& v) {
-    stream_ << v;
+    if (enabled_) stream_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 }  // namespace detail

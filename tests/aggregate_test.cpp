@@ -158,5 +158,46 @@ TEST(CommStats, WasteRate) {
   EXPECT_EQ(s.params_sent(), 0u);
 }
 
+TEST(CommStats, RoundDeltasTrackSinceMark) {
+  CommStats s;
+  // No begin_round() yet: the round view equals the cumulative view.
+  s.record_dispatch(100);
+  s.record_return(50);
+  EXPECT_EQ(s.round_sent(), 100u);
+  EXPECT_EQ(s.round_returned(), 50u);
+
+  s.begin_round();
+  EXPECT_EQ(s.round_sent(), 0u);
+  EXPECT_EQ(s.round_returned(), 0u);
+  EXPECT_DOUBLE_EQ(s.round_waste_rate(), 0.0);  // nothing sent this round
+
+  s.record_dispatch(200);
+  s.record_return(150);
+  EXPECT_EQ(s.round_sent(), 200u);
+  EXPECT_EQ(s.round_returned(), 150u);
+  EXPECT_DOUBLE_EQ(s.round_waste_rate(), 0.25);
+  // Cumulative view is unaffected by the round mark.
+  EXPECT_EQ(s.params_sent(), 300u);
+  EXPECT_DOUBLE_EQ(s.waste_rate(), 1.0 - 200.0 / 300.0);
+
+  // A new round resets the deltas but not the totals.
+  s.begin_round();
+  s.record_dispatch(80);
+  s.record_return(80);
+  EXPECT_DOUBLE_EQ(s.round_waste_rate(), 0.0);
+  EXPECT_EQ(s.params_sent(), 380u);
+}
+
+TEST(CommStats, ResetClearsRoundMarks) {
+  CommStats s;
+  s.record_dispatch(10);
+  s.begin_round();
+  s.record_dispatch(5);
+  s.reset();
+  EXPECT_EQ(s.round_sent(), 0u);
+  EXPECT_EQ(s.round_returned(), 0u);
+  EXPECT_DOUBLE_EQ(s.round_waste_rate(), 0.0);
+}
+
 }  // namespace
 }  // namespace afl

@@ -34,8 +34,8 @@ TEST(RunResult, BestFallsBackToFinal) {
 
 TEST(RunResult, CurveCsvExport) {
   RunResult r;
-  r.curve.push_back({1, 0.25, 0.2, 0.1});
-  r.curve.push_back({2, 0.5, 0.4, 0.05});
+  r.curve.push_back({1, 0.25, 0.2, 0.1, 0.1});
+  r.curve.push_back({2, 0.5, 0.4, 0.05, 0.02});
   const std::string path = std::string(::testing::TempDir()) + "/afl_curve.csv";
   r.write_curve_csv(path);
   std::ifstream in(path);
@@ -44,10 +44,49 @@ TEST(RunResult, CurveCsvExport) {
   std::getline(in, header);
   std::getline(in, row1);
   std::getline(in, row2);
-  EXPECT_EQ(header, "round,full_acc,avg_acc,comm_waste");
+  EXPECT_EQ(header, "round,full_acc,avg_acc,comm_waste,round_waste");
   EXPECT_EQ(row1.substr(0, 2), "1,");
   EXPECT_NE(row2.find("0.5"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(RunResult, MetricsJsonlExport) {
+  RunResult r;
+  r.algorithm = "TestAlgo";
+  RoundMetrics m;
+  m.round = 1;
+  m.round_seconds = 0.5;
+  m.train_seconds = 0.25;
+  m.clients_ok = 3;
+  m.clients_failed = 1;
+  m.params_sent = 100;
+  m.params_returned = 80;
+  m.round_waste = 0.2;
+  m.selector_entropy = 0.9;
+  r.round_metrics.push_back(m);
+  m.round = 2;
+  r.round_metrics.push_back(m);
+  const std::string path = std::string(::testing::TempDir()) + "/afl_metrics.jsonl";
+  r.write_metrics_jsonl(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"algo\":\"TestAlgo\""), std::string::npos);
+    EXPECT_NE(line.find("\"round\":"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(RunResult, MetricsJsonlBadPathThrows) {
+  RunResult r;
+  EXPECT_THROW(r.write_metrics_jsonl("/nonexistent/dir/x.jsonl"),
+               std::runtime_error);
 }
 
 TEST(RunResult, CurveCsvBadPathThrows) {

@@ -25,6 +25,49 @@ TEST(Logging, MacrosEmitWithoutCrashing) {
   SUCCEED();
 }
 
+// A type whose operator<< counts invocations, so we can prove that a log line
+// below the threshold never formats its operands.
+struct FormatProbe {
+  mutable int* counter;
+};
+
+std::ostream& operator<<(std::ostream& os, const FormatProbe& p) {
+  ++(*p.counter);
+  return os << "probe";
+}
+
+TEST(Logging, BelowThresholdOperandsNeverFormatted) {
+  const LogLevel original = log_threshold();
+  set_log_threshold(LogLevel::kError);
+  int formats = 0;
+  FormatProbe probe{&formats};
+  AFL_LOG_DEBUG << "dropped " << probe;
+  AFL_LOG_INFO << probe << probe;
+  AFL_LOG_WARN << "also dropped " << probe;
+  EXPECT_EQ(formats, 0);
+  set_log_threshold(original);
+}
+
+TEST(Logging, EnabledLineStillFormats) {
+  const LogLevel original = log_threshold();
+  set_log_threshold(LogLevel::kDebug);
+  int formats = 0;
+  FormatProbe probe{&formats};
+  AFL_LOG_DEBUG << probe;  // emitted to stderr; formatting must happen
+  EXPECT_EQ(formats, 1);
+  set_log_threshold(original);
+}
+
+TEST(Logging, LogEnabledTracksThreshold) {
+  const LogLevel original = log_threshold();
+  set_log_threshold(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_threshold(original);
+}
+
 TEST(Logging, LevelOrdering) {
   EXPECT_LT(static_cast<int>(LogLevel::kDebug), static_cast<int>(LogLevel::kInfo));
   EXPECT_LT(static_cast<int>(LogLevel::kInfo), static_cast<int>(LogLevel::kWarn));

@@ -1,0 +1,37 @@
+# Smoke test for the tracing pipeline: run the quickstart example with
+# AFL_TRACE_JSONL pointed at a scratch file, then validate the produced trace
+# with trace_validate (valid JSONL, all promised event kinds, durations).
+#
+# Invoked by ctest as:
+#   cmake -DQUICKSTART=<exe> -DVALIDATOR=<exe> -DTRACE_FILE=<path> -P trace_smoke.cmake
+
+foreach(var QUICKSTART VALIDATOR TRACE_FILE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "trace_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE "${TRACE_FILE}")
+
+# Small run (3 rounds, 8 clients) — enough to exercise every event kind.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env AFL_TRACE_JSONL=${TRACE_FILE} AFL_LOG_LEVEL=warn
+          "${QUICKSTART}" 3 8
+  RESULT_VARIABLE run_result
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "trace_smoke: quickstart failed (${run_result}):\n${run_err}")
+endif()
+
+execute_process(
+  COMMAND "${VALIDATOR}" "${TRACE_FILE}"
+  RESULT_VARIABLE validate_result
+  OUTPUT_VARIABLE validate_out
+  ERROR_VARIABLE validate_err)
+if(NOT validate_result EQUAL 0)
+  message(FATAL_ERROR "trace_smoke: validation failed:\n${validate_out}${validate_err}")
+endif()
+
+message(STATUS "trace_smoke: ${validate_out}")
+file(REMOVE "${TRACE_FILE}")

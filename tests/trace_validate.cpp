@@ -1,0 +1,87 @@
+// Standalone validator for AFL_TRACE_JSONL output, driven by the
+// obs_trace_smoke ctest (see trace_smoke.cmake). Checks that the trace file
+// is non-empty, that every line is a syntactically valid JSON object, and
+// that all event kinds the FL runtime promises are present — each carrying a
+// duration field.
+//
+//   ./trace_validate <trace.jsonl>
+//
+// Exits 0 on success; prints the first problem and exits 1 otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+bool has_key(const std::string& line, const std::string& key) {
+  return line.find("\"" + key + "\":") != std::string::npos;
+}
+
+bool has_kind(const std::string& line, const std::string& kind) {
+  return line.find("\"kind\":\"" + kind + "\"") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_validate <trace.jsonl>\n");
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in.good()) {
+    std::fprintf(stderr, "trace_validate: cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  // kind -> [seen at all, seen with a duration field]
+  std::map<std::string, std::pair<bool, bool>> required = {
+      {"round", {}},    {"dispatch", {}}, {"local_train", {}},
+      {"aggregate", {}}, {"evaluate", {}}, {"rl_update", {}},
+  };
+
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (!afl::obs::json_validate(line)) {
+      std::fprintf(stderr, "trace_validate: line %zu is not valid JSON: %s\n",
+                   lines, line.c_str());
+      return 1;
+    }
+    if (line.empty() || line.front() != '{' || !has_key(line, "ts_ms") ||
+        !has_key(line, "kind")) {
+      std::fprintf(stderr,
+                   "trace_validate: line %zu lacks the record envelope "
+                   "(object with ts_ms + kind): %s\n",
+                   lines, line.c_str());
+      return 1;
+    }
+    for (auto& [kind, seen] : required) {
+      if (!has_kind(line, kind)) continue;
+      seen.first = true;
+      if (has_key(line, "dur_ms")) seen.second = true;
+    }
+  }
+  if (lines == 0) {
+    std::fprintf(stderr, "trace_validate: %s is empty\n", argv[1]);
+    return 1;
+  }
+  bool ok = true;
+  for (const auto& [kind, seen] : required) {
+    if (!seen.first) {
+      std::fprintf(stderr, "trace_validate: no \"%s\" event in trace\n", kind.c_str());
+      ok = false;
+    } else if (!seen.second) {
+      std::fprintf(stderr, "trace_validate: \"%s\" events carry no dur_ms\n",
+                   kind.c_str());
+      ok = false;
+    }
+  }
+  if (ok) std::printf("trace_validate: %zu lines OK\n", lines);
+  return ok ? 0 : 1;
+}
