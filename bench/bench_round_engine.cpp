@@ -1,0 +1,74 @@
+// RoundEngine threading bench: rounds/sec for AdaptiveFL at 1/2/4/8 worker
+// threads, plus a determinism cross-check (the curve must be bit-identical
+// at every thread count). Emits one JSON summary line per thread count for
+// machine consumption alongside the markdown table.
+//
+// Note: speedup is bounded by the host's core count (reported in the JSON);
+// on a single-core container every thread count runs at ~1x.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace afl;
+  bench::print_header("RoundEngine thread scaling",
+                      "engine infrastructure (docs/ENGINE.md), not a paper table");
+
+  ExperimentConfig cfg = bench::scaled_config();
+  cfg.rounds = static_cast<std::size_t>(env_or("AFL_ROUNDS", 6));
+  cfg.eval_every = cfg.rounds;  // eval once at the end; bench the round loop
+  const ExperimentEnv env = make_env(cfg);
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  Table table({"threads", "wall s", "rounds/s", "speedup", "identical"});
+  std::vector<RunResult> results;
+  double base_wall = 0.0;
+  for (std::size_t threads : thread_counts) {
+    ExperimentEnv run_env = env;
+    run_env.run.threads = threads;
+    Stopwatch watch;
+    results.push_back(run_algorithm(Algorithm::kAdaptiveFl, run_env));
+    const double wall = watch.seconds();
+    if (threads == 1) base_wall = wall;
+
+    // Bit-identical check against the single-thread run.
+    bool identical = true;
+    const RunResult& base = results.front();
+    const RunResult& r = results.back();
+    identical &= r.curve.size() == base.curve.size();
+    for (std::size_t i = 0; identical && i < r.curve.size(); ++i) {
+      identical &= r.curve[i].full_acc == base.curve[i].full_acc &&
+                   r.curve[i].avg_acc == base.curve[i].avg_acc;
+    }
+    identical &= r.comm.params_sent() == base.comm.params_sent() &&
+                 r.comm.params_returned() == base.comm.params_returned() &&
+                 r.failed_trainings == base.failed_trainings;
+
+    const double rounds_per_sec = static_cast<double>(cfg.rounds) / wall;
+    char wall_s[32], rps_s[32], speedup_s[32];
+    std::snprintf(wall_s, sizeof(wall_s), "%.2f", wall);
+    std::snprintf(rps_s, sizeof(rps_s), "%.2f", rounds_per_sec);
+    std::snprintf(speedup_s, sizeof(speedup_s), "%.2fx", base_wall / wall);
+    table.add_row({std::to_string(threads), wall_s, rps_s, speedup_s,
+                   identical ? "yes" : "NO"});
+    std::printf(
+        "{\"bench\":\"round_engine\",\"threads\":%zu,\"host_cores\":%u,"
+        "\"rounds\":%zu,\"wall_seconds\":%.3f,\"rounds_per_sec\":%.3f,"
+        "\"speedup\":%.3f,\"identical_to_1_thread\":%s}\n",
+        threads, cores, cfg.rounds, wall, rounds_per_sec, base_wall / wall,
+        identical ? "true" : "false");
+    if (!identical) {
+      std::printf("DETERMINISM VIOLATION at %zu threads\n", threads);
+      return 1;
+    }
+  }
+  std::printf("\n%s\n", table.to_markdown().c_str());
+  std::printf("final full acc %s | host cores: %u\n",
+              bench::pct(results.front().final_full_acc).c_str(), cores);
+  return 0;
+}

@@ -1,16 +1,167 @@
 #include "core/adaptivefl.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "engine/round_engine.hpp"
 #include "fl/aggregate.hpp"
 #include "fl/evaluate.hpp"
 #include "nn/init.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
-#include "util/stopwatch.hpp"
 
 namespace afl {
+namespace {
+
+/// Algorithm 1 as a RoundPolicy: uniform (or greedy) model draw from the
+/// pool, RL client selection, device-side adaptive pruning, heterogeneous
+/// aggregation, L1/M1/S1 evaluation.
+class AdaptiveFlPolicy final : public RoundPolicy {
+ public:
+  AdaptiveFlPolicy(const ArchSpec& spec, const ModelPool& pool,
+                   const FederatedDataset& data, const FlRunConfig& config,
+                   const AdaptiveFlOptions& options, ClientSelector& selector,
+                   ParamSet& global, bool has_initial)
+      : spec_(spec),
+        pool_(pool),
+        data_(data),
+        config_(config),
+        options_(options),
+        selector_(selector),
+        global_(global),
+        has_initial_(has_initial) {}
+
+  std::string algorithm_name() const override {
+    return options_.greedy_dispatch
+               ? "AdaptiveFL+Greed"
+               : std::string("AdaptiveFL+") + selection_strategy_name(options_.strategy);
+  }
+
+  void init_global(Rng& rng) override {
+    if (has_initial_) return;
+    Model full_model = build_full_model(spec_, &rng);
+    global_ = full_model.export_params();
+  }
+
+  void begin_round(std::size_t, Rng&) override {
+    taken_.assign(data_.num_clients(), false);
+    updates_.clear();
+  }
+
+  bool select(ClientSlot& s, Rng& rng) override {
+    // Step 2 (Model Selection): uniform draw from the pool — or always L1
+    // for the +Greed ablation.
+    const std::size_t sent = options_.greedy_dispatch ? pool_.largest_index()
+                                                      : rng.uniform_index(pool_.size());
+    // Step 3 (Client Selection).
+    const auto client = selector_.select(sent, taken_, rng);
+    if (!client) return false;  // every client already has a model this round
+    taken_[*client] = true;
+    s.client = *client;
+    s.sent_index = sent;
+    s.params_sent = pool_.entry(sent).params;
+    return true;
+  }
+
+  void adapt(ClientSlot& s) override {
+    // Step 4 (available-resource-aware pruning): the largest sub-plan of the
+    // dispatched model that fits the device's instantaneous capacity.
+    const auto back = pool_.adapt(s.sent_index, s.capacity);
+    if (!back) return;
+    s.trainable = true;
+    s.back_index = *back;
+    s.params_back = pool_.entry(*back).params;
+  }
+
+  void on_no_response(const ClientSlot& s) override {
+    selector_.tables().update_no_response(pool_.entry(s.sent_index).level, s.client);
+  }
+
+  void on_adapt_failure(const ClientSlot& s) override {
+    selector_.tables().update_failure(s.sent_index, pool_.entry(s.sent_index).level,
+                                      s.client);
+  }
+
+  void on_accepted(const ClientSlot& s) override {
+    // RL table update (Algorithm 1, lines 12-26). Depends only on what was
+    // sent and what will come back, so it lands here — before training —
+    // keeping all table mutations on the sequential planning path.
+    selector_.tables().update(s.sent_index, pool_.entry(s.sent_index).level,
+                              s.back_index, pool_.entry(s.back_index).level, s.client);
+  }
+
+  TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
+    Model local = pool_.build(s.back_index);
+    local.import_params(pool_.split(global_, s.back_index));
+    TrainOutcome out;
+    out.stats = local_train(local, data_.clients[s.client], config_.local, rng);
+    out.params = local.export_params();
+    out.samples = data_.clients[s.client].size();
+    return out;
+  }
+
+  void commit(const ClientSlot&, TrainOutcome outcome) override {
+    // Step 5 (Model Uploading).
+    updates_.push_back({std::move(outcome.params), outcome.samples});
+  }
+
+  void aggregate(std::size_t) override {
+    // Step 6 (Model Aggregation, Algorithm 2).
+    global_ = hetero_aggregate(global_, updates_);
+  }
+
+  void end_round(std::size_t round, RoundTelemetry& telemetry) override {
+    // Selector-policy telemetry: how concentrated has client selection become
+    // for the largest model, plus the round's RL table snapshot.
+    const double entropy = selector_.selection_entropy(pool_.largest_index());
+    telemetry.set_selector_entropy(entropy);
+    obs::metrics().gauge("afl.rl.selector.entropy").set(entropy);
+    if (obs::trace_enabled()) {
+      obs::TraceEvent tables_ev("rl_tables");
+      tables_ev.field("round", static_cast<std::uint64_t>(round))
+          .field("selector_entropy", entropy)
+          .field("mean_curiosity", selector_.tables().mean_curiosity())
+          .field("mean_resource", selector_.tables().mean_resource());
+      tables_ev.emit();
+    }
+  }
+
+  void evaluate(std::size_t, RunResult& result) override {
+    const std::size_t heads[3] = {pool_.level_head_index(Level::kLarge),
+                                  pool_.level_head_index(Level::kMedium),
+                                  pool_.level_head_index(Level::kSmall)};
+    double sum = 0.0;
+    double full = 0.0;
+    for (std::size_t h : heads) {
+      const PoolEntry& e = pool_.entry(h);
+      const double acc = eval_params(spec_, e.plan, {}, pool_.split(global_, h),
+                                     data_.test, config_.eval_batch);
+      result.level_acc[e.label()] = acc;
+      sum += acc;
+      if (e.level == Level::kLarge) full = acc;
+    }
+    result.final_full_acc = full;
+    result.final_avg_acc = sum / 3.0;
+    AFL_LOG_DEBUG << result.algorithm << ": full " << result.final_full_acc
+                  << ", avg " << result.final_avg_acc;
+  }
+
+ private:
+  const ArchSpec& spec_;
+  const ModelPool& pool_;
+  const FederatedDataset& data_;
+  const FlRunConfig& config_;
+  const AdaptiveFlOptions& options_;
+  ClientSelector& selector_;
+  ParamSet& global_;
+  bool has_initial_;
+
+  std::vector<bool> taken_;
+  std::vector<ClientUpdate> updates_;
+};
+
+}  // namespace
 
 void AdaptiveFl::set_initial_params(ParamSet params) {
   Model probe = build_full_model(spec_);
@@ -34,142 +185,11 @@ AdaptiveFl::AdaptiveFl(const ArchSpec& spec, const PoolConfig& pool_config,
   }
 }
 
-void AdaptiveFl::evaluate_round(std::size_t round, const ParamSet& global,
-                                RunResult& result) {
-  const std::size_t heads[3] = {pool_.level_head_index(Level::kLarge),
-                                pool_.level_head_index(Level::kMedium),
-                                pool_.level_head_index(Level::kSmall)};
-  double sum = 0.0;
-  double full = 0.0;
-  for (std::size_t h : heads) {
-    const PoolEntry& e = pool_.entry(h);
-    const double acc = eval_params(spec_, e.plan, {}, pool_.split(global, h),
-                                   data_.test, config_.eval_batch);
-    result.level_acc[e.label()] = acc;
-    sum += acc;
-    if (e.level == Level::kLarge) full = acc;
-  }
-  RoundRecord rec;
-  rec.round = round;
-  rec.full_acc = full;
-  rec.avg_acc = sum / 3.0;
-  rec.comm_waste = result.comm.waste_rate();
-  rec.round_waste = result.comm.round_waste_rate();
-  result.curve.push_back(rec);
-  result.final_full_acc = full;
-  result.final_avg_acc = rec.avg_acc;
-}
-
 RunResult AdaptiveFl::run() {
-  Stopwatch watch;
-  RunResult result;
-  result.algorithm = options_.greedy_dispatch
-                         ? "AdaptiveFL+Greed"
-                         : std::string("AdaptiveFL+") +
-                               selection_strategy_name(options_.strategy);
-
-  Rng rng(config_.seed);
-  if (!has_initial_) {
-    Model full_model = build_full_model(spec_, &rng);
-    global_ = full_model.export_params();
-  }
-  ParamSet& global = global_;
-
-  for (std::size_t round = 1; round <= config_.rounds; ++round) {
-    RoundTelemetry telemetry(result, round);
-    std::vector<bool> taken(data_.num_clients(), false);
-    std::vector<ClientUpdate> updates;
-    updates.reserve(config_.clients_per_round);
-    for (std::size_t slot = 0; slot < config_.clients_per_round; ++slot) {
-      // Step 2 (Model Selection): uniform draw from the pool — or always L1
-      // for the +Greed ablation.
-      const std::size_t sent = options_.greedy_dispatch
-                                   ? pool_.largest_index()
-                                   : rng.uniform_index(pool_.size());
-      // Step 3 (Client Selection).
-      const auto client = selector_.select(sent, taken, rng);
-      if (!client) break;  // every client already has a model this round
-      taken[*client] = true;
-      result.comm.record_dispatch(pool_.entry(sent).params);
-      obs::TraceSpan dispatch("dispatch");
-      dispatch.field("round", static_cast<std::uint64_t>(round))
-          .field("client", static_cast<std::uint64_t>(*client))
-          .field("sent", static_cast<std::uint64_t>(sent))
-          .field("params", static_cast<std::uint64_t>(pool_.entry(sent).params));
-
-      // Unreachable device: the dispatched model is lost (counted as pure
-      // communication waste) and only the curiosity visit is recorded.
-      if (!devices_[*client].responds(rng)) {
-        ++result.failed_trainings;
-        telemetry.client_failed();
-        dispatch.field("outcome", "no_response");
-        selector_.tables().update_no_response(pool_.entry(sent).level, *client);
-        continue;
-      }
-
-      // Step 4 (Local Training with available-resource-aware pruning).
-      const std::size_t capacity = devices_[*client].capacity(rng);
-      const auto back = pool_.adapt(sent, capacity);
-      if (!back) {
-        ++result.failed_trainings;
-        telemetry.client_failed();
-        dispatch.field("outcome", "adapt_failed");
-        selector_.tables().update_failure(sent, pool_.entry(sent).level, *client);
-        continue;
-      }
-      Model local = pool_.build(*back);
-      local.import_params(pool_.split(global, *back));
-      Rng crng = rng.fork();
-      const LocalTrainResult trained =
-          local_train(local, data_.clients[*client], config_.local, crng);
-      telemetry.add_train_seconds(trained.seconds);
-
-      // Step 5 (Model Uploading).
-      updates.push_back(
-          {local.export_params(), data_.clients[*client].size()});
-      result.comm.record_return(pool_.entry(*back).params);
-      telemetry.client_ok();
-      dispatch.field("outcome", "ok")
-          .field("back", static_cast<std::uint64_t>(*back))
-          .field("train_ms", trained.seconds * 1e3);
-
-      // RL table update (Algorithm 1, lines 12-26).
-      selector_.tables().update(sent, pool_.entry(sent).level, *back,
-                                pool_.entry(*back).level, *client);
-    }
-    // Step 6 (Model Aggregation).
-    {
-      Stopwatch agg_watch;
-      global = hetero_aggregate(global, updates);
-      telemetry.add_aggregate_seconds(agg_watch.seconds());
-    }
-
-    // Selector-policy telemetry: how concentrated has client selection become
-    // for the largest model, plus the round's RL table snapshot.
-    const double entropy = selector_.selection_entropy(pool_.largest_index());
-    telemetry.set_selector_entropy(entropy);
-    obs::metrics().gauge("afl.rl.selector.entropy").set(entropy);
-    if (obs::trace_enabled()) {
-      obs::TraceEvent tables_ev("rl_tables");
-      tables_ev.field("round", static_cast<std::uint64_t>(round))
-          .field("selector_entropy", entropy)
-          .field("mean_curiosity", selector_.tables().mean_curiosity())
-          .field("mean_resource", selector_.tables().mean_resource());
-      tables_ev.emit();
-    }
-
-    if (config_.eval_every != 0 &&
-        (round % config_.eval_every == 0 || round == config_.rounds)) {
-      Stopwatch eval_watch;
-      evaluate_round(round, global, result);
-      telemetry.add_eval_seconds(eval_watch.seconds());
-      AFL_LOG_DEBUG << result.algorithm << " round " << round << ": full "
-                    << result.final_full_acc << ", avg " << result.final_avg_acc;
-    }
-  }
-  if (result.curve.empty()) evaluate_round(config_.rounds, global, result);
-  result.wall_seconds = watch.seconds();
-  return result;
+  AdaptiveFlPolicy policy(spec_, pool_, data_, config_, options_, selector_, global_,
+                          has_initial_);
+  RoundEngine engine(config_, &devices_);
+  return engine.run(policy);
 }
 
 }  // namespace afl

@@ -43,8 +43,6 @@ class AdaptiveFl {
   const ParamSet& global_params() const { return global_; }
 
  private:
-  void evaluate_round(std::size_t round, const ParamSet& global, RunResult& result);
-
   ArchSpec spec_;
   ModelPool pool_;
   const FederatedDataset& data_;

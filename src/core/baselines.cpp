@@ -3,80 +3,277 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
 
 #include "arch/stats.hpp"
+#include "engine/round_engine.hpp"
 #include "fl/aggregate.hpp"
 #include "fl/evaluate.hpp"
-#include "obs/trace.hpp"
 #include "prune/width_prune.hpp"
-#include "util/stopwatch.hpp"
 
 namespace afl {
+namespace {
+
+/// Shared cohort plumbing for the baselines that sample K clients uniformly
+/// at the start of each round.
+class CohortPolicy : public RoundPolicy {
+ public:
+  CohortPolicy(const FederatedDataset& data, const FlRunConfig& config)
+      : data_(data), config_(config) {}
+
+  void begin_round(std::size_t, Rng& rng) override {
+    cohort_ = sample_clients(data_.num_clients(), config_.clients_per_round, rng);
+  }
+
+  bool select(ClientSlot& s, Rng&) override {
+    if (s.slot >= cohort_.size()) return false;
+    s.client = cohort_[s.slot];
+    return true;
+  }
+
+ protected:
+  const FederatedDataset& data_;
+  const FlRunConfig& config_;
+  std::vector<std::size_t> cohort_;
+};
 
 // ---------------------------------------------------------------------------
 // AllLarge (FedAvg)
 // ---------------------------------------------------------------------------
+
+class AllLargePolicy final : public CohortPolicy {
+ public:
+  AllLargePolicy(const ArchSpec& spec, const FederatedDataset& data,
+                 const FlRunConfig& config)
+      : CohortPolicy(data, config), spec_(spec), full_plan_(spec.num_units(), 1.0) {}
+
+  std::string algorithm_name() const override { return "All-Large"; }
+
+  void init_global(Rng& rng) override {
+    Model model = build_full_model(spec_, &rng);
+    global_ = model.export_params();
+    full_params_ = param_count(global_);
+  }
+
+  void begin_round(std::size_t round, Rng& rng) override {
+    CohortPolicy::begin_round(round, rng);
+    updates_.clear();
+  }
+
+  void adapt(ClientSlot& s) override {
+    // Idealized baseline: every client trains the full model.
+    s.params_sent = s.params_back = full_params_;
+    s.trainable = true;
+  }
+
+  TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
+    Model local = build_full_model(spec_);
+    local.import_params(global_);
+    TrainOutcome out;
+    out.stats = local_train(local, data_.clients[s.client], config_.local, rng);
+    out.params = local.export_params();
+    out.samples = data_.clients[s.client].size();
+    return out;
+  }
+
+  void commit(const ClientSlot&, TrainOutcome outcome) override {
+    updates_.push_back({std::move(outcome.params), outcome.samples});
+  }
+
+  void aggregate(std::size_t) override { global_ = fedavg_aggregate(global_, updates_); }
+
+  void evaluate(std::size_t, RunResult& result) override {
+    const double acc =
+        eval_params(spec_, full_plan_, {}, global_, data_.test, config_.eval_batch);
+    result.level_acc["L1"] = acc;
+    result.final_full_acc = acc;
+    result.final_avg_acc = acc;  // All-Large has no submodels; avg == full
+  }
+
+ private:
+  const ArchSpec& spec_;
+  WidthPlan full_plan_;
+  std::size_t full_params_ = 0;
+  ParamSet global_;
+  std::vector<ClientUpdate> updates_;
+};
+
+// ---------------------------------------------------------------------------
+// Decoupled
+// ---------------------------------------------------------------------------
+
+class DecoupledPolicy final : public CohortPolicy {
+ public:
+  DecoupledPolicy(const ArchSpec& spec, const ModelPool& pool,
+                  const FederatedDataset& data, const FlRunConfig& config)
+      : CohortPolicy(data, config),
+        spec_(spec),
+        pool_(pool),
+        heads_{pool.level_head_index(Level::kLarge),
+               pool.level_head_index(Level::kMedium),
+               pool.level_head_index(Level::kSmall)} {}
+
+  std::string algorithm_name() const override { return "Decoupled"; }
+
+  void init_global(Rng& rng) override {
+    // Three independent model families seeded from one full init so every
+    // family starts from the same shared shallow weights.
+    Model seed_model = build_full_model(spec_, &rng);
+    const ParamSet seed = seed_model.export_params();
+    for (int l = 0; l < 3; ++l) globals_[l] = pool_.split(seed, heads_[l]);
+  }
+
+  void begin_round(std::size_t round, Rng& rng) override {
+    CohortPolicy::begin_round(round, rng);
+    for (auto& u : updates_) u.clear();
+  }
+
+  void adapt(ClientSlot& s) override {
+    for (std::size_t l = 0; l < 3; ++l) {
+      if (pool_.entry(heads_[l]).params <= s.capacity) {  // largest fitting
+        s.sent_index = s.back_index = l;
+        s.params_sent = s.params_back = pool_.entry(heads_[l]).params;
+        s.trainable = true;
+        return;
+      }
+    }
+    s.sent_index = 2;
+    s.params_sent = pool_.entry(heads_[2]).params;
+  }
+
+  TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
+    Model local = pool_.build(heads_[s.back_index]);
+    local.import_params(globals_[s.back_index]);
+    TrainOutcome out;
+    out.stats = local_train(local, data_.clients[s.client], config_.local, rng);
+    out.params = local.export_params();
+    out.samples = data_.clients[s.client].size();
+    return out;
+  }
+
+  void commit(const ClientSlot& s, TrainOutcome outcome) override {
+    updates_[s.back_index].push_back({std::move(outcome.params), outcome.samples});
+  }
+
+  void aggregate(std::size_t) override {
+    for (int l = 0; l < 3; ++l) {
+      globals_[l] = fedavg_aggregate(globals_[l], updates_[l]);
+    }
+  }
+
+  void evaluate(std::size_t, RunResult& result) override {
+    double sum = 0.0;
+    for (int l = 0; l < 3; ++l) {
+      const PoolEntry& e = pool_.entry(heads_[l]);
+      const double acc = eval_params(spec_, e.plan, {}, globals_[l], data_.test,
+                                     config_.eval_batch);
+      result.level_acc[e.label()] = acc;
+      sum += acc;
+      if (l == 0) result.final_full_acc = acc;
+    }
+    result.final_avg_acc = sum / 3.0;
+  }
+
+ private:
+  const ArchSpec& spec_;
+  const ModelPool& pool_;
+  std::size_t heads_[3];
+  ParamSet globals_[3];
+  std::vector<ClientUpdate> updates_[3];
+};
+
+// ---------------------------------------------------------------------------
+// HeteroFL
+// ---------------------------------------------------------------------------
+
+class HeteroFlPolicy final : public CohortPolicy {
+ public:
+  HeteroFlPolicy(const ArchSpec& spec, const FederatedDataset& data,
+                 const FlRunConfig& config, const std::vector<WidthPlan>& plans,
+                 const std::vector<std::string>& labels,
+                 const std::vector<std::size_t>& params)
+      : CohortPolicy(data, config),
+        spec_(spec),
+        level_plans_(plans),
+        level_labels_(labels),
+        level_params_(params) {}
+
+  std::string algorithm_name() const override { return "HeteroFL"; }
+
+  void init_global(Rng& rng) override {
+    Model full_model = build_full_model(spec_, &rng);
+    global_ = full_model.export_params();
+  }
+
+  void begin_round(std::size_t round, Rng& rng) override {
+    CohortPolicy::begin_round(round, rng);
+    updates_.clear();
+  }
+
+  void adapt(ClientSlot& s) override {
+    for (std::size_t l = 0; l < level_params_.size(); ++l) {
+      if (level_params_[l] <= s.capacity) {
+        s.sent_index = s.back_index = l;
+        s.params_sent = s.params_back = level_params_[l];
+        s.trainable = true;
+        return;
+      }
+    }
+    s.sent_index = level_params_.size() - 1;
+    s.params_sent = level_params_.back();
+  }
+
+  TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
+    const WidthPlan& plan = level_plans_[s.back_index];
+    Model local = build_model(spec_, plan);
+    local.import_params(prune_params(global_, spec_, plan));
+    TrainOutcome out;
+    out.stats = local_train(local, data_.clients[s.client], config_.local, rng);
+    out.params = local.export_params();
+    out.samples = data_.clients[s.client].size();
+    return out;
+  }
+
+  void commit(const ClientSlot&, TrainOutcome outcome) override {
+    updates_.push_back({std::move(outcome.params), outcome.samples});
+  }
+
+  void aggregate(std::size_t) override { global_ = hetero_aggregate(global_, updates_); }
+
+  void evaluate(std::size_t, RunResult& result) override {
+    double sum = 0.0;
+    for (std::size_t l = 0; l < level_plans_.size(); ++l) {
+      const double acc =
+          eval_params(spec_, level_plans_[l], {},
+                      prune_params(global_, spec_, level_plans_[l]), data_.test,
+                      config_.eval_batch);
+      result.level_acc[level_labels_[l]] = acc;
+      sum += acc;
+      if (l == 0) result.final_full_acc = acc;
+    }
+    result.final_avg_acc = sum / 3.0;
+  }
+
+ private:
+  const ArchSpec& spec_;
+  const std::vector<WidthPlan>& level_plans_;
+  const std::vector<std::string>& level_labels_;
+  const std::vector<std::size_t>& level_params_;
+  ParamSet global_;
+  std::vector<ClientUpdate> updates_;
+};
+
+}  // namespace
 
 AllLarge::AllLarge(const ArchSpec& spec, const FederatedDataset& data,
                    FlRunConfig run_config)
     : spec_(spec), data_(data), config_(run_config) {}
 
 RunResult AllLarge::run() {
-  Stopwatch watch;
-  RunResult result;
-  result.algorithm = "All-Large";
-  Rng rng(config_.seed);
-  Model model = build_full_model(spec_, &rng);
-  ParamSet global = model.export_params();
-  const std::size_t full_params = param_count(global);
-  const WidthPlan full_plan(spec_.num_units(), 1.0);
-
-  for (std::size_t round = 1; round <= config_.rounds; ++round) {
-    RoundTelemetry telemetry(result, round);
-    std::vector<ClientUpdate> updates;
-    for (std::size_t c : sample_clients(data_.num_clients(),
-                                        config_.clients_per_round, rng)) {
-      obs::TraceSpan dispatch("dispatch");
-      dispatch.field("round", static_cast<std::uint64_t>(round))
-          .field("client", static_cast<std::uint64_t>(c))
-          .field("params", static_cast<std::uint64_t>(full_params));
-      Model local = build_full_model(spec_);
-      local.import_params(global);
-      Rng crng = rng.fork();
-      const LocalTrainResult trained =
-          local_train(local, data_.clients[c], config_.local, crng);
-      telemetry.add_train_seconds(trained.seconds);
-      telemetry.client_ok();
-      dispatch.field("outcome", "ok");
-      updates.push_back({local.export_params(), data_.clients[c].size()});
-      result.comm.record_dispatch(full_params);
-      result.comm.record_return(full_params);
-    }
-    {
-      Stopwatch agg_watch;
-      global = fedavg_aggregate(global, updates);
-      telemetry.add_aggregate_seconds(agg_watch.seconds());
-    }
-    if (config_.eval_every != 0 &&
-        (round % config_.eval_every == 0 || round == config_.rounds)) {
-      Stopwatch eval_watch;
-      const double acc =
-          eval_params(spec_, full_plan, {}, global, data_.test, config_.eval_batch);
-      telemetry.add_eval_seconds(eval_watch.seconds());
-      result.curve.push_back({round, acc, acc, result.comm.waste_rate(),
-                              result.comm.round_waste_rate()});
-      result.final_full_acc = acc;
-      result.final_avg_acc = acc;  // All-Large has no submodels; avg == full
-    }
-  }
-  result.level_acc["L1"] = result.final_full_acc;
-  result.wall_seconds = watch.seconds();
-  return result;
+  AllLargePolicy policy(spec_, data_, config_);
+  RoundEngine engine(config_, /*devices=*/nullptr);
+  return engine.run(policy);
 }
-
-// ---------------------------------------------------------------------------
-// Decoupled
-// ---------------------------------------------------------------------------
 
 Decoupled::Decoupled(const ArchSpec& spec, const PoolConfig& pool_config,
                      const FederatedDataset& data, std::vector<DeviceSim> devices,
@@ -92,95 +289,10 @@ Decoupled::Decoupled(const ArchSpec& spec, const PoolConfig& pool_config,
 }
 
 RunResult Decoupled::run() {
-  Stopwatch watch;
-  RunResult result;
-  result.algorithm = "Decoupled";
-  Rng rng(config_.seed);
-  // Three independent model families seeded from one full init so every
-  // family starts from the same shared shallow weights.
-  const std::size_t heads[3] = {pool_.level_head_index(Level::kLarge),
-                                pool_.level_head_index(Level::kMedium),
-                                pool_.level_head_index(Level::kSmall)};
-  Model seed_model = build_full_model(spec_, &rng);
-  const ParamSet seed = seed_model.export_params();
-  ParamSet globals[3];
-  for (int l = 0; l < 3; ++l) globals[l] = pool_.split(seed, heads[l]);
-
-  auto level_for_capacity = [&](std::size_t capacity) -> int {
-    for (int l = 0; l < 3; ++l) {
-      if (pool_.entry(heads[l]).params <= capacity) return l;  // largest fitting
-    }
-    return -1;
-  };
-
-  for (std::size_t round = 1; round <= config_.rounds; ++round) {
-    RoundTelemetry telemetry(result, round);
-    std::vector<ClientUpdate> updates[3];
-    for (std::size_t c : sample_clients(data_.num_clients(),
-                                        config_.clients_per_round, rng)) {
-      obs::TraceSpan dispatch("dispatch");
-      dispatch.field("round", static_cast<std::uint64_t>(round))
-          .field("client", static_cast<std::uint64_t>(c));
-      if (!devices_[c].responds(rng)) {
-        ++result.failed_trainings;
-        telemetry.client_failed();
-        dispatch.field("outcome", "no_response");
-        continue;
-      }
-      const int l = level_for_capacity(devices_[c].capacity(rng));
-      if (l < 0) {
-        ++result.failed_trainings;
-        telemetry.client_failed();
-        dispatch.field("outcome", "no_fit");
-        continue;
-      }
-      const std::size_t head = heads[l];
-      Model local = pool_.build(head);
-      local.import_params(globals[l]);
-      Rng crng = rng.fork();
-      const LocalTrainResult trained =
-          local_train(local, data_.clients[c], config_.local, crng);
-      telemetry.add_train_seconds(trained.seconds);
-      telemetry.client_ok();
-      dispatch.field("outcome", "ok")
-          .field("params", static_cast<std::uint64_t>(pool_.entry(head).params));
-      updates[l].push_back({local.export_params(), data_.clients[c].size()});
-      result.comm.record_dispatch(pool_.entry(head).params);
-      result.comm.record_return(pool_.entry(head).params);
-    }
-    {
-      Stopwatch agg_watch;
-      for (int l = 0; l < 3; ++l) {
-        globals[l] = fedavg_aggregate(globals[l], updates[l]);
-      }
-      telemetry.add_aggregate_seconds(agg_watch.seconds());
-    }
-    if (config_.eval_every != 0 &&
-        (round % config_.eval_every == 0 || round == config_.rounds)) {
-      Stopwatch eval_watch;
-      double sum = 0.0;
-      for (int l = 0; l < 3; ++l) {
-        const PoolEntry& e = pool_.entry(heads[l]);
-        const double acc = eval_params(spec_, e.plan, {}, globals[l], data_.test,
-                                       config_.eval_batch);
-        result.level_acc[e.label()] = acc;
-        sum += acc;
-        if (l == 0) result.final_full_acc = acc;
-      }
-      telemetry.add_eval_seconds(eval_watch.seconds());
-      result.final_avg_acc = sum / 3.0;
-      result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
-                              result.comm.waste_rate(),
-                              result.comm.round_waste_rate()});
-    }
-  }
-  result.wall_seconds = watch.seconds();
-  return result;
+  DecoupledPolicy policy(spec_, pool_, data_, config_);
+  RoundEngine engine(config_, &devices_);
+  return engine.run(policy);
 }
-
-// ---------------------------------------------------------------------------
-// HeteroFL
-// ---------------------------------------------------------------------------
 
 HeteroFl::HeteroFl(const ArchSpec& spec, const PoolConfig& pool_config,
                    const FederatedDataset& data, std::vector<DeviceSim> devices,
@@ -201,83 +313,10 @@ HeteroFl::HeteroFl(const ArchSpec& spec, const PoolConfig& pool_config,
 }
 
 RunResult HeteroFl::run() {
-  Stopwatch watch;
-  RunResult result;
-  result.algorithm = "HeteroFL";
-  Rng rng(config_.seed);
-  Model full_model = build_full_model(spec_, &rng);
-  ParamSet global = full_model.export_params();
-
-  auto level_for_capacity = [&](std::size_t capacity) -> int {
-    for (int l = 0; l < 3; ++l) {
-      if (level_params_[static_cast<std::size_t>(l)] <= capacity) return l;
-    }
-    return -1;
-  };
-
-  for (std::size_t round = 1; round <= config_.rounds; ++round) {
-    RoundTelemetry telemetry(result, round);
-    std::vector<ClientUpdate> updates;
-    for (std::size_t c : sample_clients(data_.num_clients(),
-                                        config_.clients_per_round, rng)) {
-      obs::TraceSpan dispatch("dispatch");
-      dispatch.field("round", static_cast<std::uint64_t>(round))
-          .field("client", static_cast<std::uint64_t>(c));
-      if (!devices_[c].responds(rng)) {
-        ++result.failed_trainings;
-        telemetry.client_failed();
-        dispatch.field("outcome", "no_response");
-        continue;
-      }
-      const int l = level_for_capacity(devices_[c].capacity(rng));
-      if (l < 0) {
-        ++result.failed_trainings;
-        telemetry.client_failed();
-        dispatch.field("outcome", "no_fit");
-        continue;
-      }
-      const WidthPlan& plan = level_plans_[static_cast<std::size_t>(l)];
-      Model local = build_model(spec_, plan);
-      local.import_params(prune_params(global, spec_, plan));
-      Rng crng = rng.fork();
-      const LocalTrainResult trained =
-          local_train(local, data_.clients[c], config_.local, crng);
-      telemetry.add_train_seconds(trained.seconds);
-      telemetry.client_ok();
-      dispatch.field("outcome", "ok")
-          .field("params",
-                 static_cast<std::uint64_t>(level_params_[static_cast<std::size_t>(l)]));
-      updates.push_back({local.export_params(), data_.clients[c].size()});
-      result.comm.record_dispatch(level_params_[static_cast<std::size_t>(l)]);
-      result.comm.record_return(level_params_[static_cast<std::size_t>(l)]);
-    }
-    {
-      Stopwatch agg_watch;
-      global = hetero_aggregate(global, updates);
-      telemetry.add_aggregate_seconds(agg_watch.seconds());
-    }
-    if (config_.eval_every != 0 &&
-        (round % config_.eval_every == 0 || round == config_.rounds)) {
-      Stopwatch eval_watch;
-      double sum = 0.0;
-      for (std::size_t l = 0; l < 3; ++l) {
-        const double acc =
-            eval_params(spec_, level_plans_[l], {},
-                        prune_params(global, spec_, level_plans_[l]), data_.test,
-                        config_.eval_batch);
-        result.level_acc[level_labels_[l]] = acc;
-        sum += acc;
-        if (l == 0) result.final_full_acc = acc;
-      }
-      telemetry.add_eval_seconds(eval_watch.seconds());
-      result.final_avg_acc = sum / 3.0;
-      result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
-                              result.comm.waste_rate(),
-                              result.comm.round_waste_rate()});
-    }
-  }
-  result.wall_seconds = watch.seconds();
-  return result;
+  HeteroFlPolicy policy(spec_, data_, config_, level_plans_, level_labels_,
+                        level_params_);
+  RoundEngine engine(config_, &devices_);
+  return engine.run(policy);
 }
 
 }  // namespace afl

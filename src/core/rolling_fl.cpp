@@ -2,14 +2,110 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
 
 #include "arch/stats.hpp"
+#include "engine/round_engine.hpp"
 #include "fl/evaluate.hpp"
-#include "obs/trace.hpp"
 #include "prune/rolling.hpp"
-#include "util/stopwatch.hpp"
 
 namespace afl {
+namespace {
+
+/// FedRolex* as a RoundPolicy: HeteroFL's static levels, but the channel
+/// window rolls by one index per round. The rolling plan is a pure function
+/// of (spec, ratio, round), so workers and the commit path recompute it
+/// instead of sharing state.
+class RollingFlPolicy final : public RoundPolicy {
+ public:
+  RollingFlPolicy(const ArchSpec& spec, const FederatedDataset& data,
+                  const FlRunConfig& config, const std::vector<double>& ratios,
+                  const std::vector<std::size_t>& params)
+      : spec_(spec), data_(data), config_(config), level_ratios_(ratios),
+        level_params_(params) {}
+
+  std::string algorithm_name() const override { return "FedRolex*"; }
+
+  void init_global(Rng& rng) override {
+    Model full_model = build_full_model(spec_, &rng);
+    global_ = full_model.export_params();
+  }
+
+  void begin_round(std::size_t, Rng& rng) override {
+    cohort_ = sample_clients(data_.num_clients(), config_.clients_per_round, rng);
+    updates_.clear();
+  }
+
+  bool select(ClientSlot& s, Rng&) override {
+    if (s.slot >= cohort_.size()) return false;
+    s.client = cohort_[s.slot];
+    return true;
+  }
+
+  void adapt(ClientSlot& s) override {
+    for (std::size_t l = 0; l < level_params_.size(); ++l) {
+      if (level_params_[l] <= s.capacity) {
+        s.sent_index = s.back_index = l;
+        s.params_sent = s.params_back = level_params_[l];
+        s.trainable = true;
+        return;
+      }
+    }
+    s.sent_index = level_params_.size() - 1;
+    s.params_sent = level_params_.back();
+  }
+
+  TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
+    const double ratio = level_ratios_[s.back_index];
+    const RollingPlan plan = make_rolling_plan(spec_, ratio, s.round);
+    Model local = build_model(spec_, uniform_plan(spec_, ratio));
+    local.import_params(rolling_extract(global_, spec_, plan));
+    TrainOutcome out;
+    out.stats = local_train(local, data_.clients[s.client], config_.local, rng);
+    out.params = local.export_params();
+    out.samples = data_.clients[s.client].size();
+    return out;
+  }
+
+  void commit(const ClientSlot& s, TrainOutcome outcome) override {
+    updates_.push_back({make_rolling_plan(spec_, level_ratios_[s.back_index], s.round),
+                        std::move(outcome.params), outcome.samples});
+  }
+
+  void aggregate(std::size_t) override {
+    global_ = rolling_aggregate(global_, spec_, updates_);
+  }
+
+  void evaluate(std::size_t round, RunResult& result) override {
+    double sum = 0.0;
+    for (std::size_t l = 0; l < level_ratios_.size(); ++l) {
+      // Evaluate the level submodels through the *current* round's window.
+      const RollingPlan plan = make_rolling_plan(spec_, level_ratios_[l], round);
+      Model m = build_model(spec_, uniform_plan(spec_, level_ratios_[l]));
+      m.import_params(rolling_extract(global_, spec_, plan));
+      const double acc = afl::evaluate(m, data_.test, config_.eval_batch).accuracy;
+      char label[16];
+      std::snprintf(label, sizeof(label), "%.2fx", level_ratios_[l]);
+      result.level_acc[label] = acc;
+      sum += acc;
+      if (l == 0) result.final_full_acc = acc;
+    }
+    result.final_avg_acc = sum / 3.0;
+  }
+
+ private:
+  const ArchSpec& spec_;
+  const FederatedDataset& data_;
+  const FlRunConfig& config_;
+  const std::vector<double>& level_ratios_;    // 1.0 / r_medium / r_small
+  const std::vector<std::size_t>& level_params_;
+
+  ParamSet global_;
+  std::vector<std::size_t> cohort_;
+  std::vector<RollingUpdate> updates_;
+};
+
+}  // namespace
 
 RollingFl::RollingFl(const ArchSpec& spec, const PoolConfig& pool_config,
                      const FederatedDataset& data, std::vector<DeviceSim> devices,
@@ -25,88 +121,9 @@ RollingFl::RollingFl(const ArchSpec& spec, const PoolConfig& pool_config,
 }
 
 RunResult RollingFl::run() {
-  Stopwatch watch;
-  RunResult result;
-  result.algorithm = "FedRolex*";
-  Rng rng(config_.seed);
-  Model full_model = build_full_model(spec_, &rng);
-  ParamSet global = full_model.export_params();
-
-  auto level_for_capacity = [&](std::size_t capacity) -> int {
-    for (int l = 0; l < 3; ++l) {
-      if (level_params_[static_cast<std::size_t>(l)] <= capacity) return l;
-    }
-    return -1;
-  };
-
-  for (std::size_t round = 1; round <= config_.rounds; ++round) {
-    RoundTelemetry telemetry(result, round);
-    std::vector<RollingUpdate> updates;
-    for (std::size_t c : sample_clients(data_.num_clients(),
-                                        config_.clients_per_round, rng)) {
-      obs::TraceSpan dispatch("dispatch");
-      dispatch.field("round", static_cast<std::uint64_t>(round))
-          .field("client", static_cast<std::uint64_t>(c));
-      if (!devices_[c].responds(rng)) {
-        ++result.failed_trainings;
-        telemetry.client_failed();
-        dispatch.field("outcome", "no_response");
-        continue;
-      }
-      const int l = level_for_capacity(devices_[c].capacity(rng));
-      if (l < 0) {
-        ++result.failed_trainings;
-        telemetry.client_failed();
-        dispatch.field("outcome", "no_fit");
-        continue;
-      }
-      const double ratio = level_ratios_[static_cast<std::size_t>(l)];
-      const RollingPlan plan = make_rolling_plan(spec_, ratio, round);
-      Model local = build_model(spec_, uniform_plan(spec_, ratio));
-      local.import_params(rolling_extract(global, spec_, plan));
-      Rng crng = rng.fork();
-      const LocalTrainResult trained =
-          local_train(local, data_.clients[c], config_.local, crng);
-      telemetry.add_train_seconds(trained.seconds);
-      telemetry.client_ok();
-      dispatch.field("outcome", "ok")
-          .field("params",
-                 static_cast<std::uint64_t>(level_params_[static_cast<std::size_t>(l)]));
-      updates.push_back({plan, local.export_params(), data_.clients[c].size()});
-      result.comm.record_dispatch(level_params_[static_cast<std::size_t>(l)]);
-      result.comm.record_return(level_params_[static_cast<std::size_t>(l)]);
-    }
-    {
-      Stopwatch agg_watch;
-      global = rolling_aggregate(global, spec_, updates);
-      telemetry.add_aggregate_seconds(agg_watch.seconds());
-    }
-
-    if (config_.eval_every != 0 &&
-        (round % config_.eval_every == 0 || round == config_.rounds)) {
-      Stopwatch eval_watch;
-      double sum = 0.0;
-      for (std::size_t l = 0; l < 3; ++l) {
-        // Evaluate the level submodels through the *current* round's window.
-        const RollingPlan plan = make_rolling_plan(spec_, level_ratios_[l], round);
-        Model m = build_model(spec_, uniform_plan(spec_, level_ratios_[l]));
-        m.import_params(rolling_extract(global, spec_, plan));
-        const double acc = evaluate(m, data_.test, config_.eval_batch).accuracy;
-        char label[16];
-        std::snprintf(label, sizeof(label), "%.2fx", level_ratios_[l]);
-        result.level_acc[label] = acc;
-        sum += acc;
-        if (l == 0) result.final_full_acc = acc;
-      }
-      result.final_avg_acc = sum / 3.0;
-      telemetry.add_eval_seconds(eval_watch.seconds());
-      result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
-                              result.comm.waste_rate(),
-                              result.comm.round_waste_rate()});
-    }
-  }
-  result.wall_seconds = watch.seconds();
-  return result;
+  RollingFlPolicy policy(spec_, data_, config_, level_ratios_, level_params_);
+  RoundEngine engine(config_, &devices_);
+  return engine.run(policy);
 }
 
 }  // namespace afl

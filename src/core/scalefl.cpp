@@ -3,11 +3,11 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
 
+#include "engine/round_engine.hpp"
 #include "fl/aggregate.hpp"
-#include "obs/trace.hpp"
 #include "prune/width_prune.hpp"
-#include "util/stopwatch.hpp"
 
 namespace afl {
 namespace {
@@ -23,6 +23,107 @@ std::string width_label(double w) {
   std::snprintf(buf, sizeof(buf), "%.2fx", w);
   return buf;
 }
+
+/// ScaleFL as a RoundPolicy: random cohort, level matched to the device's
+/// instantaneous capacity, multi-exit local training with self-distillation,
+/// heterogeneous aggregation.
+class ScaleFlPolicy final : public RoundPolicy {
+ public:
+  ScaleFlPolicy(const ArchSpec& spec, const FederatedDataset& data,
+                const FlRunConfig& config, const BuildOptions& global_options,
+                const std::vector<ScaleFlLevel>& levels, double distill_weight)
+      : spec_(spec),
+        data_(data),
+        config_(config),
+        global_options_(global_options),
+        levels_(levels),
+        local_(config.local) {
+    local_.distill_weight = distill_weight;
+  }
+
+  std::string algorithm_name() const override { return "ScaleFL"; }
+
+  void init_global(Rng& rng) override {
+    Model global_model =
+        build_model(spec_, WidthPlan(spec_.num_units(), 1.0), &rng, global_options_);
+    global_ = global_model.export_params();
+  }
+
+  void begin_round(std::size_t, Rng& rng) override {
+    cohort_ = sample_clients(data_.num_clients(), config_.clients_per_round, rng);
+    updates_.clear();
+  }
+
+  bool select(ClientSlot& s, Rng&) override {
+    if (s.slot >= cohort_.size()) return false;
+    s.client = cohort_[s.slot];
+    return true;
+  }
+
+  void adapt(ClientSlot& s) override {
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      if (levels_[l].params <= s.capacity) {
+        s.sent_index = s.back_index = l;
+        s.params_sent = s.params_back = levels_[l].params;
+        s.trainable = true;
+        return;
+      }
+    }
+    // Even the smallest level exceeds the instantaneous capacity: the server
+    // still shipped it (it cannot observe device state), so the dispatch is
+    // recorded — and wasted.
+    s.sent_index = levels_.size() - 1;
+    s.params_sent = levels_.back().params;
+  }
+
+  TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
+    const ScaleFlLevel& level = levels_[s.back_index];
+    Model model = build_model(spec_, level.plan, nullptr, level.options);
+    model.import_params(
+        prune_to_shapes(global_, model_shapes(spec_, level.plan, level.options)));
+    TrainOutcome out;
+    out.stats = local_train_multi_exit(model, data_.clients[s.client], local_, rng);
+    out.params = model.export_params();
+    out.samples = data_.clients[s.client].size();
+    return out;
+  }
+
+  void commit(const ClientSlot&, TrainOutcome outcome) override {
+    updates_.push_back({std::move(outcome.params), outcome.samples});
+  }
+
+  void aggregate(std::size_t) override { global_ = hetero_aggregate(global_, updates_); }
+
+  void evaluate(std::size_t, RunResult& result) override {
+    double sum = 0.0;
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      const ScaleFlLevel& level = levels_[l];
+      // Evaluate the level submodel through its own (deepest) classifier.
+      BuildOptions eval_options = level.options;
+      eval_options.exits.clear();  // attached heads don't affect forward()
+      const double acc = eval_params(
+          spec_, level.plan, eval_options,
+          prune_to_shapes(global_, model_shapes(spec_, level.plan, eval_options)),
+          data_.test, config_.eval_batch);
+      result.level_acc[level.label] = acc;
+      sum += acc;
+      if (l == 0) result.final_full_acc = acc;
+    }
+    result.final_avg_acc = sum / static_cast<double>(levels_.size());
+  }
+
+ private:
+  const ArchSpec& spec_;
+  const FederatedDataset& data_;
+  const FlRunConfig& config_;
+  const BuildOptions& global_options_;
+  const std::vector<ScaleFlLevel>& levels_;  // descending size; [0] = full
+  LocalTrainConfig local_;
+
+  ParamSet global_;
+  std::vector<std::size_t> cohort_;
+  std::vector<ClientUpdate> updates_;
+};
 
 }  // namespace
 
@@ -90,92 +191,9 @@ ScaleFl::ScaleFl(const ArchSpec& spec, const std::vector<std::size_t>& capacity_
 }
 
 RunResult ScaleFl::run() {
-  Stopwatch watch;
-  RunResult result;
-  result.algorithm = "ScaleFL";
-  Rng rng(config_.seed);
-  Model global_model =
-      build_model(spec_, WidthPlan(spec_.num_units(), 1.0), &rng, global_options_);
-  ParamSet global = global_model.export_params();
-
-  auto level_for_capacity = [&](std::size_t capacity) -> int {
-    for (int l = 0; l < 3; ++l) {
-      if (levels_[static_cast<std::size_t>(l)].params <= capacity) return l;
-    }
-    return -1;
-  };
-
-  LocalTrainConfig local = config_.local;
-  local.distill_weight = distill_weight_;
-
-  for (std::size_t round = 1; round <= config_.rounds; ++round) {
-    RoundTelemetry telemetry(result, round);
-    std::vector<ClientUpdate> updates;
-    for (std::size_t c : sample_clients(data_.num_clients(),
-                                        config_.clients_per_round, rng)) {
-      obs::TraceSpan dispatch("dispatch");
-      dispatch.field("round", static_cast<std::uint64_t>(round))
-          .field("client", static_cast<std::uint64_t>(c));
-      if (!devices_[c].responds(rng)) {
-        ++result.failed_trainings;
-        telemetry.client_failed();
-        dispatch.field("outcome", "no_response");
-        continue;
-      }
-      const int li = level_for_capacity(devices_[c].capacity(rng));
-      if (li < 0) {
-        ++result.failed_trainings;
-        telemetry.client_failed();
-        dispatch.field("outcome", "no_fit");
-        continue;
-      }
-      const ScaleFlLevel& level = levels_[static_cast<std::size_t>(li)];
-      Model model = build_model(spec_, level.plan, nullptr, level.options);
-      model.import_params(
-          prune_to_shapes(global, model_shapes(spec_, level.plan, level.options)));
-      Rng crng = rng.fork();
-      const LocalTrainResult trained =
-          local_train_multi_exit(model, data_.clients[c], local, crng);
-      telemetry.add_train_seconds(trained.seconds);
-      telemetry.client_ok();
-      dispatch.field("outcome", "ok")
-          .field("params", static_cast<std::uint64_t>(level.params));
-      updates.push_back({model.export_params(), data_.clients[c].size()});
-      result.comm.record_dispatch(level.params);
-      result.comm.record_return(level.params);
-    }
-    {
-      Stopwatch agg_watch;
-      global = hetero_aggregate(global, updates);
-      telemetry.add_aggregate_seconds(agg_watch.seconds());
-    }
-
-    if (config_.eval_every != 0 &&
-        (round % config_.eval_every == 0 || round == config_.rounds)) {
-      Stopwatch eval_watch;
-      double sum = 0.0;
-      for (std::size_t l = 0; l < levels_.size(); ++l) {
-        const ScaleFlLevel& level = levels_[l];
-        // Evaluate the level submodel through its own (deepest) classifier.
-        BuildOptions eval_options = level.options;
-        eval_options.exits.clear();  // attached heads don't affect forward()
-        const double acc = eval_params(
-            spec_, level.plan, eval_options,
-            prune_to_shapes(global, model_shapes(spec_, level.plan, eval_options)),
-            data_.test, config_.eval_batch);
-        result.level_acc[level.label] = acc;
-        sum += acc;
-        if (l == 0) result.final_full_acc = acc;
-      }
-      result.final_avg_acc = sum / static_cast<double>(levels_.size());
-      telemetry.add_eval_seconds(eval_watch.seconds());
-      result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
-                              result.comm.waste_rate(),
-                              result.comm.round_waste_rate()});
-    }
-  }
-  result.wall_seconds = watch.seconds();
-  return result;
+  ScaleFlPolicy policy(spec_, data_, config_, global_options_, levels_, distill_weight_);
+  RoundEngine engine(config_, &devices_);
+  return engine.run(policy);
 }
 
 }  // namespace afl

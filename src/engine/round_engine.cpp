@@ -1,0 +1,169 @@
+#include "engine/round_engine.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
+
+namespace afl {
+namespace {
+
+void trace_dispatch_failure(const ClientSlot& s, const char* outcome) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent ev("dispatch");
+  ev.field("round", static_cast<std::uint64_t>(s.round))
+      .field("client", static_cast<std::uint64_t>(s.client))
+      .field("sent", static_cast<std::uint64_t>(s.sent_index))
+      .field("params", static_cast<std::uint64_t>(s.params_sent))
+      .field("outcome", outcome)
+      .field("dur_ms", 0.0);
+  ev.emit();
+}
+
+}  // namespace
+
+RoundEngine::RoundEngine(const FlRunConfig& config, const std::vector<DeviceSim>* devices)
+    : config_(config),
+      devices_(devices),
+      threads_(config.threads > 0 ? config.threads : ThreadPool::threads_from_env()) {}
+
+RunResult RoundEngine::run(RoundPolicy& policy) {
+  Stopwatch watch;
+  RunResult result;
+  result.algorithm = policy.algorithm_name();
+
+  ThreadPool pool(threads_);
+  obs::metrics().gauge("afl.engine.pool.threads").set(static_cast<double>(pool.size()));
+  static obs::Histogram& queue_hist =
+      obs::metrics().histogram("afl.engine.client.queue.seconds");
+  static obs::Histogram& train_hist =
+      obs::metrics().histogram("afl.engine.client.train.seconds");
+
+  Rng rng(config_.seed);
+  policy.init_global(rng);
+
+  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    RoundTelemetry telemetry(result, round);
+    policy.begin_round(round, rng);
+
+    // Phase 1 (sequential planning): every RNG draw and every piece of
+    // shared-state feedback happens here, in slot order.
+    std::vector<ClientSlot> work;
+    work.reserve(config_.clients_per_round);
+    for (std::size_t slot = 0; slot < config_.clients_per_round; ++slot) {
+      ClientSlot s;
+      s.round = round;
+      s.slot = slot;
+      if (!policy.select(s, rng)) break;  // no client available this round
+      if (devices_) {
+        if (s.client >= devices_->size()) {
+          throw std::logic_error("RoundEngine: policy selected client " +
+                                 std::to_string(s.client) + " outside the fleet");
+        }
+        s.capacity = (*devices_)[s.client].capacity(rng);
+      } else {
+        s.capacity = static_cast<std::size_t>(-1);
+      }
+      policy.adapt(s);
+      // Unified accounting: the dispatch is on the wire before the server
+      // learns anything about the device, so it is recorded up front and
+      // becomes pure waste on no-response / no-fit.
+      result.comm.record_dispatch(s.params_sent);
+      if (devices_ && !(*devices_)[s.client].responds(rng)) {
+        ++result.failed_trainings;
+        telemetry.client_failed();
+        trace_dispatch_failure(s, "no_response");
+        policy.on_no_response(s);
+        continue;
+      }
+      if (!s.trainable) {
+        ++result.failed_trainings;
+        telemetry.client_failed();
+        trace_dispatch_failure(s, "adapt_failed");
+        policy.on_adapt_failure(s);
+        continue;
+      }
+      policy.on_accepted(s);
+      work.push_back(s);
+    }
+
+    // Phase 2 (parallel execution): per-slot work runs on the pool with a
+    // derived RNG; nothing here touches shared mutable state.
+    std::vector<TrainOutcome> outcomes(work.size());
+    std::vector<double> queue_seconds(work.size(), 0.0);
+    std::vector<double> exec_seconds(work.size(), 0.0);
+    Stopwatch exec_watch;
+    pool.parallel_for(work.size(), [&](std::size_t i) {
+      queue_seconds[i] = exec_watch.seconds();
+      Stopwatch item_watch;
+      Rng crng = Rng::derive(config_.seed, work[i].round, work[i].client);
+      outcomes[i] = policy.execute(work[i], crng);
+      exec_seconds[i] = item_watch.seconds();
+    });
+    const double exec_wall = exec_watch.seconds();
+
+    // Phase 3 (sequential commit, slot order): uploads, comm accounting,
+    // telemetry, traces.
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      const ClientSlot& s = work[i];
+      result.comm.record_return(s.params_back);
+      telemetry.add_train_seconds(outcomes[i].stats.seconds);
+      telemetry.client_ok();
+      queue_hist.record(queue_seconds[i]);
+      train_hist.record(exec_seconds[i]);
+      if (obs::trace_enabled()) {
+        obs::TraceEvent ev("dispatch");
+        ev.field("round", static_cast<std::uint64_t>(s.round))
+            .field("client", static_cast<std::uint64_t>(s.client))
+            .field("sent", static_cast<std::uint64_t>(s.sent_index))
+            .field("params", static_cast<std::uint64_t>(s.params_sent))
+            .field("outcome", "ok")
+            .field("back", static_cast<std::uint64_t>(s.back_index))
+            .field("train_ms", outcomes[i].stats.seconds * 1e3)
+            .field("dur_ms", exec_seconds[i] * 1e3);
+        ev.emit();
+      }
+      policy.commit(s, std::move(outcomes[i]));
+    }
+    if (!work.empty() && exec_wall > 0.0) {
+      double busy = 0.0;
+      for (double s : exec_seconds) busy += s;
+      obs::metrics()
+          .gauge("afl.engine.pool.utilization")
+          .set(busy / (exec_wall * static_cast<double>(pool.size())));
+    }
+
+    // Phase 4 (aggregate + eval): sequential.
+    {
+      Stopwatch agg_watch;
+      policy.aggregate(round);
+      telemetry.add_aggregate_seconds(agg_watch.seconds());
+    }
+    policy.end_round(round, telemetry);
+
+    if (config_.eval_every != 0 &&
+        (round % config_.eval_every == 0 || round == config_.rounds)) {
+      Stopwatch eval_watch;
+      policy.evaluate(round, result);
+      result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
+                              result.comm.waste_rate(),
+                              result.comm.round_waste_rate()});
+      telemetry.add_eval_seconds(eval_watch.seconds());
+    }
+  }
+
+  if (result.curve.empty()) {
+    policy.evaluate(config_.rounds, result);
+    result.curve.push_back({config_.rounds, result.final_full_acc,
+                            result.final_avg_acc, result.comm.waste_rate(),
+                            result.comm.round_waste_rate()});
+  }
+  result.wall_seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace afl

@@ -1,0 +1,147 @@
+#pragma once
+// The shared federated round engine (see docs/ENGINE.md).
+//
+// Every runner used to hand-roll the same loop: select clients, dispatch
+// models, check availability, adapt to the device's capacity, train locally,
+// upload, aggregate, evaluate. RoundEngine owns that skeleton once and
+// delegates the algorithm-specific decisions to a RoundPolicy:
+//
+//   init_global -> [per round] begin_round
+//                  -> [per slot, sequential]  select -> adapt
+//                     (engine: dispatch accounting, availability check,
+//                      failure bookkeeping, on_* feedback hooks)
+//                  -> [parallel]              execute (thread pool)
+//                  -> [sequential, slot order] commit
+//                  -> aggregate -> end_round -> evaluate (when due)
+//
+// Determinism contract: all policy hooks except execute() run on the engine
+// thread, strictly sequentially, in slot order. execute() runs on a worker
+// thread with a private Rng derived from (seed, round, client) — never from
+// the round RNG — so the RunResult is bit-identical for any AFL_THREADS.
+// execute() must therefore be const and touch no mutable shared state
+// (global parameters are frozen between aggregate() calls, so reading them
+// is safe).
+//
+// Communication accounting rule (uniform across algorithms): every slot that
+// selects a client records its dispatch *before* the availability check; a
+// device that never responds, or that cannot train even the smallest
+// adapted/offered submodel, therefore counts as pure waste. Returns are
+// recorded only for slots whose training committed.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/run.hpp"
+#include "fl/local_train.hpp"
+#include "nn/param.hpp"
+#include "sim/device.hpp"
+#include "util/rng.hpp"
+
+namespace afl {
+
+/// One client slot's plan, filled left-to-right by the engine and the policy
+/// hooks (select fills client/sent_*, the engine fills capacity, adapt fills
+/// the rest).
+struct ClientSlot {
+  std::size_t round = 0;
+  std::size_t slot = 0;
+  std::size_t client = 0;
+  /// Device capacity drawn for this slot (SIZE_MAX when the engine has no
+  /// device fleet, e.g. the idealized All-Large baseline).
+  std::size_t capacity = 0;
+  /// Policy-specific identifier of the dispatched model (pool entry index,
+  /// level index, ...).
+  std::size_t sent_index = 0;
+  std::size_t params_sent = 0;
+  /// Set by adapt(): whether the device can train what it received.
+  bool trainable = false;
+  /// Policy-specific identifier of the model coming back (== sent_index when
+  /// the device did not prune).
+  std::size_t back_index = 0;
+  std::size_t params_back = 0;
+};
+
+/// What one client's local training produced (execute() return value).
+struct TrainOutcome {
+  ParamSet params;           // trained parameters, as exported by the model
+  std::size_t samples = 0;   // client dataset size (aggregation weight)
+  LocalTrainResult stats;
+};
+
+/// Per-algorithm policy hooks. Every hook except execute() runs sequentially
+/// on the engine thread; see the determinism contract above.
+class RoundPolicy {
+ public:
+  virtual ~RoundPolicy() = default;
+
+  virtual std::string algorithm_name() const = 0;
+
+  /// Builds / seeds the global model; first consumer of the run's root RNG.
+  virtual void init_global(Rng& rng) = 0;
+
+  /// Round setup: cohort sampling, clearing per-round scratch state.
+  virtual void begin_round(std::size_t round, Rng& rng) {
+    (void)round;
+    (void)rng;
+  }
+
+  /// Picks the slot's client (and, for pool-based policies, the model to
+  /// ship: sent_index + params_sent). May draw from `rng` and read policy
+  /// state. Returning false ends the round's selection early.
+  virtual bool select(ClientSlot& slot, Rng& rng) = 0;
+
+  /// Device-side resolution given slot.capacity: what the server actually
+  /// shipped (params_sent, when it depends on the capacity match) and
+  /// whether/what the device can train (trainable, back_index, params_back).
+  virtual void adapt(ClientSlot& slot) = 0;
+
+  /// Feedback hooks (RL table updates etc.), called in slot order.
+  virtual void on_no_response(const ClientSlot& slot) { (void)slot; }
+  virtual void on_adapt_failure(const ClientSlot& slot) { (void)slot; }
+  /// Called when a slot is accepted for training, before execute().
+  virtual void on_accepted(const ClientSlot& slot) { (void)slot; }
+
+  /// One client's local work: build -> import -> train -> export. Runs on a
+  /// worker thread; must be effectively const (no shared-state mutation) and
+  /// must draw randomness only from `rng`.
+  virtual TrainOutcome execute(const ClientSlot& slot, Rng& rng) const = 0;
+
+  /// Stores the trained update for aggregation. Slot order.
+  virtual void commit(const ClientSlot& slot, TrainOutcome outcome) = 0;
+
+  /// Folds all committed updates into the global model.
+  virtual void aggregate(std::size_t round) = 0;
+
+  /// Round-end telemetry (selector entropy etc.).
+  virtual void end_round(std::size_t round, RoundTelemetry& telemetry) {
+    (void)round;
+    (void)telemetry;
+  }
+
+  /// Evaluates the global model: fills result.level_acc and
+  /// result.final_full_acc / final_avg_acc. The engine appends the curve
+  /// point (with the comm-waste columns) afterwards.
+  virtual void evaluate(std::size_t round, RunResult& result) = 0;
+};
+
+/// Drives a RoundPolicy through config.rounds rounds. `devices` may be null
+/// for idealized baselines (always responsive, unlimited capacity); otherwise
+/// it must hold one profile per client and outlive the engine.
+class RoundEngine {
+ public:
+  RoundEngine(const FlRunConfig& config, const std::vector<DeviceSim>* devices);
+
+  RunResult run(RoundPolicy& policy);
+
+  /// Worker threads the engine resolved (config.threads or AFL_THREADS).
+  std::size_t threads() const { return threads_; }
+
+ private:
+  FlRunConfig config_;
+  const std::vector<DeviceSim>* devices_;
+  std::size_t threads_;
+};
+
+}  // namespace afl

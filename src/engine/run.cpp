@@ -1,4 +1,4 @@
-#include "core/run.hpp"
+#include "engine/run.hpp"
 
 #include <fstream>
 #include <numeric>

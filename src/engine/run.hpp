@@ -1,0 +1,121 @@
+#pragma once
+// Shared federated-run configuration and result types.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/build.hpp"
+#include "arch/spec.hpp"
+#include "data/federated.hpp"
+#include "fl/comm.hpp"
+#include "fl/local_train.hpp"
+#include "nn/param.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace afl {
+
+struct FlRunConfig {
+  std::size_t rounds = 20;
+  std::size_t clients_per_round = 10;  // K (paper: 10% of the population)
+  LocalTrainConfig local;              // paper: 5 epochs, batch 50, SGD .01/.5
+  std::uint64_t seed = 1;
+  std::size_t eval_every = 1;  // evaluate the global model every N rounds (0 = final only)
+  std::size_t eval_batch = 256;
+  /// Worker threads for intra-round client training (see docs/ENGINE.md).
+  /// 0 = resolve from the AFL_THREADS environment variable (default 1). The
+  /// RunResult curve is bit-identical for every thread count.
+  std::size_t threads = 0;
+};
+
+struct RoundRecord {
+  std::size_t round = 0;
+  double full_acc = 0.0;
+  double avg_acc = 0.0;     // mean over the L1/M1/S1-style level submodels
+  double comm_waste = 0.0;  // cumulative waste rate up to this round
+  double round_waste = 0.0; // waste rate of this round alone (Fig. 5a style)
+};
+
+/// Telemetry snapshot of one federated round — where the wall time went, what
+/// crossed the (simulated) network, and how concentrated the selector policy
+/// is. Collected for every round regardless of eval_every.
+struct RoundMetrics {
+  std::size_t round = 0;
+  double round_seconds = 0.0;      // whole round (dispatch..aggregate [+eval])
+  double train_seconds = 0.0;      // sum of local-training wall time
+  double aggregate_seconds = 0.0;
+  double eval_seconds = 0.0;       // 0 on non-eval rounds
+  std::size_t clients_ok = 0;
+  std::size_t clients_failed = 0;  // no response or no trainable submodel
+  std::size_t params_sent = 0;     // this round's dispatch traffic
+  std::size_t params_returned = 0;
+  double round_waste = 0.0;        // 1 - returned/sent for this round
+  double selector_entropy = 0.0;   // AdaptiveFL only; 0 for other runners
+};
+
+struct RunResult {
+  std::string algorithm;
+  std::vector<RoundRecord> curve;
+  double final_full_acc = 0.0;
+  double final_avg_acc = 0.0;
+  /// Final accuracy of each level submodel ("L1"/"M1"/"S1" or the baseline's
+  /// equivalent labels), in descending size order.
+  std::map<std::string, double> level_acc;
+  CommStats comm;
+  std::size_t failed_trainings = 0;
+  double wall_seconds = 0.0;
+  /// One entry per round, in order (see RoundMetrics).
+  std::vector<RoundMetrics> round_metrics;
+
+  /// Best accuracy over the evaluation curve (the convention FL papers use
+  /// when reporting a method's accuracy; also robust to end-of-run wobble).
+  double best_full_acc() const;
+  double best_avg_acc() const;
+
+  /// Writes the evaluation curve as CSV (round, full_acc, avg_acc,
+  /// comm_waste, round_waste) for external plotting; throws
+  /// std::runtime_error on I/O failure.
+  void write_curve_csv(const std::string& path) const;
+
+  /// Writes round_metrics as JSONL (one object per round, tagged with the
+  /// algorithm name); throws std::runtime_error on I/O failure.
+  void write_metrics_jsonl(const std::string& path) const;
+};
+
+/// Per-round telemetry collector shared by every runner. Scope one instance
+/// over each round's body: the constructor marks the comm counters, the
+/// destructor fills in the per-round comm deltas / wall time, appends the
+/// record to result.round_metrics, feeds the afl.run.round.seconds histogram,
+/// and emits a "round" trace event.
+class RoundTelemetry {
+ public:
+  RoundTelemetry(RunResult& result, std::size_t round);
+  ~RoundTelemetry();
+  RoundTelemetry(const RoundTelemetry&) = delete;
+  RoundTelemetry& operator=(const RoundTelemetry&) = delete;
+
+  void client_ok() { m_.clients_ok++; }
+  void client_failed() { m_.clients_failed++; }
+  void add_train_seconds(double s) { m_.train_seconds += s; }
+  void add_aggregate_seconds(double s) { m_.aggregate_seconds += s; }
+  void add_eval_seconds(double s) { m_.eval_seconds += s; }
+  void set_selector_entropy(double e) { m_.selector_entropy = e; }
+
+ private:
+  RunResult& result_;
+  RoundMetrics m_;
+  Stopwatch watch_;
+};
+
+/// Evaluates a parameter set by materializing its model.
+double eval_params(const ArchSpec& spec, const WidthPlan& plan,
+                   const BuildOptions& options, const ParamSet& params,
+                   const Dataset& test, std::size_t eval_batch);
+
+/// K distinct client indices drawn uniformly at random.
+std::vector<std::size_t> sample_clients(std::size_t num_clients, std::size_t k,
+                                        Rng& rng);
+
+}  // namespace afl

@@ -6,7 +6,7 @@
 //
 // Naming scheme (see docs/OBSERVABILITY.md): `afl.<layer>.<what>.<unit>`,
 // e.g. afl.tensor.gemm.seconds, afl.fl.local_train.samples,
-// afl.rl.selector.entropy.
+// afl.rl.selector.entropy, afl.engine.pool.utilization.
 
 #include <atomic>
 #include <cstdint>

@@ -92,7 +92,12 @@ ModelPool::ModelPool(const ArchSpec& spec, const PoolConfig& config)
                                   entries_[i].label() + ")");
     }
   }
-  shape_cache_.resize(entries_.size());
+  // Precompute every entry's shape map up front: split() is called from the
+  // engine's worker threads, so the cache must never be filled lazily there.
+  shape_cache_.reserve(entries_.size());
+  for (const PoolEntry& e : entries_) {
+    shape_cache_.push_back(model_shapes(spec_, e.plan));
+  }
 }
 
 std::size_t ModelPool::level_head_index(Level level) const {
@@ -120,11 +125,7 @@ std::optional<std::size_t> ModelPool::adapt(std::size_t from,
   return best;
 }
 
-const ShapeMap& ModelPool::shapes(std::size_t i) const {
-  ShapeMap& cached = shape_cache_.at(i);
-  if (cached.empty()) cached = model_shapes(spec_, entries_[i].plan);
-  return cached;
-}
+const ShapeMap& ModelPool::shapes(std::size_t i) const { return shape_cache_.at(i); }
 
 ParamSet ModelPool::split(const ParamSet& global, std::size_t i) const {
   return prune_to_shapes(global, shapes(i));

@@ -78,12 +78,14 @@ class ModelPool {
   Model build(std::size_t i, Rng* init_rng = nullptr) const;
 
  private:
-  const ShapeMap& shapes(std::size_t i) const;  // lazily computed
+  /// Precomputed in the constructor so const use is thread-safe (the round
+  /// engine calls split() from worker threads).
+  const ShapeMap& shapes(std::size_t i) const;
 
   ArchSpec spec_;
   PoolConfig config_;
   std::vector<PoolEntry> entries_;
-  mutable std::vector<ShapeMap> shape_cache_;
+  std::vector<ShapeMap> shape_cache_;
 };
 
 }  // namespace afl

@@ -127,4 +127,16 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+Rng Rng::derive(std::uint64_t seed, std::uint64_t round, std::uint64_t client) {
+  // Absorb each word through the splitmix64 finalizer so that flipping any
+  // bit of (seed, round, client) decorrelates the whole state. Distinct odd
+  // constants keep (round, client) from being interchangeable.
+  std::uint64_t x = seed;
+  std::uint64_t h = splitmix64(x);
+  x = h ^ (round * 0xd1342543de82ef95ULL);
+  h = splitmix64(x);
+  x = h ^ (client * 0xaf251af3b0f025b5ULL);
+  return Rng(splitmix64(x));
+}
+
 }  // namespace afl

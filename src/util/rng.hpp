@@ -53,8 +53,19 @@ class Rng {
     }
   }
 
-  /// Derive an independent child generator (for per-client streams).
+  /// Derive an independent child generator (for per-client streams). The
+  /// child's stream depends on how many values this generator has produced
+  /// so far, so fork order matters; prefer derive() when a caller needs a
+  /// stream that is stable regardless of evaluation order.
   Rng fork();
+
+  /// Stateless derivation of an independent stream keyed by
+  /// (seed, round, client): splitmix64-finalizes the three words into one
+  /// generator seed. Unlike fork(), the result does not depend on any
+  /// generator's position, so parallel per-client training can draw from
+  /// derive(seed, round, client) and stay bit-identical for any thread
+  /// count or execution order.
+  static Rng derive(std::uint64_t seed, std::uint64_t round, std::uint64_t client);
 
  private:
   std::uint64_t s_[4];
