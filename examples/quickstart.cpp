@@ -6,7 +6,8 @@
 //
 // Observability (see docs/OBSERVABILITY.md): set AFL_TRACE_JSONL=<path> to
 // stream structured trace events, AFL_METRICS_JSONL=<path> to dump per-round
-// metrics for the AdaptiveFL run on exit.
+// metrics for every run, AFL_HTTP_PORT=<port> to serve /metrics + /status
+// live while the run is in flight.
 
 #include <cstdio>
 #include <cstdlib>
@@ -58,11 +59,6 @@ int main(int argc, char** argv) {
               100 * adaptive.comm.waste_rate(), adaptive.wall_seconds);
   std::printf("All-Large : full %.2f%% (idealized: ignores device limits), %.1fs\n",
               100 * fedavg.final_full_acc, fedavg.wall_seconds);
-
-  if (const char* metrics_path = std::getenv("AFL_METRICS_JSONL");
-      metrics_path != nullptr && metrics_path[0] != '\0') {
-    adaptive.write_metrics_jsonl(metrics_path);
-    std::fprintf(stderr, "wrote per-round metrics to %s\n", metrics_path);
-  }
+  // AFL_METRICS_JSONL is honored centrally by run_algorithm(); nothing to do.
   return 0;
 }

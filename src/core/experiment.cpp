@@ -5,6 +5,7 @@
 
 #include "arch/zoo.hpp"
 #include "obs/metrics.hpp"
+#include "util/env.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 
@@ -243,6 +244,18 @@ RunResult run_algorithm(Algorithm algorithm, const ExperimentEnv& env) {
                << ", " << env.config.rounds << " rounds)";
   RunResult result = run_algorithm_impl(algorithm, env);
   print_run_summary(result);
+  // Central AFL_METRICS_JSONL sink: every bench / example / test run dumps
+  // its per-round metrics. The first run of the process truncates the file,
+  // later runs append (records carry the algorithm tag to stay separable).
+  const std::string metrics_path = env_or("AFL_METRICS_JSONL", "");
+  if (!metrics_path.empty()) {
+    static bool appending = false;
+    result.write_metrics_jsonl(metrics_path, appending);
+    if (!appending) {
+      std::fprintf(stderr, "writing per-round metrics to %s\n", metrics_path.c_str());
+    }
+    appending = true;
+  }
   return result;
 }
 

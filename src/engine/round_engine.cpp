@@ -1,16 +1,87 @@
 #include "engine/round_engine.hpp"
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "engine/thread_pool.hpp"
+#include "obs/http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/status.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace afl {
 namespace {
+
+/// Trace schema label stamped on every run_start header; afl-insight refuses
+/// to diff traces whose schemas disagree.
+constexpr const char* kTraceSchema = "afl.trace.v1";
+
+void trace_run_start(const RunResult& result, const FlRunConfig& config,
+                     std::size_t threads) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent ev("run_start");
+  ev.field("schema", kTraceSchema)
+      .field("algo", result.algorithm)
+      .field("rounds", static_cast<std::uint64_t>(config.rounds))
+      .field("clients_per_round", static_cast<std::uint64_t>(config.clients_per_round))
+      .field("seed", static_cast<std::uint64_t>(config.seed))
+      .field("eval_every", static_cast<std::uint64_t>(config.eval_every))
+      .field("threads", static_cast<std::uint64_t>(threads))
+      .field("epochs", static_cast<std::uint64_t>(config.local.epochs))
+      .field("batch_size", static_cast<std::uint64_t>(config.local.batch_size))
+      .field("lr", config.local.lr)
+      .field("momentum", config.local.momentum);
+  ev.emit();
+}
+
+void trace_run_end(const RunResult& result) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent ev("run_end");
+  ev.field("algo", result.algorithm)
+      .field("rounds", static_cast<std::uint64_t>(result.round_metrics.size()))
+      .field("full_acc", result.final_full_acc)
+      .field("avg_acc", result.final_avg_acc)
+      .field("params_sent", static_cast<std::uint64_t>(result.comm.params_sent()))
+      .field("params_returned", static_cast<std::uint64_t>(result.comm.params_returned()))
+      .field("waste_rate", result.comm.waste_rate())
+      .field("failed_trainings", static_cast<std::uint64_t>(result.failed_trainings))
+      .field("wall_ms", result.wall_seconds * 1e3);
+  ev.emit();
+}
+
+void publish_status(const RunResult& result, std::size_t round,
+                    std::size_t total_rounds, double elapsed_seconds,
+                    std::size_t threads, bool active) {
+  obs::RunStatus s;
+  s.active = active;
+  s.set_algorithm(result.algorithm);
+  s.round = round;
+  s.total_rounds = total_rounds;
+  s.full_acc = result.final_full_acc;
+  s.avg_acc = result.final_avg_acc;
+  if (!result.round_metrics.empty()) {
+    s.selector_entropy = result.round_metrics.back().selector_entropy;
+  }
+  s.params_sent = result.comm.params_sent();
+  s.params_returned = result.comm.params_returned();
+  s.waste_rate = result.comm.waste_rate();
+  std::uint64_t ok = 0, failed = 0;
+  for (const RoundMetrics& m : result.round_metrics) {
+    ok += m.clients_ok;
+    failed += m.clients_failed;
+  }
+  s.clients_ok = ok;
+  s.clients_failed = failed;
+  s.wall_seconds = elapsed_seconds;
+  s.eta_seconds = round > 0 ? elapsed_seconds / static_cast<double>(round) *
+                                  static_cast<double>(total_rounds - round)
+                            : 0.0;
+  s.threads = threads;
+  obs::run_status().publish(s);
+}
 
 void trace_dispatch_failure(const ClientSlot& s, const char* outcome) {
   if (!obs::trace_enabled()) return;
@@ -36,6 +107,10 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
   RunResult result;
   result.algorithm = policy.algorithm_name();
 
+  obs::ensure_default_http_server();
+  trace_run_start(result, config_, threads_);
+  publish_status(result, 0, config_.rounds, 0.0, threads_, /*active=*/true);
+
   ThreadPool pool(threads_);
   obs::metrics().gauge("afl.engine.pool.threads").set(static_cast<double>(pool.size()));
   static obs::Histogram& queue_hist =
@@ -47,7 +122,9 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
   policy.init_global(rng);
 
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
-    RoundTelemetry telemetry(result, round);
+    // Held in an optional so it can be flushed (destroyed) before the status
+    // publish — the telemetry destructor appends this round's metrics record.
+    std::optional<RoundTelemetry> telemetry(std::in_place, result, round);
     policy.begin_round(round, rng);
 
     // Phase 1 (sequential planning): every RNG draw and every piece of
@@ -75,14 +152,14 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
       result.comm.record_dispatch(s.params_sent);
       if (devices_ && !(*devices_)[s.client].responds(rng)) {
         ++result.failed_trainings;
-        telemetry.client_failed();
+        telemetry->client_failed();
         trace_dispatch_failure(s, "no_response");
         policy.on_no_response(s);
         continue;
       }
       if (!s.trainable) {
         ++result.failed_trainings;
-        telemetry.client_failed();
+        telemetry->client_failed();
         trace_dispatch_failure(s, "adapt_failed");
         policy.on_adapt_failure(s);
         continue;
@@ -111,8 +188,8 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
     for (std::size_t i = 0; i < work.size(); ++i) {
       const ClientSlot& s = work[i];
       result.comm.record_return(s.params_back);
-      telemetry.add_train_seconds(outcomes[i].stats.seconds);
-      telemetry.client_ok();
+      telemetry->add_train_seconds(outcomes[i].stats.seconds);
+      telemetry->client_ok();
       queue_hist.record(queue_seconds[i]);
       train_hist.record(exec_seconds[i]);
       if (obs::trace_enabled()) {
@@ -123,6 +200,7 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
             .field("params", static_cast<std::uint64_t>(s.params_sent))
             .field("outcome", "ok")
             .field("back", static_cast<std::uint64_t>(s.back_index))
+            .field("params_back", static_cast<std::uint64_t>(s.params_back))
             .field("train_ms", outcomes[i].stats.seconds * 1e3)
             .field("dur_ms", exec_seconds[i] * 1e3);
         ev.emit();
@@ -141,9 +219,9 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
     {
       Stopwatch agg_watch;
       policy.aggregate(round);
-      telemetry.add_aggregate_seconds(agg_watch.seconds());
+      telemetry->add_aggregate_seconds(agg_watch.seconds());
     }
-    policy.end_round(round, telemetry);
+    policy.end_round(round, *telemetry);
 
     if (config_.eval_every != 0 &&
         (round % config_.eval_every == 0 || round == config_.rounds)) {
@@ -152,8 +230,11 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
       result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
                               result.comm.waste_rate(),
                               result.comm.round_waste_rate()});
-      telemetry.add_eval_seconds(eval_watch.seconds());
+      telemetry->add_eval_seconds(eval_watch.seconds());
     }
+    telemetry.reset();  // flush this round's metrics record
+    publish_status(result, round, config_.rounds, watch.seconds(), threads_,
+                   /*active=*/round < config_.rounds);
   }
 
   if (result.curve.empty()) {
@@ -163,6 +244,9 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
                             result.comm.round_waste_rate()});
   }
   result.wall_seconds = watch.seconds();
+  publish_status(result, config_.rounds, config_.rounds, result.wall_seconds,
+                 threads_, /*active=*/false);
+  trace_run_end(result);
   return result;
 }
 

@@ -39,8 +39,8 @@ void RunResult::write_curve_csv(const std::string& path) const {
   if (!out) throw std::runtime_error("write_curve_csv: write failed for " + path);
 }
 
-void RunResult::write_metrics_jsonl(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
+void RunResult::write_metrics_jsonl(const std::string& path, bool append) const {
+  std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
   if (!out) throw std::runtime_error("write_metrics_jsonl: cannot open " + path);
   for (const RoundMetrics& m : round_metrics) {
     std::ostringstream line;

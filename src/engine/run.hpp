@@ -80,8 +80,11 @@ struct RunResult {
   void write_curve_csv(const std::string& path) const;
 
   /// Writes round_metrics as JSONL (one object per round, tagged with the
-  /// algorithm name); throws std::runtime_error on I/O failure.
-  void write_metrics_jsonl(const std::string& path) const;
+  /// algorithm name); throws std::runtime_error on I/O failure. With
+  /// `append` the records are added to an existing file — how run_algorithm()
+  /// accumulates several runs of one process into a single AFL_METRICS_JSONL
+  /// sink.
+  void write_metrics_jsonl(const std::string& path, bool append = false) const;
 };
 
 /// Per-round telemetry collector shared by every runner. Scope one instance

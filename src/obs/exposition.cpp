@@ -1,0 +1,121 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace afl::obs {
+namespace {
+
+std::string fmt(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void append_sample(std::string& out, const std::string& name, double v) {
+  out += name;
+  out += ' ';
+  out += fmt(v);
+  out += '\n';
+}
+
+void append_type(std::string& out, const std::string& name, const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out.front()))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const Registry& registry) {
+  std::string out;
+  for (const auto& [name, v] : registry.counters()) {
+    const std::string pname = prometheus_name(name);
+    append_type(out, pname, "counter");
+    append_sample(out, pname, static_cast<double>(v));
+  }
+  for (const auto& [name, v] : registry.gauges()) {
+    const std::string pname = prometheus_name(name);
+    append_type(out, pname, "gauge");
+    append_sample(out, pname, v);
+  }
+  for (const auto& [name, hist] : registry.histogram_ptrs()) {
+    const std::string pname = prometheus_name(name);
+    append_type(out, pname, "histogram");
+    const Histogram::Buckets b = hist->buckets();
+    for (std::size_t i = 0; i < b.bounds.size(); ++i) {
+      out += pname;
+      out += "_bucket{le=\"";
+      out += fmt(b.bounds[i]);
+      out += "\"} ";
+      out += std::to_string(b.cumulative[i]);
+      out += '\n';
+    }
+    // The +Inf bucket doubles as the count so the series is self-consistent
+    // even if samples land between the bucket read and a count() read.
+    const std::uint64_t total = b.cumulative.empty() ? 0 : b.cumulative.back();
+    out += pname;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += std::to_string(total);
+    out += '\n';
+    append_sample(out, pname + "_sum", hist->sum());
+    out += pname;
+    out += "_count ";
+    out += std::to_string(total);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_json(const Registry& registry) {
+  std::string out = "{\"ts_ms\":" + fmt(trace_now_ms());
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : registry.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : registry.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + fmt(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, s] : registry.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{\"count\":" + std::to_string(s.count) +
+           ",\"sum\":" + fmt(s.sum) + ",\"mean\":" + fmt(s.mean) +
+           ",\"min\":" + fmt(s.min) + ",\"max\":" + fmt(s.max) +
+           ",\"p50\":" + fmt(s.p50) + ",\"p95\":" + fmt(s.p95) +
+           ",\"p99\":" + fmt(s.p99) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace afl::obs

@@ -1,0 +1,31 @@
+#pragma once
+// Serving-side rendering of the metrics Registry: Prometheus text exposition
+// format 0.0.4 (counters, gauges, histograms with cumulative `le` buckets
+// plus `_sum`/`_count`) and a single JSON snapshot object. Consumed by the
+// embedded HTTP endpoint (obs/http.hpp) and directly writable to files for
+// offline scraping.
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace afl::obs {
+
+/// Mangles an internal dotted metric name into a legal Prometheus metric
+/// name: every character outside [a-zA-Z0-9_:] becomes '_' and a leading
+/// digit gets a '_' prefix (afl.run.round.seconds -> afl_run_round_seconds).
+std::string prometheus_name(std::string_view name);
+
+/// Renders every instrument in `registry` as Prometheus text. Counters and
+/// gauges are one sample each; histograms expand to the full cumulative
+/// bucket series ending in le="+Inf", plus <name>_sum and <name>_count.
+std::string render_prometheus(const Registry& registry);
+
+/// Renders the whole registry as one JSON object:
+/// {"ts_ms":..,"counters":{..},"gauges":{..},"histograms":{name:{count,sum,
+/// mean,min,max,p50,p95,p99}}}. Always a valid JSON document, even when the
+/// registry is empty.
+std::string render_json(const Registry& registry);
+
+}  // namespace afl::obs

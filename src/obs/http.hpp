@@ -1,0 +1,75 @@
+#pragma once
+// Minimal embedded HTTP/1.1 server for live run monitoring. POSIX sockets,
+// one background accept thread that serves requests serially (requests are
+// tiny GETs, responses are rendered in-memory), loopback-only bind, bounded
+// request size, per-connection timeouts, clean shutdown via a self-pipe.
+//
+// The process-wide default server is enabled by AFL_HTTP_PORT (0 picks an
+// ephemeral port) and exposes:
+//   /metrics       Prometheus text exposition of the metrics registry
+//   /metrics.json  the same registry as one JSON snapshot object
+//   /healthz       liveness probe ("ok")
+//   /status        live run snapshot published by the RoundEngine
+// With AFL_HTTP_PORT unset nothing listens and no socket is ever opened.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace afl::obs {
+
+class HttpServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  using Handler = std::function<Response()>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match GET/HEAD requests on `path`.
+  /// Must be called before start().
+  void handle(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and spawns the accept thread.
+  /// Returns false (with a stderr warning) when the socket cannot be set up.
+  bool start(std::uint16_t port);
+
+  /// The actually bound port (resolves port 0), or 0 when not running.
+  std::uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Wakes the accept thread, joins it, and closes every fd. Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+};
+
+/// Starts the process-wide monitoring server on first call when AFL_HTTP_PORT
+/// is set (idempotent; later calls return the cached outcome). The server is
+/// stopped via atexit so the accept thread never outlives main(). Returns
+/// true when a server is serving.
+bool ensure_default_http_server();
+
+/// Port of the default server, or 0 when it is not running.
+std::uint16_t default_http_port();
+
+}  // namespace afl::obs

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace afl::obs {
 
@@ -46,14 +47,63 @@ std::string json_escape(std::string_view s) {
 
 namespace {
 
+std::string json_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i >= s.size()) break;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 < s.size()) {
+          const unsigned long code =
+              std::strtoul(std::string(s.substr(i + 1, 4)).c_str(), nullptr, 16);
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else if (code >= 0xD800 && code <= 0xDFFF) {
+            out += '?';  // surrogate halves are not decoded
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          i += 4;
+        }
+        break;
+      }
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
 // Recursive-descent validator over a cursor. Depth-limited so hostile input
-// cannot blow the stack.
+// cannot blow the stack. Optionally captures the root object's top-level
+// fields as raw value spans (json_object_fields).
 class Validator {
  public:
-  explicit Validator(std::string_view text) : text_(text) {}
+  explicit Validator(std::string_view text,
+                     std::map<std::string, std::string>* fields = nullptr)
+      : text_(text), fields_(fields) {}
 
   bool run() {
     skip_ws();
+    if (fields_ != nullptr && (eof() || peek() != '{')) return false;
     if (!value(0)) return false;
     skip_ws();
     return pos_ == text_.size();
@@ -106,12 +156,20 @@ class Validator {
     }
     for (;;) {
       skip_ws();
+      const std::size_t key_start = pos_;
       if (eof() || peek() != '"' || !string()) return false;
+      const std::size_t key_end = pos_;
       skip_ws();
       if (eof() || peek() != ':') return false;
       ++pos_;
       skip_ws();
+      const std::size_t val_start = pos_;
       if (!value(depth + 1)) return false;
+      if (fields_ != nullptr && depth == 0) {
+        (*fields_)[json_unescape(
+            text_.substr(key_start + 1, key_end - key_start - 2))] =
+            std::string(text_.substr(val_start, pos_ - val_start));
+      }
       skip_ws();
       if (eof()) return false;
       if (peek() == ',') {
@@ -210,10 +268,32 @@ class Validator {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::map<std::string, std::string>* fields_;
 };
 
 }  // namespace
 
 bool json_validate(std::string_view text) { return Validator(text).run(); }
+
+std::map<std::string, std::string> json_object_fields(std::string_view text) {
+  std::map<std::string, std::string> fields;
+  if (!Validator(text, &fields).run()) fields.clear();
+  return fields;
+}
+
+double json_raw_number(std::string_view raw, double fallback) {
+  if (raw.empty() || !(raw.front() == '-' ||
+                       std::isdigit(static_cast<unsigned char>(raw.front())))) {
+    return fallback;
+  }
+  return std::atof(std::string(raw).c_str());
+}
+
+std::string json_raw_string(std::string_view raw, std::string_view fallback) {
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') {
+    return std::string(fallback);
+  }
+  return json_unescape(raw.substr(1, raw.size() - 2));
+}
 
 }  // namespace afl::obs

@@ -4,6 +4,7 @@
 // trace smoke checker. Not a general-purpose JSON library — no DOM, no
 // numbers-to-double parsing, just syntax.
 
+#include <map>
 #include <string>
 #include <string_view>
 
@@ -17,5 +18,19 @@ std::string json_escape(std::string_view s);
 /// (object/array/string/number/true/false/null) with nothing but whitespace
 /// around it.
 bool json_validate(std::string_view text);
+
+/// Splits one flat-ish JSON object into its top-level fields: key -> raw
+/// value text ("1.5", "\"str\"", "[1,2]", "{...}"). Returns an empty map when
+/// `text` is not a syntactically valid JSON object. Every trace / metrics
+/// JSONL record in this repo is such an object; this is what afl-insight and
+/// the exposition tests parse with.
+std::map<std::string, std::string> json_object_fields(std::string_view text);
+
+/// Interprets a raw field value as a number; `fallback` when it is not one.
+double json_raw_number(std::string_view raw, double fallback = 0.0);
+
+/// Interprets a raw field value as a string (unquoting + unescaping);
+/// `fallback` when it is not a string literal.
+std::string json_raw_string(std::string_view raw, std::string_view fallback = "");
 
 }  // namespace afl::obs

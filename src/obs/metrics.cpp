@@ -94,6 +94,18 @@ double Histogram::percentile(double p) const {
   return max();
 }
 
+Histogram::Buckets Histogram::buckets() const {
+  Buckets b;
+  b.bounds = bounds_;
+  b.cumulative.reserve(buckets_.size());
+  std::uint64_t cum = 0;
+  for (const auto& bucket : buckets_) {
+    cum += bucket.load(std::memory_order_relaxed);
+    b.cumulative.push_back(cum);
+  }
+  return b;
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot s;
   s.count = count();
@@ -176,6 +188,14 @@ std::vector<std::pair<std::string, Histogram::Snapshot>> Registry::histograms() 
   return out;
 }
 
+std::vector<std::pair<std::string, const Histogram*>> Registry::histogram_ptrs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
 std::string Registry::to_jsonl() const {
   std::ostringstream os;
   for (const auto& [name, v] : counters()) {
@@ -199,7 +219,10 @@ std::string Registry::to_jsonl() const {
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
-  for (auto& [name, g] : gauges_) g->set(0.0);
+  // Gauges must be cleared too: afl.rl.selector.entropy and the engine pool
+  // gauges would otherwise leak their final value into the next run when one
+  // process runs back-to-back experiments.
+  for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 

@@ -34,6 +34,7 @@ class Gauge {
   void set(double v) { v_.store(v, std::memory_order_relaxed); }
   void add(double d);
   double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> v_{0.0};
@@ -68,6 +69,15 @@ class Histogram {
   };
   Snapshot snapshot() const;
 
+  /// Cumulative bucket view (Prometheus "le" semantics): cumulative[i] counts
+  /// samples <= bounds[i]; cumulative.back() is the +Inf bucket and equals the
+  /// total sample count the view was taken at.
+  struct Buckets {
+    std::vector<double> bounds;             // ascending upper bounds
+    std::vector<std::uint64_t> cumulative;  // bounds.size() + 1 entries
+  };
+  Buckets buckets() const;
+
   void reset();
 
   /// Geometric bounds from `lo` to `hi` inclusive, `n` >= 2 buckets.
@@ -96,6 +106,10 @@ class Registry {
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;
   std::vector<std::pair<std::string, double>> gauges() const;
   std::vector<std::pair<std::string, Histogram::Snapshot>> histograms() const;
+  /// Stable pointers to the live histograms (valid for the registry's
+  /// lifetime) — the exposition layer needs bucket-level detail, not just the
+  /// percentile snapshot.
+  std::vector<std::pair<std::string, const Histogram*>> histogram_ptrs() const;
 
   /// One JSON object per instrument, one per line.
   std::string to_jsonl() const;

@@ -1,0 +1,69 @@
+#include "obs/status.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/json.hpp"
+
+namespace afl::obs {
+namespace {
+
+std::string fmt(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void RunStatus::set_algorithm(std::string_view name) {
+  const std::size_t n = std::min(name.size(), sizeof(algorithm) - 1);
+  std::memcpy(algorithm, name.data(), n);
+  algorithm[n] = '\0';
+}
+
+void StatusBoard::publish(const RunStatus& status) {
+  seq_.fetch_add(1, std::memory_order_acq_rel);  // odd: write in progress
+  slot_ = status;
+  seq_.fetch_add(1, std::memory_order_release);  // even: stable
+}
+
+RunStatus StatusBoard::read() const {
+  for (;;) {
+    const std::uint64_t before = seq_.load(std::memory_order_acquire);
+    if (before & 1) continue;  // writer mid-publish
+    RunStatus copy = slot_;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) == before) return copy;
+  }
+}
+
+StatusBoard& run_status() {
+  static StatusBoard* board = new StatusBoard();  // leaked: usable during shutdown
+  return *board;
+}
+
+std::string render_status_json(const RunStatus& s) {
+  std::string out = "{\"active\":";
+  out += s.active ? "true" : "false";
+  out += ",\"algorithm\":\"" + json_escape(s.algorithm) + '"';
+  out += ",\"round\":" + std::to_string(s.round);
+  out += ",\"total_rounds\":" + std::to_string(s.total_rounds);
+  out += ",\"full_acc\":" + fmt(s.full_acc);
+  out += ",\"avg_acc\":" + fmt(s.avg_acc);
+  out += ",\"selector_entropy\":" + fmt(s.selector_entropy);
+  out += ",\"params_sent\":" + std::to_string(s.params_sent);
+  out += ",\"params_returned\":" + std::to_string(s.params_returned);
+  out += ",\"waste_rate\":" + fmt(s.waste_rate);
+  out += ",\"clients_ok\":" + std::to_string(s.clients_ok);
+  out += ",\"clients_failed\":" + std::to_string(s.clients_failed);
+  out += ",\"wall_seconds\":" + fmt(s.wall_seconds);
+  out += ",\"eta_seconds\":" + fmt(s.eta_seconds);
+  out += ",\"threads\":" + std::to_string(s.threads);
+  out += '}';
+  return out;
+}
+
+}  // namespace afl::obs

@@ -1,0 +1,57 @@
+#pragma once
+// Live run status: a trivially-copyable snapshot of the current federated run
+// (algorithm, round progress, latest accuracy, comm totals, ETA) published by
+// the RoundEngine once per round and served by the /status HTTP endpoint.
+//
+// The board is a seqlock: the single writer (the engine thread) bumps a
+// sequence counter around a plain struct copy, readers retry until they
+// observe an even, unchanged sequence. Writers never block and never touch a
+// mutex, so publishing costs a struct copy even when nobody is watching.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace afl::obs {
+
+struct RunStatus {
+  bool active = false;          // true while a run is in flight
+  char algorithm[64] = {};      // fixed-size so the struct stays memcpy-able
+  std::uint64_t round = 0;      // last completed round (1-based)
+  std::uint64_t total_rounds = 0;
+  double full_acc = 0.0;        // latest evaluated full-model accuracy
+  double avg_acc = 0.0;         // latest mean submodel accuracy
+  double selector_entropy = 0.0;
+  std::uint64_t params_sent = 0;
+  std::uint64_t params_returned = 0;
+  double waste_rate = 0.0;
+  std::uint64_t clients_ok = 0;
+  std::uint64_t clients_failed = 0;
+  double wall_seconds = 0.0;    // elapsed run wall time at publish
+  double eta_seconds = 0.0;     // wall/round * remaining rounds
+  std::uint64_t threads = 1;
+
+  void set_algorithm(std::string_view name);
+};
+
+class StatusBoard {
+ public:
+  /// Single-writer publish (engine thread only).
+  void publish(const RunStatus& status);
+
+  /// Lock-free consistent read; retries while a publish is in flight.
+  RunStatus read() const;
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+  RunStatus slot_{};
+};
+
+/// The process-wide board the RoundEngine publishes into.
+StatusBoard& run_status();
+
+/// Renders a status snapshot as one JSON object (the /status payload).
+std::string render_status_json(const RunStatus& status);
+
+}  // namespace afl::obs

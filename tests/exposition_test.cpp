@@ -1,0 +1,133 @@
+// Tests for the serving-side exposition layer: Prometheus text rendering
+// (name mangling, cumulative le buckets, _sum/_count), the JSON registry
+// snapshot, and the live run status board.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/exposition.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/status.hpp"
+
+namespace afl::obs {
+namespace {
+
+TEST(Exposition, PrometheusNameMangling) {
+  EXPECT_EQ(prometheus_name("afl.run.round.seconds"), "afl_run_round_seconds");
+  EXPECT_EQ(prometheus_name("already_legal:name"), "already_legal:name");
+  EXPECT_EQ(prometheus_name("has-dash and space"), "has_dash_and_space");
+  EXPECT_EQ(prometheus_name("9starts.with.digit"), "_9starts_with_digit");
+}
+
+TEST(Exposition, CountersAndGaugesRenderWithTypeLines) {
+  Registry r;
+  r.counter("afl.test.events").inc(7);
+  r.gauge("afl.test.level").set(-0.5);
+  const std::string text = render_prometheus(r);
+  EXPECT_NE(text.find("# TYPE afl_test_events counter\nafl_test_events 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE afl_test_level gauge\nafl_test_level -0.5\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Exposition, HistogramRendersCumulativeLeSeries) {
+  Registry r;
+  Histogram& h = r.histogram("afl.test.hist.seconds", {{1.0, 2.0, 4.0}});
+  h.record(0.5);
+  h.record(1.5);
+  h.record(3.0);
+  h.record(100.0);  // overflow -> only +Inf
+  const std::string text = render_prometheus(r);
+
+  EXPECT_NE(text.find("# TYPE afl_test_hist_seconds histogram"), std::string::npos);
+  const std::size_t b1 = text.find("afl_test_hist_seconds_bucket{le=\"1\"} 1");
+  const std::size_t b2 = text.find("afl_test_hist_seconds_bucket{le=\"2\"} 2");
+  const std::size_t b4 = text.find("afl_test_hist_seconds_bucket{le=\"4\"} 3");
+  const std::size_t binf = text.find("afl_test_hist_seconds_bucket{le=\"+Inf\"} 4");
+  ASSERT_NE(b1, std::string::npos) << text;
+  ASSERT_NE(b2, std::string::npos) << text;
+  ASSERT_NE(b4, std::string::npos) << text;
+  ASSERT_NE(binf, std::string::npos) << text;
+  // le series must ascend in the output.
+  EXPECT_LT(b1, b2);
+  EXPECT_LT(b2, b4);
+  EXPECT_LT(b4, binf);
+  // _sum and a _count that matches the histogram count / +Inf bucket.
+  EXPECT_NE(text.find("afl_test_hist_seconds_sum 105"), std::string::npos) << text;
+  EXPECT_NE(text.find("afl_test_hist_seconds_count 4"), std::string::npos) << text;
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Exposition, EmptyRegistryRendersEmptyButValid) {
+  Registry r;
+  EXPECT_EQ(render_prometheus(r), "");
+  EXPECT_TRUE(json_validate(render_json(r)));
+}
+
+TEST(Exposition, JsonSnapshotIsOneValidObject) {
+  Registry r;
+  r.counter("afl.test.counter").inc(2);
+  r.gauge("afl.test.gauge").set(1.25);
+  r.histogram("afl.test.hist").record(0.5);
+  const std::string j = render_json(r);
+  ASSERT_TRUE(json_validate(j)) << j;
+  auto fields = json_object_fields(j);
+  ASSERT_EQ(fields.count("counters"), 1u);
+  ASSERT_EQ(fields.count("gauges"), 1u);
+  ASSERT_EQ(fields.count("histograms"), 1u);
+  // The nested objects are JSON objects themselves.
+  EXPECT_FALSE(json_object_fields(fields["counters"]).empty());
+  auto hists = json_object_fields(fields["histograms"]);
+  ASSERT_EQ(hists.count("afl.test.hist"), 1u);
+  auto hist = json_object_fields(hists["afl.test.hist"]);
+  EXPECT_EQ(hist["count"], "1");
+}
+
+// ---------------------------------------------------------------------------
+// Run status board
+// ---------------------------------------------------------------------------
+
+TEST(StatusBoard, PublishReadRoundtrip) {
+  StatusBoard board;
+  RunStatus s;
+  s.active = true;
+  s.set_algorithm("AdaptiveFL");
+  s.round = 3;
+  s.total_rounds = 10;
+  s.full_acc = 0.42;
+  s.eta_seconds = 12.5;
+  board.publish(s);
+  const RunStatus got = board.read();
+  EXPECT_TRUE(got.active);
+  EXPECT_STREQ(got.algorithm, "AdaptiveFL");
+  EXPECT_EQ(got.round, 3u);
+  EXPECT_EQ(got.total_rounds, 10u);
+  EXPECT_DOUBLE_EQ(got.full_acc, 0.42);
+  EXPECT_DOUBLE_EQ(got.eta_seconds, 12.5);
+}
+
+TEST(StatusBoard, AlgorithmNameIsTruncatedSafely) {
+  RunStatus s;
+  s.set_algorithm(std::string(200, 'x'));
+  EXPECT_EQ(std::string(s.algorithm).size(), sizeof(s.algorithm) - 1);
+}
+
+TEST(StatusBoard, StatusJsonValidates) {
+  RunStatus s;
+  s.active = true;
+  s.set_algorithm("quoted \"algo\"");
+  s.round = 1;
+  const std::string j = render_status_json(s);
+  ASSERT_TRUE(json_validate(j)) << j;
+  auto fields = json_object_fields(j);
+  EXPECT_EQ(fields["active"], "true");
+  EXPECT_EQ(json_raw_string(fields["algorithm"]), "quoted \"algo\"");
+  EXPECT_EQ(fields["round"], "1");
+}
+
+}  // namespace
+}  // namespace afl::obs

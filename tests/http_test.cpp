@@ -1,0 +1,187 @@
+// End-to-end tests for the embedded monitoring HTTP server: a real client
+// socket talks to a server bound on an ephemeral loopback port.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/exposition.hpp"
+#include "obs/http.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/status.hpp"
+
+namespace afl::obs {
+namespace {
+
+// Sends one request line (plus Host header) and reads the raw response until
+// the server closes the connection. Returns "" on any socket failure.
+std::string http_request(std::uint16_t port, const std::string& method,
+                         const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req =
+      method + " " + target + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), 0) != static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return out;
+}
+
+std::string http_get(std::uint16_t port, const std::string& target) {
+  return http_request(port, "GET", target);
+}
+
+// Body = everything after the blank line separating headers from payload.
+std::string body_of(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(HttpServer, ServesRegisteredHandlerOnEphemeralPort) {
+  HttpServer server;
+  server.handle("/hello", [] {
+    HttpServer::Response resp;
+    resp.body = "hi there\n";
+    return resp;
+  });
+  ASSERT_TRUE(server.start(0));
+  ASSERT_NE(server.port(), 0);
+
+  const std::string resp = http_get(server.port(), "/hello");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("Content-Type: text/plain"), std::string::npos) << resp;
+  EXPECT_EQ(body_of(resp), "hi there\n");
+  server.stop();
+}
+
+TEST(HttpServer, UnknownPathIs404AndBadMethodIs405) {
+  HttpServer server;
+  server.handle("/known", [] { return HttpServer::Response{}; });
+  ASSERT_TRUE(server.start(0));
+
+  EXPECT_NE(http_get(server.port(), "/nope").find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(http_request(server.port(), "POST", "/known").find("HTTP/1.1 405"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, HeadReturnsHeadersWithoutBody) {
+  HttpServer server;
+  server.handle("/h", [] {
+    HttpServer::Response resp;
+    resp.body = "payload";
+    return resp;
+  });
+  ASSERT_TRUE(server.start(0));
+  const std::string resp = http_request(server.port(), "HEAD", "/h");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("Content-Length: 7"), std::string::npos) << resp;
+  EXPECT_EQ(body_of(resp), "");
+  server.stop();
+}
+
+TEST(HttpServer, MonitoringEndpointsRenderLiveState) {
+  // Wire the same handlers the default AFL_HTTP_PORT server registers, but
+  // against an isolated registry/board so the test owns its state.
+  Registry registry;
+  registry.counter("afl.http.test.counter").inc(3);
+  registry.histogram("afl.http.test.hist").record(1.0);
+  StatusBoard board;
+  RunStatus status;
+  status.active = true;
+  status.set_algorithm("HttpTest");
+  status.round = 5;
+  status.total_rounds = 8;
+  board.publish(status);
+
+  HttpServer server;
+  server.handle("/metrics", [&registry] {
+    HttpServer::Response resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = render_prometheus(registry);
+    return resp;
+  });
+  server.handle("/metrics.json", [&registry] {
+    HttpServer::Response resp;
+    resp.content_type = "application/json";
+    resp.body = render_json(registry);
+    return resp;
+  });
+  server.handle("/healthz", [] {
+    HttpServer::Response resp;
+    resp.body = "ok\n";
+    return resp;
+  });
+  server.handle("/status", [&board] {
+    HttpServer::Response resp;
+    resp.content_type = "application/json";
+    resp.body = render_status_json(board.read());
+    return resp;
+  });
+  ASSERT_TRUE(server.start(0));
+
+  EXPECT_EQ(body_of(http_get(server.port(), "/healthz")), "ok\n");
+
+  const std::string metrics = body_of(http_get(server.port(), "/metrics"));
+  EXPECT_NE(metrics.find("# TYPE afl_http_test_counter counter"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("afl_http_test_hist_bucket{le=\"+Inf\"} 1"), std::string::npos)
+      << metrics;
+
+  const std::string metrics_json = body_of(http_get(server.port(), "/metrics.json"));
+  EXPECT_TRUE(json_validate(metrics_json)) << metrics_json;
+
+  const std::string status_json = body_of(http_get(server.port(), "/status"));
+  ASSERT_TRUE(json_validate(status_json)) << status_json;
+  auto fields = json_object_fields(status_json);
+  EXPECT_EQ(json_raw_string(fields["algorithm"]), "HttpTest");
+  EXPECT_EQ(fields["round"], "5");
+
+  // The board publishes a new round; the endpoint reflects it immediately.
+  status.round = 6;
+  board.publish(status);
+  fields = json_object_fields(body_of(http_get(server.port(), "/status")));
+  EXPECT_EQ(fields["round"], "6");
+  server.stop();
+}
+
+TEST(HttpServer, StopIsIdempotentAndServerRestartable) {
+  HttpServer server;
+  server.handle("/x", [] { return HttpServer::Response{}; });
+  ASSERT_TRUE(server.start(0));
+  const std::uint16_t first_port = server.port();
+  server.stop();
+  server.stop();  // second stop is a no-op
+  EXPECT_FALSE(server.running());
+
+  ASSERT_TRUE(server.start(0));
+  EXPECT_TRUE(server.running());
+  EXPECT_NE(server.port(), 0);
+  (void)first_port;
+  EXPECT_NE(http_get(server.port(), "/x").find("HTTP/1.1 200"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace afl::obs

@@ -1,0 +1,109 @@
+# Exercises the afl-insight CLI against synthetic traces: summary parses a
+# well-formed trace, diff of identical traces exits 0, diff against a
+# regressed candidate exits nonzero, and an unknown schema is rejected.
+#
+# Invoked as:
+#   cmake -DINSIGHT=<path-to-afl-insight> -DWORK_DIR=<scratch-dir> -P insight_check.cmake
+
+if(NOT INSIGHT OR NOT WORK_DIR)
+  message(FATAL_ERROR "insight_check.cmake needs -DINSIGHT=... and -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(BASE "${WORK_DIR}/baseline.jsonl")
+set(CAND "${WORK_DIR}/regressed.jsonl")
+set(BAD_SCHEMA "${WORK_DIR}/future_schema.jsonl")
+
+# A healthy two-round run: fast rounds, accuracy 0.80, 200 params of traffic.
+file(WRITE "${BASE}"
+"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v1\",\"algo\":\"AdaptiveFL\",\"rounds\":2,\"seed\":7,\"threads\":1}
+{\"kind\":\"dispatch\",\"round\":1,\"client\":0,\"outcome\":\"ok\",\"params\":50,\"params_back\":50,\"train_ms\":4.0}
+{\"kind\":\"dispatch\",\"round\":1,\"client\":1,\"outcome\":\"no_response\",\"params\":50}
+{\"kind\":\"round\",\"round\":1,\"dur_ms\":10.0,\"train_ms\":6.0,\"aggregate_ms\":2.0,\"eval_ms\":1.0,\"params_sent\":100,\"params_returned\":50,\"clients_ok\":1,\"clients_failed\":1,\"round_waste\":0.5}
+{\"kind\":\"dispatch\",\"round\":2,\"client\":0,\"outcome\":\"ok\",\"params\":50,\"params_back\":50,\"train_ms\":4.5}
+{\"kind\":\"round\",\"round\":2,\"dur_ms\":11.0,\"train_ms\":6.5,\"aggregate_ms\":2.0,\"eval_ms\":1.0,\"params_sent\":100,\"params_returned\":50,\"clients_ok\":1,\"clients_failed\":0,\"round_waste\":0.0}
+{\"kind\":\"evaluate\",\"round\":2,\"accuracy\":0.80}
+{\"kind\":\"run_end\",\"algo\":\"AdaptiveFL\",\"rounds\":2,\"full_acc\":0.80,\"params_sent\":200,\"params_returned\":100}
+")
+
+# Same shape but slower (~10x round time), less accurate, chattier (~5x comm).
+file(WRITE "${CAND}"
+"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v1\",\"algo\":\"AdaptiveFL\",\"rounds\":2,\"seed\":7,\"threads\":1}
+{\"kind\":\"round\",\"round\":1,\"dur_ms\":100.0,\"train_ms\":80.0,\"aggregate_ms\":5.0,\"eval_ms\":5.0,\"params_sent\":500,\"params_returned\":250,\"clients_ok\":1,\"clients_failed\":0,\"round_waste\":0.0}
+{\"kind\":\"round\",\"round\":2,\"dur_ms\":110.0,\"train_ms\":85.0,\"aggregate_ms\":5.0,\"eval_ms\":5.0,\"params_sent\":500,\"params_returned\":250,\"clients_ok\":1,\"clients_failed\":0,\"round_waste\":0.0}
+{\"kind\":\"run_end\",\"algo\":\"AdaptiveFL\",\"rounds\":2,\"full_acc\":0.70,\"params_sent\":1000,\"params_returned\":500}
+")
+
+file(WRITE "${BAD_SCHEMA}"
+"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v2\",\"algo\":\"AdaptiveFL\"}
+")
+
+# summary must succeed and mention the algorithm.
+execute_process(
+  COMMAND "${INSIGHT}" summary "${BASE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "summary on a valid trace exited ${rc}: ${err}")
+endif()
+if(NOT out MATCHES "AdaptiveFL")
+  message(FATAL_ERROR "summary output does not mention the algorithm:\n${out}")
+endif()
+
+# clients must succeed and show the ok/no_response split.
+execute_process(
+  COMMAND "${INSIGHT}" clients "${BASE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "clients on a valid trace exited ${rc}: ${err}")
+endif()
+
+# diff of a trace against itself is clean (exit 0).
+execute_process(
+  COMMAND "${INSIGHT}" diff "${BASE}" "${BASE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "self-diff exited ${rc} (expected 0):\n${out}${err}")
+endif()
+if(NOT out MATCHES "no regression")
+  message(FATAL_ERROR "self-diff did not report 'no regression':\n${out}")
+endif()
+
+# diff against the regressed candidate must flag all three axes and exit 2.
+execute_process(
+  COMMAND "${INSIGHT}" diff "${BASE}" "${CAND}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "regressed diff exited ${rc} (expected 2):\n${out}${err}")
+endif()
+if(NOT out MATCHES "REGRESSION: accuracy")
+  message(FATAL_ERROR "regressed diff missed the accuracy regression:\n${out}")
+endif()
+if(NOT out MATCHES "REGRESSION: round p95")
+  message(FATAL_ERROR "regressed diff missed the time regression:\n${out}")
+endif()
+if(NOT out MATCHES "REGRESSION: comm")
+  message(FATAL_ERROR "regressed diff missed the comm regression:\n${out}")
+endif()
+
+# ...unless the thresholds are loosened explicitly.
+execute_process(
+  COMMAND "${INSIGHT}" diff "${BASE}" "${CAND}"
+          --max-acc-drop 0.5 --max-time-ratio 20 --max-comm-ratio 10
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "loose-threshold diff exited ${rc} (expected 0):\n${out}${err}")
+endif()
+
+# A future schema version is a hard error (exit 1), not silent misparsing.
+execute_process(
+  COMMAND "${INSIGHT}" summary "${BAD_SCHEMA}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "unknown schema exited ${rc} (expected 1):\n${out}${err}")
+endif()
+if(NOT err MATCHES "schema")
+  message(FATAL_ERROR "unknown-schema error does not mention the schema:\n${err}")
+endif()
+
+message(STATUS "afl-insight CLI checks passed")

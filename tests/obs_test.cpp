@@ -203,6 +203,44 @@ TEST(ObsRegistry, ResetKeepsNames) {
   EXPECT_EQ(r.histogram("h").count(), 0u);
 }
 
+// Regression: gauges must be zeroed by reset() like every other instrument,
+// or afl.rl.selector.entropy / pool gauges leak across back-to-back runs in
+// one process.
+TEST(ObsRegistry, ResetClearsGaugesToo) {
+  Registry r;
+  r.gauge("afl.rl.selector.entropy").set(0.73);
+  r.gauge("afl.engine.pool.threads").set(8.0);
+  r.counter("c").inc(3);
+  r.histogram("h").record(1.0);
+  r.reset();
+  const auto gs = r.gauges();
+  ASSERT_EQ(gs.size(), 2u);  // names survive reset
+  for (const auto& [name, v] : gs) EXPECT_DOUBLE_EQ(v, 0.0) << name;
+}
+
+TEST(ObsGauge, Reset) {
+  Gauge g;
+  g.set(2.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsHistogram, BucketsAreCumulative) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.record(0.5);
+  h.record(1.5);
+  h.record(3.0);
+  h.record(100.0);  // overflow bucket
+  const Histogram::Buckets b = h.buckets();
+  ASSERT_EQ(b.bounds.size(), 3u);
+  ASSERT_EQ(b.cumulative.size(), 4u);
+  EXPECT_EQ(b.cumulative[0], 1u);
+  EXPECT_EQ(b.cumulative[1], 2u);
+  EXPECT_EQ(b.cumulative[2], 3u);
+  EXPECT_EQ(b.cumulative[3], 4u);  // +Inf == count
+  EXPECT_EQ(b.cumulative.back(), h.count());
+}
+
 TEST(ObsRegistry, GlobalIsSingleton) { EXPECT_EQ(&metrics(), &metrics()); }
 
 // ---------------------------------------------------------------------------
@@ -234,6 +272,30 @@ TEST(ObsJson, EscapeRoundTrip) {
   const std::string escaped = json_escape("a\"b\\c\nd\te\x01");
   EXPECT_TRUE(json_validate("\"" + escaped + "\""));
   EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(ObsJson, ObjectFieldsExtraction) {
+  auto f = json_object_fields(
+      "{\"a\": 1.5, \"b\":\"x\\ny\", \"c\":[1,2], \"d\":{\"e\":0}}");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f["a"], "1.5");
+  EXPECT_DOUBLE_EQ(json_raw_number(f["a"]), 1.5);
+  EXPECT_EQ(json_raw_string(f["b"]), "x\ny");
+  EXPECT_EQ(f["c"], "[1,2]");
+  EXPECT_EQ(f["d"], "{\"e\":0}");
+}
+
+TEST(ObsJson, ObjectFieldsRejectsNonObjects) {
+  EXPECT_TRUE(json_object_fields("[1,2]").empty());
+  EXPECT_TRUE(json_object_fields("{bad").empty());
+  EXPECT_TRUE(json_object_fields("").empty());
+}
+
+TEST(ObsJson, RawValueHelpers) {
+  EXPECT_DOUBLE_EQ(json_raw_number("-2.5e1"), -25.0);
+  EXPECT_DOUBLE_EQ(json_raw_number("\"str\"", -1.0), -1.0);
+  EXPECT_EQ(json_raw_string("\"esc\\u00e9\""), "esc\xc3\xa9");
+  EXPECT_EQ(json_raw_string("12", "fb"), "fb");
 }
 
 // ---------------------------------------------------------------------------

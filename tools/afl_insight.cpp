@@ -1,0 +1,417 @@
+// afl-insight — offline analysis of AFL_TRACE_JSONL files.
+//
+//   afl-insight summary <trace>            per-run phase/time breakdown
+//   afl-insight clients <trace> [--run N]  per-client drill-down
+//   afl-insight rounds  <trace> [N]        slowest-N rounds
+//   afl-insight diff <a> <b> [thresholds]  run-vs-run regression check
+//
+// A trace may contain several runs (one process running several algorithms);
+// records are segmented at `run_start` headers. clients/rounds/diff operate
+// on the last run unless --run selects another. `diff` compares final
+// accuracy, round p95 wall time, and total dispatched params of the last run
+// in each file and exits 2 when the candidate regresses past the thresholds
+// (--max-acc-drop, --max-time-ratio, --max-comm-ratio), which makes it
+// usable as a CI perf gate. Exit codes: 0 ok, 1 usage/IO/schema error,
+// 2 regression.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using afl::Table;
+using Record = std::map<std::string, std::string>;
+
+constexpr const char* kSchema = "afl.trace.v1";
+
+double num(const Record& r, const std::string& key, double fallback = 0.0) {
+  const auto it = r.find(key);
+  return it == r.end() ? fallback : afl::obs::json_raw_number(it->second, fallback);
+}
+
+std::string str(const Record& r, const std::string& key,
+                const std::string& fallback = "") {
+  const auto it = r.find(key);
+  return it == r.end() ? fallback : afl::obs::json_raw_string(it->second, fallback);
+}
+
+bool is_kind(const Record& r, const char* kind) { return str(r, "kind") == kind; }
+
+/// One run segment: everything from a run_start header (absent in pre-v1
+/// traces) up to the next one.
+struct Run {
+  Record header;  // empty when the trace predates run_start
+  std::vector<Record> events;
+
+  bool has_header() const { return !header.empty(); }
+  std::string label() const {
+    if (!has_header()) return "(unlabeled)";
+    return str(header, "algo", "?") + " seed=" +
+           std::to_string(static_cast<long long>(num(header, "seed"))) +
+           " threads=" + std::to_string(static_cast<long long>(num(header, "threads")));
+  }
+};
+
+struct TraceFile {
+  std::string path;
+  std::vector<Run> runs;
+};
+
+bool load_trace(const std::string& path, TraceFile& out) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "afl-insight: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out.path = path;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Record rec = afl::obs::json_object_fields(line);
+    if (rec.empty()) {
+      std::fprintf(stderr, "afl-insight: %s:%zu is not a JSON object\n",
+                   path.c_str(), lineno);
+      return false;
+    }
+    if (is_kind(rec, "run_start")) {
+      const std::string schema = str(rec, "schema");
+      if (schema != kSchema) {
+        std::fprintf(stderr,
+                     "afl-insight: %s declares trace schema \"%s\" but this "
+                     "tool understands \"%s\"\n",
+                     path.c_str(), schema.c_str(), kSchema);
+        return false;
+      }
+      Run run;
+      run.header = std::move(rec);
+      out.runs.push_back(std::move(run));
+      continue;
+    }
+    if (out.runs.empty()) out.runs.push_back({});  // headerless prefix
+    out.runs.back().events.push_back(std::move(rec));
+  }
+  if (out.runs.empty()) {
+    std::fprintf(stderr, "afl-insight: %s contains no records\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+const Run* pick_run(const TraceFile& file, int index) {
+  if (index < 0) return &file.runs.back();
+  if (static_cast<std::size_t>(index) >= file.runs.size()) {
+    std::fprintf(stderr, "afl-insight: %s has %zu run(s); --run %d is out of range\n",
+                 file.path.c_str(), file.runs.size(), index);
+    return nullptr;
+  }
+  return &file.runs[static_cast<std::size_t>(index)];
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(v.size()))));
+  return v[std::min(rank, v.size()) - 1];
+}
+
+/// Headline numbers of one run, shared by summary and diff.
+struct RunStats {
+  std::size_t rounds = 0;
+  double total_round_ms = 0.0;
+  double train_ms = 0.0, aggregate_ms = 0.0, eval_ms = 0.0;
+  double p95_round_ms = 0.0;
+  double final_acc = 0.0;
+  bool has_acc = false;
+  double params_sent = 0.0, params_returned = 0.0;
+  std::map<std::string, std::size_t> kind_counts;
+  std::map<std::string, std::size_t> dispatch_outcomes;
+};
+
+RunStats run_stats(const Run& run) {
+  RunStats s;
+  std::vector<double> round_ms;
+  bool has_run_end = false;
+  for (const Record& r : run.events) {
+    const std::string kind = str(r, "kind");
+    s.kind_counts[kind]++;
+    if (kind == "round") {
+      ++s.rounds;
+      round_ms.push_back(num(r, "dur_ms"));
+      s.total_round_ms += num(r, "dur_ms");
+      s.train_ms += num(r, "train_ms");
+      s.aggregate_ms += num(r, "aggregate_ms");
+      s.eval_ms += num(r, "eval_ms");
+      if (!has_run_end) {
+        s.params_sent += num(r, "params_sent");
+        s.params_returned += num(r, "params_returned");
+      }
+    } else if (kind == "dispatch") {
+      s.dispatch_outcomes[str(r, "outcome", "?")]++;
+    } else if (kind == "evaluate" && !has_run_end) {
+      s.final_acc = num(r, "accuracy");
+      s.has_acc = true;
+    } else if (kind == "run_end") {
+      // Authoritative totals when the run completed cleanly.
+      has_run_end = true;
+      s.final_acc = num(r, "full_acc");
+      s.has_acc = true;
+      s.params_sent = num(r, "params_sent");
+      s.params_returned = num(r, "params_returned");
+    }
+  }
+  s.p95_round_ms = percentile(round_ms, 95.0);
+  return s;
+}
+
+int cmd_summary(const TraceFile& file) {
+  for (std::size_t i = 0; i < file.runs.size(); ++i) {
+    const Run& run = file.runs[i];
+    const RunStats s = run_stats(run);
+    std::printf("run %zu: %s\n", i, run.label().c_str());
+    Table t({"metric", "value"});
+    t.add_row({"rounds", std::to_string(s.rounds)});
+    t.add_row({"round wall ms (total)", Table::fmt(s.total_round_ms, 1)});
+    t.add_row({"round wall ms (p95)", Table::fmt(s.p95_round_ms, 1)});
+    const double other =
+        s.total_round_ms - s.train_ms - s.aggregate_ms - s.eval_ms;
+    auto phase = [&](const char* name, double ms) {
+      const double pct = s.total_round_ms > 0 ? 100.0 * ms / s.total_round_ms : 0.0;
+      t.add_row({name, Table::fmt(ms, 1) + " (" + Table::fmt(pct, 1) + "%)"});
+    };
+    phase("  local train ms", s.train_ms);
+    phase("  aggregate ms", s.aggregate_ms);
+    phase("  evaluate ms", s.eval_ms);
+    phase("  other ms", other);
+    t.add_row({"final full acc", s.has_acc ? Table::fmt(s.final_acc, 4) : "n/a"});
+    t.add_row({"params sent", Table::fmt(s.params_sent, 0)});
+    t.add_row({"params returned", Table::fmt(s.params_returned, 0)});
+    std::printf("%s", t.to_markdown().c_str());
+    std::string kinds;
+    for (const auto& [kind, count] : s.kind_counts) {
+      kinds += kind + "=" + std::to_string(count) + " ";
+    }
+    std::printf("events: %s\n", kinds.c_str());
+    if (!s.dispatch_outcomes.empty()) {
+      std::string outcomes;
+      for (const auto& [outcome, count] : s.dispatch_outcomes) {
+        outcomes += outcome + "=" + std::to_string(count) + " ";
+      }
+      std::printf("dispatch outcomes: %s\n", outcomes.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_clients(const TraceFile& file, int run_index) {
+  const Run* run = pick_run(file, run_index);
+  if (run == nullptr) return 1;
+  struct ClientAgg {
+    std::size_t dispatches = 0, ok = 0, no_response = 0, adapt_failed = 0;
+    double params_sent = 0.0, params_back = 0.0;
+    std::vector<double> train_ms;
+  };
+  std::map<long long, ClientAgg> clients;
+  for (const Record& r : run->events) {
+    if (!is_kind(r, "dispatch")) continue;
+    ClientAgg& c = clients[static_cast<long long>(num(r, "client", -1))];
+    ++c.dispatches;
+    c.params_sent += num(r, "params");
+    const std::string outcome = str(r, "outcome");
+    if (outcome == "ok") {
+      ++c.ok;
+      c.params_back += num(r, "params_back");
+      c.train_ms.push_back(num(r, "train_ms"));
+    } else if (outcome == "no_response") {
+      ++c.no_response;
+    } else {
+      ++c.adapt_failed;
+    }
+  }
+  if (clients.empty()) {
+    std::fprintf(stderr, "afl-insight: no dispatch events in %s (run %s)\n",
+                 file.path.c_str(), run->label().c_str());
+    return 1;
+  }
+  std::printf("clients of run: %s\n", run->label().c_str());
+  Table t({"client", "dispatches", "ok", "no_resp", "no_fit", "train p50 ms",
+           "train p95 ms", "params sent", "params back"});
+  for (const auto& [id, c] : clients) {
+    t.add_row({std::to_string(id), std::to_string(c.dispatches),
+               std::to_string(c.ok), std::to_string(c.no_response),
+               std::to_string(c.adapt_failed),
+               Table::fmt(percentile(c.train_ms, 50.0), 2),
+               Table::fmt(percentile(c.train_ms, 95.0), 2),
+               Table::fmt(c.params_sent, 0), Table::fmt(c.params_back, 0)});
+  }
+  std::printf("%s", t.to_markdown().c_str());
+  return 0;
+}
+
+int cmd_rounds(const TraceFile& file, int run_index, std::size_t top_n) {
+  const Run* run = pick_run(file, run_index);
+  if (run == nullptr) return 1;
+  std::vector<const Record*> rounds;
+  for (const Record& r : run->events) {
+    if (is_kind(r, "round")) rounds.push_back(&r);
+  }
+  if (rounds.empty()) {
+    std::fprintf(stderr, "afl-insight: no round events in %s (run %s)\n",
+                 file.path.c_str(), run->label().c_str());
+    return 1;
+  }
+  std::stable_sort(rounds.begin(), rounds.end(),
+                   [](const Record* a, const Record* b) {
+                     return num(*a, "dur_ms") > num(*b, "dur_ms");
+                   });
+  if (rounds.size() > top_n) rounds.resize(top_n);
+  std::printf("slowest %zu round(s) of run: %s\n", rounds.size(),
+              run->label().c_str());
+  Table t({"round", "dur ms", "train ms", "aggregate ms", "eval ms", "ok",
+           "failed", "waste"});
+  for (const Record* r : rounds) {
+    t.add_row({Table::fmt(num(*r, "round"), 0), Table::fmt(num(*r, "dur_ms"), 1),
+               Table::fmt(num(*r, "train_ms"), 1),
+               Table::fmt(num(*r, "aggregate_ms"), 1),
+               Table::fmt(num(*r, "eval_ms"), 1),
+               Table::fmt(num(*r, "clients_ok"), 0),
+               Table::fmt(num(*r, "clients_failed"), 0),
+               Table::fmt(num(*r, "round_waste"), 3)});
+  }
+  std::printf("%s", t.to_markdown().c_str());
+  return 0;
+}
+
+int cmd_diff(const TraceFile& base, const TraceFile& cand, double max_acc_drop,
+             double max_time_ratio, double max_comm_ratio) {
+  const Run* a = &base.runs.back();
+  const Run* b = &cand.runs.back();
+  if (a->has_header() != b->has_header()) {
+    std::fprintf(stderr,
+                 "afl-insight: cannot diff a headered trace against a "
+                 "headerless (pre-v1) one\n");
+    return 1;
+  }
+  const RunStats sa = run_stats(*a);
+  const RunStats sb = run_stats(*b);
+
+  std::printf("baseline : %s (%s)\n", base.path.c_str(), a->label().c_str());
+  std::printf("candidate: %s (%s)\n\n", cand.path.c_str(), b->label().c_str());
+  Table t({"metric", "baseline", "candidate", "delta"});
+  t.add_row({"final full acc", sa.has_acc ? Table::fmt(sa.final_acc, 4) : "n/a",
+             sb.has_acc ? Table::fmt(sb.final_acc, 4) : "n/a",
+             Table::fmt(sb.final_acc - sa.final_acc, 4)});
+  t.add_row({"round p95 ms", Table::fmt(sa.p95_round_ms, 2),
+             Table::fmt(sb.p95_round_ms, 2),
+             sa.p95_round_ms > 0
+                 ? Table::fmt(sb.p95_round_ms / sa.p95_round_ms, 3) + "x"
+                 : "n/a"});
+  t.add_row({"params sent", Table::fmt(sa.params_sent, 0),
+             Table::fmt(sb.params_sent, 0),
+             sa.params_sent > 0
+                 ? Table::fmt(sb.params_sent / sa.params_sent, 3) + "x"
+                 : "n/a"});
+  std::printf("%s\n", t.to_markdown().c_str());
+
+  int regressions = 0;
+  if (sa.has_acc && sb.has_acc && sb.final_acc < sa.final_acc - max_acc_drop) {
+    std::printf("REGRESSION: accuracy dropped %.4f (> %.4f allowed)\n",
+                sa.final_acc - sb.final_acc, max_acc_drop);
+    ++regressions;
+  }
+  if (sa.p95_round_ms > 0 && sb.p95_round_ms > sa.p95_round_ms * max_time_ratio) {
+    std::printf("REGRESSION: round p95 %.2fx baseline (> %.2fx allowed)\n",
+                sb.p95_round_ms / sa.p95_round_ms, max_time_ratio);
+    ++regressions;
+  }
+  if (sa.params_sent > 0 && sb.params_sent > sa.params_sent * max_comm_ratio) {
+    std::printf("REGRESSION: comm %.2fx baseline (> %.2fx allowed)\n",
+                sb.params_sent / sa.params_sent, max_comm_ratio);
+    ++regressions;
+  }
+  if (regressions == 0) {
+    std::printf("no regression (acc drop <= %.4f, time <= %.2fx, comm <= %.2fx)\n",
+                max_acc_drop, max_time_ratio, max_comm_ratio);
+    return 0;
+  }
+  return 2;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: afl-insight <command> [args]\n"
+               "  summary <trace>                     per-run phase/time breakdown\n"
+               "  clients <trace> [--run N]           per-client drill-down\n"
+               "  rounds <trace> [N] [--run N]        slowest-N rounds (default 5)\n"
+               "  diff <baseline> <candidate>         regression check (exit 2 on regression)\n"
+               "       [--max-acc-drop X]             allowed absolute accuracy drop (0.02)\n"
+               "       [--max-time-ratio X]           allowed round-p95 ratio (1.50)\n"
+               "       [--max-comm-ratio X]           allowed params-sent ratio (1.10)\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+
+  // Common flags/positionals after the command + first path.
+  std::vector<std::string> args(argv + 2, argv + argc);
+  int run_index = -1;  // default: last run
+  double max_acc_drop = 0.02, max_time_ratio = 1.50, max_comm_ratio = 1.10;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto flag_value = [&](double& out) {
+      if (i + 1 >= args.size()) return false;
+      out = std::atof(args[++i].c_str());
+      return true;
+    };
+    if (args[i] == "--run") {
+      if (i + 1 >= args.size()) return usage();
+      run_index = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--max-acc-drop") {
+      if (!flag_value(max_acc_drop)) return usage();
+    } else if (args[i] == "--max-time-ratio") {
+      if (!flag_value(max_time_ratio)) return usage();
+    } else if (args[i] == "--max-comm-ratio") {
+      if (!flag_value(max_comm_ratio)) return usage();
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.empty()) return usage();
+
+  TraceFile file;
+  if (!load_trace(positional[0], file)) return 1;
+
+  if (cmd == "summary") return cmd_summary(file);
+  if (cmd == "clients") return cmd_clients(file, run_index);
+  if (cmd == "rounds") {
+    std::size_t top_n = 5;
+    if (positional.size() > 1) {
+      top_n = static_cast<std::size_t>(std::max(1, std::atoi(positional[1].c_str())));
+    }
+    return cmd_rounds(file, run_index, top_n);
+  }
+  if (cmd == "diff") {
+    if (positional.size() != 2) return usage();
+    TraceFile cand;
+    if (!load_trace(positional[1], cand)) return 1;
+    return cmd_diff(file, cand, max_acc_drop, max_time_ratio, max_comm_ratio);
+  }
+  return usage();
+}
