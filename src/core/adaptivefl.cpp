@@ -91,9 +91,19 @@ class AdaptiveFlPolicy final : public RoundPolicy {
                               s.back_index, pool_.entry(s.back_index).level, s.client);
   }
 
+  ParamSet dispatch_params(const ClientSlot& s) const override {
+    // Real-payload transport: the wire carries exactly the dispatched
+    // submodel, so byte accounting and codec error reflect what ships.
+    return pool_.split(global_, s.sent_index);
+  }
+
   TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
     Model local = pool_.build(s.back_index);
-    local.import_params(pool_.split(global_, s.back_index));
+    // s.rx is the codec-decoded downlink payload (sized sent_index); the
+    // device prunes it to what it can train. Identity path: read the frozen
+    // global directly.
+    local.import_params(s.rx ? pool_.split(*s.rx, s.back_index)
+                             : pool_.split(global_, s.back_index));
     TrainOutcome out;
     out.stats = local_train(local, data_.clients[s.client], config_.local, rng);
     out.params = local.export_params();

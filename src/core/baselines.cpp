@@ -66,9 +66,11 @@ class AllLargePolicy final : public CohortPolicy {
     s.trainable = true;
   }
 
+  ParamSet dispatch_params(const ClientSlot&) const override { return global_; }
+
   TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
     Model local = build_full_model(spec_);
-    local.import_params(global_);
+    local.import_params(s.rx ? *s.rx : global_);
     TrainOutcome out;
     out.stats = local_train(local, data_.clients[s.client], config_.local, rng);
     out.params = local.export_params();
@@ -141,9 +143,13 @@ class DecoupledPolicy final : public CohortPolicy {
     s.params_sent = pool_.entry(heads_[2]).params;
   }
 
+  ParamSet dispatch_params(const ClientSlot& s) const override {
+    return globals_[s.back_index];
+  }
+
   TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
     Model local = pool_.build(heads_[s.back_index]);
-    local.import_params(globals_[s.back_index]);
+    local.import_params(s.rx ? *s.rx : globals_[s.back_index]);
     TrainOutcome out;
     out.stats = local_train(local, data_.clients[s.client], config_.local, rng);
     out.params = local.export_params();
@@ -223,10 +229,15 @@ class HeteroFlPolicy final : public CohortPolicy {
     s.params_sent = level_params_.back();
   }
 
+  ParamSet dispatch_params(const ClientSlot& s) const override {
+    return prune_params(global_, spec_, level_plans_[s.back_index]);
+  }
+
   TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
     const WidthPlan& plan = level_plans_[s.back_index];
     Model local = build_model(spec_, plan);
-    local.import_params(prune_params(global_, spec_, plan));
+    local.import_params(s.rx ? *s.rx
+                             : prune_params(global_, spec_, plan));
     TrainOutcome out;
     out.stats = local_train(local, data_.clients[s.client], config_.local, rng);
     out.params = local.export_params();

@@ -1,6 +1,7 @@
 #include "engine/round_engine.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -20,7 +21,7 @@ namespace {
 constexpr const char* kTraceSchema = "afl.trace.v1";
 
 void trace_run_start(const RunResult& result, const FlRunConfig& config,
-                     std::size_t threads) {
+                     std::size_t threads, const net::Transport& transport) {
   if (!obs::trace_enabled()) return;
   obs::TraceEvent ev("run_start");
   ev.field("schema", kTraceSchema)
@@ -34,10 +35,18 @@ void trace_run_start(const RunResult& result, const FlRunConfig& config,
       .field("batch_size", static_cast<std::uint64_t>(config.local.batch_size))
       .field("lr", config.local.lr)
       .field("momentum", config.local.momentum);
+  if (transport.enabled()) {
+    // Transport columns appear only on transport-backed runs so traces from
+    // identity-path runs stay byte-identical to pre-transport builds.
+    const net::NetConfig& net = transport.config();
+    ev.field("codec", net::codec_name(net.codec))
+        .field("net_loss", net.channel.loss_prob)
+        .field("net_deadline_ms", net.round_deadline_s * 1e3);
+  }
   ev.emit();
 }
 
-void trace_run_end(const RunResult& result) {
+void trace_run_end(const RunResult& result, const net::Transport& transport) {
   if (!obs::trace_enabled()) return;
   obs::TraceEvent ev("run_end");
   ev.field("algo", result.algorithm)
@@ -47,8 +56,17 @@ void trace_run_end(const RunResult& result) {
       .field("params_sent", static_cast<std::uint64_t>(result.comm.params_sent()))
       .field("params_returned", static_cast<std::uint64_t>(result.comm.params_returned()))
       .field("waste_rate", result.comm.waste_rate())
-      .field("failed_trainings", static_cast<std::uint64_t>(result.failed_trainings))
-      .field("wall_ms", result.wall_seconds * 1e3);
+      .field("failed_trainings", static_cast<std::uint64_t>(result.failed_trainings));
+  if (transport.enabled()) {
+    ev.field("codec", net::codec_name(transport.codec()))
+        .field("bytes_sent", static_cast<std::uint64_t>(result.comm.bytes_sent()))
+        .field("bytes_returned",
+               static_cast<std::uint64_t>(result.comm.bytes_returned()))
+        .field("retransmits", static_cast<std::uint64_t>(result.comm.retransmits()))
+        .field("stragglers", static_cast<std::uint64_t>(result.comm.stragglers()))
+        .field("drops", static_cast<std::uint64_t>(result.comm.drops()));
+  }
+  ev.field("wall_ms", result.wall_seconds * 1e3);
   ev.emit();
 }
 
@@ -95,12 +113,37 @@ void trace_dispatch_failure(const ClientSlot& s, const char* outcome) {
   ev.emit();
 }
 
+/// Byte/retransmit accounting + afl.net.* metrics for one frame transfer.
+/// Only ever called with the transport enabled, so the metric instruments are
+/// not registered (and the metrics dump is unchanged) on transportless runs.
+void record_transfer(CommStats& comm, const net::TransferResult& t, bool uplink) {
+  static obs::Counter& down_bytes = obs::metrics().counter("afl.net.bytes.sent");
+  static obs::Counter& up_bytes = obs::metrics().counter("afl.net.bytes.returned");
+  static obs::Counter& retransmits = obs::metrics().counter("afl.net.retransmits");
+  static obs::Histogram& transfer_hist =
+      obs::metrics().histogram("afl.net.transfer.seconds");
+  if (uplink) {
+    comm.record_return_bytes(t.bytes);
+    up_bytes.inc(t.bytes);
+  } else {
+    comm.record_dispatch_bytes(t.bytes);
+    down_bytes.inc(t.bytes);
+  }
+  if (t.attempts > 1) {
+    comm.record_retransmits(t.attempts - 1);
+    retransmits.inc(t.attempts - 1);
+  }
+  transfer_hist.record(t.seconds);
+}
+
 }  // namespace
 
 RoundEngine::RoundEngine(const FlRunConfig& config, const std::vector<DeviceSim>* devices)
     : config_(config),
       devices_(devices),
-      threads_(config.threads > 0 ? config.threads : ThreadPool::threads_from_env()) {}
+      threads_(config.threads > 0 ? config.threads : ThreadPool::threads_from_env()),
+      transport_(config.net ? *config.net : net::NetConfig::from_env(),
+                 config.seed) {}
 
 RunResult RoundEngine::run(RoundPolicy& policy) {
   Stopwatch watch;
@@ -108,7 +151,7 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
   result.algorithm = policy.algorithm_name();
 
   obs::ensure_default_http_server();
-  trace_run_start(result, config_, threads_);
+  trace_run_start(result, config_, threads_, transport_);
   publish_status(result, 0, config_.rounds, 0.0, threads_, /*active=*/true);
 
   ThreadPool pool(threads_);
@@ -125,12 +168,19 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
     // Held in an optional so it can be flushed (destroyed) before the status
     // publish — the telemetry destructor appends this round's metrics record.
     std::optional<RoundTelemetry> telemetry(std::in_place, result, round);
+    telemetry->set_net_enabled(transport_.enabled());
     policy.begin_round(round, rng);
 
     // Phase 1 (sequential planning): every RNG draw and every piece of
-    // shared-state feedback happens here, in slot order.
+    // shared-state feedback happens here, in slot order. Transport draws use
+    // per-(round, client) Sessions, so they never perturb the round RNG.
     std::vector<ClientSlot> work;
     work.reserve(config_.clients_per_round);
+    // Sessions parallel to `work` (downlink clock carries into the uplink in
+    // phase 3); decoded downlink payloads owned here so slot.rx pointers stay
+    // stable across the phase-2 parallel section.
+    std::vector<net::Transport::Session> sessions;
+    std::vector<std::unique_ptr<ParamSet>> rx_store;
     for (std::size_t slot = 0; slot < config_.clients_per_round; ++slot) {
       ClientSlot s;
       s.round = round;
@@ -164,6 +214,30 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
         policy.on_adapt_failure(s);
         continue;
       }
+      if (transport_.enabled()) {
+        // Downlink: the dispatched submodel crosses the simulated channel.
+        // Lost frames (all retransmissions exhausted) exclude the client this
+        // round exactly like an availability failure.
+        net::Transport::Session sess = transport_.session(round, s.client);
+        net::Delivery down = transport_.send(sess, net::FrameKind::kDispatch,
+                                             policy.dispatch_params(s),
+                                             s.params_sent);
+        record_transfer(result.comm, down.transfer, /*uplink=*/false);
+        if (!down.transfer.delivered) {
+          ++result.failed_trainings;
+          result.comm.record_drop();
+          obs::metrics().counter("afl.net.drops").inc();
+          telemetry->client_failed();
+          trace_dispatch_failure(s, "lost_downlink");
+          policy.on_transport_failure(s);
+          continue;
+        }
+        if (!down.params.empty()) {
+          rx_store.push_back(std::make_unique<ParamSet>(std::move(down.params)));
+          s.rx = rx_store.back().get();
+        }
+        sessions.push_back(sess);
+      }
       policy.on_accepted(s);
       work.push_back(s);
     }
@@ -187,6 +261,37 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
     // telemetry, traces.
     for (std::size_t i = 0; i < work.size(); ++i) {
       const ClientSlot& s = work[i];
+      if (transport_.enabled()) {
+        // Uplink: the trained update crosses the channel on the same session
+        // clock as the downlink, plus a deterministic compute term. Updates
+        // lost after all retries, or delivered past the round deadline
+        // (stragglers), never reach commit()/aggregate().
+        net::Transport::Session& sess = sessions[i];
+        sess.add_seconds(transport_.compute_seconds(s.params_back));
+        net::Delivery up = transport_.send(sess, net::FrameKind::kReturn,
+                                           outcomes[i].params, s.params_back);
+        record_transfer(result.comm, up.transfer, /*uplink=*/true);
+        if (!up.transfer.delivered) {
+          ++result.failed_trainings;
+          result.comm.record_drop();
+          obs::metrics().counter("afl.net.drops").inc();
+          telemetry->client_failed();
+          trace_dispatch_failure(s, "lost_uplink");
+          policy.on_transport_failure(s);
+          continue;
+        }
+        if (transport_.config().round_deadline_s > 0.0 &&
+            sess.elapsed_seconds() > transport_.config().round_deadline_s) {
+          ++result.failed_trainings;
+          result.comm.record_straggler();
+          obs::metrics().counter("afl.net.stragglers").inc();
+          telemetry->client_failed();
+          trace_dispatch_failure(s, "deadline");
+          policy.on_transport_failure(s);
+          continue;
+        }
+        if (!up.params.empty()) outcomes[i].params = std::move(up.params);
+      }
       result.comm.record_return(s.params_back);
       telemetry->add_train_seconds(outcomes[i].stats.seconds);
       telemetry->client_ok();
@@ -246,7 +351,7 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
   result.wall_seconds = watch.seconds();
   publish_status(result, config_.rounds, config_.rounds, result.wall_seconds,
                  threads_, /*active=*/false);
-  trace_run_end(result);
+  trace_run_end(result, transport_);
   return result;
 }
 

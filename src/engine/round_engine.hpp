@@ -27,6 +27,16 @@
 // device that never responds, or that cannot train even the smallest
 // adapted/offered submodel, therefore counts as pure waste. Returns are
 // recorded only for slots whose training committed.
+//
+// Simulated transport (src/net/, docs/NET.md): when a channel is configured
+// the engine ships each dispatch and upload as a codec-encoded wire frame
+// through a deterministic lossy channel with retry/backoff. Frames lost after
+// all retries, and clients whose round exceeds the deadline (stragglers), are
+// excluded from aggregation exactly like availability failures. All transport
+// randomness comes from streams derived per (seed, round, client), so results
+// stay bit-identical at any AFL_THREADS; with no channel configured the
+// transport is an identity path and runs are byte-identical to a build
+// without it.
 
 #include <cstddef>
 #include <optional>
@@ -35,6 +45,7 @@
 
 #include "engine/run.hpp"
 #include "fl/local_train.hpp"
+#include "net/transport.hpp"
 #include "nn/param.hpp"
 #include "sim/device.hpp"
 #include "util/rng.hpp"
@@ -61,6 +72,12 @@ struct ClientSlot {
   /// the device did not prune).
   std::size_t back_index = 0;
   std::size_t params_back = 0;
+  /// Decoded downlink payload, set by the engine's transport when a channel
+  /// is configured and the policy exposes dispatch_params(). The tensors the
+  /// device actually received — codec-quantized when the codec is lossy.
+  /// Null on the identity path; execute() falls back to reading the global
+  /// parameters directly.
+  const ParamSet* rx = nullptr;
 };
 
 /// What one client's local training produced (execute() return value).
@@ -102,6 +119,21 @@ class RoundPolicy {
   virtual void on_adapt_failure(const ClientSlot& slot) { (void)slot; }
   /// Called when a slot is accepted for training, before execute().
   virtual void on_accepted(const ClientSlot& slot) { (void)slot; }
+  /// Called when the simulated transport loses the slot's frame (all
+  /// retransmissions exhausted) or its update misses the round deadline.
+  /// The client is excluded from aggregation like an availability failure.
+  virtual void on_transport_failure(const ClientSlot& slot) { (void)slot; }
+
+  /// The parameter payload the server ships for this slot (the dispatched
+  /// submodel, sized sent_index). Only called when a transport channel is
+  /// configured; runs on the engine thread after adapt(). Policies that
+  /// return a non-empty set get real byte accounting and codec quantization
+  /// of what the client trains on (via slot.rx); the default (empty) keeps
+  /// the transport in size-only simulation driven by params_sent.
+  virtual ParamSet dispatch_params(const ClientSlot& slot) const {
+    (void)slot;
+    return {};
+  }
 
   /// One client's local work: build -> import -> train -> export. Runs on a
   /// worker thread; must be effectively const (no shared-state mutation) and
@@ -138,10 +170,15 @@ class RoundEngine {
   /// Worker threads the engine resolved (config.threads or AFL_THREADS).
   std::size_t threads() const { return threads_; }
 
+  /// The resolved simulated transport (config.net or the AFL_NET_*
+  /// environment; disabled by default — the identity path).
+  const net::Transport& transport() const { return transport_; }
+
  private:
   FlRunConfig config_;
   const std::vector<DeviceSim>* devices_;
   std::size_t threads_;
+  net::Transport transport_;
 };
 
 }  // namespace afl

@@ -54,7 +54,11 @@ void RunResult::write_metrics_jsonl(const std::string& path, bool append) const 
          << ",\"params_sent\":" << m.params_sent
          << ",\"params_returned\":" << m.params_returned
          << ",\"round_waste\":" << m.round_waste
-         << ",\"selector_entropy\":" << m.selector_entropy << "}";
+         << ",\"selector_entropy\":" << m.selector_entropy
+         << ",\"bytes_sent\":" << m.bytes_sent
+         << ",\"bytes_returned\":" << m.bytes_returned
+         << ",\"retransmits\":" << m.retransmits
+         << ",\"stragglers\":" << m.stragglers << "}";
     out << line.str() << '\n';
   }
   if (!out) throw std::runtime_error("write_metrics_jsonl: write failed for " + path);
@@ -71,6 +75,12 @@ RoundTelemetry::~RoundTelemetry() {
   m_.params_sent = result_.comm.round_sent();
   m_.params_returned = result_.comm.round_returned();
   m_.round_waste = result_.comm.round_waste_rate();
+  if (net_enabled_) {
+    m_.bytes_sent = result_.comm.round_bytes_sent();
+    m_.bytes_returned = result_.comm.round_bytes_returned();
+    m_.retransmits = result_.comm.round_retransmits();
+    m_.stragglers = result_.comm.round_stragglers();
+  }
   static obs::Histogram& hist = obs::metrics().histogram("afl.run.round.seconds");
   hist.record(m_.round_seconds);
   obs::metrics().counter("afl.run.rounds").inc();
@@ -84,8 +94,16 @@ RoundTelemetry::~RoundTelemetry() {
       .field("round_waste", m_.round_waste)
       .field("train_ms", m_.train_seconds * 1e3)
       .field("aggregate_ms", m_.aggregate_seconds * 1e3)
-      .field("eval_ms", m_.eval_seconds * 1e3)
-      .field("dur_ms", m_.round_seconds * 1e3);
+      .field("eval_ms", m_.eval_seconds * 1e3);
+  if (net_enabled_) {
+    // Only transport-backed rounds carry the byte columns, keeping
+    // transportless traces byte-identical to pre-transport builds.
+    ev.field("bytes_sent", static_cast<std::uint64_t>(m_.bytes_sent))
+        .field("bytes_returned", static_cast<std::uint64_t>(m_.bytes_returned))
+        .field("retransmits", static_cast<std::uint64_t>(m_.retransmits))
+        .field("stragglers", static_cast<std::uint64_t>(m_.stragglers));
+  }
+  ev.field("dur_ms", m_.round_seconds * 1e3);
   ev.emit();
   result_.round_metrics.push_back(m_);
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "data/federated.hpp"
 #include "fl/comm.hpp"
 #include "fl/local_train.hpp"
+#include "net/transport.hpp"
 #include "nn/param.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -28,6 +30,10 @@ struct FlRunConfig {
   /// 0 = resolve from the AFL_THREADS environment variable (default 1). The
   /// RunResult curve is bit-identical for every thread count.
   std::size_t threads = 0;
+  /// Simulated transport configuration (see docs/NET.md). nullopt = resolve
+  /// from the AFL_NET_* environment variables; an explicit disabled config
+  /// forces the identity path regardless of the environment.
+  std::optional<net::NetConfig> net;
 };
 
 struct RoundRecord {
@@ -53,6 +59,12 @@ struct RoundMetrics {
   std::size_t params_returned = 0;
   double round_waste = 0.0;        // 1 - returned/sent for this round
   double selector_entropy = 0.0;   // AdaptiveFL only; 0 for other runners
+  // Byte-layer telemetry; all zero unless the simulated transport (src/net/)
+  // is configured for the run.
+  std::size_t bytes_sent = 0;      // on-wire dispatch bytes (incl. retransmits)
+  std::size_t bytes_returned = 0;  // on-wire return bytes (incl. retransmits)
+  std::size_t retransmits = 0;     // retransmitted frames, both directions
+  std::size_t stragglers = 0;      // clients excluded by the round deadline
 };
 
 struct RunResult {
@@ -105,11 +117,16 @@ class RoundTelemetry {
   void add_aggregate_seconds(double s) { m_.aggregate_seconds += s; }
   void add_eval_seconds(double s) { m_.eval_seconds += s; }
   void set_selector_entropy(double e) { m_.selector_entropy = e; }
+  /// Marks the round as transport-backed: the destructor then fills the
+  /// byte-layer fields from the comm deltas and adds them to the round trace
+  /// event. Off by default so transportless traces stay byte-identical.
+  void set_net_enabled(bool enabled) { net_enabled_ = enabled; }
 
  private:
   RunResult& result_;
   RoundMetrics m_;
   Stopwatch watch_;
+  bool net_enabled_ = false;
 };
 
 /// Evaluates a parameter set by materializing its model.

@@ -1,0 +1,18 @@
+#include "net/channel.hpp"
+
+namespace afl::net {
+
+double transfer_seconds(const ChannelConfig& channel, std::size_t bytes) {
+  double seconds = channel.latency_s;
+  if (channel.bandwidth_bytes_per_s > 0.0) {
+    seconds += static_cast<double>(bytes) / channel.bandwidth_bytes_per_s;
+  }
+  return seconds;
+}
+
+bool attempt_lost(const ChannelConfig& channel, Rng& rng) {
+  if (!channel.lossy()) return false;
+  return rng.uniform() < channel.loss_prob;
+}
+
+}  // namespace afl::net

@@ -1,0 +1,34 @@
+#pragma once
+// Deterministic per-device channel model (see docs/NET.md).
+//
+// A channel is (bandwidth, base latency, loss probability). Transfer times
+// are a pure function of the byte count; loss draws come from the caller's
+// RNG — the transport derives one private stream per (seed, round, client)
+// with Rng::derive, so simulated transfers are bit-reproducible at any
+// AFL_THREADS and independent of the engine's round RNG.
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+
+namespace afl::net {
+
+struct ChannelConfig {
+  /// Link rate in bytes per second; 0 = infinite (no serialization delay).
+  double bandwidth_bytes_per_s = 0.0;
+  /// Fixed per-attempt propagation latency in seconds.
+  double latency_s = 0.0;
+  /// Probability an attempt is lost in transit (each attempt draws i.i.d.).
+  double loss_prob = 0.0;
+
+  bool lossy() const { return loss_prob > 0.0; }
+};
+
+/// Simulated seconds one attempt of `bytes` takes on the wire.
+double transfer_seconds(const ChannelConfig& channel, std::size_t bytes);
+
+/// Whether one transmission attempt is lost. Draws from `rng` only when the
+/// channel is lossy, so lossless channels leave the stream untouched.
+bool attempt_lost(const ChannelConfig& channel, Rng& rng);
+
+}  // namespace afl::net

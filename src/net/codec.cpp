@@ -1,0 +1,223 @@
+#include "net/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace afl::net {
+namespace {
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), p, p + size);
+}
+
+void append_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+float read_f32(const std::uint8_t* p) {
+  std::uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) bits |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+constexpr std::size_t kInt8HeaderBytes = 8;  // f32 min + f32 scale
+
+}  // namespace
+
+const char* codec_name(Codec codec) {
+  switch (codec) {
+    case Codec::kFp32:
+      return "fp32";
+    case Codec::kFp16:
+      return "fp16";
+    case Codec::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+std::optional<Codec> codec_from_name(std::string_view name) {
+  if (name == "fp32") return Codec::kFp32;
+  if (name == "fp16") return Codec::kFp16;
+  if (name == "int8") return Codec::kInt8;
+  return std::nullopt;
+}
+
+std::uint16_t float_to_half(float value) {
+  std::uint32_t f;
+  std::memcpy(&f, &value, sizeof(f));
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t exp = (f >> 23) & 0xFFu;
+  std::uint32_t mant = f & 0x7FFFFFu;
+  if (exp == 255) {  // inf / nan (nan keeps a payload bit set)
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+  const int half_exp = static_cast<int>(exp) - 127 + 15;
+  if (half_exp >= 31) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (half_exp <= 0) {  // subnormal half or zero
+    if (half_exp < -10) return static_cast<std::uint16_t>(sign);
+    mant |= 0x800000u;  // implicit leading 1
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - half_exp);
+    std::uint32_t half_mant = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+  std::uint32_t half = sign | (static_cast<std::uint32_t>(half_exp) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  // Round to nearest even; a carry may overflow into the exponent, which
+  // yields the correctly rounded next binade (or inf) by construction.
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+  return static_cast<std::uint16_t>(half);
+}
+
+float half_to_float(std::uint16_t half) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(half & 0x8000u) << 16;
+  const std::uint32_t exp = (half >> 10) & 0x1Fu;
+  std::uint32_t mant = half & 0x3FFu;
+  std::uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;  // signed zero
+    } else {     // subnormal: renormalize
+      int shift = 0;
+      while (!(mant & 0x400u)) {
+        mant <<= 1;
+        ++shift;
+      }
+      mant &= 0x3FFu;
+      f = sign | (static_cast<std::uint32_t>(127 - 15 - shift) << 23) | (mant << 13);
+    }
+  } else if (exp == 31) {
+    f = sign | 0x7F800000u | (mant << 13);
+  } else {
+    f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float v;
+  std::memcpy(&v, &f, sizeof(v));
+  return v;
+}
+
+std::size_t encoded_payload_size(std::size_t numel, Codec codec) {
+  switch (codec) {
+    case Codec::kFp32:
+      return numel * 4;
+    case Codec::kFp16:
+      return numel * 2;
+    case Codec::kInt8:
+      return kInt8HeaderBytes + numel;
+  }
+  return 0;
+}
+
+std::size_t encode_tensor(const Tensor& t, Codec codec, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  const float* data = t.data();
+  const std::size_t n = t.numel();
+  switch (codec) {
+    case Codec::kFp32: {
+      append_bytes(out, data, n * sizeof(float));
+      break;
+    }
+    case Codec::kFp16: {
+      out.reserve(out.size() + n * 2);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint16_t h = float_to_half(data[i]);
+        out.push_back(static_cast<std::uint8_t>(h & 0xFFu));
+        out.push_back(static_cast<std::uint8_t>(h >> 8));
+      }
+      break;
+    }
+    case Codec::kInt8: {
+      float lo = 0.0f, hi = 0.0f;
+      if (n > 0) {
+        lo = hi = data[0];
+        for (std::size_t i = 1; i < n; ++i) {
+          lo = std::min(lo, data[i]);
+          hi = std::max(hi, data[i]);
+        }
+      }
+      const float scale = (hi - lo) / 255.0f;
+      append_f32(out, lo);
+      append_f32(out, scale);
+      out.reserve(out.size() + n);
+      for (std::size_t i = 0; i < n; ++i) {
+        float q = scale > 0.0f ? std::nearbyint((data[i] - lo) / scale) : 0.0f;
+        q = std::clamp(q, 0.0f, 255.0f);
+        out.push_back(static_cast<std::uint8_t>(q));
+      }
+      break;
+    }
+  }
+  return out.size() - start;
+}
+
+Tensor decode_tensor(const std::uint8_t* data, std::size_t size, const Shape& shape,
+                     Codec codec) {
+  const std::size_t n = shape_numel(shape);
+  if (size != encoded_payload_size(n, codec)) {
+    throw CodecError("codec: payload size " + std::to_string(size) +
+                     " does not match shape " + shape_to_string(shape) + " under " +
+                     codec_name(codec));
+  }
+  Tensor t{Shape(shape)};
+  float* out = t.data();
+  switch (codec) {
+    case Codec::kFp32: {
+      std::memcpy(out, data, n * sizeof(float));
+      break;
+    }
+    case Codec::kFp16: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint16_t h = static_cast<std::uint16_t>(
+            data[2 * i] | (static_cast<std::uint16_t>(data[2 * i + 1]) << 8));
+        out[i] = half_to_float(h);
+      }
+      break;
+    }
+    case Codec::kInt8: {
+      const float lo = read_f32(data);
+      const float scale = read_f32(data + 4);
+      const std::uint8_t* codes = data + kInt8HeaderBytes;
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = lo + static_cast<float>(codes[i]) * scale;
+      }
+      break;
+    }
+  }
+  return t;
+}
+
+double codec_error_bound(Codec codec, float lo, float hi) {
+  switch (codec) {
+    case Codec::kFp32:
+      return 0.0;
+    case Codec::kFp16: {
+      // Relative error of half rounding is 2^-11; bound by the largest
+      // magnitude in range (plus the subnormal quantum for tiny values).
+      const double max_abs = std::max(std::fabs(static_cast<double>(lo)),
+                                      std::fabs(static_cast<double>(hi)));
+      return max_abs * 0x1p-11 + 0x1p-24;
+    }
+    case Codec::kInt8: {
+      const double scale = (static_cast<double>(hi) - static_cast<double>(lo)) / 255.0;
+      // Half a quantization step, padded for the f32 arithmetic of the
+      // scale/offset reconstruction.
+      return scale * 0.5 + std::max(std::fabs(static_cast<double>(lo)),
+                                    std::fabs(static_cast<double>(hi))) *
+                               1e-6;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace afl::net

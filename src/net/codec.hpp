@@ -1,0 +1,63 @@
+#pragma once
+// Pluggable payload codecs for the simulated transport (see docs/NET.md).
+//
+// A codec turns one tensor's float data into wire bytes and back. Three
+// codecs are supported:
+//
+//   fp32  4 B/scalar  bit-exact passthrough (the identity codec)
+//   fp16  2 B/scalar  IEEE 754 half, round-to-nearest-even
+//   int8  1 B/scalar  per-tensor affine quantization: an 8-byte header
+//                     (f32 min, f32 scale) followed by u8 codes;
+//                     x ~= min + q * scale, |error| <= scale / 2
+//
+// Encoding is deterministic (same tensor -> same bytes) and decode(encode(t))
+// preserves the tensor's shape exactly; the reconstruction error is zero for
+// fp32 and bounded as documented above for the lossy codecs.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace afl::net {
+
+enum class Codec : std::uint8_t { kFp32 = 0, kFp16 = 1, kInt8 = 2 };
+
+const char* codec_name(Codec codec);
+
+/// Parses "fp32" / "fp16" / "int8"; nullopt on anything else.
+std::optional<Codec> codec_from_name(std::string_view name);
+
+/// Thrown by decode_tensor on malformed payloads.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Payload bytes a tensor of `numel` scalars occupies under `codec`
+/// (including the int8 per-tensor header).
+std::size_t encoded_payload_size(std::size_t numel, Codec codec);
+
+/// Appends the tensor's encoded payload to `out`; returns the bytes appended
+/// (== encoded_payload_size(t.numel(), codec)).
+std::size_t encode_tensor(const Tensor& t, Codec codec, std::vector<std::uint8_t>& out);
+
+/// Decodes a payload of exactly `size` bytes into a tensor of `shape`.
+/// Throws CodecError when `size` disagrees with the shape/codec.
+Tensor decode_tensor(const std::uint8_t* data, std::size_t size, const Shape& shape,
+                     Codec codec);
+
+/// Upper bound on |decode(encode(x)) - x| for any scalar of a tensor whose
+/// values lie in [lo, hi]. Zero for fp32. Used by the round-trip tests.
+double codec_error_bound(Codec codec, float lo, float hi);
+
+/// IEEE 754 binary16 conversions (round-to-nearest-even), exposed for tests.
+std::uint16_t float_to_half(float value);
+float half_to_float(std::uint16_t half);
+
+}  // namespace afl::net

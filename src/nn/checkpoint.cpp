@@ -3,54 +3,46 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <iterator>
+#include <sstream>
 #include <stdexcept>
+
+#include "util/crc32.hpp"
 
 namespace afl {
 namespace {
 
-constexpr char kMagic[8] = {'A', 'F', 'L', 'C', 'K', 'P', 'T', '1'};
+// v1 has no integrity trailer; v2 appends a CRC-32 of everything after the
+// magic. Both load; save always writes v2.
+constexpr char kMagicV1[8] = {'A', 'F', 'L', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV2[8] = {'A', 'F', 'L', 'C', 'K', 'P', 'T', '2'};
 // Guards against loading corrupted / truncated files into huge allocations.
 constexpr std::uint64_t kMaxNameLen = 4096;
 constexpr std::uint64_t kMaxRank = 8;
 constexpr std::uint64_t kMaxNumel = 1ULL << 32;
 
-void write_u64(std::ofstream& out, std::uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+/// Writes through to the stream while folding every byte into a running
+/// CRC-32, so the trailer covers exactly what was written after the magic.
+struct CrcWriter {
+  std::ofstream& out;
+  std::uint32_t state = kCrc32Init;
 
-std::uint64_t read_u64(std::ifstream& in) {
+  void write(const void* data, std::size_t size) {
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+    state = crc32_update(state, data, size);
+  }
+  void write_u64(std::uint64_t v) { write(&v, sizeof(v)); }
+};
+
+std::uint64_t read_u64(std::istream& in) {
   std::uint64_t v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   if (!in) throw std::runtime_error("checkpoint: truncated file");
   return v;
 }
 
-}  // namespace
-
-void save_checkpoint(const ParamSet& params, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path + " for write");
-  out.write(kMagic, sizeof(kMagic));
-  write_u64(out, params.size());
-  for (const auto& [name, tensor] : params) {
-    write_u64(out, name.size());
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_u64(out, tensor.rank());
-    for (std::size_t d = 0; d < tensor.rank(); ++d) write_u64(out, tensor.dim(d));
-    out.write(reinterpret_cast<const char*>(tensor.data()),
-              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
-  }
-  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
-}
-
-ParamSet load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("checkpoint: bad magic in " + path);
-  }
+ParamSet read_body(std::istream& in) {
   const std::uint64_t count = read_u64(in);
   ParamSet params;
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -76,6 +68,56 @@ ParamSet load_checkpoint(const std::string& path) {
     }
   }
   return params;
+}
+
+}  // namespace
+
+void save_checkpoint(const ParamSet& params, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path + " for write");
+  out.write(kMagicV2, sizeof(kMagicV2));
+  CrcWriter w{out};
+  w.write_u64(params.size());
+  for (const auto& [name, tensor] : params) {
+    w.write_u64(name.size());
+    w.write(name.data(), name.size());
+    w.write_u64(tensor.rank());
+    for (std::size_t d = 0; d < tensor.rank(); ++d) w.write_u64(tensor.dim(d));
+    w.write(tensor.data(), tensor.numel() * sizeof(float));
+  }
+  const std::uint32_t crc = crc32_final(w.state);
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+ParamSet load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in) throw std::runtime_error("checkpoint: bad magic in " + path);
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    // v2: verify the CRC-32 trailer over the whole body before parsing, so a
+    // flipped bit anywhere (header or payload) is reported as corruption
+    // rather than as whatever structural error it happens to decode into.
+    std::string body((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (body.size() < sizeof(std::uint32_t)) {
+      throw std::runtime_error("checkpoint: truncated file");
+    }
+    const std::size_t payload = body.size() - sizeof(std::uint32_t);
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, body.data() + payload, sizeof(stored));
+    if (crc32(body.data(), payload) != stored) {
+      throw std::runtime_error("checkpoint: CRC mismatch (corrupted file) in " + path);
+    }
+    std::istringstream stream(body.substr(0, payload));
+    return read_body(stream);
+  }
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  return read_body(in);  // legacy v1: no integrity trailer
 }
 
 }  // namespace afl

@@ -2,10 +2,12 @@
 // Binary checkpointing of parameter sets.
 //
 // Format (little-endian, as written by the host):
-//   magic "AFLCKPT1" (8 bytes)
+//   magic "AFLCKPT2" (8 bytes)
 //   u64 entry count
 //   per entry: u64 name length, name bytes, u64 rank, u64 dims[rank],
 //              f32 data[numel]
+//   u32 CRC-32 (util/crc32) of every byte after the magic
+// Legacy "AFLCKPT1" files (identical layout, no CRC trailer) still load.
 // The format is self-describing enough to reload into any model exposing the
 // same names/shapes (server restart, warm-starting an experiment, shipping a
 // trained global model to an edge deployment).

@@ -54,6 +54,54 @@ TEST(Checkpoint, BadMagicThrows) {
   std::remove(path.c_str());
 }
 
+TEST(Checkpoint, CorruptedPayloadThrows) {
+  Rng rng(4);
+  ParamSet ps;
+  ps.emplace("w", Tensor::randn({8, 8}, rng));
+  const std::string path = temp_path("corrupt");
+  save_checkpoint(ps, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Flip one bit in the middle of the tensor payload. The structure stays
+  // valid, so only the CRC-32 trailer can catch this.
+  bytes[bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    load_checkpoint(path);
+    FAIL() << "corrupted checkpoint loaded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadsLegacyV1WithoutTrailer) {
+  Rng rng(5);
+  ParamSet ps;
+  ps.emplace("w", Tensor::randn({4, 3}, rng));
+  const std::string path = temp_path("legacy");
+  save_checkpoint(ps, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Rewrite as a v1 file: old magic, no CRC trailer.
+  bytes[7] = '1';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 4));
+  }
+  const ParamSet loaded = load_checkpoint(path);
+  ASSERT_TRUE(same_structure(ps, loaded));
+  EXPECT_EQ(max_abs_diff(ps, loaded), 0.0);
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, TruncatedFileThrows) {
   Rng rng(2);
   ParamSet ps;

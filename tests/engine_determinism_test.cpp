@@ -1,11 +1,14 @@
 // Determinism across thread counts: the RoundEngine must produce bit-identical
 // results no matter how many worker threads execute the client work items.
 // Runs the same environment with threads = 1 and threads = 8 and compares the
-// full accuracy curve, communication stats, and failure counts.
+// full accuracy curve, communication stats, and failure counts — including
+// the simulated-transport byte/retransmit/straggler counters when a lossy
+// channel is configured.
 
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "net/transport.hpp"
 
 namespace afl {
 namespace {
@@ -40,6 +43,12 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.failed_trainings, b.failed_trainings);
   EXPECT_EQ(a.comm.params_sent(), b.comm.params_sent());
   EXPECT_EQ(a.comm.params_returned(), b.comm.params_returned());
+  // Byte-layer counters (all zero unless the run configured a transport).
+  EXPECT_EQ(a.comm.bytes_sent(), b.comm.bytes_sent());
+  EXPECT_EQ(a.comm.bytes_returned(), b.comm.bytes_returned());
+  EXPECT_EQ(a.comm.retransmits(), b.comm.retransmits());
+  EXPECT_EQ(a.comm.stragglers(), b.comm.stragglers());
+  EXPECT_EQ(a.comm.drops(), b.comm.drops());
   ASSERT_EQ(a.curve.size(), b.curve.size());
   for (std::size_t i = 0; i < a.curve.size(); ++i) {
     EXPECT_EQ(a.curve[i].round, b.curve[i].round);
@@ -76,6 +85,73 @@ TEST(EngineDeterminism, RepeatedRunIsReproducible) {
   const RunResult a = run_with_threads(Algorithm::kAdaptiveFl, env, 4);
   const RunResult b = run_with_threads(Algorithm::kAdaptiveFl, env, 4);
   expect_identical(a, b);
+}
+
+TEST(EngineDeterminism, ExplicitDisabledTransportMatchesDefault) {
+  // An explicitly disabled NetConfig must be the identity path: same
+  // RunResult as a run that never mentions the transport, and every
+  // byte-layer counter stays zero.
+  const ExperimentEnv env = make_env(tiny_config());
+  const RunResult plain = run_with_threads(Algorithm::kAdaptiveFl, env, 2);
+  ExperimentEnv disabled = env;
+  disabled.run.net = net::NetConfig{};  // enabled = false
+  disabled.run.threads = 2;
+  const RunResult gated = run_algorithm(Algorithm::kAdaptiveFl, disabled);
+  expect_identical(plain, gated);
+  EXPECT_EQ(plain.comm.bytes_sent(), 0u);
+  EXPECT_EQ(plain.comm.bytes_returned(), 0u);
+  EXPECT_EQ(plain.comm.retransmits(), 0u);
+  EXPECT_EQ(plain.comm.drops(), 0u);
+  for (const RoundMetrics& m : gated.round_metrics) {
+    EXPECT_EQ(m.bytes_sent, 0u);
+    EXPECT_EQ(m.bytes_returned, 0u);
+  }
+}
+
+net::NetConfig lossy_net() {
+  net::NetConfig net;
+  net.enabled = true;
+  net.codec = net::Codec::kInt8;
+  net.channel.bandwidth_bytes_per_s = 4096.0;
+  net.channel.latency_s = 0.01;
+  net.channel.loss_prob = 0.25;
+  net.max_retries = 2;
+  net.backoff_base_s = 0.01;
+  net.backoff_cap_s = 0.05;
+  net.round_deadline_s = 60.0;
+  net.compute_s_per_kparam = 0.5;
+  return net;
+}
+
+RunResult run_lossy(const ExperimentEnv& env, std::size_t threads) {
+  ExperimentEnv copy = env;
+  copy.run.threads = threads;
+  copy.run.net = lossy_net();
+  return run_algorithm(Algorithm::kAdaptiveFl, copy);
+}
+
+TEST(EngineDeterminism, LossyChannelIdenticalAcrossThreadCounts) {
+  // With a fixed seed and a lossy, deadline-bounded channel, the whole
+  // RunResult — retransmit, straggler, and byte counters included — must be
+  // bit-identical at any AFL_THREADS: transport draws come from per-
+  // (round, client) derived streams, never from shared state.
+  const ExperimentEnv env = make_env(tiny_config());
+  const RunResult serial = run_lossy(env, 1);
+  const RunResult parallel = run_lossy(env, 8);
+  expect_identical(serial, parallel);
+  EXPECT_GT(serial.comm.bytes_sent(), 0u);
+  EXPECT_GT(serial.comm.bytes_returned(), 0u);
+  EXPECT_GT(serial.comm.retransmits(), 0u);  // p=0.25 loss must retransmit
+  ASSERT_EQ(serial.round_metrics.size(), parallel.round_metrics.size());
+  for (std::size_t i = 0; i < serial.round_metrics.size(); ++i) {
+    EXPECT_EQ(serial.round_metrics[i].bytes_sent, parallel.round_metrics[i].bytes_sent);
+    EXPECT_EQ(serial.round_metrics[i].bytes_returned,
+              parallel.round_metrics[i].bytes_returned);
+    EXPECT_EQ(serial.round_metrics[i].retransmits,
+              parallel.round_metrics[i].retransmits);
+    EXPECT_EQ(serial.round_metrics[i].stragglers,
+              parallel.round_metrics[i].stragglers);
+  }
 }
 
 }  // namespace

@@ -110,6 +110,9 @@ class MockPolicy : public RoundPolicy {
   void on_accepted(const ClientSlot& s) override {
     log_.push_back("accepted:" + std::to_string(s.client));
   }
+  void on_transport_failure(const ClientSlot& s) override {
+    log_.push_back("transport_failure:" + std::to_string(s.client));
+  }
 
   TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
     TrainOutcome out;
@@ -310,6 +313,113 @@ TEST(RoundEngine, EvalEveryZeroStillProducesFinalPoint) {
   RunResult r = engine.run(policy);
   ASSERT_EQ(r.curve.size(), 1u);
   EXPECT_EQ(r.curve[0].round, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// RoundEngine + simulated transport
+// ---------------------------------------------------------------------------
+
+TEST(RoundEngine, SizeOnlyTransportChargesEstimatedBytes) {
+  // MockPolicy does not override dispatch_params(), so the transport runs in
+  // size-only mode: bytes are estimated from params_sent / params_back and
+  // no payload crosses (slot.rx stays null, training is unchanged).
+  MockPolicy policy(3);
+  auto fleet = mock_fleet(3, 1000, 1.0);
+  FlRunConfig cfg = mock_config(2, 3);
+  cfg.net = net::NetConfig{};
+  cfg.net->enabled = true;  // perfect channel, fp32
+  RoundEngine engine(cfg, &fleet);
+  RunResult r = engine.run(policy);
+
+  EXPECT_EQ(r.failed_trainings, 0u);
+  const std::size_t down = net::estimate_frame_bytes(100, net::Codec::kFp32);
+  const std::size_t up = net::estimate_frame_bytes(60, net::Codec::kFp32);
+  EXPECT_EQ(r.comm.bytes_sent(), 6 * down);  // 2 rounds x 3 clients
+  EXPECT_EQ(r.comm.bytes_returned(), 6 * up);
+  EXPECT_EQ(r.comm.retransmits(), 0u);
+  EXPECT_EQ(r.round_metrics[0].bytes_sent, 3 * down);
+  EXPECT_EQ(r.round_metrics[1].bytes_sent, 3 * down);
+}
+
+TEST(RoundEngine, DownlinkDropExcludesClientLikeNoResponse) {
+  MockPolicy policy(3);
+  auto fleet = mock_fleet(3, 1000, 1.0);
+  FlRunConfig cfg = mock_config(1, 3);
+  cfg.net = net::NetConfig{};
+  cfg.net->enabled = true;
+  cfg.net->max_retries = 0;
+  cfg.net->faults = net::parse_fault_plan("drop@1:1");
+  RoundEngine engine(cfg, &fleet);
+  RunResult r = engine.run(policy);
+
+  EXPECT_EQ(r.failed_trainings, 1u);
+  EXPECT_EQ(r.comm.drops(), 1u);
+  EXPECT_EQ(r.round_metrics[0].clients_ok, 2u);
+  EXPECT_EQ(r.round_metrics[0].clients_failed, 1u);
+  // Client 1 never reached on_accepted / execute / commit, and the policy
+  // heard about the loss.
+  EXPECT_EQ(policy.executions_.load(), 2u);
+  EXPECT_EQ(std::count(policy.log_.begin(), policy.log_.end(),
+                       std::string("transport_failure:1")),
+            1);
+  EXPECT_EQ(std::count(policy.log_.begin(), policy.log_.end(),
+                       std::string("commit:1")),
+            0);
+  // The dropped dispatch still charged the wire (unified accounting).
+  EXPECT_EQ(r.comm.bytes_sent(),
+            3 * net::estimate_frame_bytes(100, net::Codec::kFp32));
+}
+
+TEST(RoundEngine, UplinkDropDiscardsTrainedUpdate) {
+  MockPolicy policy(3);
+  auto fleet = mock_fleet(3, 1000, 1.0);
+  FlRunConfig cfg = mock_config(1, 3);
+  cfg.net = net::NetConfig{};
+  cfg.net->enabled = true;
+  cfg.net->max_retries = 0;
+  cfg.net->faults = net::parse_fault_plan("up.drop@1:2");
+  RoundEngine engine(cfg, &fleet);
+  RunResult r = engine.run(policy);
+
+  // Client 2 trained (execute ran) but its update never arrived: excluded
+  // from aggregation and from the parameter-return accounting.
+  EXPECT_EQ(policy.executions_.load(), 3u);
+  EXPECT_EQ(r.failed_trainings, 1u);
+  EXPECT_EQ(r.comm.drops(), 1u);
+  EXPECT_EQ(r.comm.params_returned(), 2 * 60u);
+  EXPECT_EQ(std::count(policy.log_.begin(), policy.log_.end(),
+                       std::string("commit:2")),
+            0);
+  EXPECT_EQ(r.round_metrics[0].clients_ok, 2u);
+}
+
+TEST(RoundEngine, DeadlineTurnsSlowClientsIntoStragglers) {
+  MockPolicy policy(3);
+  auto fleet = mock_fleet(3, 1000, 1.0);
+  FlRunConfig cfg = mock_config(1, 3);
+  cfg.net = net::NetConfig{};
+  cfg.net->enabled = true;
+  cfg.net->round_deadline_s = 1.0;
+  cfg.net->compute_s_per_kparam = 100.0;  // 60 params -> 6 s >> deadline
+  RoundEngine engine(cfg, &fleet);
+  RunResult r = engine.run(policy);
+
+  // Everyone trained, nobody made the deadline, nothing aggregated.
+  EXPECT_EQ(policy.executions_.load(), 3u);
+  EXPECT_EQ(r.comm.stragglers(), 3u);
+  EXPECT_EQ(r.failed_trainings, 3u);
+  EXPECT_EQ(r.round_metrics[0].clients_ok, 0u);
+  EXPECT_EQ(r.round_metrics[0].stragglers, 3u);
+  EXPECT_EQ(std::count_if(policy.log_.begin(), policy.log_.end(),
+                          [](const std::string& s) {
+                            return s.rfind("transport_failure:", 0) == 0;
+                          }),
+            3);
+  EXPECT_EQ(std::count_if(policy.log_.begin(), policy.log_.end(),
+                          [](const std::string& s) {
+                            return s.rfind("commit:", 0) == 0;
+                          }),
+            0);
 }
 
 }  // namespace

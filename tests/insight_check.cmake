@@ -39,6 +39,24 @@ file(WRITE "${BAD_SCHEMA}"
 "{\"kind\":\"run_start\",\"schema\":\"afl.trace.v2\",\"algo\":\"AdaptiveFL\"}
 ")
 
+# Transport-backed traces: same learning numbers, but with wire-byte columns.
+# NET_FAT ships ~4x the bytes of NET_BASE (fp32 vs int8 of the same run).
+set(NET_BASE "${WORK_DIR}/net_baseline.jsonl")
+set(NET_FAT "${WORK_DIR}/net_fat.jsonl")
+file(WRITE "${NET_BASE}"
+"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v1\",\"algo\":\"AdaptiveFL\",\"rounds\":1,\"seed\":7,\"threads\":1,\"codec\":\"int8\",\"net_loss\":0.1,\"net_deadline_ms\":2000}
+{\"kind\":\"dispatch\",\"round\":1,\"client\":0,\"outcome\":\"ok\",\"params\":50,\"params_back\":50,\"train_ms\":4.0}
+{\"kind\":\"dispatch\",\"round\":1,\"client\":1,\"outcome\":\"lost_uplink\",\"params\":50}
+{\"kind\":\"dispatch\",\"round\":1,\"client\":2,\"outcome\":\"deadline\",\"params\":50}
+{\"kind\":\"round\",\"round\":1,\"dur_ms\":10.0,\"train_ms\":6.0,\"aggregate_ms\":2.0,\"eval_ms\":1.0,\"params_sent\":150,\"params_returned\":50,\"clients_ok\":1,\"clients_failed\":2,\"round_waste\":0.5,\"bytes_sent\":300,\"bytes_returned\":100,\"retransmits\":3,\"stragglers\":1}
+{\"kind\":\"run_end\",\"algo\":\"AdaptiveFL\",\"rounds\":1,\"full_acc\":0.80,\"params_sent\":150,\"params_returned\":50,\"codec\":\"int8\",\"bytes_sent\":300,\"bytes_returned\":100,\"retransmits\":3,\"stragglers\":1,\"drops\":1}
+")
+file(WRITE "${NET_FAT}"
+"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v1\",\"algo\":\"AdaptiveFL\",\"rounds\":1,\"seed\":7,\"threads\":1,\"codec\":\"fp32\",\"net_loss\":0.1,\"net_deadline_ms\":2000}
+{\"kind\":\"round\",\"round\":1,\"dur_ms\":10.0,\"train_ms\":6.0,\"aggregate_ms\":2.0,\"eval_ms\":1.0,\"params_sent\":150,\"params_returned\":50,\"clients_ok\":1,\"clients_failed\":2,\"round_waste\":0.5,\"bytes_sent\":1200,\"bytes_returned\":400,\"retransmits\":3,\"stragglers\":1}
+{\"kind\":\"run_end\",\"algo\":\"AdaptiveFL\",\"rounds\":1,\"full_acc\":0.80,\"params_sent\":150,\"params_returned\":50,\"codec\":\"fp32\",\"bytes_sent\":1200,\"bytes_returned\":400,\"retransmits\":3,\"stragglers\":1,\"drops\":1}
+")
+
 # summary must succeed and mention the algorithm.
 execute_process(
   COMMAND "${INSIGHT}" summary "${BASE}"
@@ -93,6 +111,62 @@ execute_process(
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "loose-threshold diff exited ${rc} (expected 0):\n${out}${err}")
+endif()
+
+# summary of a net-backed trace reports the byte-layer rows.
+execute_process(
+  COMMAND "${INSIGHT}" summary "${NET_BASE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "summary on a net trace exited ${rc}: ${err}")
+endif()
+if(NOT out MATCHES "bytes sent \\[int8\\]")
+  message(FATAL_ERROR "net summary missing bytes-by-codec row:\n${out}")
+endif()
+if(NOT out MATCHES "retransmits")
+  message(FATAL_ERROR "net summary missing retransmits row:\n${out}")
+endif()
+if(NOT out MATCHES "deadline-missed clients[ |]*1")
+  message(FATAL_ERROR "net summary missing deadline-missed count:\n${out}")
+endif()
+
+# clients on a net trace buckets the transport outcomes.
+execute_process(
+  COMMAND "${INSIGHT}" clients "${NET_BASE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "clients on a net trace exited ${rc}: ${err}")
+endif()
+if(NOT out MATCHES "lost" OR NOT out MATCHES "late")
+  message(FATAL_ERROR "net clients table missing lost/late columns:\n${out}")
+endif()
+
+# The bytes gate: 4x the wire bytes at identical accuracy/time/params must
+# trip --max-bytes-ratio (default 1.10) and exit 2...
+execute_process(
+  COMMAND "${INSIGHT}" diff "${NET_BASE}" "${NET_FAT}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "bytes-regressed diff exited ${rc} (expected 2):\n${out}${err}")
+endif()
+if(NOT out MATCHES "REGRESSION: wire bytes")
+  message(FATAL_ERROR "bytes-regressed diff missed the bytes regression:\n${out}")
+endif()
+
+# ...unless the threshold allows it.
+execute_process(
+  COMMAND "${INSIGHT}" diff "${NET_BASE}" "${NET_FAT}" --max-bytes-ratio 5
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "loose bytes-ratio diff exited ${rc} (expected 0):\n${out}${err}")
+endif()
+
+# A transportless baseline never trips the bytes gate (no byte columns).
+execute_process(
+  COMMAND "${INSIGHT}" diff "${BASE}" "${BASE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "transportless self-diff exited ${rc} (expected 0):\n${out}${err}")
 endif()
 
 # A future schema version is a hard error (exit 1), not silent misparsing.

@@ -1,0 +1,166 @@
+// End-to-end tests of the simulated transport wired through the RoundEngine:
+// AdaptiveFL training through a quantized codec on a lossy, deadline-bounded
+// channel, straggler exclusion, fault-injection recovery, and trace purity
+// (a transportless run must emit no net-layer trace fields).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "net/transport.hpp"
+#include "obs/trace.hpp"
+
+namespace afl {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.num_clients = 12;
+  cfg.clients_per_round = 6;
+  cfg.samples_per_client = 20;
+  cfg.test_samples = 80;
+  cfg.image_hw = 8;
+  cfg.rounds = 8;
+  cfg.local_epochs = 1;
+  cfg.batch_size = 20;
+  cfg.eval_every = 4;
+  return cfg;
+}
+
+RunResult run_with_net(const ExperimentEnv& env, const net::NetConfig& net) {
+  ExperimentEnv copy = env;
+  copy.run.net = net;
+  return run_algorithm(Algorithm::kAdaptiveFl, copy);
+}
+
+net::NetConfig identity_fp32() {
+  net::NetConfig net;
+  net.enabled = true;  // real frames, but lossless and deadline-free
+  return net;
+}
+
+TEST(NetIntegration, Fp32IdentityTransportMatchesTransportlessRun) {
+  // An enabled transport with the fp32 codec and a perfect channel must not
+  // change learning at all — frames round-trip bit-exactly and nothing is
+  // lost — while the byte counters start measuring real wire traffic.
+  const ExperimentEnv env = make_env(small_config());
+  const RunResult plain = run_algorithm(Algorithm::kAdaptiveFl, env);
+  const RunResult wired = run_with_net(env, identity_fp32());
+  ASSERT_EQ(plain.curve.size(), wired.curve.size());
+  for (std::size_t i = 0; i < plain.curve.size(); ++i) {
+    EXPECT_EQ(plain.curve[i].full_acc, wired.curve[i].full_acc) << "round " << i;
+    EXPECT_EQ(plain.curve[i].avg_acc, wired.curve[i].avg_acc) << "round " << i;
+  }
+  EXPECT_EQ(plain.comm.params_sent(), wired.comm.params_sent());
+  EXPECT_EQ(plain.comm.bytes_sent(), 0u);
+  EXPECT_GT(wired.comm.bytes_sent(), 0u);
+  EXPECT_GT(wired.comm.bytes_returned(), 0u);
+  EXPECT_EQ(wired.comm.retransmits(), 0u);
+  EXPECT_EQ(wired.comm.drops(), 0u);
+  EXPECT_EQ(wired.comm.stragglers(), 0u);
+  // fp32 wire traffic is ~4 B per parameter plus framing overhead.
+  EXPECT_GE(wired.comm.bytes_sent(), wired.comm.params_sent() * 4);
+}
+
+TEST(NetIntegration, AdaptiveFlTrainsThroughInt8LossyDeadlineChannel) {
+  const ExperimentEnv env = make_env(small_config());
+  const RunResult baseline = run_with_net(env, identity_fp32());
+
+  net::NetConfig net;
+  net.enabled = true;
+  net.codec = net::Codec::kInt8;
+  net.channel.bandwidth_bytes_per_s = 64 * 1024.0;
+  net.channel.latency_s = 0.02;
+  net.channel.loss_prob = 0.15;
+  net.max_retries = 3;
+  net.backoff_base_s = 0.01;
+  net.backoff_cap_s = 0.05;
+  // Deadline tuned so only the heaviest submodels (downlink + compute +
+  // uplink on a 64 KiB/s link) miss it — stragglers occur but training
+  // still progresses.
+  net.round_deadline_s = 4.0;
+  net.compute_s_per_kparam = 0.1;
+  // Corrupt every client's first downlink attempt in round 1: each must be
+  // caught by the wire CRC and recovered by retransmission.
+  std::string faults;
+  for (std::size_t c = 0; c < 12; ++c) {
+    faults += (c ? "," : "") + std::string("corrupt@1:") + std::to_string(c);
+  }
+  net.faults = net::parse_fault_plan(faults);
+  const RunResult lossy = run_with_net(env, net);
+
+  // Corrupted / lost frames were retried.
+  EXPECT_GT(lossy.comm.retransmits(), 0u);
+  // int8 moves ~4x fewer payload bytes than fp32 for the same parameters.
+  EXPECT_LT(lossy.comm.bytes_sent() / static_cast<double>(lossy.comm.params_sent()),
+            2.0);
+  // Deadline-missing clients were excluded from aggregation, and every
+  // exclusion is visible in the failure accounting.
+  std::size_t ok = 0, failed = 0;
+  for (const RoundMetrics& m : lossy.round_metrics) {
+    ok += m.clients_ok;
+    failed += m.clients_failed;
+  }
+  EXPECT_EQ(failed, lossy.failed_trainings);
+  // Net-layer exclusions (late or dropped clients) are part of the failure
+  // count, on top of availability/adapt failures.
+  EXPECT_GE(lossy.failed_trainings, lossy.comm.stragglers() + lossy.comm.drops());
+  EXPECT_GT(ok, 0u);  // the run still trains
+  // Quantization + exclusions may cost some accuracy, but the run must stay
+  // within tolerance of the fp32 identity-transport baseline.
+  EXPECT_NEAR(lossy.best_full_acc(), baseline.best_full_acc(), 0.20);
+}
+
+TEST(NetIntegration, TransportlessTraceCarriesNoNetFields) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/afl_net_trace_plain.jsonl";
+  obs::set_trace_path(path);
+  const ExperimentEnv env = make_env(small_config());
+  (void)run_algorithm(Algorithm::kAdaptiveFl, env);
+  obs::set_trace_path("");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string trace = buf.str();
+  EXPECT_NE(trace.find("\"kind\":\"run_start\""), std::string::npos);
+  // The identity path must keep traces byte-compatible with pre-transport
+  // builds: no net-only fields, no net-only outcomes.
+  EXPECT_EQ(trace.find("bytes_sent"), std::string::npos);
+  EXPECT_EQ(trace.find("retransmits"), std::string::npos);
+  EXPECT_EQ(trace.find("\"codec\""), std::string::npos);
+  EXPECT_EQ(trace.find("lost_downlink"), std::string::npos);
+  EXPECT_EQ(trace.find("lost_uplink"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(NetIntegration, TransportTraceCarriesNetFields) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/afl_net_trace_wired.jsonl";
+  obs::set_trace_path(path);
+  const ExperimentEnv env = make_env(small_config());
+  net::NetConfig net = identity_fp32();
+  net.codec = net::Codec::kFp16;
+  (void)run_with_net(env, net);
+  obs::set_trace_path("");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string trace = buf.str();
+  EXPECT_NE(trace.find("\"codec\":\"fp16\""), std::string::npos);
+  EXPECT_NE(trace.find("\"bytes_sent\""), std::string::npos);
+  EXPECT_NE(trace.find("\"bytes_returned\""), std::string::npos);
+  EXPECT_NE(trace.find("\"retransmits\""), std::string::npos);
+  EXPECT_NE(trace.find("\"stragglers\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace afl

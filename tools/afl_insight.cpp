@@ -10,9 +10,10 @@
 // on the last run unless --run selects another. `diff` compares final
 // accuracy, round p95 wall time, and total dispatched params of the last run
 // in each file and exits 2 when the candidate regresses past the thresholds
-// (--max-acc-drop, --max-time-ratio, --max-comm-ratio), which makes it
-// usable as a CI perf gate. Exit codes: 0 ok, 1 usage/IO/schema error,
-// 2 regression.
+// (--max-acc-drop, --max-time-ratio, --max-comm-ratio, --max-bytes-ratio —
+// the last applies only when the baseline trace carries wire-byte columns),
+// which makes it usable as a CI perf gate. Exit codes: 0 ok,
+// 1 usage/IO/schema error, 2 regression.
 
 #include <algorithm>
 #include <cmath>
@@ -136,12 +137,24 @@ struct RunStats {
   double final_acc = 0.0;
   bool has_acc = false;
   double params_sent = 0.0, params_returned = 0.0;
+  // Byte-layer totals; present only on transport-backed runs (net traces
+  // carry bytes_* columns on round / run_end events, see docs/NET.md).
+  bool has_bytes = false;
+  double bytes_sent = 0.0, bytes_returned = 0.0;
+  double retransmits = 0.0, stragglers = 0.0;
+  std::string codec;  // run_start header; empty on transportless runs
   std::map<std::string, std::size_t> kind_counts;
   std::map<std::string, std::size_t> dispatch_outcomes;
+
+  std::size_t deadline_missed() const {
+    const auto it = dispatch_outcomes.find("deadline");
+    return it == dispatch_outcomes.end() ? 0 : it->second;
+  }
 };
 
 RunStats run_stats(const Run& run) {
   RunStats s;
+  s.codec = str(run.header, "codec");
   std::vector<double> round_ms;
   bool has_run_end = false;
   for (const Record& r : run.events) {
@@ -157,6 +170,13 @@ RunStats run_stats(const Run& run) {
       if (!has_run_end) {
         s.params_sent += num(r, "params_sent");
         s.params_returned += num(r, "params_returned");
+        if (r.count("bytes_sent") != 0) {
+          s.has_bytes = true;
+          s.bytes_sent += num(r, "bytes_sent");
+          s.bytes_returned += num(r, "bytes_returned");
+          s.retransmits += num(r, "retransmits");
+          s.stragglers += num(r, "stragglers");
+        }
       }
     } else if (kind == "dispatch") {
       s.dispatch_outcomes[str(r, "outcome", "?")]++;
@@ -170,6 +190,13 @@ RunStats run_stats(const Run& run) {
       s.has_acc = true;
       s.params_sent = num(r, "params_sent");
       s.params_returned = num(r, "params_returned");
+      if (r.count("bytes_sent") != 0) {
+        s.has_bytes = true;
+        s.bytes_sent = num(r, "bytes_sent");
+        s.bytes_returned = num(r, "bytes_returned");
+        s.retransmits = num(r, "retransmits");
+        s.stragglers = num(r, "stragglers");
+      }
     }
   }
   s.p95_round_ms = percentile(round_ms, 95.0);
@@ -198,6 +225,15 @@ int cmd_summary(const TraceFile& file) {
     t.add_row({"final full acc", s.has_acc ? Table::fmt(s.final_acc, 4) : "n/a"});
     t.add_row({"params sent", Table::fmt(s.params_sent, 0)});
     t.add_row({"params returned", Table::fmt(s.params_returned, 0)});
+    if (s.has_bytes) {
+      const std::string codec = s.codec.empty() ? "?" : s.codec;
+      t.add_row({"bytes sent [" + codec + "]", Table::fmt(s.bytes_sent, 0)});
+      t.add_row({"bytes returned [" + codec + "]", Table::fmt(s.bytes_returned, 0)});
+      t.add_row({"retransmits", Table::fmt(s.retransmits, 0)});
+      t.add_row({"stragglers (deadline)", Table::fmt(s.stragglers, 0)});
+      t.add_row({"deadline-missed clients",
+                 std::to_string(s.deadline_missed())});
+    }
     std::printf("%s", t.to_markdown().c_str());
     std::string kinds;
     for (const auto& [kind, count] : s.kind_counts) {
@@ -221,6 +257,7 @@ int cmd_clients(const TraceFile& file, int run_index) {
   if (run == nullptr) return 1;
   struct ClientAgg {
     std::size_t dispatches = 0, ok = 0, no_response = 0, adapt_failed = 0;
+    std::size_t lost = 0, deadline = 0;  // transport frame loss / stragglers
     double params_sent = 0.0, params_back = 0.0;
     std::vector<double> train_ms;
   };
@@ -237,6 +274,10 @@ int cmd_clients(const TraceFile& file, int run_index) {
       c.train_ms.push_back(num(r, "train_ms"));
     } else if (outcome == "no_response") {
       ++c.no_response;
+    } else if (outcome == "lost_downlink" || outcome == "lost_uplink") {
+      ++c.lost;
+    } else if (outcome == "deadline") {
+      ++c.deadline;
     } else {
       ++c.adapt_failed;
     }
@@ -247,12 +288,13 @@ int cmd_clients(const TraceFile& file, int run_index) {
     return 1;
   }
   std::printf("clients of run: %s\n", run->label().c_str());
-  Table t({"client", "dispatches", "ok", "no_resp", "no_fit", "train p50 ms",
-           "train p95 ms", "params sent", "params back"});
+  Table t({"client", "dispatches", "ok", "no_resp", "no_fit", "lost", "late",
+           "train p50 ms", "train p95 ms", "params sent", "params back"});
   for (const auto& [id, c] : clients) {
     t.add_row({std::to_string(id), std::to_string(c.dispatches),
                std::to_string(c.ok), std::to_string(c.no_response),
-               std::to_string(c.adapt_failed),
+               std::to_string(c.adapt_failed), std::to_string(c.lost),
+               std::to_string(c.deadline),
                Table::fmt(percentile(c.train_ms, 50.0), 2),
                Table::fmt(percentile(c.train_ms, 95.0), 2),
                Table::fmt(c.params_sent, 0), Table::fmt(c.params_back, 0)});
@@ -296,7 +338,8 @@ int cmd_rounds(const TraceFile& file, int run_index, std::size_t top_n) {
 }
 
 int cmd_diff(const TraceFile& base, const TraceFile& cand, double max_acc_drop,
-             double max_time_ratio, double max_comm_ratio) {
+             double max_time_ratio, double max_comm_ratio,
+             double max_bytes_ratio) {
   const Run* a = &base.runs.back();
   const Run* b = &cand.runs.back();
   if (a->has_header() != b->has_header()) {
@@ -324,6 +367,12 @@ int cmd_diff(const TraceFile& base, const TraceFile& cand, double max_acc_drop,
              sa.params_sent > 0
                  ? Table::fmt(sb.params_sent / sa.params_sent, 3) + "x"
                  : "n/a"});
+  if (sa.has_bytes || sb.has_bytes) {
+    const double total_a = sa.bytes_sent + sa.bytes_returned;
+    const double total_b = sb.bytes_sent + sb.bytes_returned;
+    t.add_row({"bytes on wire", Table::fmt(total_a, 0), Table::fmt(total_b, 0),
+               total_a > 0 ? Table::fmt(total_b / total_a, 3) + "x" : "n/a"});
+  }
   std::printf("%s\n", t.to_markdown().c_str());
 
   int regressions = 0;
@@ -342,9 +391,20 @@ int cmd_diff(const TraceFile& base, const TraceFile& cand, double max_acc_drop,
                 sb.params_sent / sa.params_sent, max_comm_ratio);
     ++regressions;
   }
+  // Bytes-on-wire gate: only meaningful when the baseline is a net-backed
+  // trace; a candidate that turned the transport on is not a "regression".
+  const double bytes_a = sa.bytes_sent + sa.bytes_returned;
+  const double bytes_b = sb.bytes_sent + sb.bytes_returned;
+  if (sa.has_bytes && bytes_a > 0 && bytes_b > bytes_a * max_bytes_ratio) {
+    std::printf("REGRESSION: wire bytes %.2fx baseline (> %.2fx allowed)\n",
+                bytes_b / bytes_a, max_bytes_ratio);
+    ++regressions;
+  }
   if (regressions == 0) {
-    std::printf("no regression (acc drop <= %.4f, time <= %.2fx, comm <= %.2fx)\n",
-                max_acc_drop, max_time_ratio, max_comm_ratio);
+    std::printf(
+        "no regression (acc drop <= %.4f, time <= %.2fx, comm <= %.2fx, "
+        "bytes <= %.2fx)\n",
+        max_acc_drop, max_time_ratio, max_comm_ratio, max_bytes_ratio);
     return 0;
   }
   return 2;
@@ -359,7 +419,8 @@ int usage() {
                "  diff <baseline> <candidate>         regression check (exit 2 on regression)\n"
                "       [--max-acc-drop X]             allowed absolute accuracy drop (0.02)\n"
                "       [--max-time-ratio X]           allowed round-p95 ratio (1.50)\n"
-               "       [--max-comm-ratio X]           allowed params-sent ratio (1.10)\n");
+               "       [--max-comm-ratio X]           allowed params-sent ratio (1.10)\n"
+               "       [--max-bytes-ratio X]          allowed wire-bytes ratio (1.10)\n");
   return 1;
 }
 
@@ -373,6 +434,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   int run_index = -1;  // default: last run
   double max_acc_drop = 0.02, max_time_ratio = 1.50, max_comm_ratio = 1.10;
+  double max_bytes_ratio = 1.10;
   std::vector<std::string> positional;
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto flag_value = [&](double& out) {
@@ -389,6 +451,8 @@ int main(int argc, char** argv) {
       if (!flag_value(max_time_ratio)) return usage();
     } else if (args[i] == "--max-comm-ratio") {
       if (!flag_value(max_comm_ratio)) return usage();
+    } else if (args[i] == "--max-bytes-ratio") {
+      if (!flag_value(max_bytes_ratio)) return usage();
     } else {
       positional.push_back(args[i]);
     }
@@ -411,7 +475,8 @@ int main(int argc, char** argv) {
     if (positional.size() != 2) return usage();
     TraceFile cand;
     if (!load_trace(positional[1], cand)) return 1;
-    return cmd_diff(file, cand, max_acc_drop, max_time_ratio, max_comm_ratio);
+    return cmd_diff(file, cand, max_acc_drop, max_time_ratio, max_comm_ratio,
+                    max_bytes_ratio);
   }
   return usage();
 }
