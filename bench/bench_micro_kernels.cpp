@@ -16,6 +16,7 @@
 
 #include "arch/zoo.hpp"
 #include "fl/aggregate.hpp"
+#include "net/codec.hpp"
 #include "nn/conv2d.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
@@ -118,6 +119,46 @@ void BM_HeteroAggregate(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<long>(state.iterations() * n_updates));
 }
 BENCHMARK(BM_HeteroAggregate)->Arg(4)->Arg(10);
+
+void BM_CodecEncode(benchmark::State& state) {
+  const net::Codec codec = static_cast<net::Codec>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  Rng rng(7);
+  Tensor t = Tensor::randn({n}, rng);
+  std::vector<std::uint8_t> buf;
+  buf.reserve(net::encoded_payload_size(n, codec));
+  for (auto _ : state) {
+    buf.clear();
+    net::encode_tensor(t, codec, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<long>(state.iterations() * n * sizeof(float)));
+}
+BENCHMARK(BM_CodecEncode)
+    ->Args({static_cast<long>(net::Codec::kFp16), 64 * 1024})
+    ->Args({static_cast<long>(net::Codec::kInt8), 64 * 1024})
+    ->Args({static_cast<long>(net::Codec::kInt8), 1024 * 1024});
+
+void BM_CodecDecode(benchmark::State& state) {
+  const net::Codec codec = static_cast<net::Codec>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  Rng rng(8);
+  Tensor t = Tensor::randn({n}, rng);
+  std::vector<std::uint8_t> buf;
+  net::encode_tensor(t, codec, buf);
+  const Shape shape{n};
+  for (auto _ : state) {
+    Tensor back = net::decode_tensor(buf.data(), buf.size(), shape, codec);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<long>(state.iterations() * n * sizeof(float)));
+}
+BENCHMARK(BM_CodecDecode)
+    ->Args({static_cast<long>(net::Codec::kFp16), 64 * 1024})
+    ->Args({static_cast<long>(net::Codec::kInt8), 64 * 1024})
+    ->Args({static_cast<long>(net::Codec::kInt8), 1024 * 1024});
 
 void print_kernel_histograms() {
   if (!obs::kernel_profiling_enabled()) return;

@@ -1,0 +1,100 @@
+// Synchronous deadline-bounded AdaptiveFL vs the buffered async engine
+// (docs/ASYNC.md) on one seeded smoke environment, both over the same
+// simulated transport. The sync run pays max-of-cohort per round — every
+// round waits for its slowest downlink + compute + uplink chain — while the
+// async run commits a new global version as soon as the first K updates
+// arrive, so fast clients stop waiting for stragglers.
+//
+// Writes a two-run trace (run 0 = sync, run 1 = async) for offline analysis:
+//
+//   ./async_vs_sync trace.jsonl
+//   afl-insight timeline trace.jsonl
+//   afl-insight diff trace.jsonl trace.jsonl --run 0 --tta-acc 0.30
+//
+// tests/async_timeline_check.cmake drives exactly this pair as a CI gate.
+//
+//   ./async_vs_sync [trace.jsonl] [rounds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afl;
+
+  const char* trace_path = argc > 1 ? argv[1] : "async_vs_sync_trace.jsonl";
+  const std::size_t rounds =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 30;
+  obs::set_trace_path(trace_path);
+
+  // Seeded smoke environment (the integration suite's learning config): 12
+  // tiered devices, 6 per cohort, miniature VGG on an 8x8 CIFAR-10 analogue.
+  ExperimentConfig cfg;
+  cfg.num_clients = 12;
+  cfg.clients_per_round = 6;
+  cfg.samples_per_client = 25;
+  cfg.test_samples = 100;
+  cfg.image_hw = 8;
+  cfg.rounds = rounds;
+  cfg.local_epochs = 2;
+  cfg.batch_size = 25;
+  cfg.eval_every = 3;
+  ExperimentEnv env = make_env(cfg);
+
+  // One transport for both runs: fp16 frames on a bandwidth-limited lossless
+  // link plus a deterministic compute charge, so per-client event durations
+  // track submodel size (strong devices hold more parameters and finish
+  // later — the straggler effect async is built to absorb).
+  net::NetConfig net;
+  net.enabled = true;
+  net.codec = net::Codec::kFp16;
+  net.channel.bandwidth_bytes_per_s = 256 * 1024.0;
+  net.channel.latency_s = 0.02;
+  net.compute_s_per_kparam = 0.1;
+
+  env.run.net = net;
+  env.run.net->round_deadline_s = 20.0;  // sync: generous, never cuts anyone
+  const RunResult sync = run_algorithm(Algorithm::kAdaptiveFl, env);
+
+  env.run.net->round_deadline_s = 0.0;  // async has no round barrier at all
+  async::AsyncConfig acfg;
+  acfg.enabled = true;
+  acfg.buffer_size = 6;   // flush on the first 6 of up to 12 in flight
+  acfg.concurrency = 12;  // every device trains continuously
+  acfg.staleness_alpha = 0.2;
+  env.run.async = acfg;
+  const RunResult async = run_algorithm(Algorithm::kAdaptiveFlAsync, env);
+
+  Table t({"engine", "final full (%)", "best full (%)", "sim seconds",
+           "params sent"});
+  for (const RunResult* r : {&sync, &async}) {
+    t.add_row({r->algorithm, Table::fmt_pct(r->final_full_acc),
+               Table::fmt_pct(r->best_full_acc()), Table::fmt(r->sim_seconds, 2),
+               std::to_string(r->comm.params_sent())});
+  }
+  std::printf("%s\n", t.to_markdown().c_str());
+
+  // The headline table of the async subsystem: simulated seconds until each
+  // accuracy threshold was first reached (RunResult::time_to_acc).
+  Table tta({"acc threshold", "sync sim s", "async sim s"});
+  for (const TimeToAcc& s : sync.time_to_acc) {
+    const char* async_cell = "-";
+    std::string async_fmt;
+    for (const TimeToAcc& a : async.time_to_acc) {
+      if (a.accuracy == s.accuracy) {
+        async_fmt = Table::fmt(a.sim_seconds, 2);
+        async_cell = async_fmt.c_str();
+        break;
+      }
+    }
+    tta.add_row({Table::fmt(s.accuracy, 2), Table::fmt(s.sim_seconds, 2),
+                 async_cell});
+  }
+  std::printf("simulated time to accuracy:\n%s\n", tta.to_markdown().c_str());
+  std::printf("trace written to %s — try `afl-insight timeline %s`\n",
+              trace_path, trace_path);
+  return 0;
+}

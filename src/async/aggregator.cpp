@@ -1,0 +1,13 @@
+#include "async/aggregator.hpp"
+
+#include <cmath>
+
+namespace afl::async {
+
+double AsyncAggregator::weight_scale(std::size_t trained_version) const {
+  const std::size_t tau = staleness(trained_version);
+  if (tau == 0 || alpha_ == 0.0) return 1.0;
+  return 1.0 / std::pow(1.0 + static_cast<double>(tau), alpha_);
+}
+
+}  // namespace afl::async

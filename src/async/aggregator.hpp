@@ -1,0 +1,62 @@
+#pragma once
+// FedBuff-style buffered aggregation state: global version counter, buffer
+// occupancy, and the staleness-discount math (docs/ASYNC.md).
+//
+// The aggregator does not hold parameters itself — the policy's existing
+// prefix-slice `hetero_aggregate` path still folds updates. This class owns
+// the bookkeeping around it: which global version an update was trained on,
+// how stale it is at commit time, the weight discount w_c / (1 + tau)^alpha,
+// and when the buffer is full enough to flush.
+
+#include <cstddef>
+
+namespace afl::async {
+
+class AsyncAggregator {
+ public:
+  AsyncAggregator(std::size_t buffer_size, double staleness_alpha,
+                  std::size_t max_staleness = 0)
+      : buffer_size_(buffer_size),
+        alpha_(staleness_alpha),
+        max_staleness_(max_staleness) {}
+
+  std::size_t buffer_size() const { return buffer_size_; }
+  std::size_t buffered() const { return buffered_; }
+  bool full() const { return buffered_ >= buffer_size_; }
+
+  /// Global model version: number of buffer flushes committed so far.
+  std::size_t version() const { return version_; }
+
+  /// Versions elapsed since `trained_version` was dispatched.
+  std::size_t staleness(std::size_t trained_version) const {
+    return trained_version >= version_ ? 0 : version_ - trained_version;
+  }
+
+  /// True when the update must be discarded under the max_staleness cutoff.
+  bool too_stale(std::size_t trained_version) const {
+    return max_staleness_ > 0 && staleness(trained_version) > max_staleness_;
+  }
+
+  /// Multiplier applied to the update's data-size weight:
+  /// 1 / (1 + staleness)^alpha. Fresh updates (staleness 0) keep weight 1.
+  double weight_scale(std::size_t trained_version) const;
+
+  /// Accounts one buffered arrival.
+  void note_buffered() { ++buffered_; }
+
+  /// Commits a flush: bumps the global version, empties the buffer, and
+  /// returns the new version.
+  std::size_t commit_flush() {
+    buffered_ = 0;
+    return ++version_;
+  }
+
+ private:
+  std::size_t buffer_size_;
+  double alpha_;
+  std::size_t max_staleness_;
+  std::size_t buffered_ = 0;
+  std::size_t version_ = 0;
+};
+
+}  // namespace afl::async

@@ -1,0 +1,365 @@
+#include "async/engine.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "async/aggregator.hpp"
+#include "async/virtual_clock.hpp"
+#include "engine/telemetry.hpp"
+#include "engine/thread_pool.hpp"
+#include "obs/http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
+
+namespace afl::async {
+namespace {
+
+/// Why a dispatch's kFailure event was scheduled.
+enum class FailKind { kNoResponse, kAdaptFailed, kLostDownlink, kLostUplink };
+
+/// One in-flight dispatch, keyed by its dispatch id. Stored in a std::map so
+/// training waves iterate in dispatch order (determinism).
+struct Pending {
+  ClientSlot slot;
+  net::Transport::Session sess;
+  std::unique_ptr<ParamSet> rx;  // decoded downlink payload (slot.rx target)
+  TrainOutcome outcome;
+  bool accepted = false;  // survived availability / adapt / downlink
+  bool trained = false;
+  std::size_t version = 0;  // global version the dispatch was split from
+  double dispatch_time = 0.0;
+  std::size_t reuploads_left = 0;
+  FailKind fail = FailKind::kNoResponse;
+};
+
+}  // namespace
+
+AsyncEngine::AsyncEngine(const FlRunConfig& config, AsyncConfig async,
+                         const std::vector<DeviceSim>* devices)
+    : config_(config),
+      async_(async),
+      devices_(devices),
+      threads_(config.threads > 0 ? config.threads
+                                  : ThreadPool::threads_from_env()),
+      transport_(config.net ? *config.net : net::NetConfig::from_env(),
+                 config.seed) {
+  if (async_.buffer_size == 0) async_.buffer_size = config_.clients_per_round;
+  if (async_.buffer_size == 0) async_.buffer_size = 1;
+  if (async_.concurrency == 0) async_.concurrency = 2 * async_.buffer_size;
+  if (devices_ != nullptr) {
+    async_.concurrency = std::min(async_.concurrency, devices_->size());
+  }
+}
+
+RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
+  Stopwatch watch;
+  RunResult result;
+  result.algorithm = policy.algorithm_name() + "+Async";
+
+  obs::ensure_default_http_server();
+  engine::trace_run_start(result, config_, threads_, transport_, "async");
+  engine::publish_run_status(result, 0, config_.rounds, 0.0, threads_,
+                             /*active=*/true);
+
+  ThreadPool pool(threads_);
+  obs::metrics().gauge("afl.engine.pool.threads").set(static_cast<double>(pool.size()));
+  static obs::Histogram& occupancy_hist =
+      obs::metrics().histogram("afl.async.buffer.occupancy");
+  static obs::Histogram& staleness_hist =
+      obs::metrics().histogram("afl.async.staleness");
+  obs::Gauge& version_gauge = obs::metrics().gauge("afl.async.version");
+  obs::Counter& flush_counter = obs::metrics().counter("afl.async.flushes");
+  obs::Counter& dispatch_counter = obs::metrics().counter("afl.async.dispatches");
+  obs::Counter& stale_counter = obs::metrics().counter("afl.async.stale.discards");
+
+  Rng rng(config_.seed);
+  policy.init_global(rng);
+  policy.begin_async(devices_ != nullptr ? devices_->size() : 0);
+
+  VirtualClock clock;
+  EventQueue queue;
+  AsyncAggregator agg(async_.buffer_size, async_.staleness_alpha,
+                      async_.max_staleness);
+  std::map<std::size_t, Pending> pending;
+  std::size_t next_dispatch = 1;
+  std::size_t flushes = 0;
+  double last_flush_time = 0.0;
+
+  std::optional<RoundTelemetry> telemetry(std::in_place, result, flushes + 1);
+  telemetry->set_net_enabled(transport_.enabled());
+
+  // Keeps `concurrency` dispatches in flight. All RNG draws (model/client
+  // selection, capacity, availability, transport streams) happen here on the
+  // engine thread, in event order.
+  auto top_up = [&]() {
+    while (pending.size() < async_.concurrency) {
+      ClientSlot s;
+      s.round = next_dispatch;  // dispatch id doubles as the "round" key
+      s.slot = 0;
+      if (!policy.select(s, rng)) break;  // every free client is in flight
+      if (devices_ != nullptr) {
+        if (s.client >= devices_->size()) {
+          throw std::logic_error("AsyncEngine: policy selected client " +
+                                 std::to_string(s.client) + " outside the fleet");
+        }
+        s.capacity = (*devices_)[s.client].capacity(rng);
+      } else {
+        s.capacity = static_cast<std::size_t>(-1);
+      }
+      policy.adapt(s);
+      // Same accounting rule as the synchronous engine: the dispatch is on
+      // the wire before the server learns anything about the device.
+      result.comm.record_dispatch(s.params_sent);
+      dispatch_counter.inc();
+
+      Pending p;
+      p.slot = s;
+      p.version = agg.version();
+      p.dispatch_time = clock.now();
+      p.reuploads_left = async_.max_reuploads;
+
+      if (devices_ != nullptr && !(*devices_)[s.client].responds(rng)) {
+        p.fail = FailKind::kNoResponse;
+        queue.push({clock.now() + async_.failure_timeout_s, s.round, s.client,
+                    0, EventKind::kFailure});
+        pending.emplace(s.round, std::move(p));
+        ++next_dispatch;
+        continue;
+      }
+      if (!s.trainable) {
+        p.fail = FailKind::kAdaptFailed;
+        queue.push({clock.now() + async_.failure_timeout_s, s.round, s.client,
+                    0, EventKind::kFailure});
+        pending.emplace(s.round, std::move(p));
+        ++next_dispatch;
+        continue;
+      }
+      double ready_at = clock.now();
+      if (transport_.enabled()) {
+        p.sess = transport_.session(s.round, s.client);
+        net::Delivery down =
+            transport_.send(p.sess, net::FrameKind::kDispatch,
+                            policy.dispatch_params(s), s.params_sent);
+        engine::record_transfer(result.comm, down.transfer, /*uplink=*/false);
+        if (!down.transfer.delivered) {
+          p.fail = FailKind::kLostDownlink;
+          queue.push({clock.now() + p.sess.elapsed_seconds() +
+                          async_.failure_timeout_s,
+                      s.round, s.client, 0, EventKind::kFailure});
+          pending.emplace(s.round, std::move(p));
+          ++next_dispatch;
+          continue;
+        }
+        if (!down.params.empty()) {
+          p.rx = std::make_unique<ParamSet>(std::move(down.params));
+          p.slot.rx = p.rx.get();
+        }
+        // Local compute charged exactly once per dispatch (ClientClock):
+        // later re-uploads re-pay transfer only, never the training.
+        p.sess.clock().charge_compute(transport_.compute_seconds(s.params_back));
+        ready_at += p.sess.elapsed_seconds();
+      }
+      policy.on_accepted(p.slot);
+      p.accepted = true;
+      queue.push({ready_at, s.round, s.client, 0, EventKind::kUpload});
+      pending.emplace(s.round, std::move(p));
+      ++next_dispatch;
+    }
+  };
+
+  // Lazily trains every accepted, still-untrained dispatch in one parallel
+  // wave. Wave membership is a pure function of event order and execute() is
+  // pure, so eager-vs-lazy scheduling cannot change any result bit.
+  auto train_wave = [&]() {
+    std::vector<Pending*> wave;
+    for (auto& [id, p] : pending) {
+      if (p.accepted && !p.trained) wave.push_back(&p);
+    }
+    if (wave.empty()) return;
+    pool.parallel_for(wave.size(), [&](std::size_t i) {
+      Pending& p = *wave[i];
+      Rng crng = Rng::derive(config_.seed, p.slot.round, p.slot.client);
+      p.outcome = policy.execute(p.slot, crng);
+      p.trained = true;
+    });
+  };
+
+  // One buffer flush: aggregate, bump the global version, cut a telemetry
+  // window, evaluate when due.
+  auto do_flush = [&]() {
+    ++flushes;
+    {
+      Stopwatch agg_watch;
+      policy.aggregate(flushes);
+      telemetry->add_aggregate_seconds(agg_watch.seconds());
+    }
+    version_gauge.set(static_cast<double>(agg.commit_flush()));
+    flush_counter.inc();
+    policy.end_round(flushes, *telemetry);
+    telemetry->set_sim_time(clock.now() - last_flush_time, clock.now());
+    last_flush_time = clock.now();
+    if (config_.eval_every != 0 &&
+        (flushes % config_.eval_every == 0 || flushes == config_.rounds)) {
+      Stopwatch eval_watch;
+      policy.evaluate(flushes, result);
+      result.curve.push_back({flushes, result.final_full_acc,
+                              result.final_avg_acc, result.comm.waste_rate(),
+                              result.comm.round_waste_rate()});
+      telemetry->add_eval_seconds(eval_watch.seconds());
+      result.note_time_to_acc(result.final_full_acc, clock.now(), flushes);
+      engine::trace_eval_point(flushes, clock.now(), result.final_full_acc,
+                               result.final_avg_acc);
+    }
+    telemetry.reset();  // flush this window's metrics record
+    engine::publish_run_status(result, flushes, config_.rounds, watch.seconds(),
+                               threads_, /*active=*/flushes < config_.rounds);
+    if (flushes < config_.rounds) {
+      telemetry.emplace(result, flushes + 1);
+      telemetry->set_net_enabled(transport_.enabled());
+    }
+  };
+
+  while (flushes < config_.rounds) {
+    top_up();
+    if (queue.empty()) {
+      // Nothing in flight and nothing dispatchable. Flush what the buffer
+      // holds; if it is empty too the fleet is exhausted — end the run.
+      if (agg.buffered() > 0) {
+        do_flush();
+        continue;
+      }
+      break;
+    }
+    Event e = queue.pop();
+    clock.advance_to(e.time);
+    auto it = pending.find(e.dispatch);
+    if (it == pending.end()) continue;  // defensive; events map 1:1 to pendings
+    switch (e.kind) {
+      case EventKind::kUpload: {
+        Pending& p = it->second;
+        if (!p.trained) train_wave();
+        double arrive_at = e.time;
+        if (transport_.enabled()) {
+          const double before = p.sess.elapsed_seconds();
+          net::Delivery up =
+              transport_.send(p.sess, net::FrameKind::kReturn, p.outcome.params,
+                              p.slot.params_back);
+          engine::record_transfer(result.comm, up.transfer, /*uplink=*/true);
+          while (!up.transfer.delivered && p.reuploads_left > 0) {
+            // The client still holds its trained update: re-send the frame
+            // after a backoff. Transfer time accrues; compute does not
+            // (ClientClock already charged it).
+            --p.reuploads_left;
+            p.sess.add_seconds(async_.reupload_backoff_s);
+            up = transport_.send(p.sess, net::FrameKind::kReturn,
+                                 p.outcome.params, p.slot.params_back);
+            engine::record_transfer(result.comm, up.transfer, /*uplink=*/true);
+          }
+          if (!up.transfer.delivered) {
+            p.fail = FailKind::kLostUplink;
+            queue.push({e.time + (p.sess.elapsed_seconds() - before) +
+                            async_.failure_timeout_s,
+                        e.dispatch, e.client, 0, EventKind::kFailure});
+            break;
+          }
+          if (!up.params.empty()) p.outcome.params = std::move(up.params);
+          arrive_at = e.time + (p.sess.elapsed_seconds() - before);
+        }
+        queue.push({arrive_at, e.dispatch, e.client, 0, EventKind::kArrival});
+        break;
+      }
+      case EventKind::kArrival: {
+        Pending p = std::move(it->second);
+        pending.erase(it);
+        policy.set_client_busy(p.slot.client, false);
+        if (agg.too_stale(p.version)) {
+          ++result.failed_trainings;
+          stale_counter.inc();
+          telemetry->client_failed();
+          engine::trace_dispatch_failure(p.slot, "stale", clock.now());
+          break;
+        }
+        const std::size_t tau = agg.staleness(p.version);
+        const double scale = agg.weight_scale(p.version);
+        result.comm.record_return(p.slot.params_back);
+        telemetry->add_train_seconds(p.outcome.stats.seconds);
+        telemetry->client_ok();
+        staleness_hist.record(static_cast<double>(tau));
+        if (obs::trace_enabled()) {
+          obs::TraceEvent ev("dispatch");
+          ev.field("round", static_cast<std::uint64_t>(p.slot.round))
+              .field("client", static_cast<std::uint64_t>(p.slot.client))
+              .field("sent", static_cast<std::uint64_t>(p.slot.sent_index))
+              .field("params", static_cast<std::uint64_t>(p.slot.params_sent))
+              .field("outcome", "ok")
+              .field("back", static_cast<std::uint64_t>(p.slot.back_index))
+              .field("params_back",
+                     static_cast<std::uint64_t>(p.slot.params_back))
+              .field("virtual_time", clock.now())
+              .field("staleness", static_cast<std::uint64_t>(tau))
+              .field("weight_scale", scale)
+              .field("train_ms", p.outcome.stats.seconds * 1e3)
+              .field("dur_ms", (clock.now() - p.dispatch_time) * 1e3);
+          ev.emit();
+        }
+        policy.commit_weighted(p.slot, std::move(p.outcome), scale);
+        agg.note_buffered();
+        occupancy_hist.record(static_cast<double>(agg.buffered()));
+        if (agg.full()) do_flush();
+        break;
+      }
+      case EventKind::kFailure: {
+        Pending p = std::move(it->second);
+        pending.erase(it);
+        policy.set_client_busy(p.slot.client, false);
+        ++result.failed_trainings;
+        telemetry->client_failed();
+        switch (p.fail) {
+          case FailKind::kNoResponse:
+            engine::trace_dispatch_failure(p.slot, "no_response", clock.now());
+            policy.on_no_response(p.slot);
+            break;
+          case FailKind::kAdaptFailed:
+            engine::trace_dispatch_failure(p.slot, "adapt_failed", clock.now());
+            policy.on_adapt_failure(p.slot);
+            break;
+          case FailKind::kLostDownlink:
+            result.comm.record_drop();
+            obs::metrics().counter("afl.net.drops").inc();
+            engine::trace_dispatch_failure(p.slot, "lost_downlink", clock.now());
+            policy.on_transport_failure(p.slot);
+            break;
+          case FailKind::kLostUplink:
+            result.comm.record_drop();
+            obs::metrics().counter("afl.net.drops").inc();
+            engine::trace_dispatch_failure(p.slot, "lost_uplink", clock.now());
+            policy.on_transport_failure(p.slot);
+            break;
+        }
+        break;
+      }
+    }
+  }
+
+  telemetry.reset();
+  if (result.curve.empty()) {
+    policy.evaluate(config_.rounds, result);
+    result.curve.push_back({config_.rounds, result.final_full_acc,
+                            result.final_avg_acc, result.comm.waste_rate(),
+                            result.comm.round_waste_rate()});
+  }
+  result.wall_seconds = watch.seconds();
+  result.sim_seconds = last_flush_time;
+  engine::publish_run_status(result, config_.rounds, config_.rounds,
+                             result.wall_seconds, threads_, /*active=*/false);
+  engine::trace_run_end(result, transport_);
+  return result;
+}
+
+}  // namespace afl::async

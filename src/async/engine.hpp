@@ -1,0 +1,57 @@
+#pragma once
+// Event-driven asynchronous FL engine (docs/ASYNC.md).
+//
+// The synchronous RoundEngine trains a cohort, waits at a barrier, and
+// aggregates; heterogeneous fleets pay for every straggler. AsyncEngine
+// replaces the barrier with a discrete-event simulation on a virtual clock:
+// up to `concurrency` clients are in flight at once, each dispatch's
+// downlink / local-compute / uplink durations come from the simulated
+// transport (src/net/), and the server buffers the first `buffer_size`
+// arrivals FedBuff-style. Each buffer flush folds the updates into the
+// global model — an update trained on global version v and committed at
+// version v' is discounted by 1 / (1 + (v' - v))^alpha — and commits a new
+// global version. `config.rounds` counts flushes.
+//
+// Determinism contract (same guarantee as RoundEngine): every policy hook
+// except execute() runs on the engine thread in event order, and the event
+// queue pops in the total order (time, dispatch, client, seq) — independent
+// of insertion order. execute() runs on the worker pool with a private
+// Rng::derive(seed, dispatch, client) stream; training is computed in
+// "waves" (all untrained in-flight dispatches at the first upload that needs
+// one), which changes scheduling but not results because execute() is pure.
+// The RunResult is bit-identical for any AFL_THREADS.
+
+#include <cstddef>
+#include <vector>
+
+#include "async/config.hpp"
+#include "engine/round_engine.hpp"
+#include "engine/run.hpp"
+#include "net/transport.hpp"
+#include "sim/device.hpp"
+
+namespace afl::async {
+
+class AsyncEngine {
+ public:
+  /// `async.enabled` is assumed; zero-valued knobs resolve against the run
+  /// config (buffer_size -> clients_per_round, concurrency -> 2 * buffer,
+  /// capped at the fleet size). `devices` as in RoundEngine.
+  AsyncEngine(const FlRunConfig& config, AsyncConfig async,
+              const std::vector<DeviceSim>* devices);
+
+  RunResult run(AsyncRoundPolicy& policy);
+
+  std::size_t threads() const { return threads_; }
+  const net::Transport& transport() const { return transport_; }
+  const AsyncConfig& async_config() const { return async_; }
+
+ private:
+  FlRunConfig config_;
+  AsyncConfig async_;
+  const std::vector<DeviceSim>* devices_;
+  std::size_t threads_;
+  net::Transport transport_;
+};
+
+}  // namespace afl::async

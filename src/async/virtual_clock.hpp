@@ -1,0 +1,92 @@
+#pragma once
+// Discrete-event simulated time for the async aggregation engine.
+//
+// Determinism contract: the EventQueue pops events in a total order —
+// (time, dispatch, client, seq) — so two queues holding the same event set
+// drain identically regardless of insertion order or thread count. `seq`
+// breaks the (practically impossible, but cheap to rule out) case of two
+// events sharing all of time/dispatch/client.
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace afl::async {
+
+/// Monotonic simulated clock. Time only moves forward via advance_to();
+/// popping an event earlier than `now()` is a scheduler bug.
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+
+  /// Advances to `t`; returns false (and leaves the clock untouched) if `t`
+  /// is in the past.
+  bool advance_to(double t) {
+    if (t < now_) return false;
+    now_ = t;
+    return true;
+  }
+
+ private:
+  double now_ = 0.0;
+};
+
+enum class EventKind : std::uint8_t {
+  /// A client's trained update finished local compute and starts uploading.
+  kUpload,
+  /// A client's upload arrived at the server and enters the buffer.
+  kArrival,
+  /// A dispatch was written off (unavailable client, adapt failure, or a
+  /// frame lost beyond all retries); the server frees the slot.
+  kFailure,
+};
+
+struct Event {
+  double time = 0.0;
+  /// Monotonic dispatch id (the async analogue of the sync round index) —
+  /// second-order tie-break so earlier dispatches commit first.
+  std::size_t dispatch = 0;
+  std::size_t client = 0;
+  /// Insertion sequence, last tie-break for a strict total order.
+  std::size_t seq = 0;
+  EventKind kind = EventKind::kUpload;
+};
+
+/// true when `a` pops after `b` (std::priority_queue is a max-heap).
+inline bool event_after(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time > b.time;
+  if (a.dispatch != b.dispatch) return a.dispatch > b.dispatch;
+  if (a.client != b.client) return a.client > b.client;
+  return a.seq > b.seq;
+}
+
+/// Min-heap of simulation events under the total order above.
+class EventQueue {
+ public:
+  void push(Event e) {
+    e.seq = next_seq_++;
+    heap_.push(e);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct After {
+    bool operator()(const Event& a, const Event& b) const {
+      return event_after(a, b);
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, After> heap_;
+  std::size_t next_seq_ = 0;
+};
+
+}  // namespace afl::async

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "async/engine.hpp"
 #include "engine/round_engine.hpp"
 #include "fl/aggregate.hpp"
 #include "fl/evaluate.hpp"
@@ -16,8 +17,11 @@ namespace {
 
 /// Algorithm 1 as a RoundPolicy: uniform (or greedy) model draw from the
 /// pool, RL client selection, device-side adaptive pruning, heterogeneous
-/// aggregation, L1/M1/S1 evaluation.
-class AdaptiveFlPolicy final : public RoundPolicy {
+/// aggregation, L1/M1/S1 evaluation. Also implements the AsyncRoundPolicy
+/// seam: the same selector / pruning / RL / aggregation code runs under the
+/// async engine, where `taken_` becomes the in-flight set and commits carry
+/// a staleness weight.
+class AdaptiveFlPolicy final : public AsyncRoundPolicy {
  public:
   AdaptiveFlPolicy(const ArchSpec& spec, const ModelPool& pool,
                    const FederatedDataset& data, const FlRunConfig& config,
@@ -47,6 +51,17 @@ class AdaptiveFlPolicy final : public RoundPolicy {
   void begin_round(std::size_t, Rng&) override {
     taken_.assign(data_.num_clients(), false);
     updates_.clear();
+  }
+
+  void begin_async(std::size_t) override {
+    // Run-scoped reset: under the async engine `taken_` tracks in-flight
+    // clients across flushes instead of a per-round cohort.
+    taken_.assign(data_.num_clients(), false);
+    updates_.clear();
+  }
+
+  void set_client_busy(std::size_t client, bool busy) override {
+    taken_[client] = busy;
   }
 
   bool select(ClientSlot& s, Rng& rng) override {
@@ -116,9 +131,18 @@ class AdaptiveFlPolicy final : public RoundPolicy {
     updates_.push_back({std::move(outcome.params), outcome.samples});
   }
 
+  void commit_weighted(const ClientSlot&, TrainOutcome outcome,
+                       double weight_scale) override {
+    // Async path: the staleness discount scales the data-size weight.
+    updates_.push_back({std::move(outcome.params), outcome.samples, weight_scale});
+  }
+
   void aggregate(std::size_t) override {
-    // Step 6 (Model Aggregation, Algorithm 2).
+    // Step 6 (Model Aggregation, Algorithm 2). Cleared here (not only in
+    // begin_round) because the async engine aggregates per buffer flush
+    // without round boundaries.
     global_ = hetero_aggregate(global_, updates_);
+    updates_.clear();
   }
 
   void end_round(std::size_t round, RoundTelemetry& telemetry) override {
@@ -198,6 +222,12 @@ AdaptiveFl::AdaptiveFl(const ArchSpec& spec, const PoolConfig& pool_config,
 RunResult AdaptiveFl::run() {
   AdaptiveFlPolicy policy(spec_, pool_, data_, config_, options_, selector_, global_,
                           has_initial_);
+  const async::AsyncConfig async_cfg =
+      config_.async ? *config_.async : async::AsyncConfig::from_env();
+  if (async_cfg.enabled) {
+    async::AsyncEngine engine(config_, async_cfg, &devices_);
+    return engine.run(policy);
+  }
   RoundEngine engine(config_, &devices_);
   return engine.run(policy);
 }

@@ -31,6 +31,8 @@ const char* algorithm_name(Algorithm a) {
       return "AdaptiveFL+Random";
     case Algorithm::kAdaptiveFlGreed:
       return "AdaptiveFL+Greed";
+    case Algorithm::kAdaptiveFlAsync:
+      return "AdaptiveFL+Async";
   }
   return "?";
 }
@@ -226,6 +228,17 @@ RunResult run_algorithm_impl(Algorithm algorithm, const ExperimentEnv& env) {
       opt.strategy = SelectionStrategy::kRandom;
       opt.greedy_dispatch = true;
       return AdaptiveFl(env.spec, env.pool_config, env.data, env.devices, env.run, opt)
+          .run();
+    }
+    case Algorithm::kAdaptiveFlAsync: {
+      // Full method on the buffered async engine: env overrides still apply
+      // (AFL_ASYNC_* resolved here), but the master switch is forced on.
+      FlRunConfig run = env.run;
+      async::AsyncConfig acfg =
+          run.async ? *run.async : async::AsyncConfig::from_env();
+      acfg.enabled = true;
+      run.async = acfg;
+      return AdaptiveFl(env.spec, env.pool_config, env.data, env.devices, run, {})
           .run();
     }
   }

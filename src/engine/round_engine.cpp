@@ -1,11 +1,13 @@
 #include "engine/round_engine.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "engine/telemetry.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
@@ -14,129 +16,13 @@
 #include "util/stopwatch.hpp"
 
 namespace afl {
-namespace {
 
-/// Trace schema label stamped on every run_start header; afl-insight refuses
-/// to diff traces whose schemas disagree.
-constexpr const char* kTraceSchema = "afl.trace.v1";
-
-void trace_run_start(const RunResult& result, const FlRunConfig& config,
-                     std::size_t threads, const net::Transport& transport) {
-  if (!obs::trace_enabled()) return;
-  obs::TraceEvent ev("run_start");
-  ev.field("schema", kTraceSchema)
-      .field("algo", result.algorithm)
-      .field("rounds", static_cast<std::uint64_t>(config.rounds))
-      .field("clients_per_round", static_cast<std::uint64_t>(config.clients_per_round))
-      .field("seed", static_cast<std::uint64_t>(config.seed))
-      .field("eval_every", static_cast<std::uint64_t>(config.eval_every))
-      .field("threads", static_cast<std::uint64_t>(threads))
-      .field("epochs", static_cast<std::uint64_t>(config.local.epochs))
-      .field("batch_size", static_cast<std::uint64_t>(config.local.batch_size))
-      .field("lr", config.local.lr)
-      .field("momentum", config.local.momentum);
-  if (transport.enabled()) {
-    // Transport columns appear only on transport-backed runs so traces from
-    // identity-path runs stay byte-identical to pre-transport builds.
-    const net::NetConfig& net = transport.config();
-    ev.field("codec", net::codec_name(net.codec))
-        .field("net_loss", net.channel.loss_prob)
-        .field("net_deadline_ms", net.round_deadline_s * 1e3);
-  }
-  ev.emit();
-}
-
-void trace_run_end(const RunResult& result, const net::Transport& transport) {
-  if (!obs::trace_enabled()) return;
-  obs::TraceEvent ev("run_end");
-  ev.field("algo", result.algorithm)
-      .field("rounds", static_cast<std::uint64_t>(result.round_metrics.size()))
-      .field("full_acc", result.final_full_acc)
-      .field("avg_acc", result.final_avg_acc)
-      .field("params_sent", static_cast<std::uint64_t>(result.comm.params_sent()))
-      .field("params_returned", static_cast<std::uint64_t>(result.comm.params_returned()))
-      .field("waste_rate", result.comm.waste_rate())
-      .field("failed_trainings", static_cast<std::uint64_t>(result.failed_trainings));
-  if (transport.enabled()) {
-    ev.field("codec", net::codec_name(transport.codec()))
-        .field("bytes_sent", static_cast<std::uint64_t>(result.comm.bytes_sent()))
-        .field("bytes_returned",
-               static_cast<std::uint64_t>(result.comm.bytes_returned()))
-        .field("retransmits", static_cast<std::uint64_t>(result.comm.retransmits()))
-        .field("stragglers", static_cast<std::uint64_t>(result.comm.stragglers()))
-        .field("drops", static_cast<std::uint64_t>(result.comm.drops()));
-  }
-  ev.field("wall_ms", result.wall_seconds * 1e3);
-  ev.emit();
-}
-
-void publish_status(const RunResult& result, std::size_t round,
-                    std::size_t total_rounds, double elapsed_seconds,
-                    std::size_t threads, bool active) {
-  obs::RunStatus s;
-  s.active = active;
-  s.set_algorithm(result.algorithm);
-  s.round = round;
-  s.total_rounds = total_rounds;
-  s.full_acc = result.final_full_acc;
-  s.avg_acc = result.final_avg_acc;
-  if (!result.round_metrics.empty()) {
-    s.selector_entropy = result.round_metrics.back().selector_entropy;
-  }
-  s.params_sent = result.comm.params_sent();
-  s.params_returned = result.comm.params_returned();
-  s.waste_rate = result.comm.waste_rate();
-  std::uint64_t ok = 0, failed = 0;
-  for (const RoundMetrics& m : result.round_metrics) {
-    ok += m.clients_ok;
-    failed += m.clients_failed;
-  }
-  s.clients_ok = ok;
-  s.clients_failed = failed;
-  s.wall_seconds = elapsed_seconds;
-  s.eta_seconds = round > 0 ? elapsed_seconds / static_cast<double>(round) *
-                                  static_cast<double>(total_rounds - round)
-                            : 0.0;
-  s.threads = threads;
-  obs::run_status().publish(s);
-}
-
-void trace_dispatch_failure(const ClientSlot& s, const char* outcome) {
-  if (!obs::trace_enabled()) return;
-  obs::TraceEvent ev("dispatch");
-  ev.field("round", static_cast<std::uint64_t>(s.round))
-      .field("client", static_cast<std::uint64_t>(s.client))
-      .field("sent", static_cast<std::uint64_t>(s.sent_index))
-      .field("params", static_cast<std::uint64_t>(s.params_sent))
-      .field("outcome", outcome)
-      .field("dur_ms", 0.0);
-  ev.emit();
-}
-
-/// Byte/retransmit accounting + afl.net.* metrics for one frame transfer.
-/// Only ever called with the transport enabled, so the metric instruments are
-/// not registered (and the metrics dump is unchanged) on transportless runs.
-void record_transfer(CommStats& comm, const net::TransferResult& t, bool uplink) {
-  static obs::Counter& down_bytes = obs::metrics().counter("afl.net.bytes.sent");
-  static obs::Counter& up_bytes = obs::metrics().counter("afl.net.bytes.returned");
-  static obs::Counter& retransmits = obs::metrics().counter("afl.net.retransmits");
-  static obs::Histogram& transfer_hist =
-      obs::metrics().histogram("afl.net.transfer.seconds");
-  if (uplink) {
-    comm.record_return_bytes(t.bytes);
-    up_bytes.inc(t.bytes);
-  } else {
-    comm.record_dispatch_bytes(t.bytes);
-    down_bytes.inc(t.bytes);
-  }
-  if (t.attempts > 1) {
-    comm.record_retransmits(t.attempts - 1);
-    retransmits.inc(t.attempts - 1);
-  }
-  transfer_hist.record(t.seconds);
-}
-
-}  // namespace
+using engine::publish_run_status;
+using engine::record_transfer;
+using engine::trace_dispatch_failure;
+using engine::trace_eval_point;
+using engine::trace_run_end;
+using engine::trace_run_start;
 
 RoundEngine::RoundEngine(const FlRunConfig& config, const std::vector<DeviceSim>* devices)
     : config_(config),
@@ -152,7 +38,7 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
 
   obs::ensure_default_http_server();
   trace_run_start(result, config_, threads_, transport_);
-  publish_status(result, 0, config_.rounds, 0.0, threads_, /*active=*/true);
+  publish_run_status(result, 0, config_.rounds, 0.0, threads_, /*active=*/true);
 
   ThreadPool pool(threads_);
   obs::metrics().gauge("afl.engine.pool.threads").set(static_cast<double>(pool.size()));
@@ -163,6 +49,11 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
 
   Rng rng(config_.seed);
   policy.init_global(rng);
+
+  // Simulated run clock: with a transport configured each round takes as long
+  // as its slowest client's session (capped by the round deadline — the
+  // server stops waiting there), and rounds are serial.
+  double sim_total = 0.0;
 
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
     // Held in an optional so it can be flushed (destroyed) before the status
@@ -181,6 +72,7 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
     // stable across the phase-2 parallel section.
     std::vector<net::Transport::Session> sessions;
     std::vector<std::unique_ptr<ParamSet>> rx_store;
+    double round_clock_max = 0.0;  // slowest client session this round
     for (std::size_t slot = 0; slot < config_.clients_per_round; ++slot) {
       ClientSlot s;
       s.round = round;
@@ -230,6 +122,7 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
           telemetry->client_failed();
           trace_dispatch_failure(s, "lost_downlink");
           policy.on_transport_failure(s);
+          round_clock_max = std::max(round_clock_max, sess.elapsed_seconds());
           continue;
         }
         if (!down.params.empty()) {
@@ -267,10 +160,11 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
         // lost after all retries, or delivered past the round deadline
         // (stragglers), never reach commit()/aggregate().
         net::Transport::Session& sess = sessions[i];
-        sess.add_seconds(transport_.compute_seconds(s.params_back));
+        sess.clock().charge_compute(transport_.compute_seconds(s.params_back));
         net::Delivery up = transport_.send(sess, net::FrameKind::kReturn,
                                            outcomes[i].params, s.params_back);
         record_transfer(result.comm, up.transfer, /*uplink=*/true);
+        round_clock_max = std::max(round_clock_max, sess.elapsed_seconds());
         if (!up.transfer.delivered) {
           ++result.failed_trainings;
           result.comm.record_drop();
@@ -328,6 +222,15 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
     }
     policy.end_round(round, *telemetry);
 
+    if (transport_.enabled()) {
+      const double deadline = transport_.config().round_deadline_s;
+      const double round_sim = deadline > 0.0
+                                   ? std::min(deadline, round_clock_max)
+                                   : round_clock_max;
+      sim_total += round_sim;
+      telemetry->set_sim_time(round_sim, sim_total);
+    }
+
     if (config_.eval_every != 0 &&
         (round % config_.eval_every == 0 || round == config_.rounds)) {
       Stopwatch eval_watch;
@@ -336,10 +239,15 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
                               result.comm.waste_rate(),
                               result.comm.round_waste_rate()});
       telemetry->add_eval_seconds(eval_watch.seconds());
+      if (transport_.enabled()) {
+        result.note_time_to_acc(result.final_full_acc, sim_total, round);
+        trace_eval_point(round, sim_total, result.final_full_acc,
+                         result.final_avg_acc);
+      }
     }
     telemetry.reset();  // flush this round's metrics record
-    publish_status(result, round, config_.rounds, watch.seconds(), threads_,
-                   /*active=*/round < config_.rounds);
+    publish_run_status(result, round, config_.rounds, watch.seconds(), threads_,
+                       /*active=*/round < config_.rounds);
   }
 
   if (result.curve.empty()) {
@@ -349,8 +257,9 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
                             result.comm.round_waste_rate()});
   }
   result.wall_seconds = watch.seconds();
-  publish_status(result, config_.rounds, config_.rounds, result.wall_seconds,
-                 threads_, /*active=*/false);
+  result.sim_seconds = sim_total;
+  publish_run_status(result, config_.rounds, config_.rounds,
+                     result.wall_seconds, threads_, /*active=*/false);
   trace_run_end(result, transport_);
   return result;
 }

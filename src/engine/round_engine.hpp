@@ -158,6 +158,33 @@ class RoundPolicy {
   virtual void evaluate(std::size_t round, RunResult& result) = 0;
 };
 
+/// Extension of RoundPolicy consumed by the async engine (src/async/,
+/// docs/ASYNC.md). The synchronous hooks keep their exact semantics — the
+/// algorithm's selector, RL feedback, pruning, and aggregation code runs
+/// unchanged — but the async engine's continuous dispatch needs three extra
+/// seams: a run-scoped (rather than round-scoped) busy set, because clients
+/// stay in flight across aggregation flushes; weighted commits, because
+/// staleness discounts the update's aggregation weight; and a begin hook
+/// replacing the per-round cohort reset. begin_round()/select() are still
+/// called per dispatch so per-round policy state (e.g. RL reward windows)
+/// keeps working; the engine maps one "round" to one dispatch.
+class AsyncRoundPolicy : public RoundPolicy {
+ public:
+  /// Called once before the first dispatch, instead of per-round cohort
+  /// resets driving the busy set.
+  virtual void begin_async(std::size_t num_clients) = 0;
+
+  /// Marks a client in flight (selected, awaiting its update or failure) or
+  /// free again. select() must never pick a busy client.
+  virtual void set_client_busy(std::size_t client, bool busy) = 0;
+
+  /// Stores a trained update whose aggregation weight is scaled by
+  /// `weight_scale` = 1 / (1 + staleness)^alpha. commit() remains the
+  /// synchronous path (weight_scale == 1).
+  virtual void commit_weighted(const ClientSlot& slot, TrainOutcome outcome,
+                               double weight_scale) = 0;
+};
+
 /// Drives a RoundPolicy through config.rounds rounds. `devices` may be null
 /// for idealized baselines (always responsive, unlimited capacity); otherwise
 /// it must hold one profile per client and outlive the engine.

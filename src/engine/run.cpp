@@ -58,10 +58,44 @@ void RunResult::write_metrics_jsonl(const std::string& path, bool append) const 
          << ",\"bytes_sent\":" << m.bytes_sent
          << ",\"bytes_returned\":" << m.bytes_returned
          << ",\"retransmits\":" << m.retransmits
-         << ",\"stragglers\":" << m.stragglers << "}";
+         << ",\"stragglers\":" << m.stragglers
+         << ",\"sim_seconds\":" << m.sim_seconds
+         << ",\"virtual_time\":" << m.virtual_time << "}";
+    out << line.str() << '\n';
+  }
+  if (!time_to_acc.empty()) {
+    // One summary record per run: simulated seconds to each accuracy
+    // threshold the curve crossed (bench JSONs track this over PRs).
+    std::ostringstream line;
+    line << "{\"algo\":\"" << obs::json_escape(algorithm)
+         << "\",\"record\":\"time_to_acc\",\"sim_seconds\":" << sim_seconds
+         << ",\"thresholds\":[";
+    for (std::size_t i = 0; i < time_to_acc.size(); ++i) {
+      const TimeToAcc& t = time_to_acc[i];
+      if (i > 0) line << ',';
+      line << "{\"accuracy\":" << t.accuracy
+           << ",\"sim_seconds\":" << t.sim_seconds << ",\"round\":" << t.round
+           << "}";
+    }
+    line << "]}";
     out << line.str() << '\n';
   }
   if (!out) throw std::runtime_error("write_metrics_jsonl: write failed for " + path);
+}
+
+void RunResult::note_time_to_acc(double accuracy, double sim_s,
+                                 std::size_t round) {
+  for (double threshold : kTtaThresholds) {
+    if (accuracy < threshold) break;  // thresholds are ascending
+    bool seen = false;
+    for (const TimeToAcc& t : time_to_acc) {
+      if (t.accuracy == threshold) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) time_to_acc.push_back({threshold, sim_s, round});
+  }
 }
 
 RoundTelemetry::RoundTelemetry(RunResult& result, std::size_t round)
@@ -102,6 +136,12 @@ RoundTelemetry::~RoundTelemetry() {
         .field("bytes_returned", static_cast<std::uint64_t>(m_.bytes_returned))
         .field("retransmits", static_cast<std::uint64_t>(m_.retransmits))
         .field("stragglers", static_cast<std::uint64_t>(m_.stragglers));
+  }
+  if (has_sim_) {
+    // Likewise the simulated-clock columns appear only when the run models
+    // time (transport clock or async virtual clock).
+    ev.field("sim_ms", m_.sim_seconds * 1e3)
+        .field("virtual_time", m_.virtual_time);
   }
   ev.field("dur_ms", m_.round_seconds * 1e3);
   ev.emit();

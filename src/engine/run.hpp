@@ -9,6 +9,7 @@
 
 #include "arch/build.hpp"
 #include "arch/spec.hpp"
+#include "async/config.hpp"
 #include "data/federated.hpp"
 #include "fl/comm.hpp"
 #include "fl/local_train.hpp"
@@ -34,6 +35,11 @@ struct FlRunConfig {
   /// from the AFL_NET_* environment variables; an explicit disabled config
   /// forces the identity path regardless of the environment.
   std::optional<net::NetConfig> net;
+  /// Event-driven async aggregation (see docs/ASYNC.md). nullopt = resolve
+  /// from the AFL_ASYNC_* environment variables; when enabled the run uses
+  /// the buffered AsyncEngine instead of the synchronous round barrier and
+  /// `rounds` counts buffer flushes.
+  std::optional<async::AsyncConfig> async;
 };
 
 struct RoundRecord {
@@ -65,6 +71,18 @@ struct RoundMetrics {
   std::size_t bytes_returned = 0;  // on-wire return bytes (incl. retransmits)
   std::size_t retransmits = 0;     // retransmitted frames, both directions
   std::size_t stragglers = 0;      // clients excluded by the round deadline
+  // Simulated-time telemetry; zero unless the transport models per-client
+  // time (sync) or the run uses the async engine's virtual clock.
+  double sim_seconds = 0.0;   // simulated duration of this round / flush window
+  double virtual_time = 0.0;  // simulated clock at the end of the round
+};
+
+/// First simulated instant the run's evaluation curve crossed a fixed
+/// accuracy threshold (the time-to-accuracy currency of async-FL papers).
+struct TimeToAcc {
+  double accuracy = 0.0;     // threshold crossed
+  double sim_seconds = 0.0;  // simulated clock at the crossing eval point
+  std::size_t round = 0;     // round / flush index of that eval point
 };
 
 struct RunResult {
@@ -78,6 +96,12 @@ struct RunResult {
   CommStats comm;
   std::size_t failed_trainings = 0;
   double wall_seconds = 0.0;
+  /// Total simulated seconds of the run (0 when nothing models time: no
+  /// transport clock and not the async engine).
+  double sim_seconds = 0.0;
+  /// First crossings of the fixed accuracy thresholds (kTtaThresholds), in
+  /// ascending threshold order; empty when the run tracked no simulated time.
+  std::vector<TimeToAcc> time_to_acc;
   /// One entry per round, in order (see RoundMetrics).
   std::vector<RoundMetrics> round_metrics;
 
@@ -95,9 +119,21 @@ struct RunResult {
   /// algorithm name); throws std::runtime_error on I/O failure. With
   /// `append` the records are added to an existing file — how run_algorithm()
   /// accumulates several runs of one process into a single AFL_METRICS_JSONL
-  /// sink.
+  /// sink. When time_to_acc is non-empty one extra "time_to_acc" record
+  /// follows the per-round lines.
   void write_metrics_jsonl(const std::string& path, bool append = false) const;
+
+  /// Records first crossings of the kTtaThresholds accuracy levels for an
+  /// eval point at simulated time `sim_s` (engines call this after each
+  /// evaluate() once their simulated clock is positive).
+  void note_time_to_acc(double accuracy, double sim_s, std::size_t round);
 };
+
+/// Accuracy thresholds tracked by RunResult::note_time_to_acc. The low end
+/// is dense because the miniature CPU substrate's smoke configs live there
+/// (chance is 0.1 on the CIFAR-10 analogue; integration runs clear ~0.2).
+inline constexpr double kTtaThresholds[] = {0.1, 0.15, 0.2, 0.3, 0.4,
+                                            0.5, 0.6,  0.7, 0.8, 0.9};
 
 /// Per-round telemetry collector shared by every runner. Scope one instance
 /// over each round's body: the constructor marks the comm counters, the
@@ -121,12 +157,21 @@ class RoundTelemetry {
   /// byte-layer fields from the comm deltas and adds them to the round trace
   /// event. Off by default so transportless traces stay byte-identical.
   void set_net_enabled(bool enabled) { net_enabled_ = enabled; }
+  /// Simulated-time columns (sim_ms / virtual_time on the round trace event
+  /// and RoundMetrics). Only runs that model time call this, so traces of
+  /// clockless runs stay byte-identical.
+  void set_sim_time(double round_sim_s, double virtual_time) {
+    m_.sim_seconds = round_sim_s;
+    m_.virtual_time = virtual_time;
+    has_sim_ = true;
+  }
 
  private:
   RunResult& result_;
   RoundMetrics m_;
   Stopwatch watch_;
   bool net_enabled_ = false;
+  bool has_sim_ = false;
 };
 
 /// Evaluates a parameter set by materializing its model.

@@ -1,0 +1,141 @@
+#include "engine/telemetry.hpp"
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/status.hpp"
+#include "obs/trace.hpp"
+
+namespace afl::engine {
+
+void trace_run_start(const RunResult& result, const FlRunConfig& config,
+                     std::size_t threads, const net::Transport& transport,
+                     const char* mode) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent ev("run_start");
+  ev.field("schema", kTraceSchema)
+      .field("algo", result.algorithm)
+      .field("rounds", static_cast<std::uint64_t>(config.rounds))
+      .field("clients_per_round", static_cast<std::uint64_t>(config.clients_per_round))
+      .field("seed", static_cast<std::uint64_t>(config.seed))
+      .field("eval_every", static_cast<std::uint64_t>(config.eval_every))
+      .field("threads", static_cast<std::uint64_t>(threads))
+      .field("epochs", static_cast<std::uint64_t>(config.local.epochs))
+      .field("batch_size", static_cast<std::uint64_t>(config.local.batch_size))
+      .field("lr", config.local.lr)
+      .field("momentum", config.local.momentum);
+  if (mode != nullptr) ev.field("mode", mode);
+  if (transport.enabled()) {
+    // Transport columns appear only on transport-backed runs so traces from
+    // identity-path runs stay byte-identical to pre-transport builds.
+    const net::NetConfig& net = transport.config();
+    ev.field("codec", net::codec_name(net.codec))
+        .field("net_loss", net.channel.loss_prob)
+        .field("net_deadline_ms", net.round_deadline_s * 1e3);
+  }
+  ev.emit();
+}
+
+void trace_run_end(const RunResult& result, const net::Transport& transport) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent ev("run_end");
+  ev.field("algo", result.algorithm)
+      .field("rounds", static_cast<std::uint64_t>(result.round_metrics.size()))
+      .field("full_acc", result.final_full_acc)
+      .field("avg_acc", result.final_avg_acc)
+      .field("params_sent", static_cast<std::uint64_t>(result.comm.params_sent()))
+      .field("params_returned", static_cast<std::uint64_t>(result.comm.params_returned()))
+      .field("waste_rate", result.comm.waste_rate())
+      .field("failed_trainings", static_cast<std::uint64_t>(result.failed_trainings));
+  if (transport.enabled()) {
+    ev.field("codec", net::codec_name(transport.codec()))
+        .field("bytes_sent", static_cast<std::uint64_t>(result.comm.bytes_sent()))
+        .field("bytes_returned",
+               static_cast<std::uint64_t>(result.comm.bytes_returned()))
+        .field("retransmits", static_cast<std::uint64_t>(result.comm.retransmits()))
+        .field("stragglers", static_cast<std::uint64_t>(result.comm.stragglers()))
+        .field("drops", static_cast<std::uint64_t>(result.comm.drops()));
+  }
+  if (result.sim_seconds > 0.0) ev.field("sim_seconds", result.sim_seconds);
+  ev.field("wall_ms", result.wall_seconds * 1e3);
+  ev.emit();
+}
+
+void publish_run_status(const RunResult& result, std::size_t round,
+                        std::size_t total_rounds, double elapsed_seconds,
+                        std::size_t threads, bool active) {
+  obs::RunStatus s;
+  s.active = active;
+  s.set_algorithm(result.algorithm);
+  s.round = round;
+  s.total_rounds = total_rounds;
+  s.full_acc = result.final_full_acc;
+  s.avg_acc = result.final_avg_acc;
+  if (!result.round_metrics.empty()) {
+    s.selector_entropy = result.round_metrics.back().selector_entropy;
+  }
+  s.params_sent = result.comm.params_sent();
+  s.params_returned = result.comm.params_returned();
+  s.waste_rate = result.comm.waste_rate();
+  std::uint64_t ok = 0, failed = 0;
+  for (const RoundMetrics& m : result.round_metrics) {
+    ok += m.clients_ok;
+    failed += m.clients_failed;
+  }
+  s.clients_ok = ok;
+  s.clients_failed = failed;
+  s.wall_seconds = elapsed_seconds;
+  s.eta_seconds = round > 0 ? elapsed_seconds / static_cast<double>(round) *
+                                  static_cast<double>(total_rounds - round)
+                            : 0.0;
+  s.threads = threads;
+  obs::run_status().publish(s);
+}
+
+void trace_dispatch_failure(const ClientSlot& s, const char* outcome,
+                            double virtual_time) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent ev("dispatch");
+  ev.field("round", static_cast<std::uint64_t>(s.round))
+      .field("client", static_cast<std::uint64_t>(s.client))
+      .field("sent", static_cast<std::uint64_t>(s.sent_index))
+      .field("params", static_cast<std::uint64_t>(s.params_sent))
+      .field("outcome", outcome);
+  if (virtual_time >= 0.0) ev.field("virtual_time", virtual_time);
+  ev.field("dur_ms", 0.0);
+  ev.emit();
+}
+
+void record_transfer(CommStats& comm, const net::TransferResult& t,
+                     bool uplink) {
+  static obs::Counter& down_bytes = obs::metrics().counter("afl.net.bytes.sent");
+  static obs::Counter& up_bytes = obs::metrics().counter("afl.net.bytes.returned");
+  static obs::Counter& retransmits = obs::metrics().counter("afl.net.retransmits");
+  static obs::Histogram& transfer_hist =
+      obs::metrics().histogram("afl.net.transfer.seconds");
+  if (uplink) {
+    comm.record_return_bytes(t.bytes);
+    up_bytes.inc(t.bytes);
+  } else {
+    comm.record_dispatch_bytes(t.bytes);
+    down_bytes.inc(t.bytes);
+  }
+  if (t.attempts > 1) {
+    comm.record_retransmits(t.attempts - 1);
+    retransmits.inc(t.attempts - 1);
+  }
+  transfer_hist.record(t.seconds);
+}
+
+void trace_eval_point(std::size_t round, double virtual_time, double full_acc,
+                      double avg_acc) {
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent ev("eval_point");
+  ev.field("round", static_cast<std::uint64_t>(round))
+      .field("virtual_time", virtual_time)
+      .field("full_acc", full_acc)
+      .field("avg_acc", avg_acc);
+  ev.emit();
+}
+
+}  // namespace afl::engine

@@ -1,0 +1,52 @@
+#pragma once
+// Run-level trace / status helpers shared by the synchronous RoundEngine and
+// the async engine (src/async/engine.*). Formerly file-local to
+// round_engine.cpp; both execution models must emit identical run_start /
+// run_end / dispatch records so afl-insight can diff their traces.
+
+#include <cstddef>
+
+#include "engine/round_engine.hpp"
+#include "engine/run.hpp"
+#include "fl/comm.hpp"
+#include "net/transport.hpp"
+
+namespace afl::engine {
+
+/// Trace schema label stamped on every run_start header; afl-insight refuses
+/// to diff traces whose schemas disagree.
+inline constexpr const char* kTraceSchema = "afl.trace.v1";
+
+/// Emits the run_start header. `mode` tags non-default execution models
+/// (the async engine passes "async"); null omits the field so synchronous
+/// traces stay byte-identical.
+void trace_run_start(const RunResult& result, const FlRunConfig& config,
+                     std::size_t threads, const net::Transport& transport,
+                     const char* mode = nullptr);
+
+/// Emits the run_end summary. Adds a sim_seconds column when the run
+/// tracked simulated time (result.sim_seconds > 0).
+void trace_run_end(const RunResult& result, const net::Transport& transport);
+
+/// Publishes a RunStatus snapshot to the live status board.
+void publish_run_status(const RunResult& result, std::size_t round,
+                        std::size_t total_rounds, double elapsed_seconds,
+                        std::size_t threads, bool active);
+
+/// Emits a failed dispatch trace event. `virtual_time` >= 0 adds the async
+/// engine's simulated-clock column; negative omits it (synchronous path).
+void trace_dispatch_failure(const ClientSlot& slot, const char* outcome,
+                            double virtual_time = -1.0);
+
+/// Byte/retransmit accounting + afl.net.* metrics for one frame transfer.
+/// Only ever called with the transport enabled, so the metric instruments are
+/// not registered (and the metrics dump is unchanged) on transportless runs.
+void record_transfer(CommStats& comm, const net::TransferResult& transfer,
+                     bool uplink);
+
+/// Emits an eval_point trace event (the afl-insight `timeline` input): the
+/// simulated clock at which the run's evaluation curve reached an accuracy.
+void trace_eval_point(std::size_t round, double virtual_time, double full_acc,
+                      double avg_acc);
+
+}  // namespace afl::engine

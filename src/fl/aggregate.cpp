@@ -71,7 +71,7 @@ ParamSet fedavg_aggregate(const ParamSet& global,
     if (!same_structure(u.params, global)) {
       throw std::invalid_argument("fedavg_aggregate: structure mismatch");
     }
-    total += static_cast<double>(u.data_size);
+    total += static_cast<double>(u.data_size) * u.weight;
   }
   if (total <= 0.0) return global;
   ParamSet out;
@@ -79,7 +79,8 @@ ParamSet fedavg_aggregate(const ParamSet& global,
     Tensor t(g.shape());
     for (const auto& u : updates) {
       const Tensor& src = u.params.at(name);
-      const float w = static_cast<float>(static_cast<double>(u.data_size) / total);
+      const float w = static_cast<float>(static_cast<double>(u.data_size) *
+                                         u.weight / total);
       for (std::size_t i = 0; i < t.numel(); ++i) t[i] += w * src[i];
     }
     out.emplace(name, std::move(t));
@@ -103,7 +104,8 @@ ParamSet hetero_aggregate(const ParamSet& global,
     for (const auto& u : updates) {
       auto it = u.params.find(name);
       if (it == u.params.end()) continue;  // depth-pruned model: layer absent
-      accumulate_prefix(it->second, g, static_cast<double>(u.data_size), acc, cover);
+      accumulate_prefix(it->second, g,
+                        static_cast<double>(u.data_size) * u.weight, acc, cover);
     }
     Tensor t(g.shape());
     for (std::size_t i = 0; i < g.numel(); ++i) {

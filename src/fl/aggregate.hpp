@@ -16,6 +16,10 @@ namespace afl {
 struct ClientUpdate {
   ParamSet params;
   std::size_t data_size = 0;  // |d_c|
+  /// Multiplier on the data-size weight. 1 (exact identity in the weighted
+  /// mean) for synchronous aggregation; the async engine passes the
+  /// staleness discount 1 / (1 + tau)^alpha (docs/ASYNC.md).
+  double weight = 1.0;
 };
 
 /// All updates must have the same structure as `global`. Weighted by

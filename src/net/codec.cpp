@@ -129,31 +129,63 @@ std::size_t encode_tensor(const Tensor& t, Codec codec, std::vector<std::uint8_t
       break;
     }
     case Codec::kFp16: {
-      out.reserve(out.size() + n * 2);
+      // Sized write through a raw pointer: push_back's capacity check per
+      // byte dominated this loop (codec encode is on the round hot path).
+      const std::size_t base = out.size();
+      out.resize(base + n * 2);
+      std::uint8_t* dst = out.data() + base;
       for (std::size_t i = 0; i < n; ++i) {
         const std::uint16_t h = float_to_half(data[i]);
-        out.push_back(static_cast<std::uint8_t>(h & 0xFFu));
-        out.push_back(static_cast<std::uint8_t>(h >> 8));
+        dst[2 * i] = static_cast<std::uint8_t>(h & 0xFFu);
+        dst[2 * i + 1] = static_cast<std::uint8_t>(h >> 8);
       }
       break;
     }
     case Codec::kInt8: {
       float lo = 0.0f, hi = 0.0f;
       if (n > 0) {
-        lo = hi = data[0];
-        for (std::size_t i = 1; i < n; ++i) {
-          lo = std::min(lo, data[i]);
-          hi = std::max(hi, data[i]);
+        // Four independent min/max lanes break the loop-carried dependence
+        // so the compiler can keep the range scan in vector registers.
+        // Min/max re-association is exact: lo/hi (and thus every quantized
+        // byte) are bit-identical to the sequential scan.
+        float lo0 = data[0], lo1 = data[0], lo2 = data[0], lo3 = data[0];
+        float hi0 = data[0], hi1 = data[0], hi2 = data[0], hi3 = data[0];
+        std::size_t i = 0;
+        for (; i + 4 <= n; i += 4) {
+          lo0 = std::min(lo0, data[i]);
+          hi0 = std::max(hi0, data[i]);
+          lo1 = std::min(lo1, data[i + 1]);
+          hi1 = std::max(hi1, data[i + 1]);
+          lo2 = std::min(lo2, data[i + 2]);
+          hi2 = std::max(hi2, data[i + 2]);
+          lo3 = std::min(lo3, data[i + 3]);
+          hi3 = std::max(hi3, data[i + 3]);
         }
+        for (; i < n; ++i) {
+          lo0 = std::min(lo0, data[i]);
+          hi0 = std::max(hi0, data[i]);
+        }
+        lo = std::min(std::min(lo0, lo1), std::min(lo2, lo3));
+        hi = std::max(std::max(hi0, hi1), std::max(hi2, hi3));
       }
       const float scale = (hi - lo) / 255.0f;
       append_f32(out, lo);
       append_f32(out, scale);
-      out.reserve(out.size() + n);
-      for (std::size_t i = 0; i < n; ++i) {
-        float q = scale > 0.0f ? std::nearbyint((data[i] - lo) / scale) : 0.0f;
-        q = std::clamp(q, 0.0f, 255.0f);
-        out.push_back(static_cast<std::uint8_t>(q));
+      const std::size_t base = out.size();
+      out.resize(base + n);
+      std::uint8_t* dst = out.data() + base;
+      if (scale > 0.0f) {
+        // The quantize kernel keeps the exact scalar math — nearbyint of the
+        // true division, then clamp — so vector and scalar codegen agree on
+        // every byte; only the store path (sized buffer, no push_back) and
+        // the hoisted scale test changed.
+        for (std::size_t i = 0; i < n; ++i) {
+          float q = std::nearbyint((data[i] - lo) / scale);
+          q = std::clamp(q, 0.0f, 255.0f);
+          dst[i] = static_cast<std::uint8_t>(q);
+        }
+      } else {
+        std::memset(dst, 0, n);  // constant tensor: every code is 0
       }
       break;
     }
@@ -188,7 +220,16 @@ Tensor decode_tensor(const std::uint8_t* data, std::size_t size, const Shape& sh
       const float lo = read_f32(data);
       const float scale = read_f32(data + 4);
       const std::uint8_t* codes = data + kInt8HeaderBytes;
-      for (std::size_t i = 0; i < n; ++i) {
+      // Independent fused ops per element; 4-wide blocking matches the
+      // encoder's lane count and keeps the u8->f32 widening vectorized.
+      std::size_t i = 0;
+      for (; i + 4 <= n; i += 4) {
+        out[i] = lo + static_cast<float>(codes[i]) * scale;
+        out[i + 1] = lo + static_cast<float>(codes[i + 1]) * scale;
+        out[i + 2] = lo + static_cast<float>(codes[i + 2]) * scale;
+        out[i + 3] = lo + static_cast<float>(codes[i + 3]) * scale;
+      }
+      for (; i < n; ++i) {
         out[i] = lo + static_cast<float>(codes[i]) * scale;
       }
       break;

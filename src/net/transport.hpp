@@ -98,14 +98,39 @@ class Transport {
     return config_.compute_s_per_kparam * static_cast<double>(params) / 1000.0;
   }
 
+  /// Simulated clock of one client's dispatch. Transfer time (frames,
+  /// backoff, re-uploads) accumulates freely; local compute is charged at
+  /// most once per dispatch — a retransmitted update was already trained, so
+  /// retries re-pay the wire, never the training.
+  class ClientClock {
+   public:
+    double elapsed_seconds() const { return elapsed_; }
+    void add_transfer(double s) { elapsed_ += s; }
+    /// Charges local-compute time; returns false (a no-op) when this
+    /// dispatch's compute was already charged.
+    bool charge_compute(double s) {
+      if (compute_charged_) return false;
+      compute_charged_ = true;
+      elapsed_ += s;
+      return true;
+    }
+    bool compute_charged() const { return compute_charged_; }
+
+   private:
+    double elapsed_ = 0.0;
+    bool compute_charged_ = false;
+  };
+
   /// Per-client transfer state for one round: the private channel RNG and the
   /// client's simulated clock (downlink + compute + uplink), checked against
   /// the round deadline by the engine.
   class Session {
    public:
     Session() = default;
-    double elapsed_seconds() const { return elapsed_; }
-    void add_seconds(double s) { elapsed_ += s; }
+    double elapsed_seconds() const { return clock_.elapsed_seconds(); }
+    void add_seconds(double s) { clock_.add_transfer(s); }
+    ClientClock& clock() { return clock_; }
+    const ClientClock& clock() const { return clock_; }
     std::size_t round() const { return round_; }
     std::size_t client() const { return client_; }
 
@@ -114,7 +139,7 @@ class Transport {
     Rng rng_{0};
     std::size_t round_ = 0;
     std::size_t client_ = 0;
-    double elapsed_ = 0.0;
+    ClientClock clock_;
   };
 
   Session session(std::size_t round, std::size_t client) const;

@@ -1,0 +1,145 @@
+// Determinism of the buffered async engine: the event-driven scheduler must
+// produce bit-identical RunResults at any AFL_THREADS setting. Worker threads
+// only run the pure train closures; every policy decision, clock advance, and
+// buffer commit happens on the engine thread in event-queue order, so the
+// simulated timeline — sim_seconds and time_to_acc included — is part of the
+// reproducibility contract, not just the accuracy curve.
+
+#include <gtest/gtest.h>
+
+#include "async/config.hpp"
+#include "core/experiment.hpp"
+#include "net/transport.hpp"
+
+namespace afl {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.num_clients = 12;
+  cfg.clients_per_round = 6;
+  cfg.samples_per_client = 12;
+  cfg.test_samples = 48;
+  cfg.image_hw = 8;
+  cfg.rounds = 4;
+  cfg.local_epochs = 1;
+  cfg.batch_size = 12;
+  cfg.eval_every = 1;
+  // Stochastic selection paths on: capacity jitter and dropouts draw from
+  // engine-owned streams, so any cross-thread ordering bug surfaces here.
+  cfg.capacity_jitter = 0.25;
+  cfg.availability = 0.8;
+  return cfg;
+}
+
+net::NetConfig slow_net() {
+  net::NetConfig net;
+  net.enabled = true;
+  net.codec = net::Codec::kFp16;
+  net.channel.bandwidth_bytes_per_s = 64 * 1024.0;
+  net.channel.latency_s = 0.02;
+  net.compute_s_per_kparam = 0.1;
+  return net;
+}
+
+async::AsyncConfig buffered(std::size_t buffer, std::size_t concurrency) {
+  async::AsyncConfig acfg;
+  acfg.enabled = true;
+  acfg.buffer_size = buffer;
+  acfg.concurrency = concurrency;
+  acfg.staleness_alpha = 0.5;
+  return acfg;
+}
+
+RunResult run_async(const ExperimentEnv& env, std::size_t threads,
+                    const net::NetConfig& net, const async::AsyncConfig& acfg) {
+  ExperimentEnv copy = env;
+  copy.run.threads = threads;
+  copy.run.net = net;
+  copy.run.async = acfg;
+  return run_algorithm(Algorithm::kAdaptiveFlAsync, copy);
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.failed_trainings, b.failed_trainings);
+  EXPECT_EQ(a.comm.params_sent(), b.comm.params_sent());
+  EXPECT_EQ(a.comm.params_returned(), b.comm.params_returned());
+  EXPECT_EQ(a.comm.bytes_sent(), b.comm.bytes_sent());
+  EXPECT_EQ(a.comm.bytes_returned(), b.comm.bytes_returned());
+  EXPECT_EQ(a.comm.retransmits(), b.comm.retransmits());
+  EXPECT_EQ(a.comm.drops(), b.comm.drops());
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(a.curve[i].full_acc, b.curve[i].full_acc) << "eval " << i;
+    EXPECT_EQ(a.curve[i].avg_acc, b.curve[i].avg_acc) << "eval " << i;
+  }
+  EXPECT_EQ(a.final_full_acc, b.final_full_acc);
+  EXPECT_EQ(a.final_avg_acc, b.final_avg_acc);
+  // The simulated timeline itself is deterministic: flush instants feed
+  // sim_seconds and every time_to_acc threshold crossing.
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  ASSERT_EQ(a.time_to_acc.size(), b.time_to_acc.size());
+  for (std::size_t i = 0; i < a.time_to_acc.size(); ++i) {
+    EXPECT_EQ(a.time_to_acc[i].accuracy, b.time_to_acc[i].accuracy);
+    EXPECT_EQ(a.time_to_acc[i].sim_seconds, b.time_to_acc[i].sim_seconds);
+    EXPECT_EQ(a.time_to_acc[i].round, b.time_to_acc[i].round);
+  }
+  ASSERT_EQ(a.round_metrics.size(), b.round_metrics.size());
+  for (std::size_t i = 0; i < a.round_metrics.size(); ++i) {
+    EXPECT_EQ(a.round_metrics[i].sim_seconds, b.round_metrics[i].sim_seconds);
+    EXPECT_EQ(a.round_metrics[i].virtual_time, b.round_metrics[i].virtual_time);
+    EXPECT_EQ(a.round_metrics[i].clients_ok, b.round_metrics[i].clients_ok);
+    EXPECT_EQ(a.round_metrics[i].clients_failed, b.round_metrics[i].clients_failed);
+  }
+}
+
+TEST(AsyncDeterminism, IdenticalAcrossThreadCounts) {
+  const ExperimentEnv env = make_env(tiny_config());
+  const net::NetConfig net = slow_net();
+  const async::AsyncConfig acfg = buffered(3, 6);
+  const RunResult t1 = run_async(env, 1, net, acfg);
+  const RunResult t2 = run_async(env, 2, net, acfg);
+  const RunResult t8 = run_async(env, 8, net, acfg);
+  expect_identical(t1, t2);
+  expect_identical(t1, t8);
+  EXPECT_GT(t1.comm.params_returned(), 0u);  // the runs actually trained
+  EXPECT_GT(t1.sim_seconds, 0.0);            // and the virtual clock moved
+}
+
+TEST(AsyncDeterminism, RepeatedRunIsReproducible) {
+  const ExperimentEnv env = make_env(tiny_config());
+  const RunResult a = run_async(env, 4, slow_net(), buffered(3, 6));
+  const RunResult b = run_async(env, 4, slow_net(), buffered(3, 6));
+  expect_identical(a, b);
+}
+
+TEST(AsyncDeterminism, LossyChannelIdenticalAcrossThreadCounts) {
+  // Frame loss adds retransmission events (which re-charge transfer but not
+  // compute) and failure events; both must replay identically because every
+  // channel draw comes from a per-(dispatch, client) derived stream.
+  net::NetConfig net = slow_net();
+  net.codec = net::Codec::kInt8;
+  net.channel.loss_prob = 0.2;
+  net.max_retries = 2;
+  net.backoff_base_s = 0.01;
+  net.backoff_cap_s = 0.05;
+  const ExperimentEnv env = make_env(tiny_config());
+  const RunResult serial = run_async(env, 1, net, buffered(3, 6));
+  const RunResult parallel = run_async(env, 8, net, buffered(3, 6));
+  expect_identical(serial, parallel);
+  EXPECT_GT(serial.comm.bytes_sent(), 0u);
+}
+
+TEST(AsyncDeterminism, StalenessCutoffStillDeterministic) {
+  async::AsyncConfig acfg = buffered(2, 6);
+  acfg.max_staleness = 1;  // force stale discards onto the code path
+  const ExperimentEnv env = make_env(tiny_config());
+  const RunResult serial = run_async(env, 1, slow_net(), acfg);
+  const RunResult parallel = run_async(env, 8, slow_net(), acfg);
+  expect_identical(serial, parallel);
+}
+
+}  // namespace
+}  // namespace afl

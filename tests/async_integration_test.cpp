@@ -1,0 +1,182 @@
+// End-to-end tests of the buffered async engine (docs/ASYNC.md): learning
+// parity with the synchronous baseline on the seeded smoke config, a faster
+// simulated time-to-accuracy (the subsystem's reason to exist), exported
+// afl.async.* metrics, and async trace records carrying the virtual clock.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "async/config.hpp"
+#include "core/experiment.hpp"
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace afl {
+namespace {
+
+/// The integration suite's learning config: clears ~0.19 full accuracy in 30
+/// synchronous rounds, enough headroom over chance (0.1) for the parity and
+/// time-to-accuracy assertions to be meaningful.
+ExperimentConfig smoke_config() {
+  ExperimentConfig cfg;
+  cfg.num_clients = 12;
+  cfg.clients_per_round = 6;
+  cfg.samples_per_client = 25;
+  cfg.test_samples = 100;
+  cfg.image_hw = 8;
+  cfg.rounds = 30;
+  cfg.local_epochs = 2;
+  cfg.batch_size = 25;
+  cfg.eval_every = 3;
+  return cfg;
+}
+
+/// Smaller/faster variant for the metrics- and trace-shape tests, where
+/// learning progress is irrelevant.
+ExperimentConfig quick_config() {
+  ExperimentConfig cfg = smoke_config();
+  cfg.samples_per_client = 20;
+  cfg.test_samples = 80;
+  cfg.rounds = 8;
+  cfg.local_epochs = 1;
+  cfg.batch_size = 20;
+  cfg.eval_every = 2;
+  return cfg;
+}
+
+net::NetConfig shared_net() {
+  // Bandwidth-limited lossless link plus a deterministic compute charge, so
+  // event durations track submodel size and strong devices straggle.
+  net::NetConfig net;
+  net.enabled = true;
+  net.codec = net::Codec::kFp16;
+  net.channel.bandwidth_bytes_per_s = 256 * 1024.0;
+  net.channel.latency_s = 0.02;
+  net.compute_s_per_kparam = 0.1;
+  return net;
+}
+
+RunResult run_sync(const ExperimentEnv& env) {
+  ExperimentEnv copy = env;
+  copy.run.net = shared_net();
+  copy.run.net->round_deadline_s = 20.0;  // generous: never cuts anyone
+  return run_algorithm(Algorithm::kAdaptiveFl, copy);
+}
+
+RunResult run_async(const ExperimentEnv& env) {
+  ExperimentEnv copy = env;
+  copy.run.net = shared_net();
+  async::AsyncConfig acfg;
+  acfg.enabled = true;
+  acfg.buffer_size = 6;   // flush on the first 6 of up to 12 in flight
+  acfg.concurrency = 12;  // every device trains continuously
+  acfg.staleness_alpha = 0.2;
+  copy.run.async = acfg;
+  return run_algorithm(Algorithm::kAdaptiveFlAsync, copy);
+}
+
+TEST(AsyncIntegration, ReachesSyncAccuracyInLessSimulatedTime) {
+  const ExperimentEnv env = make_env(smoke_config());
+  const RunResult sync = run_sync(env);
+  const RunResult async = run_async(env);
+
+  // Learning parity: the buffered engine stays within 0.05 of the
+  // synchronous AdaptiveFL baseline on the same environment.
+  EXPECT_GE(async.best_full_acc(), sync.best_full_acc() - 0.05)
+      << "async best " << async.best_full_acc() << " vs sync "
+      << sync.best_full_acc();
+
+  // Both runs advanced their simulated clocks, and the async run needed
+  // strictly less virtual time end-to-end: each flush waits only for the
+  // fastest buffer_size arrivals instead of the whole cohort.
+  ASSERT_GT(sync.sim_seconds, 0.0);
+  ASSERT_GT(async.sim_seconds, 0.0);
+  EXPECT_LT(async.sim_seconds, sync.sim_seconds);
+
+  // Time-to-accuracy: for every threshold both engines reached, async got
+  // there in no more simulated time.
+  ASSERT_FALSE(sync.time_to_acc.empty());
+  ASSERT_FALSE(async.time_to_acc.empty());
+  bool compared = false;
+  for (const TimeToAcc& s : sync.time_to_acc) {
+    for (const TimeToAcc& a : async.time_to_acc) {
+      if (a.accuracy != s.accuracy) continue;
+      compared = true;
+      EXPECT_LE(a.sim_seconds, s.sim_seconds)
+          << "async slower to accuracy " << s.accuracy;
+    }
+  }
+  EXPECT_TRUE(compared) << "no common accuracy threshold to compare";
+}
+
+TEST(AsyncIntegration, ExportsAsyncMetrics) {
+  obs::metrics().reset();
+  const ExperimentEnv env = make_env(quick_config());
+  const RunResult result = run_async(env);
+  EXPECT_EQ(result.round_metrics.size(), quick_config().rounds);
+
+  std::uint64_t flushes = 0, dispatches = 0;
+  for (const auto& [name, value] : obs::metrics().counters()) {
+    if (name == "afl.async.flushes") flushes = value;
+    if (name == "afl.async.dispatches") dispatches = value;
+  }
+  EXPECT_EQ(flushes, quick_config().rounds);
+  EXPECT_GE(dispatches, flushes * 6);  // >= buffer_size arrivals per flush
+
+  double version = 0.0;
+  for (const auto& [name, value] : obs::metrics().gauges()) {
+    if (name == "afl.async.version") version = value;
+  }
+  EXPECT_EQ(version, static_cast<double>(quick_config().rounds));
+
+  bool occupancy_seen = false, staleness_seen = false;
+  for (const auto& [name, s] : obs::metrics().histograms()) {
+    if (name == "afl.async.buffer.occupancy" && s.count > 0) occupancy_seen = true;
+    if (name == "afl.async.staleness" && s.count > 0) staleness_seen = true;
+  }
+  EXPECT_TRUE(occupancy_seen);
+  EXPECT_TRUE(staleness_seen);
+}
+
+TEST(AsyncIntegration, TraceCarriesVirtualClockAndStaleness) {
+  const std::string path = "async_trace_test.jsonl";
+  obs::set_trace_path(path);
+  const ExperimentEnv env = make_env(quick_config());
+  run_async(env);
+  obs::set_trace_path("");  // close so the file is flushed and reopenable
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string trace = buffer.str();
+  std::remove(path.c_str());
+
+  EXPECT_NE(trace.find("\"mode\":\"async\""), std::string::npos);
+  EXPECT_NE(trace.find("\"virtual_time\""), std::string::npos);
+  EXPECT_NE(trace.find("\"staleness\""), std::string::npos);
+  EXPECT_NE(trace.find("\"kind\":\"eval_point\""), std::string::npos);
+}
+
+TEST(AsyncIntegration, AsyncIgnoredWhenDisabled) {
+  // An explicitly disabled AsyncConfig is the identity: the run goes through
+  // the synchronous RoundEngine exactly as if async were never mentioned.
+  const ExperimentEnv env = make_env(quick_config());
+  ExperimentEnv disabled = env;
+  disabled.run.async = async::AsyncConfig{};  // enabled = false
+  const RunResult a = run_algorithm(Algorithm::kAdaptiveFl, disabled);
+  const RunResult b = run_algorithm(Algorithm::kAdaptiveFl, env);
+  EXPECT_EQ(a.algorithm, b.algorithm);  // no "+Async" suffix
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].full_acc, b.curve[i].full_acc);
+  }
+}
+
+}  // namespace
+}  // namespace afl

@@ -1,0 +1,60 @@
+# End-to-end async-vs-sync gate: runs the async_vs_sync example (one seeded
+# smoke environment, run 0 = synchronous deadline engine, run 1 = buffered
+# async engine, same simulated transport), then asserts via afl-insight that
+#   - `timeline` renders both eval curves and the time-to-threshold table, and
+#   - `diff --tta-acc` confirms the async run reached the target accuracy in
+#     no more simulated time than the sync baseline (exit 2 would mean the
+#     async subsystem lost its reason to exist).
+#
+# Invoked as:
+#   cmake -DEXAMPLE=<async_vs_sync> -DINSIGHT=<afl-insight> -DWORK_DIR=<dir>
+#         -P async_timeline_check.cmake
+
+if(NOT EXAMPLE OR NOT INSIGHT OR NOT WORK_DIR)
+  message(FATAL_ERROR "async_timeline_check.cmake needs -DEXAMPLE=..., -DINSIGHT=... and -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(TRACE "${WORK_DIR}/async_vs_sync.jsonl")
+
+execute_process(
+  COMMAND "${EXAMPLE}" "${TRACE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "async_vs_sync exited ${rc}:\n${out}${err}")
+endif()
+
+# The timeline report must show both runs and the threshold table.
+execute_process(
+  COMMAND "${INSIGHT}" timeline "${TRACE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "timeline exited ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "\\+Async")
+  message(FATAL_ERROR "timeline does not show the async run:\n${out}")
+endif()
+if(NOT out MATCHES "simulated time to accuracy")
+  message(FATAL_ERROR "timeline missing the time-to-threshold table:\n${out}")
+endif()
+
+# Gate: async (run 1, candidate) vs sync (run 0, baseline), simulated time to
+# 0.15 full accuracy. The seeded smoke config clears 0.15 on both engines
+# (chance is 0.1); --max-tta-ratio 1.0 demands async be no slower on the
+# virtual clock. The accuracy band mirrors the integration test's 0.05.
+execute_process(
+  COMMAND "${INSIGHT}" diff "${TRACE}" "${TRACE}" --base-run 0 --cand-run 1
+          --tta-acc 0.15 --max-tta-ratio 1.0 --max-acc-drop 0.05
+          --max-time-ratio 1000 --max-comm-ratio 1000 --max-bytes-ratio 1000
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 2)
+  message(FATAL_ERROR "async regressed against the sync baseline:\n${out}")
+endif()
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tta diff exited ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "sim s to acc")
+  message(FATAL_ERROR "diff output missing the time-to-accuracy row:\n${out}")
+endif()
+
+message(STATUS "async timeline checks passed")

@@ -3,17 +3,25 @@
 //   afl-insight summary <trace>            per-run phase/time breakdown
 //   afl-insight clients <trace> [--run N]  per-client drill-down
 //   afl-insight rounds  <trace> [N]        slowest-N rounds
+//   afl-insight timeline <trace>           simulated time-to-accuracy curves
 //   afl-insight diff <a> <b> [thresholds]  run-vs-run regression check
 //
 // A trace may contain several runs (one process running several algorithms);
 // records are segmented at `run_start` headers. clients/rounds/diff operate
 // on the last run unless --run selects another. `diff` compares final
 // accuracy, round p95 wall time, and total dispatched params of the last run
-// in each file and exits 2 when the candidate regresses past the thresholds
+// in each file (--base-run / --cand-run select others, so one two-run trace
+// can diff against itself) and exits 2 when the candidate regresses past the
+// thresholds
 // (--max-acc-drop, --max-time-ratio, --max-comm-ratio, --max-bytes-ratio —
 // the last applies only when the baseline trace carries wire-byte columns),
-// which makes it usable as a CI perf gate. Exit codes: 0 ok,
-// 1 usage/IO/schema error, 2 regression.
+// which makes it usable as a CI perf gate. With --tta-acc the diff also
+// compares the simulated seconds each run needed to first reach that
+// accuracy (from eval_point events; see docs/ASYNC.md) and gates the
+// candidate at --max-tta-ratio times the baseline. `timeline` prints the
+// (virtual_time, accuracy) evaluation curve of every run side by side plus a
+// time-to-threshold table — the sync-vs-async comparison of the paper's
+// wall-clock plots. Exit codes: 0 ok, 1 usage/IO/schema error, 2 regression.
 
 #include <algorithm>
 #include <cmath>
@@ -337,11 +345,98 @@ int cmd_rounds(const TraceFile& file, int run_index, std::size_t top_n) {
   return 0;
 }
 
-int cmd_diff(const TraceFile& base, const TraceFile& cand, double max_acc_drop,
-             double max_time_ratio, double max_comm_ratio,
-             double max_bytes_ratio) {
-  const Run* a = &base.runs.back();
-  const Run* b = &cand.runs.back();
+/// One evaluation sample on the simulated clock. Sync runs emit eval_point
+/// at round boundaries, async runs at buffer flushes; virtual_time is the
+/// cumulative simulated seconds in both cases, so curves are comparable.
+struct EvalPoint {
+  double round = 0.0;
+  double virtual_time = 0.0;
+  double full_acc = 0.0;
+  double avg_acc = 0.0;
+};
+
+std::vector<EvalPoint> eval_points(const Run& run) {
+  std::vector<EvalPoint> points;
+  for (const Record& r : run.events) {
+    if (!is_kind(r, "eval_point")) continue;
+    points.push_back({num(r, "round"), num(r, "virtual_time"),
+                      num(r, "full_acc"), num(r, "avg_acc")});
+  }
+  return points;
+}
+
+/// Simulated seconds until the run first evaluated at or above `target`;
+/// negative when it never did (or the run carries no eval_point events).
+double time_to_accuracy(const std::vector<EvalPoint>& points, double target) {
+  for (const EvalPoint& p : points) {
+    if (p.full_acc >= target) return p.virtual_time;
+  }
+  return -1.0;
+}
+
+int cmd_timeline(const TraceFile& file, int run_index) {
+  std::vector<std::size_t> selected;
+  if (run_index >= 0) {
+    if (pick_run(file, run_index) == nullptr) return 1;
+    selected.push_back(static_cast<std::size_t>(run_index));
+  } else {
+    for (std::size_t i = 0; i < file.runs.size(); ++i) selected.push_back(i);
+  }
+
+  bool any_points = false;
+  for (const std::size_t i : selected) {
+    const Run& run = file.runs[i];
+    const std::vector<EvalPoint> points = eval_points(run);
+    std::printf("run %zu: %s\n", i, run.label().c_str());
+    if (points.empty()) {
+      std::printf("  (no eval_point events — run predates the simulated "
+                  "clock or the transport was off)\n\n");
+      continue;
+    }
+    any_points = true;
+    Table t({"round", "virtual time s", "full acc", "avg client acc"});
+    for (const EvalPoint& p : points) {
+      t.add_row({Table::fmt(p.round, 0), Table::fmt(p.virtual_time, 3),
+                 Table::fmt(p.full_acc, 4), Table::fmt(p.avg_acc, 4)});
+    }
+    std::printf("%s\n", t.to_markdown().c_str());
+  }
+  if (!any_points) {
+    std::fprintf(stderr, "afl-insight: no eval_point events in %s\n",
+                 file.path.c_str());
+    return 1;
+  }
+
+  // Cross-run comparison: simulated seconds to each accuracy threshold.
+  // "-" marks a threshold the run never reached.
+  static constexpr double kThresholds[] = {0.1, 0.15, 0.2, 0.3, 0.4,
+                                           0.5, 0.6,  0.7, 0.8, 0.9};
+  std::vector<std::string> header{"acc threshold"};
+  for (const std::size_t i : selected) {
+    header.push_back("run " + std::to_string(i) + " (s)");
+  }
+  Table t(header);
+  for (const double target : kThresholds) {
+    std::vector<std::string> row{Table::fmt(target, 2)};
+    bool reached = false;
+    for (const std::size_t i : selected) {
+      const double tta = time_to_accuracy(eval_points(file.runs[i]), target);
+      row.push_back(tta < 0 ? "-" : Table::fmt(tta, 3));
+      reached = reached || tta >= 0;
+    }
+    if (reached) t.add_row(row);
+  }
+  std::printf("simulated time to accuracy:\n%s", t.to_markdown().c_str());
+  return 0;
+}
+
+int cmd_diff(const TraceFile& base, const TraceFile& cand, int base_run,
+             int cand_run, double max_acc_drop, double max_time_ratio,
+             double max_comm_ratio, double max_bytes_ratio, double tta_acc,
+             double max_tta_ratio) {
+  const Run* a = pick_run(base, base_run);
+  const Run* b = pick_run(cand, cand_run);
+  if (a == nullptr || b == nullptr) return 1;
   if (a->has_header() != b->has_header()) {
     std::fprintf(stderr,
                  "afl-insight: cannot diff a headered trace against a "
@@ -373,6 +468,16 @@ int cmd_diff(const TraceFile& base, const TraceFile& cand, double max_acc_drop,
     t.add_row({"bytes on wire", Table::fmt(total_a, 0), Table::fmt(total_b, 0),
                total_a > 0 ? Table::fmt(total_b / total_a, 3) + "x" : "n/a"});
   }
+  double tta_a = -1.0, tta_b = -1.0;
+  if (tta_acc > 0) {
+    tta_a = time_to_accuracy(eval_points(*a), tta_acc);
+    tta_b = time_to_accuracy(eval_points(*b), tta_acc);
+    t.add_row({"sim s to acc " + Table::fmt(tta_acc, 2),
+               tta_a < 0 ? "n/a" : Table::fmt(tta_a, 3),
+               tta_b < 0 ? "n/a" : Table::fmt(tta_b, 3),
+               tta_a > 0 && tta_b >= 0 ? Table::fmt(tta_b / tta_a, 3) + "x"
+                                       : "n/a"});
+  }
   std::printf("%s\n", t.to_markdown().c_str());
 
   int regressions = 0;
@@ -400,6 +505,29 @@ int cmd_diff(const TraceFile& base, const TraceFile& cand, double max_acc_drop,
                 bytes_b / bytes_a, max_bytes_ratio);
     ++regressions;
   }
+  // Time-to-accuracy gate, active only when --tta-acc was given. Baseline
+  // never reaching the target is a usage error (the gate would be vacuous);
+  // the candidate never reaching it while the baseline did is a regression.
+  if (tta_acc > 0) {
+    if (tta_a < 0) {
+      std::fprintf(stderr,
+                   "afl-insight: baseline never reached accuracy %.2f — "
+                   "--tta-acc gate cannot apply\n",
+                   tta_acc);
+      return 1;
+    }
+    if (tta_b < 0) {
+      std::printf("REGRESSION: candidate never reached accuracy %.2f "
+                  "(baseline did at %.3f sim s)\n",
+                  tta_acc, tta_a);
+      ++regressions;
+    } else if (tta_b > tta_a * max_tta_ratio) {
+      std::printf(
+          "REGRESSION: time-to-acc-%.2f %.2fx baseline (> %.2fx allowed)\n",
+          tta_acc, tta_b / tta_a, max_tta_ratio);
+      ++regressions;
+    }
+  }
   if (regressions == 0) {
     std::printf(
         "no regression (acc drop <= %.4f, time <= %.2fx, comm <= %.2fx, "
@@ -416,11 +544,15 @@ int usage() {
                "  summary <trace>                     per-run phase/time breakdown\n"
                "  clients <trace> [--run N]           per-client drill-down\n"
                "  rounds <trace> [N] [--run N]        slowest-N rounds (default 5)\n"
+               "  timeline <trace> [--run N]          simulated time-to-accuracy curves\n"
                "  diff <baseline> <candidate>         regression check (exit 2 on regression)\n"
                "       [--max-acc-drop X]             allowed absolute accuracy drop (0.02)\n"
                "       [--max-time-ratio X]           allowed round-p95 ratio (1.50)\n"
                "       [--max-comm-ratio X]           allowed params-sent ratio (1.10)\n"
-               "       [--max-bytes-ratio X]          allowed wire-bytes ratio (1.10)\n");
+               "       [--max-bytes-ratio X]          allowed wire-bytes ratio (1.10)\n"
+               "       [--tta-acc X]                  gate simulated time to accuracy X (off)\n"
+               "       [--max-tta-ratio X]            allowed time-to-acc ratio (1.00)\n"
+               "       [--base-run N] [--cand-run N]  run index inside each trace (last)\n");
   return 1;
 }
 
@@ -432,9 +564,11 @@ int main(int argc, char** argv) {
 
   // Common flags/positionals after the command + first path.
   std::vector<std::string> args(argv + 2, argv + argc);
-  int run_index = -1;  // default: last run
+  int run_index = -1;                     // default: last run
+  int base_run = -1, cand_run = -1;       // diff-side run selectors
   double max_acc_drop = 0.02, max_time_ratio = 1.50, max_comm_ratio = 1.10;
   double max_bytes_ratio = 1.10;
+  double tta_acc = 0.0, max_tta_ratio = 1.00;  // tta gate off until --tta-acc
   std::vector<std::string> positional;
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto flag_value = [&](double& out) {
@@ -445,6 +579,12 @@ int main(int argc, char** argv) {
     if (args[i] == "--run") {
       if (i + 1 >= args.size()) return usage();
       run_index = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--base-run") {
+      if (i + 1 >= args.size()) return usage();
+      base_run = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--cand-run") {
+      if (i + 1 >= args.size()) return usage();
+      cand_run = std::atoi(args[++i].c_str());
     } else if (args[i] == "--max-acc-drop") {
       if (!flag_value(max_acc_drop)) return usage();
     } else if (args[i] == "--max-time-ratio") {
@@ -453,6 +593,10 @@ int main(int argc, char** argv) {
       if (!flag_value(max_comm_ratio)) return usage();
     } else if (args[i] == "--max-bytes-ratio") {
       if (!flag_value(max_bytes_ratio)) return usage();
+    } else if (args[i] == "--tta-acc") {
+      if (!flag_value(tta_acc)) return usage();
+    } else if (args[i] == "--max-tta-ratio") {
+      if (!flag_value(max_tta_ratio)) return usage();
     } else {
       positional.push_back(args[i]);
     }
@@ -471,12 +615,14 @@ int main(int argc, char** argv) {
     }
     return cmd_rounds(file, run_index, top_n);
   }
+  if (cmd == "timeline") return cmd_timeline(file, run_index);
   if (cmd == "diff") {
     if (positional.size() != 2) return usage();
     TraceFile cand;
     if (!load_trace(positional[1], cand)) return 1;
-    return cmd_diff(file, cand, max_acc_drop, max_time_ratio, max_comm_ratio,
-                    max_bytes_ratio);
+    return cmd_diff(file, cand, base_run, cand_run, max_acc_drop,
+                    max_time_ratio, max_comm_ratio, max_bytes_ratio, tta_acc,
+                    max_tta_ratio);
   }
   return usage();
 }
