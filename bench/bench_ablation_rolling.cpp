@@ -8,9 +8,12 @@
 #include "core/rolling_fl.hpp"
 #include "prune/model_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afl;
   using namespace afl::bench;
+  obs::prof::BenchReport report("ablation_rolling", &argc, argv);
+  report.set_scale(bench_scale_name(bench_scale()));
+  obs::prof::BenchReport::Scoped run_section(report, "run");
   print_header("Ablation: prefix vs rolling-window sub-model extraction",
                "design-choice ablation (DESIGN.md §6)");
 

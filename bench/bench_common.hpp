@@ -5,19 +5,44 @@
 //
 // ADAPTIVEFL_BENCH_SCALE=smoke (default) runs seconds-per-cell configs;
 // ADAPTIVEFL_BENCH_SCALE=full runs longer configs closer to the paper's
-// regime. Individual knobs can be overridden via AFL_ROUNDS / AFL_CLIENTS /
-// AFL_SAMPLES / AFL_EPOCHS.
+// regime. Individual knobs can be overridden via the AFL_* variables read by
+// apply_env_overrides() below.
+//
+// Every bench can persist a BENCH_<name>.json snapshot (--out <path> or
+// AFL_BENCH_JSON, see obs/prof/bench_report.hpp); `afl-insight bench
+// show|diff` consumes the snapshots and CI gates on them.
 
 #include <cstdio>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "obs/prof/bench_report.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 
 namespace afl::bench {
 
-/// Baseline experiment configuration at the selected scale.
+/// Applies the AFL_* scale-override environment variables to `cfg`. This is
+/// the one place the override set is defined — every bench (and the README)
+/// honors exactly: AFL_ROUNDS, AFL_CLIENTS, AFL_CLIENTS_PER_ROUND,
+/// AFL_SAMPLES, AFL_TEST_SAMPLES, AFL_EPOCHS.
+inline void apply_env_overrides(ExperimentConfig& cfg) {
+  cfg.rounds =
+      static_cast<std::size_t>(env_or("AFL_ROUNDS", static_cast<int>(cfg.rounds)));
+  cfg.num_clients =
+      static_cast<std::size_t>(env_or("AFL_CLIENTS", static_cast<int>(cfg.num_clients)));
+  cfg.clients_per_round = static_cast<std::size_t>(
+      env_or("AFL_CLIENTS_PER_ROUND", static_cast<int>(cfg.clients_per_round)));
+  cfg.samples_per_client =
+      static_cast<std::size_t>(env_or("AFL_SAMPLES", static_cast<int>(cfg.samples_per_client)));
+  cfg.test_samples = static_cast<std::size_t>(
+      env_or("AFL_TEST_SAMPLES", static_cast<int>(cfg.test_samples)));
+  cfg.local_epochs =
+      static_cast<std::size_t>(env_or("AFL_EPOCHS", static_cast<int>(cfg.local_epochs)));
+}
+
+/// Baseline experiment configuration at the selected scale, with the AFL_*
+/// environment overrides already applied.
 inline ExperimentConfig scaled_config() {
   ExperimentConfig cfg;
   const BenchScale scale = bench_scale();
@@ -36,14 +61,21 @@ inline ExperimentConfig scaled_config() {
     cfg.rounds = 100;
     cfg.local_epochs = 2;
   }
-  cfg.rounds = static_cast<std::size_t>(env_or("AFL_ROUNDS", static_cast<int>(cfg.rounds)));
-  cfg.num_clients =
-      static_cast<std::size_t>(env_or("AFL_CLIENTS", static_cast<int>(cfg.num_clients)));
-  cfg.samples_per_client =
-      static_cast<std::size_t>(env_or("AFL_SAMPLES", static_cast<int>(cfg.samples_per_client)));
-  cfg.local_epochs =
-      static_cast<std::size_t>(env_or("AFL_EPOCHS", static_cast<int>(cfg.local_epochs)));
+  apply_env_overrides(cfg);
   return cfg;
+}
+
+/// Stamps the shared snapshot fields: scale name plus the experiment knobs
+/// every bench varies. Call once after scaled_config()/apply_env_overrides().
+inline void describe_config(obs::prof::BenchReport& report,
+                            const ExperimentConfig& cfg) {
+  report.set_scale(bench_scale_name(bench_scale()));
+  report.set_config("rounds", static_cast<double>(cfg.rounds));
+  report.set_config("num_clients", static_cast<double>(cfg.num_clients));
+  report.set_config("clients_per_round", static_cast<double>(cfg.clients_per_round));
+  report.set_config("samples_per_client", static_cast<double>(cfg.samples_per_client));
+  report.set_config("test_samples", static_cast<double>(cfg.test_samples));
+  report.set_config("local_epochs", static_cast<double>(cfg.local_epochs));
 }
 
 inline void print_header(const std::string& what, const std::string& paper_ref) {

@@ -6,9 +6,12 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afl;
   using namespace afl::bench;
+  obs::prof::BenchReport report("fig2_curves", &argc, argv);
+  report.set_scale(bench_scale_name(bench_scale()));
+  obs::prof::BenchReport::Scoped run_section(report, "run");
 
   print_header("Figure 2: learning curves (avg accuracy %, VGG16*)",
                "Fig. 2 (a-d)");

@@ -8,9 +8,12 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afl;
   using namespace afl::bench;
+  obs::prof::BenchReport report("fig3_submodels", &argc, argv);
+  report.set_scale(bench_scale_name(bench_scale()));
+  obs::prof::BenchReport::Scoped run_section(report, "run");
   print_header("Figure 3: per-level submodel accuracy (%, final round)",
                "Fig. 3");
 

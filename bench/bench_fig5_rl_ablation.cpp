@@ -9,9 +9,12 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afl;
   using namespace afl::bench;
+  obs::prof::BenchReport report("fig5_rl_ablation", &argc, argv);
+  report.set_scale(bench_scale_name(bench_scale()));
+  obs::prof::BenchReport::Scoped run_section(report, "run");
   print_header("Figure 5: RL client-selection ablation (CIFAR-100*, ResNet18*)",
                "Fig. 5 (a) + (b)");
 

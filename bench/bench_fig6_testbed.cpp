@@ -10,9 +10,12 @@
 #include "prune/model_pool.hpp"
 #include "sim/testbed.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afl;
   using namespace afl::bench;
+  obs::prof::BenchReport report("fig6_testbed", &argc, argv);
+  report.set_scale(bench_scale_name(bench_scale()));
+  obs::prof::BenchReport::Scoped run_section(report, "run");
   print_header("Figure 6: test-bed experiment (Widar*, MobileNetV2*)",
                "Table 5 + Fig. 6");
 

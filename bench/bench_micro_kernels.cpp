@@ -19,6 +19,7 @@
 #include "net/codec.hpp"
 #include "nn/conv2d.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/bench_report.hpp"
 #include "obs/timer.hpp"
 #include "prune/model_pool.hpp"
 #include "tensor/gemm.hpp"
@@ -176,14 +177,31 @@ void print_kernel_histograms() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Snapshot writer first: it splices --out/-o away before google-benchmark
+  // sees (and rejects) them.
+  obs::prof::BenchReport report("micro_kernels", &argc, argv);
+  report.set_scale("fixed");  // shapes are hard-coded, no smoke/full split
   // Profile kernels unless the caller explicitly opted out.
   if (std::getenv("AFL_KERNEL_PROFILE") == nullptr) {
     afl::obs::set_kernel_profiling(true);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  {
+    obs::prof::BenchReport::Scoped all(report, "all_benchmarks");
+    benchmark::RunSpecifiedBenchmarks();
+  }
   benchmark::Shutdown();
   print_kernel_histograms();
+  // One section per kernel histogram: total in-kernel seconds plus the
+  // latency envelope, so `afl-insight bench diff` can gate per kernel.
+  for (const auto& [name, s] : obs::metrics().histograms()) {
+    if (s.count == 0) continue;
+    report.add_section(name, s.sum,
+                       {{"count", static_cast<double>(s.count)},
+                        {"mean_us", s.mean * 1e6},
+                        {"p95_us", s.p95 * 1e6}});
+  }
+  report.write();
   return 0;
 }

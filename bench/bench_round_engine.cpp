@@ -13,14 +13,16 @@
 #include "bench_common.hpp"
 #include "util/stopwatch.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afl;
+  obs::prof::BenchReport report("round_engine", &argc, argv);
   bench::print_header("RoundEngine thread scaling",
                       "engine infrastructure (docs/ENGINE.md), not a paper table");
 
   ExperimentConfig cfg = bench::scaled_config();
   cfg.rounds = static_cast<std::size_t>(env_or("AFL_ROUNDS", 6));
   cfg.eval_every = cfg.rounds;  // eval once at the end; bench the round loop
+  bench::describe_config(report, cfg);
   const ExperimentEnv env = make_env(cfg);
   const unsigned cores = std::thread::hardware_concurrency();
 
@@ -31,6 +33,8 @@ int main() {
   for (std::size_t threads : thread_counts) {
     ExperimentEnv run_env = env;
     run_env.run.threads = threads;
+    obs::prof::BenchReport::Scoped section(report,
+                                           "threads=" + std::to_string(threads));
     Stopwatch watch;
     results.push_back(run_algorithm(Algorithm::kAdaptiveFl, run_env));
     const double wall = watch.seconds();
@@ -50,6 +54,9 @@ int main() {
                  r.failed_trainings == base.failed_trainings;
 
     const double rounds_per_sec = static_cast<double>(cfg.rounds) / wall;
+    section.set_metric("rounds_per_sec", rounds_per_sec);
+    section.set_metric("speedup", base_wall / wall);
+    section.set_metric("identical_to_1_thread", identical ? 1.0 : 0.0);
     char wall_s[32], rps_s[32], speedup_s[32];
     std::snprintf(wall_s, sizeof(wall_s), "%.2f", wall);
     std::snprintf(rps_s, sizeof(rps_s), "%.2f", rounds_per_sec);

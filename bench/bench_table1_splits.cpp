@@ -29,9 +29,12 @@ void print_pool(const afl::ArchSpec& spec, const afl::PoolConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afl;
   using namespace afl::bench;
+  obs::prof::BenchReport report("table1_splits", &argc, argv);
+  report.set_scale(bench_scale_name(bench_scale()));
+  obs::prof::BenchReport::Scoped run_section(report, "run");
   print_header("Table 1: VGG16 split settings", "Table 1");
 
   ArchSpec paper_vgg = vgg16(10, 3, 32);

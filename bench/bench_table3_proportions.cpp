@@ -7,9 +7,12 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afl;
   using namespace afl::bench;
+  obs::prof::BenchReport report("table3_proportions", &argc, argv);
+  report.set_scale(bench_scale_name(bench_scale()));
+  obs::prof::BenchReport::Scoped run_section(report, "run");
   print_header("Table 3: device-proportion sweep (avg | full, %)", "Table 3");
 
   const double props[][3] = {{4, 3, 3}, {8, 1, 1}, {1, 8, 1}, {1, 1, 8}};

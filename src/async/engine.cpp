@@ -14,6 +14,7 @@
 #include "engine/thread_pool.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
@@ -98,6 +99,7 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
   // selection, capacity, availability, transport streams) happen here on the
   // engine thread, in event order.
   auto top_up = [&]() {
+    AFL_PROF_SPAN("async.top_up");
     while (pending.size() < async_.concurrency) {
       ClientSlot s;
       s.round = next_dispatch;  // dispatch id doubles as the "round" key
@@ -182,7 +184,9 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
       if (p.accepted && !p.trained) wave.push_back(&p);
     }
     if (wave.empty()) return;
+    AFL_PROF_SPAN("async.train_wave");
     pool.parallel_for(wave.size(), [&](std::size_t i) {
+      AFL_PROF_SPAN("async.client_train");
       Pending& p = *wave[i];
       Rng crng = Rng::derive(config_.seed, p.slot.round, p.slot.client);
       p.outcome = policy.execute(p.slot, crng);
@@ -193,8 +197,10 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
   // One buffer flush: aggregate, bump the global version, cut a telemetry
   // window, evaluate when due.
   auto do_flush = [&]() {
+    AFL_PROF_SPAN("async.flush");
     ++flushes;
     {
+      AFL_PROF_SPAN("async.aggregate");
       Stopwatch agg_watch;
       policy.aggregate(flushes);
       telemetry->add_aggregate_seconds(agg_watch.seconds());
@@ -206,6 +212,7 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
     last_flush_time = clock.now();
     if (config_.eval_every != 0 &&
         (flushes % config_.eval_every == 0 || flushes == config_.rounds)) {
+      AFL_PROF_SPAN("async.evaluate");
       Stopwatch eval_watch;
       policy.evaluate(flushes, result);
       result.curve.push_back({flushes, result.final_full_acc,

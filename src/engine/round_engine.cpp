@@ -11,6 +11,7 @@
 #include "engine/thread_pool.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/status.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
@@ -77,17 +78,23 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
       ClientSlot s;
       s.round = round;
       s.slot = slot;
-      if (!policy.select(s, rng)) break;  // no client available this round
-      if (devices_) {
-        if (s.client >= devices_->size()) {
-          throw std::logic_error("RoundEngine: policy selected client " +
-                                 std::to_string(s.client) + " outside the fleet");
+      {
+        AFL_PROF_SPAN("engine.select");
+        if (!policy.select(s, rng)) break;  // no client available this round
+        if (devices_) {
+          if (s.client >= devices_->size()) {
+            throw std::logic_error("RoundEngine: policy selected client " +
+                                   std::to_string(s.client) + " outside the fleet");
+          }
+          s.capacity = (*devices_)[s.client].capacity(rng);
+        } else {
+          s.capacity = static_cast<std::size_t>(-1);
         }
-        s.capacity = (*devices_)[s.client].capacity(rng);
-      } else {
-        s.capacity = static_cast<std::size_t>(-1);
       }
-      policy.adapt(s);
+      {
+        AFL_PROF_SPAN("engine.adapt");
+        policy.adapt(s);
+      }
       // Unified accounting: the dispatch is on the wire before the server
       // learns anything about the device, so it is recorded up front and
       // becomes pure waste on no-response / no-fit.
@@ -141,13 +148,19 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
     std::vector<double> queue_seconds(work.size(), 0.0);
     std::vector<double> exec_seconds(work.size(), 0.0);
     Stopwatch exec_watch;
-    pool.parallel_for(work.size(), [&](std::size_t i) {
-      queue_seconds[i] = exec_watch.seconds();
-      Stopwatch item_watch;
-      Rng crng = Rng::derive(config_.seed, work[i].round, work[i].client);
-      outcomes[i] = policy.execute(work[i], crng);
-      exec_seconds[i] = item_watch.seconds();
-    });
+    {
+      AFL_PROF_SPAN("engine.train");
+      pool.parallel_for(work.size(), [&](std::size_t i) {
+        // Worker-thread span: lands on the pool thread's own span stack, so
+        // kernel spans nested under it attribute correctly per thread.
+        AFL_PROF_SPAN("engine.client_train");
+        queue_seconds[i] = exec_watch.seconds();
+        Stopwatch item_watch;
+        Rng crng = Rng::derive(config_.seed, work[i].round, work[i].client);
+        outcomes[i] = policy.execute(work[i], crng);
+        exec_seconds[i] = item_watch.seconds();
+      });
+    }
     const double exec_wall = exec_watch.seconds();
 
     // Phase 3 (sequential commit, slot order): uploads, comm accounting,
@@ -216,6 +229,7 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
 
     // Phase 4 (aggregate + eval): sequential.
     {
+      AFL_PROF_SPAN("engine.aggregate");
       Stopwatch agg_watch;
       policy.aggregate(round);
       telemetry->add_aggregate_seconds(agg_watch.seconds());
@@ -233,6 +247,7 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
 
     if (config_.eval_every != 0 &&
         (round % config_.eval_every == 0 || round == config_.rounds)) {
+      AFL_PROF_SPAN("engine.evaluate");
       Stopwatch eval_watch;
       policy.evaluate(round, result);
       result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,

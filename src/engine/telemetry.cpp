@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "obs/metrics.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/status.hpp"
 #include "obs/trace.hpp"
 
@@ -37,6 +38,13 @@ void trace_run_start(const RunResult& result, const FlRunConfig& config,
 }
 
 void trace_run_end(const RunResult& result, const net::Transport& transport) {
+  // Run end is the profiler's flush point: aggregates become afl.prof.*
+  // gauges on /metrics and, when tracing is also on, `profile` records in
+  // the JSONL trace. With AFL_PROFILE unset both calls are skipped entirely.
+  if (obs::prof::profiling_enabled()) {
+    obs::prof::publish(obs::metrics());
+    obs::prof::emit_trace_records();
+  }
   if (!obs::trace_enabled()) return;
   obs::TraceEvent ev("run_end");
   ev.field("algo", result.algorithm)

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/prof/prof.hpp"
+
 namespace afl::net {
 namespace {
 
@@ -120,6 +122,7 @@ std::size_t encoded_payload_size(std::size_t numel, Codec codec) {
 }
 
 std::size_t encode_tensor(const Tensor& t, Codec codec, std::vector<std::uint8_t>& out) {
+  AFL_PROF_SPAN("net.encode");
   const std::size_t start = out.size();
   const float* data = t.data();
   const std::size_t n = t.numel();
@@ -195,6 +198,7 @@ std::size_t encode_tensor(const Tensor& t, Codec codec, std::vector<std::uint8_t
 
 Tensor decode_tensor(const std::uint8_t* data, std::size_t size, const Shape& shape,
                      Codec codec) {
+  AFL_PROF_SPAN("net.decode");
   const std::size_t n = shape_numel(shape);
   if (size != encoded_payload_size(n, codec)) {
     throw CodecError("codec: payload size " + std::to_string(size) +

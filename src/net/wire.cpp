@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/prof/prof.hpp"
 #include "util/crc32.hpp"
 
 namespace afl::net {
@@ -53,6 +54,7 @@ std::uint64_t varint_decode(const std::uint8_t* data, std::size_t size,
 }
 
 std::vector<std::uint8_t> encode_frame(const FrameHeader& header, const ParamSet& params) {
+  AFL_PROF_SPAN("net.frame.encode");
   std::vector<std::uint8_t> out;
   // Rough reservation: payload plus a small per-tensor overhead allowance.
   std::size_t payload = 0;
@@ -81,6 +83,7 @@ std::vector<std::uint8_t> encode_frame(const FrameHeader& header, const ParamSet
 }
 
 ParamSet decode_frame(const std::uint8_t* data, std::size_t size, FrameHeader* header) {
+  AFL_PROF_SPAN("net.frame.decode");
   if (size < sizeof(kMagic) + 3 + 4) throw WireError("wire: frame too short");
   if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
     throw WireError("wire: bad magic");

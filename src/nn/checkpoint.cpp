@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/prof/prof.hpp"
 #include "util/crc32.hpp"
 
 namespace afl {
@@ -73,6 +74,7 @@ ParamSet read_body(std::istream& in) {
 }  // namespace
 
 void save_checkpoint(const ParamSet& params, const std::string& path) {
+  AFL_PROF_SPAN("ckpt.save");
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("checkpoint: cannot open " + path + " for write");
   out.write(kMagicV2, sizeof(kMagicV2));
@@ -91,6 +93,7 @@ void save_checkpoint(const ParamSet& params, const std::string& path) {
 }
 
 ParamSet load_checkpoint(const std::string& path) {
+  AFL_PROF_SPAN("ckpt.load");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
   char magic[8];

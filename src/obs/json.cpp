@@ -281,6 +281,44 @@ std::map<std::string, std::string> json_object_fields(std::string_view text) {
   return fields;
 }
 
+std::vector<std::string> json_array_items(std::string_view raw) {
+  std::vector<std::string> items;
+  if (!json_validate(raw)) return items;
+  const std::size_t b = raw.find_first_not_of(" \t\r\n");
+  const std::size_t e = raw.find_last_not_of(" \t\r\n");
+  if (b == std::string_view::npos || raw[b] != '[' || raw[e] != ']') return items;
+  std::string_view body = raw.substr(b + 1, e - b - 1);
+  // Already validated: a flat scan tracking nesting and strings is enough.
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  std::size_t start = 0;
+  auto flush = [&](std::size_t end) {
+    std::string_view item = body.substr(start, end - start);
+    const std::size_t ib = item.find_first_not_of(" \t\r\n");
+    if (ib == std::string_view::npos) return;
+    const std::size_t ie = item.find_last_not_of(" \t\r\n");
+    items.emplace_back(item.substr(ib, ie - ib + 1));
+  };
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    else if (c == ',' && depth == 0) {
+      flush(i);
+      start = i + 1;
+    }
+  }
+  flush(body.size());
+  return items;
+}
+
 double json_raw_number(std::string_view raw, double fallback) {
   if (raw.empty() || !(raw.front() == '-' ||
                        std::isdigit(static_cast<unsigned char>(raw.front())))) {

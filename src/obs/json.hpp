@@ -7,6 +7,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace afl::obs {
 
@@ -25,6 +26,12 @@ bool json_validate(std::string_view text);
 /// JSONL record in this repo is such an object; this is what afl-insight and
 /// the exposition tests parse with.
 std::map<std::string, std::string> json_object_fields(std::string_view text);
+
+/// Splits a raw JSON array value ("[{...},{...}]") into its top-level
+/// element texts. Empty vector when `raw` is not a syntactically valid
+/// array (or is the empty array). Complements json_object_fields for the
+/// one nesting level the bench snapshots use (sections: [...]).
+std::vector<std::string> json_array_items(std::string_view raw);
 
 /// Interprets a raw field value as a number; `fallback` when it is not one.
 double json_raw_number(std::string_view raw, double fallback = 0.0);

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/prof/prof.hpp"
 #include "obs/timer.hpp"
 
 namespace afl {
@@ -27,6 +28,7 @@ void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k
           std::size_t n, bool accumulate) {
   static obs::Histogram& hist = gemm_hist("afl.tensor.gemm.seconds");
   obs::KernelTimer timer(hist);
+  AFL_PROF_SPAN("tensor.gemm");
   if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
   std::size_t i = 0;
   for (; i + 4 <= m; i += 4) {
@@ -65,6 +67,7 @@ void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_
              std::size_t n, bool accumulate) {
   static obs::Histogram& hist = gemm_hist("afl.tensor.gemm_at.seconds");
   obs::KernelTimer timer(hist);
+  AFL_PROF_SPAN("tensor.gemm_at");
   if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
   // A stored [k x m]; effective A[i][p] = a[p*m + i].
   std::size_t i = 0;
@@ -100,6 +103,7 @@ void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_
              std::size_t n, bool accumulate) {
   static obs::Histogram& hist = gemm_hist("afl.tensor.gemm_bt.seconds");
   obs::KernelTimer timer(hist);
+  AFL_PROF_SPAN("tensor.gemm_bt");
   // B stored [n x k]; C[i][j] = dot(a_row_i, b_row_j). Four A rows share each
   // streamed B row.
   std::size_t i = 0;

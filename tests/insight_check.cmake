@@ -180,4 +180,50 @@ if(NOT err MATCHES "schema")
   message(FATAL_ERROR "unknown-schema error does not mention the schema:\n${err}")
 endif()
 
+# Usage errors are exit 64 (EX_USAGE) with the usage text on stderr —
+# distinct from 1 (broken data) and 2 (regression), so CI scripts can tell a
+# mistyped invocation from a real failure.
+execute_process(
+  COMMAND "${INSIGHT}" frobnicate "${BASE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 64)
+  message(FATAL_ERROR "unknown command exited ${rc} (expected 64):\n${out}${err}")
+endif()
+if(NOT err MATCHES "usage: afl-insight")
+  message(FATAL_ERROR "unknown command did not print usage:\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${INSIGHT}" summary "${WORK_DIR}/does_not_exist.jsonl"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 64)
+  message(FATAL_ERROR "missing trace file exited ${rc} (expected 64):\n${out}${err}")
+endif()
+if(NOT err MATCHES "cannot open")
+  message(FATAL_ERROR "missing-file error does not say 'cannot open':\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${INSIGHT}" bench frobnicate "${BASE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 64)
+  message(FATAL_ERROR "unknown bench subcommand exited ${rc} (expected 64):\n${out}${err}")
+endif()
+
+execute_process(
+  COMMAND "${INSIGHT}" bench show "${WORK_DIR}/does_not_exist.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 64)
+  message(FATAL_ERROR "missing snapshot exited ${rc} (expected 64):\n${out}${err}")
+endif()
+
+# A snapshot with the wrong schema is broken data (exit 1), not a usage error.
+file(WRITE "${WORK_DIR}/bad_bench.json" "{\"schema\":\"afl.bench.v999\"}\n")
+execute_process(
+  COMMAND "${INSIGHT}" bench show "${WORK_DIR}/bad_bench.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "bad bench schema exited ${rc} (expected 1):\n${out}${err}")
+endif()
+
 message(STATUS "afl-insight CLI checks passed")

@@ -121,6 +121,42 @@ TEST(ObsHistogram, EmptyIsAllZero) {
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(ObsHistogram, EmptySnapshotIsAllZero) {
+  const auto s = Histogram().snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(ObsHistogram, PercentileExtremesClampToObservedRange) {
+  Histogram h(Histogram::exponential_bounds(1e-6, 100.0, 56));
+  h.record(0.25);
+  h.record(4.0);
+  // Bucket interpolation means p=0 is not exactly the min, but no percentile
+  // may ever escape [min, max] — and p=100 clamps to the max exactly.
+  EXPECT_DOUBLE_EQ(h.percentile(100), 4.0);
+  for (const double p : {0.0, 25.0, 50.0, 75.0, 100.0}) {
+    EXPECT_GE(h.percentile(p), 0.25) << "p=" << p;
+    EXPECT_LE(h.percentile(p), 4.0) << "p=" << p;
+  }
+}
+
+TEST(ObsHistogram, SingleSampleSnapshotIsDegenerate) {
+  Histogram h(Histogram::exponential_bounds(1e-6, 100.0, 56));
+  h.record(2.5);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 2.5);
+  EXPECT_DOUBLE_EQ(s.max, 2.5);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  // All percentiles of a single sample collapse to that sample.
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);
+  EXPECT_DOUBLE_EQ(s.p95, 2.5);
+  EXPECT_DOUBLE_EQ(s.p99, 2.5);
+}
+
 TEST(ObsHistogram, OverflowBucketCatchesLargeSamples) {
   Histogram h({1.0, 2.0});
   h.record(1000.0);
@@ -296,6 +332,31 @@ TEST(ObsJson, RawValueHelpers) {
   EXPECT_DOUBLE_EQ(json_raw_number("\"str\"", -1.0), -1.0);
   EXPECT_EQ(json_raw_string("\"esc\\u00e9\""), "esc\xc3\xa9");
   EXPECT_EQ(json_raw_string("12", "fb"), "fb");
+}
+
+TEST(ObsJson, ArrayItemsSplitsTopLevelElements) {
+  const auto items = json_array_items("[{\"a\":1}, 2, \"x,y\", [3,4]]");
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items[0], "{\"a\":1}");
+  EXPECT_EQ(items[1], "2");
+  // Commas inside strings and nested arrays must not split elements.
+  EXPECT_EQ(items[2], "\"x,y\"");
+  EXPECT_EQ(items[3], "[3,4]");
+}
+
+TEST(ObsJson, ArrayItemsHandlesNestingAndEscapes) {
+  const auto items =
+      json_array_items("[{\"s\":\"br]ace \\\" quote\",\"n\":[{\"k\":0}]}]");
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_TRUE(json_validate(items[0]));
+}
+
+TEST(ObsJson, ArrayItemsEmptyOrInvalidYieldsNothing) {
+  EXPECT_TRUE(json_array_items("[]").empty());
+  EXPECT_TRUE(json_array_items("  [ ]  ").empty());
+  EXPECT_TRUE(json_array_items("{\"a\":1}").empty());
+  EXPECT_TRUE(json_array_items("").empty());
+  EXPECT_TRUE(json_array_items("[1,2").empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,72 @@
+# Smoke test for the scoped-span profiler: run quickstart with AFL_PROFILE=1
+# and a trace file, then assert
+#   1. the per-span report table lands on stderr (with the hot engine spans),
+#   2. the trace contains `profile` records and still validates as a whole,
+#   3. with AFL_PROFILE unset the run prints no profiler output at all.
+#
+# Invoked by ctest as:
+#   cmake -DQUICKSTART=<exe> -DVALIDATOR=<exe> -DWORK_DIR=<dir> -P prof_smoke.cmake
+
+foreach(var QUICKSTART VALIDATOR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "prof_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(TRACE_FILE "${WORK_DIR}/prof_smoke.jsonl")
+
+# --- profiled run -----------------------------------------------------------
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env AFL_PROFILE=1 AFL_TRACE_JSONL=${TRACE_FILE}
+          AFL_LOG_LEVEL=warn "${QUICKSTART}" 3 8
+  RESULT_VARIABLE run_result
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "prof_smoke: quickstart failed (${run_result}):\n${run_err}")
+endif()
+
+# The atexit report goes to stderr: header plus the engine phase spans.
+if(NOT run_err MATCHES "-- profile spans")
+  message(FATAL_ERROR "prof_smoke: no profile span table on stderr:\n${run_err}")
+endif()
+foreach(span "engine.train" "engine.aggregate" "tensor.gemm")
+  if(NOT run_err MATCHES "${span}")
+    message(FATAL_ERROR "prof_smoke: span '${span}' missing from report:\n${run_err}")
+  endif()
+endforeach()
+
+# Trace must carry `profile` records and still satisfy the full validator.
+file(READ "${TRACE_FILE}" trace_text)
+if(NOT trace_text MATCHES "\"kind\":\"profile\"")
+  message(FATAL_ERROR "prof_smoke: no profile records in ${TRACE_FILE}")
+endif()
+execute_process(
+  COMMAND "${VALIDATOR}" "${TRACE_FILE}"
+  RESULT_VARIABLE validate_result
+  OUTPUT_VARIABLE validate_out
+  ERROR_VARIABLE validate_err)
+if(NOT validate_result EQUAL 0)
+  message(FATAL_ERROR
+          "prof_smoke: trace with profile records failed validation:\n"
+          "${validate_out}${validate_err}")
+endif()
+
+# --- unprofiled run: zero profiler output -----------------------------------
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env AFL_LOG_LEVEL=warn "${QUICKSTART}" 3 8
+  RESULT_VARIABLE off_result
+  OUTPUT_VARIABLE off_out
+  ERROR_VARIABLE off_err)
+if(NOT off_result EQUAL 0)
+  message(FATAL_ERROR "prof_smoke: unprofiled quickstart failed (${off_result})")
+endif()
+if(off_err MATCHES "profile spans" OR off_err MATCHES "obs\\.prof")
+  message(FATAL_ERROR
+          "prof_smoke: profiler output leaked with AFL_PROFILE unset:\n${off_err}")
+endif()
+
+message(STATUS "prof_smoke: span table + profile trace records OK")
+file(REMOVE_RECURSE "${WORK_DIR}")

@@ -1,10 +1,13 @@
-// afl-insight — offline analysis of AFL_TRACE_JSONL files.
+// afl-insight — offline analysis of AFL_TRACE_JSONL files and persisted
+// benchmark snapshots.
 //
 //   afl-insight summary <trace>            per-run phase/time breakdown
 //   afl-insight clients <trace> [--run N]  per-client drill-down
 //   afl-insight rounds  <trace> [N]        slowest-N rounds
 //   afl-insight timeline <trace>           simulated time-to-accuracy curves
 //   afl-insight diff <a> <b> [thresholds]  run-vs-run regression check
+//   afl-insight bench show <snap|dir>      render BENCH_*.json snapshots
+//   afl-insight bench diff <base> <cand>   snapshot-vs-snapshot perf gate
 //
 // A trace may contain several runs (one process running several algorithms);
 // records are segmented at `run_start` headers. clients/rounds/diff operate
@@ -21,7 +24,18 @@
 // candidate at --max-tta-ratio times the baseline. `timeline` prints the
 // (virtual_time, accuracy) evaluation curve of every run side by side plus a
 // time-to-threshold table — the sync-vs-async comparison of the paper's
-// wall-clock plots. Exit codes: 0 ok, 1 usage/IO/schema error, 2 regression.
+// wall-clock plots. `bench show|diff` consume the afl.bench.v1 snapshots the
+// bench binaries write (--out / AFL_BENCH_JSON, see docs/PROFILING.md);
+// `bench diff` compares per-section wall time (--max-time-ratio) and cycle
+// counts (--max-cycles-ratio) and is the CI benchmark gate. Both accept a
+// snapshot file or a directory of BENCH_*.json files (diff matches them by
+// file name).
+//
+// Exit codes: 0 ok, 1 data/schema error, 2 regression, 64 usage error
+// (unknown command, missing argument, or nonexistent input file).
+
+#include <dirent.h>
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <cmath>
@@ -30,6 +44,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -42,6 +57,12 @@ using afl::Table;
 using Record = std::map<std::string, std::string>;
 
 constexpr const char* kSchema = "afl.trace.v1";
+constexpr const char* kBenchSchema = "afl.bench.v1";
+
+// EX_USAGE: the caller got the command line wrong (unknown command, missing
+// argument, nonexistent input file) — distinct from 1 (the file exists but
+// its content is broken) and 2 (a genuine regression).
+constexpr int kExitUsage = 64;
 
 double num(const Record& r, const std::string& key, double fallback = 0.0) {
   const auto it = r.find(key);
@@ -76,11 +97,13 @@ struct TraceFile {
   std::vector<Run> runs;
 };
 
-bool load_trace(const std::string& path, TraceFile& out) {
+/// 0 on success, kExitUsage when the file cannot be opened, 1 when it opens
+/// but its content is not a valid trace.
+int load_trace(const std::string& path, TraceFile& out) {
   std::ifstream in(path);
   if (!in.good()) {
     std::fprintf(stderr, "afl-insight: cannot open %s\n", path.c_str());
-    return false;
+    return kExitUsage;
   }
   out.path = path;
   std::string line;
@@ -92,7 +115,7 @@ bool load_trace(const std::string& path, TraceFile& out) {
     if (rec.empty()) {
       std::fprintf(stderr, "afl-insight: %s:%zu is not a JSON object\n",
                    path.c_str(), lineno);
-      return false;
+      return 1;
     }
     if (is_kind(rec, "run_start")) {
       const std::string schema = str(rec, "schema");
@@ -101,7 +124,7 @@ bool load_trace(const std::string& path, TraceFile& out) {
                      "afl-insight: %s declares trace schema \"%s\" but this "
                      "tool understands \"%s\"\n",
                      path.c_str(), schema.c_str(), kSchema);
-        return false;
+        return 1;
       }
       Run run;
       run.header = std::move(rec);
@@ -113,9 +136,9 @@ bool load_trace(const std::string& path, TraceFile& out) {
   }
   if (out.runs.empty()) {
     std::fprintf(stderr, "afl-insight: %s contains no records\n", path.c_str());
-    return false;
+    return 1;
   }
-  return true;
+  return 0;
 }
 
 const Run* pick_run(const TraceFile& file, int index) {
@@ -538,6 +561,259 @@ int cmd_diff(const TraceFile& base, const TraceFile& cand, int base_run,
   return 2;
 }
 
+// ---------------------------------------------------------------------------
+// Benchmark snapshots (afl.bench.v1, written by the bench binaries — see
+// obs/prof/bench_report.hpp and docs/PROFILING.md).
+
+struct BenchSection {
+  std::string name;
+  double wall_seconds = 0.0;
+  std::map<std::string, double> counters;  // cycles, instructions, ipc, ...
+  std::map<std::string, double> metrics;   // rounds_per_sec, GFLOP/s, ...
+};
+
+struct BenchSnapshot {
+  std::string path;
+  std::string bench, scale, git;
+  std::vector<BenchSection> sections;
+
+  const BenchSection* section(const std::string& name) const {
+    for (const BenchSection& s : sections) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+bool is_directory(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// Sorted BENCH_*.json file names (not paths) inside `dir`.
+std::vector<std::string> bench_files_in(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (struct dirent* e = readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      names.push_back(name);
+    }
+  }
+  closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// 0 on success, kExitUsage when the file cannot be opened, 1 when it opens
+/// but is not a valid afl.bench.v1 snapshot.
+int load_bench(const std::string& path, BenchSnapshot& out) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "afl-insight: cannot open %s\n", path.c_str());
+    return kExitUsage;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const Record doc = afl::obs::json_object_fields(text);
+  if (doc.empty()) {
+    std::fprintf(stderr, "afl-insight: %s is not a JSON object\n", path.c_str());
+    return 1;
+  }
+  const std::string schema = str(doc, "schema");
+  if (schema != kBenchSchema) {
+    std::fprintf(stderr,
+                 "afl-insight: %s declares bench schema \"%s\" but this tool "
+                 "understands \"%s\"\n",
+                 path.c_str(), schema.c_str(), kBenchSchema);
+    return 1;
+  }
+  out.path = path;
+  out.bench = str(doc, "bench", "?");
+  out.scale = str(doc, "scale", "?");
+  out.git = str(doc, "git", "?");
+  const auto sections_it = doc.find("sections");
+  if (sections_it == doc.end()) {
+    std::fprintf(stderr, "afl-insight: %s has no sections array\n", path.c_str());
+    return 1;
+  }
+  for (const std::string& item :
+       afl::obs::json_array_items(sections_it->second)) {
+    const Record rec = afl::obs::json_object_fields(item);
+    if (rec.empty()) {
+      std::fprintf(stderr, "afl-insight: malformed section in %s\n",
+                   path.c_str());
+      return 1;
+    }
+    BenchSection s;
+    s.name = str(rec, "name", "?");
+    s.wall_seconds = num(rec, "wall_seconds");
+    for (const char* key : {"cycles", "instructions", "ipc",
+                            "cache_references", "cache_misses",
+                            "branch_misses"}) {
+      const auto it = rec.find(key);
+      if (it != rec.end()) {
+        s.counters[key] = afl::obs::json_raw_number(it->second, 0.0);
+      }
+    }
+    const auto metrics_it = rec.find("metrics");
+    if (metrics_it != rec.end()) {
+      for (const auto& [key, raw] :
+           afl::obs::json_object_fields(metrics_it->second)) {
+        s.metrics[key] = afl::obs::json_raw_number(raw, 0.0);
+      }
+    }
+    out.sections.push_back(std::move(s));
+  }
+  return 0;
+}
+
+/// Expands a file-or-directory argument into snapshot paths. A directory
+/// must contain at least one BENCH_*.json.
+int resolve_bench_paths(const std::string& arg, std::vector<std::string>& out) {
+  if (!is_directory(arg)) {
+    out.push_back(arg);
+    return 0;
+  }
+  const std::vector<std::string> names = bench_files_in(arg);
+  if (names.empty()) {
+    std::fprintf(stderr, "afl-insight: no BENCH_*.json files in %s\n",
+                 arg.c_str());
+    return kExitUsage;
+  }
+  for (const std::string& name : names) {
+    out.push_back(arg + (arg.back() == '/' ? "" : "/") + name);
+  }
+  return 0;
+}
+
+int cmd_bench_show(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    if (const int rc = resolve_bench_paths(arg, paths)) return rc;
+  }
+  for (const std::string& path : paths) {
+    BenchSnapshot snap;
+    if (const int rc = load_bench(path, snap)) return rc;
+    std::printf("%s: bench %s | scale %s | git %s\n", snap.path.c_str(),
+                snap.bench.c_str(), snap.scale.c_str(), snap.git.c_str());
+    Table t({"section", "wall s", "cycles", "instr", "ipc", "metrics"});
+    for (const BenchSection& s : snap.sections) {
+      auto counter = [&](const char* key, int digits) {
+        const auto it = s.counters.find(key);
+        return it == s.counters.end() ? std::string("-")
+                                      : Table::fmt(it->second, digits);
+      };
+      std::string metrics;
+      for (const auto& [key, value] : s.metrics) {
+        if (!metrics.empty()) metrics += ' ';
+        metrics += key + "=" + Table::fmt(value, 3);
+      }
+      t.add_row({s.name, Table::fmt(s.wall_seconds, 4), counter("cycles", 0),
+                 counter("instructions", 0), counter("ipc", 2), metrics});
+    }
+    std::printf("%s\n", t.to_markdown().c_str());
+  }
+  return 0;
+}
+
+/// Gates candidate sections against same-named baseline sections. Sections
+/// only one side has are reported but never gate — bench section sets evolve.
+int cmd_bench_diff(const std::string& base_arg, const std::string& cand_arg,
+                   double max_time_ratio, double max_cycles_ratio) {
+  std::vector<std::string> base_paths, cand_paths;
+  if (const int rc = resolve_bench_paths(base_arg, base_paths)) return rc;
+  if (const int rc = resolve_bench_paths(cand_arg, cand_paths)) return rc;
+
+  // Directory mode: pair snapshots by file name, skipping unmatched ones.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  if (is_directory(base_arg) && is_directory(cand_arg)) {
+    for (const std::string& bp : base_paths) {
+      const std::string name = bp.substr(bp.rfind('/') + 1);
+      for (const std::string& cp : cand_paths) {
+        if (cp.substr(cp.rfind('/') + 1) == name) {
+          pairs.emplace_back(bp, cp);
+          break;
+        }
+      }
+    }
+    if (pairs.empty()) {
+      std::fprintf(stderr,
+                   "afl-insight: no snapshot file names in common between %s "
+                   "and %s\n",
+                   base_arg.c_str(), cand_arg.c_str());
+      return kExitUsage;
+    }
+  } else if (base_paths.size() == 1 && cand_paths.size() == 1) {
+    pairs.emplace_back(base_paths[0], cand_paths[0]);
+  } else {
+    std::fprintf(stderr,
+                 "afl-insight: bench diff takes two files or two "
+                 "directories\n");
+    return kExitUsage;
+  }
+
+  int regressions = 0;
+  for (const auto& [base_path, cand_path] : pairs) {
+    BenchSnapshot base, cand;
+    if (const int rc = load_bench(base_path, base)) return rc;
+    if (const int rc = load_bench(cand_path, cand)) return rc;
+    std::printf("baseline : %s (git %s)\n", base.path.c_str(), base.git.c_str());
+    std::printf("candidate: %s (git %s)\n", cand.path.c_str(), cand.git.c_str());
+    if (base.scale != cand.scale) {
+      std::printf("note: scale differs (%s vs %s) — ratios may be meaningless\n",
+                  base.scale.c_str(), cand.scale.c_str());
+    }
+    Table t({"section", "base wall s", "cand wall s", "wall", "cycles"});
+    for (const BenchSection& b : base.sections) {
+      const BenchSection* c = cand.section(b.name);
+      if (c == nullptr) {
+        t.add_row({b.name, Table::fmt(b.wall_seconds, 4), "(missing)", "-", "-"});
+        continue;
+      }
+      std::string wall = "n/a", cycles = "-";
+      if (b.wall_seconds > 0) {
+        const double ratio = c->wall_seconds / b.wall_seconds;
+        wall = Table::fmt(ratio, 3) + "x";
+        if (ratio > max_time_ratio) {
+          std::printf("REGRESSION: %s wall %.2fx baseline (> %.2fx allowed)\n",
+                      b.name.c_str(), ratio, max_time_ratio);
+          ++regressions;
+        }
+      }
+      const auto bc = b.counters.find("cycles");
+      const auto cc = c->counters.find("cycles");
+      if (bc != b.counters.end() && cc != c->counters.end() &&
+          bc->second > 0) {
+        const double ratio = cc->second / bc->second;
+        cycles = Table::fmt(ratio, 3) + "x";
+        if (ratio > max_cycles_ratio) {
+          std::printf("REGRESSION: %s cycles %.2fx baseline (> %.2fx allowed)\n",
+                      b.name.c_str(), ratio, max_cycles_ratio);
+          ++regressions;
+        }
+      }
+      t.add_row({b.name, Table::fmt(b.wall_seconds, 4),
+                 Table::fmt(c->wall_seconds, 4), wall, cycles});
+    }
+    for (const BenchSection& c : cand.sections) {
+      if (base.section(c.name) == nullptr) {
+        t.add_row({c.name, "(new)", Table::fmt(c.wall_seconds, 4), "-", "-"});
+      }
+    }
+    std::printf("%s\n", t.to_markdown().c_str());
+  }
+  if (regressions == 0) {
+    std::printf("no bench regression (wall <= %.2fx, cycles <= %.2fx)\n",
+                max_time_ratio, max_cycles_ratio);
+    return 0;
+  }
+  return 2;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: afl-insight <command> [args]\n"
@@ -552,8 +828,13 @@ int usage() {
                "       [--max-bytes-ratio X]          allowed wire-bytes ratio (1.10)\n"
                "       [--tta-acc X]                  gate simulated time to accuracy X (off)\n"
                "       [--max-tta-ratio X]            allowed time-to-acc ratio (1.00)\n"
-               "       [--base-run N] [--cand-run N]  run index inside each trace (last)\n");
-  return 1;
+               "       [--base-run N] [--cand-run N]  run index inside each trace (last)\n"
+               "  bench show <snapshot|dir>...        render BENCH_*.json snapshots\n"
+               "  bench diff <base> <cand>            snapshot perf gate (exit 2 on regression)\n"
+               "       [--max-time-ratio X]           allowed per-section wall ratio (1.50)\n"
+               "       [--max-cycles-ratio X]         allowed per-section cycles ratio (1.50)\n"
+               "exit codes: 0 ok, 1 bad data, 2 regression, 64 usage error\n");
+  return kExitUsage;
 }
 
 }  // namespace
@@ -561,6 +842,38 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
+
+  if (cmd == "bench") {
+    // Own dispatch: positionals are snapshots/directories, not traces.
+    const std::string sub = argv[2];
+    std::vector<std::string> rest(argv + 3, argv + argc);
+    double max_time_ratio = 1.50, max_cycles_ratio = 1.50;
+    std::vector<std::string> positional;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      if (rest[i] == "--max-time-ratio" && i + 1 < rest.size()) {
+        max_time_ratio = std::atof(rest[++i].c_str());
+      } else if (rest[i] == "--max-cycles-ratio" && i + 1 < rest.size()) {
+        max_cycles_ratio = std::atof(rest[++i].c_str());
+      } else if (rest[i].rfind("--", 0) == 0) {
+        std::fprintf(stderr, "afl-insight: unknown flag %s\n", rest[i].c_str());
+        return usage();
+      } else {
+        positional.push_back(rest[i]);
+      }
+    }
+    if (sub == "show") {
+      if (positional.empty()) return usage();
+      return cmd_bench_show(positional);
+    }
+    if (sub == "diff") {
+      if (positional.size() != 2) return usage();
+      return cmd_bench_diff(positional[0], positional[1], max_time_ratio,
+                            max_cycles_ratio);
+    }
+    std::fprintf(stderr, "afl-insight: unknown bench subcommand \"%s\"\n",
+                 sub.c_str());
+    return usage();
+  }
 
   // Common flags/positionals after the command + first path.
   std::vector<std::string> args(argv + 2, argv + argc);
@@ -602,9 +915,14 @@ int main(int argc, char** argv) {
     }
   }
   if (positional.empty()) return usage();
+  if (cmd != "summary" && cmd != "clients" && cmd != "rounds" &&
+      cmd != "timeline" && cmd != "diff") {
+    std::fprintf(stderr, "afl-insight: unknown command \"%s\"\n", cmd.c_str());
+    return usage();
+  }
 
   TraceFile file;
-  if (!load_trace(positional[0], file)) return 1;
+  if (const int rc = load_trace(positional[0], file)) return rc;
 
   if (cmd == "summary") return cmd_summary(file);
   if (cmd == "clients") return cmd_clients(file, run_index);
@@ -616,13 +934,11 @@ int main(int argc, char** argv) {
     return cmd_rounds(file, run_index, top_n);
   }
   if (cmd == "timeline") return cmd_timeline(file, run_index);
-  if (cmd == "diff") {
-    if (positional.size() != 2) return usage();
-    TraceFile cand;
-    if (!load_trace(positional[1], cand)) return 1;
-    return cmd_diff(file, cand, base_run, cand_run, max_acc_drop,
-                    max_time_ratio, max_comm_ratio, max_bytes_ratio, tta_acc,
-                    max_tta_ratio);
-  }
-  return usage();
+  // diff
+  if (positional.size() != 2) return usage();
+  TraceFile cand;
+  if (const int rc = load_trace(positional[1], cand)) return rc;
+  return cmd_diff(file, cand, base_run, cand_run, max_acc_drop,
+                  max_time_ratio, max_comm_ratio, max_bytes_ratio, tta_acc,
+                  max_tta_ratio);
 }
