@@ -15,6 +15,7 @@
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof/prof.hpp"
+#include "obs/rss.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
@@ -207,6 +208,7 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
     }
     version_gauge.set(static_cast<double>(agg.commit_flush()));
     flush_counter.inc();
+    obs::sample_rss();  // same memory gauges as the hierarchical engine's syncs
     policy.end_round(flushes, *telemetry);
     telemetry->set_sim_time(clock.now() - last_flush_time, clock.now());
     last_flush_time = clock.now();

@@ -6,6 +6,7 @@
 #include "async/engine.hpp"
 #include "engine/round_engine.hpp"
 #include "fl/aggregate.hpp"
+#include "hier/engine.hpp"
 #include "fl/evaluate.hpp"
 #include "nn/init.hpp"
 #include "obs/metrics.hpp"
@@ -20,8 +21,9 @@ namespace {
 /// aggregation, L1/M1/S1 evaluation. Also implements the AsyncRoundPolicy
 /// seam: the same selector / pruning / RL / aggregation code runs under the
 /// async engine, where `taken_` becomes the in-flight set and commits carry
-/// a staleness weight.
-class AdaptiveFlPolicy final : public AsyncRoundPolicy {
+/// a staleness weight. The HierRoundPolicy seam on top exposes the global
+/// parameter set to the hierarchical engine, which owns aggregation itself.
+class AdaptiveFlPolicy final : public HierRoundPolicy {
  public:
   AdaptiveFlPolicy(const ArchSpec& spec, const ModelPool& pool,
                    const FederatedDataset& data, const FlRunConfig& config,
@@ -119,10 +121,16 @@ class AdaptiveFlPolicy final : public AsyncRoundPolicy {
     // global directly.
     local.import_params(s.rx ? pool_.split(*s.rx, s.back_index)
                              : pool_.split(global_, s.back_index));
+    // Lazy datasets (scale-out populations) materialize the client's shard
+    // here on the worker thread and drop it when training ends; stored
+    // datasets are read in place.
+    const Dataset* stored = data_.stored_client(s.client);
+    const Dataset shard = stored ? Dataset{} : data_.materialize_client(s.client);
+    const Dataset& client_data = stored ? *stored : shard;
     TrainOutcome out;
-    out.stats = local_train(local, data_.clients[s.client], config_.local, rng);
+    out.stats = local_train(local, client_data, config_.local, rng);
     out.params = local.export_params();
-    out.samples = data_.clients[s.client].size();
+    out.samples = client_data.size();
     return out;
   }
 
@@ -135,6 +143,16 @@ class AdaptiveFlPolicy final : public AsyncRoundPolicy {
                        double weight_scale) override {
     // Async path: the staleness discount scales the data-size weight.
     updates_.push_back({std::move(outcome.params), outcome.samples, weight_scale});
+  }
+
+  const ParamSet& hier_global() const override { return global_; }
+
+  void hier_set_global(ParamSet global) override { global_ = std::move(global); }
+
+  ParamSet hier_dispatch_params(const ClientSlot& s,
+                                const ParamSet& model) const override {
+    // Same wire contract as dispatch_params(), split from the shard's model.
+    return pool_.split(model, s.sent_index);
   }
 
   void aggregate(std::size_t) override {
@@ -224,8 +242,18 @@ RunResult AdaptiveFl::run() {
                           has_initial_);
   const async::AsyncConfig async_cfg =
       config_.async ? *config_.async : async::AsyncConfig::from_env();
+  const hier::HierConfig hier_cfg =
+      config_.hier ? *config_.hier : hier::HierConfig::from_env();
+  if (async_cfg.enabled && hier_cfg.enabled) {
+    throw std::invalid_argument(
+        "AdaptiveFl: async and hierarchical execution are mutually exclusive");
+  }
   if (async_cfg.enabled) {
     async::AsyncEngine engine(config_, async_cfg, &devices_);
+    return engine.run(policy);
+  }
+  if (hier_cfg.enabled) {
+    hier::HierEngine engine(config_, hier_cfg, &devices_);
     return engine.run(policy);
   }
   RoundEngine engine(config_, &devices_);

@@ -17,57 +17,91 @@ const char* partition_name(Partition p) {
   return "?";
 }
 
+namespace {
+
+/// Odd tag word separating lazy-shard derived streams from the engine's
+/// (seed, round, client) training streams.
+constexpr std::uint64_t kLazyShardTag = 0x646174617368641dULL;
+
+/// One client's training shard under the configured partition regime. Shared
+/// by the eager path (crng = fork of the construction RNG) and the lazy path
+/// (crng derived per client), so both produce the same *kind* of shard.
+Dataset generate_client_shard(const SyntheticTask& task, const FederatedConfig& cfg,
+                              Rng& crng) {
+  const std::size_t classes = task.config().num_classes;
+  switch (cfg.partition) {
+    case Partition::kIid:
+      return task.generate(cfg.samples_per_client, crng);
+    case Partition::kDirichlet: {
+      const std::vector<double> weights = crng.dirichlet(cfg.alpha, classes);
+      return task.generate(cfg.samples_per_client, crng, weights);
+    }
+    case Partition::kNatural: {
+      // Writer-style non-IID: a per-client appearance style plus a skewed
+      // class subset.
+      const ClientStyle style = task.make_style(crng);
+      std::vector<double> weights(classes, 0.0);
+      std::size_t keep = cfg.classes_per_client == 0
+                             ? classes
+                             : std::min(cfg.classes_per_client, classes);
+      std::vector<std::size_t> order(classes);
+      std::iota(order.begin(), order.end(), 0);
+      crng.shuffle(order);
+      for (std::size_t i = 0; i < keep; ++i) {
+        // Skewed within the subset too (Zipf-ish weights).
+        weights[order[i]] = 1.0 / static_cast<double>(i + 1);
+      }
+      return task.generate(cfg.samples_per_client, crng, weights, &style);
+    }
+  }
+  throw std::invalid_argument("generate_client_shard: unknown partition");
+}
+
+}  // namespace
+
 std::size_t FederatedDataset::total_train_samples() const {
+  if (lazy()) return lazy_config.num_clients * lazy_config.samples_per_client;
   std::size_t n = 0;
   for (const auto& c : clients) n += c.size();
   return n;
 }
 
+Dataset FederatedDataset::materialize_client(std::size_t client) const {
+  if (!lazy()) {
+    throw std::logic_error("FederatedDataset: not in lazy mode");
+  }
+  Rng crng = Rng::derive(lazy_seed, kLazyShardTag, 0, client);
+  return generate_client_shard(*lazy_task, lazy_config, crng);
+}
+
 FederatedDataset make_federated(const SyntheticTask& task, const FederatedConfig& cfg,
                                 Rng& rng) {
-  const std::size_t classes = task.config().num_classes;
   FederatedDataset fd;
-  fd.num_classes = classes;
+  fd.num_classes = task.config().num_classes;
   fd.clients.reserve(cfg.num_clients);
 
   for (std::size_t k = 0; k < cfg.num_clients; ++k) {
     Rng crng = rng.fork();
-    switch (cfg.partition) {
-      case Partition::kIid: {
-        fd.clients.push_back(task.generate(cfg.samples_per_client, crng));
-        break;
-      }
-      case Partition::kDirichlet: {
-        const std::vector<double> weights = crng.dirichlet(cfg.alpha, classes);
-        fd.clients.push_back(task.generate(cfg.samples_per_client, crng, weights));
-        break;
-      }
-      case Partition::kNatural: {
-        // Writer-style non-IID: a per-client appearance style plus a skewed
-        // class subset.
-        const ClientStyle style = task.make_style(crng);
-        std::vector<double> weights(classes, 0.0);
-        std::size_t keep = cfg.classes_per_client == 0
-                               ? classes
-                               : std::min(cfg.classes_per_client, classes);
-        std::vector<std::size_t> order(classes);
-        std::iota(order.begin(), order.end(), 0);
-        crng.shuffle(order);
-        for (std::size_t i = 0; i < keep; ++i) {
-          // Skewed within the subset too (Zipf-ish weights).
-          weights[order[i]] = 1.0 / static_cast<double>(i + 1);
-        }
-        fd.clients.push_back(
-            task.generate(cfg.samples_per_client, crng, weights, &style));
-        break;
-      }
-    }
+    fd.clients.push_back(generate_client_shard(task, cfg, crng));
   }
 
   // The global test set is style-free and class-balanced: it measures the
   // global model's ability to serve the whole population, as in the paper.
   Rng trng = rng.fork();
   fd.test = task.generate(cfg.test_samples, trng);
+  return fd;
+}
+
+FederatedDataset make_federated_lazy(std::shared_ptr<const SyntheticTask> task,
+                                     const FederatedConfig& cfg,
+                                     std::uint64_t seed) {
+  FederatedDataset fd;
+  fd.num_classes = task->config().num_classes;
+  fd.lazy_config = cfg;
+  fd.lazy_seed = seed;
+  Rng trng = Rng::derive(seed, kLazyShardTag, 1, 0);
+  fd.test = task->generate(cfg.test_samples, trng);
+  fd.lazy_task = std::move(task);
   return fd;
 }
 

@@ -6,6 +6,8 @@
 //    alpha means more heterogeneity (paper uses alpha = 0.6 and 0.3).
 //  - Natural: per-client styles and skewed class subsets (FEMNIST / Widar).
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -32,7 +34,26 @@ struct FederatedDataset {
   Dataset test;
   std::size_t num_classes = 0;
 
-  std::size_t num_clients() const { return clients.size(); }
+  /// Lazy mode (make_federated_lazy): client shards are generated on demand
+  /// from (lazy_seed, client) derived streams instead of stored — the memory
+  /// floor for 10^5-10^6-client scale-out runs (docs/HIERARCHY.md). The test
+  /// set is always materialized.
+  std::shared_ptr<const SyntheticTask> lazy_task;
+  FederatedConfig lazy_config;
+  std::uint64_t lazy_seed = 0;
+
+  bool lazy() const { return lazy_task != nullptr; }
+  std::size_t num_clients() const {
+    return lazy() ? lazy_config.num_clients : clients.size();
+  }
+  /// The stored shard, or null in lazy mode (use materialize_client then).
+  const Dataset* stored_client(std::size_t client) const {
+    return lazy() ? nullptr : &clients[client];
+  }
+  /// Generates client `client`'s shard from its derived stream. Deterministic
+  /// per (lazy_seed, client) — rematerializing yields identical data — and
+  /// safe to call concurrently from worker threads.
+  Dataset materialize_client(std::size_t client) const;
   /// Total training samples across all clients.
   std::size_t total_train_samples() const;
 };
@@ -40,5 +61,12 @@ struct FederatedDataset {
 /// Builds the full federated dataset from a synthetic task definition.
 FederatedDataset make_federated(const SyntheticTask& task, const FederatedConfig& cfg,
                                 Rng& rng);
+
+/// Lazy variant: stores the task and generates per-client shards on demand.
+/// Note the per-client streams derive from `seed`, not from fork order, so
+/// lazy shards differ from an eager make_federated over the same seed.
+FederatedDataset make_federated_lazy(std::shared_ptr<const SyntheticTask> task,
+                                     const FederatedConfig& cfg,
+                                     std::uint64_t seed);
 
 }  // namespace afl

@@ -1,0 +1,96 @@
+#include "engine/plan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "engine/telemetry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prof/prof.hpp"
+
+namespace afl::engine {
+
+RoundPlan plan_round(RoundPolicy& policy, const FlRunConfig& config,
+                     const std::vector<DeviceSim>* devices,
+                     const net::Transport& transport, std::size_t round,
+                     Rng& rng, RunResult& result, RoundTelemetry& telemetry,
+                     const DispatchPayloadFn& payload,
+                     const ShardOfFn& shard_of) {
+  RoundPlan plan;
+  plan.work.reserve(config.clients_per_round);
+  const auto shard_tag = [&](const ClientSlot& s) {
+    return shard_of ? shard_of(s.client) : -1;
+  };
+  for (std::size_t slot = 0; slot < config.clients_per_round; ++slot) {
+    ClientSlot s;
+    s.round = round;
+    s.slot = slot;
+    {
+      AFL_PROF_SPAN("engine.select");
+      if (!policy.select(s, rng)) break;  // no client available this round
+      if (devices) {
+        if (s.client >= devices->size()) {
+          throw std::logic_error("RoundEngine: policy selected client " +
+                                 std::to_string(s.client) + " outside the fleet");
+        }
+        s.capacity = (*devices)[s.client].capacity(rng);
+      } else {
+        s.capacity = static_cast<std::size_t>(-1);
+      }
+    }
+    {
+      AFL_PROF_SPAN("engine.adapt");
+      policy.adapt(s);
+    }
+    // Unified accounting: the dispatch is on the wire before the server
+    // learns anything about the device, so it is recorded up front and
+    // becomes pure waste on no-response / no-fit.
+    result.comm.record_dispatch(s.params_sent);
+    if (devices && !(*devices)[s.client].responds(rng)) {
+      ++result.failed_trainings;
+      telemetry.client_failed();
+      trace_dispatch_failure(s, "no_response", -1.0, shard_tag(s));
+      policy.on_no_response(s);
+      continue;
+    }
+    if (!s.trainable) {
+      ++result.failed_trainings;
+      telemetry.client_failed();
+      trace_dispatch_failure(s, "adapt_failed", -1.0, shard_tag(s));
+      policy.on_adapt_failure(s);
+      continue;
+    }
+    if (transport.enabled()) {
+      // Downlink: the dispatched submodel crosses the simulated channel.
+      // Lost frames (all retransmissions exhausted) exclude the client this
+      // round exactly like an availability failure.
+      net::Transport::Session sess = transport.session(round, s.client);
+      net::Delivery down = transport.send(
+          sess, net::FrameKind::kDispatch,
+          payload ? payload(s) : policy.dispatch_params(s), s.params_sent);
+      record_transfer(result.comm, down.transfer, /*uplink=*/false);
+      if (!down.transfer.delivered) {
+        ++result.failed_trainings;
+        result.comm.record_drop();
+        obs::metrics().counter("afl.net.drops").inc();
+        telemetry.client_failed();
+        trace_dispatch_failure(s, "lost_downlink", -1.0, shard_tag(s));
+        policy.on_transport_failure(s);
+        plan.failed_downlink_seconds.emplace_back(s.client,
+                                                  sess.elapsed_seconds());
+        continue;
+      }
+      if (!down.params.empty()) {
+        plan.rx_store.push_back(
+            std::make_unique<ParamSet>(std::move(down.params)));
+        s.rx = plan.rx_store.back().get();
+      }
+      plan.sessions.push_back(sess);
+      plan.down_bytes.push_back(down.transfer.bytes);
+    }
+    policy.on_accepted(s);
+    plan.work.push_back(s);
+  }
+  return plan;
+}
+
+}  // namespace afl::engine

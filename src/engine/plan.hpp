@@ -1,0 +1,66 @@
+#pragma once
+// Phase 1 of the synchronous round loop — sequential cohort planning — shared
+// verbatim by the single-aggregator RoundEngine and the hierarchical engine
+// (src/hier/). Keeping one implementation is what makes the hierarchical
+// lockstep mode provably bit-identical to the flat engine: both consume the
+// round RNG in exactly the same draw order (select -> capacity -> adapt ->
+// availability -> transport session), so the cohort, the dispatched models,
+// and every failure are the same regardless of how execution is sharded
+// afterwards (docs/HIERARCHY.md).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/round_engine.hpp"
+#include "engine/run.hpp"
+#include "net/transport.hpp"
+#include "nn/param.hpp"
+#include "sim/device.hpp"
+#include "util/rng.hpp"
+
+namespace afl::engine {
+
+/// Planning output of one synchronous round: the accepted work slots plus the
+/// transport state that must survive into the execute/commit phases.
+struct RoundPlan {
+  std::vector<ClientSlot> work;
+  /// Parallel to `work` when the transport is enabled (the downlink session
+  /// clock carries into the uplink); empty on the identity path.
+  std::vector<net::Transport::Session> sessions;
+  /// Decoded downlink payloads owned here so slot.rx pointers stay stable
+  /// across the parallel execute phase.
+  std::vector<std::unique_ptr<ParamSet>> rx_store;
+  /// Parallel to `work` when the transport is enabled: on-wire bytes of each
+  /// slot's delivered downlink frame (per-shard byte attribution).
+  std::vector<std::size_t> down_bytes;
+  /// (client, session elapsed seconds) of dispatches lost on the downlink:
+  /// no work slot survives, but the failed session still advances the round
+  /// clock of whichever aggregator owns the client.
+  std::vector<std::pair<std::size_t, double>> failed_downlink_seconds;
+};
+
+/// Downlink payload override: what the wire carries for a slot. Null uses
+/// policy.dispatch_params() — the flat path. The hierarchical engine passes
+/// a callback splitting from the owning shard's local model when shard
+/// models diverge between syncs.
+using DispatchPayloadFn = std::function<ParamSet(const ClientSlot&)>;
+
+/// Maps a client to its aggregation shard for trace tagging; negative =
+/// untagged (flat engines). Must be pure.
+using ShardOfFn = std::function<int(std::size_t client)>;
+
+/// Runs the sequential planning pass for `round`: select / capacity / adapt /
+/// dispatch accounting / availability / downlink transport / policy feedback
+/// hooks, in slot order. Mutates result.comm and failure counters exactly
+/// like the flat engine always did.
+RoundPlan plan_round(RoundPolicy& policy, const FlRunConfig& config,
+                     const std::vector<DeviceSim>* devices,
+                     const net::Transport& transport, std::size_t round,
+                     Rng& rng, RunResult& result, RoundTelemetry& telemetry,
+                     const DispatchPayloadFn& payload = nullptr,
+                     const ShardOfFn& shard_of = nullptr);
+
+}  // namespace afl::engine

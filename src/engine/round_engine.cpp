@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/plan.hpp"
 #include "engine/telemetry.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/http.hpp"
@@ -66,80 +67,15 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
     // Phase 1 (sequential planning): every RNG draw and every piece of
     // shared-state feedback happens here, in slot order. Transport draws use
     // per-(round, client) Sessions, so they never perturb the round RNG.
-    std::vector<ClientSlot> work;
-    work.reserve(config_.clients_per_round);
-    // Sessions parallel to `work` (downlink clock carries into the uplink in
-    // phase 3); decoded downlink payloads owned here so slot.rx pointers stay
-    // stable across the phase-2 parallel section.
-    std::vector<net::Transport::Session> sessions;
-    std::vector<std::unique_ptr<ParamSet>> rx_store;
+    // Shared with the hierarchical engine (engine/plan.hpp).
+    engine::RoundPlan plan = engine::plan_round(
+        policy, config_, devices_, transport_, round, rng, result, *telemetry);
+    std::vector<ClientSlot>& work = plan.work;
+    std::vector<net::Transport::Session>& sessions = plan.sessions;
     double round_clock_max = 0.0;  // slowest client session this round
-    for (std::size_t slot = 0; slot < config_.clients_per_round; ++slot) {
-      ClientSlot s;
-      s.round = round;
-      s.slot = slot;
-      {
-        AFL_PROF_SPAN("engine.select");
-        if (!policy.select(s, rng)) break;  // no client available this round
-        if (devices_) {
-          if (s.client >= devices_->size()) {
-            throw std::logic_error("RoundEngine: policy selected client " +
-                                   std::to_string(s.client) + " outside the fleet");
-          }
-          s.capacity = (*devices_)[s.client].capacity(rng);
-        } else {
-          s.capacity = static_cast<std::size_t>(-1);
-        }
-      }
-      {
-        AFL_PROF_SPAN("engine.adapt");
-        policy.adapt(s);
-      }
-      // Unified accounting: the dispatch is on the wire before the server
-      // learns anything about the device, so it is recorded up front and
-      // becomes pure waste on no-response / no-fit.
-      result.comm.record_dispatch(s.params_sent);
-      if (devices_ && !(*devices_)[s.client].responds(rng)) {
-        ++result.failed_trainings;
-        telemetry->client_failed();
-        trace_dispatch_failure(s, "no_response");
-        policy.on_no_response(s);
-        continue;
-      }
-      if (!s.trainable) {
-        ++result.failed_trainings;
-        telemetry->client_failed();
-        trace_dispatch_failure(s, "adapt_failed");
-        policy.on_adapt_failure(s);
-        continue;
-      }
-      if (transport_.enabled()) {
-        // Downlink: the dispatched submodel crosses the simulated channel.
-        // Lost frames (all retransmissions exhausted) exclude the client this
-        // round exactly like an availability failure.
-        net::Transport::Session sess = transport_.session(round, s.client);
-        net::Delivery down = transport_.send(sess, net::FrameKind::kDispatch,
-                                             policy.dispatch_params(s),
-                                             s.params_sent);
-        record_transfer(result.comm, down.transfer, /*uplink=*/false);
-        if (!down.transfer.delivered) {
-          ++result.failed_trainings;
-          result.comm.record_drop();
-          obs::metrics().counter("afl.net.drops").inc();
-          telemetry->client_failed();
-          trace_dispatch_failure(s, "lost_downlink");
-          policy.on_transport_failure(s);
-          round_clock_max = std::max(round_clock_max, sess.elapsed_seconds());
-          continue;
-        }
-        if (!down.params.empty()) {
-          rx_store.push_back(std::make_unique<ParamSet>(std::move(down.params)));
-          s.rx = rx_store.back().get();
-        }
-        sessions.push_back(sess);
-      }
-      policy.on_accepted(s);
-      work.push_back(s);
+    for (const auto& [client, elapsed] : plan.failed_downlink_seconds) {
+      (void)client;
+      round_clock_max = std::max(round_clock_max, elapsed);
     }
 
     // Phase 2 (parallel execution): per-slot work runs on the pool with a

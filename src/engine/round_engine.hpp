@@ -185,6 +185,28 @@ class AsyncRoundPolicy : public RoundPolicy {
                                double weight_scale) = 0;
 };
 
+/// Extension consumed by the hierarchical multi-aggregator engine (src/hier/,
+/// docs/HIERARCHY.md). The hierarchical engine plans rounds through the same
+/// sequential hooks (engine/plan.hpp) but owns aggregation itself: shard-local
+/// ShardAggregators fold the updates and a root merger commits the new global,
+/// so commit()/aggregate() are never called. That requires direct access to
+/// the policy's global parameter set plus a payload split against an explicit
+/// (possibly shard-local) model.
+class HierRoundPolicy : public AsyncRoundPolicy {
+ public:
+  /// The policy's current global parameter set (frozen between syncs).
+  virtual const ParamSet& hier_global() const = 0;
+
+  /// Replaces the global parameter set (the root merger's commit).
+  virtual void hier_set_global(ParamSet global) = 0;
+
+  /// The downlink payload for `slot` split from an explicit model — the
+  /// hierarchical analogue of dispatch_params(), used when shard models
+  /// diverge from the root global between syncs (sync_every > 1).
+  virtual ParamSet hier_dispatch_params(const ClientSlot& slot,
+                                        const ParamSet& model) const = 0;
+};
+
 /// Drives a RoundPolicy through config.rounds rounds. `devices` may be null
 /// for idealized baselines (always responsive, unlimited capacity); otherwise
 /// it must hold one profile per client and outlive the engine.

@@ -13,6 +13,7 @@
 #include "data/federated.hpp"
 #include "fl/comm.hpp"
 #include "fl/local_train.hpp"
+#include "hier/config.hpp"
 #include "net/transport.hpp"
 #include "nn/param.hpp"
 #include "util/rng.hpp"
@@ -40,6 +41,11 @@ struct FlRunConfig {
   /// the buffered AsyncEngine instead of the synchronous round barrier and
   /// `rounds` counts buffer flushes.
   std::optional<async::AsyncConfig> async;
+  /// Hierarchical multi-aggregator scale-out (see docs/HIERARCHY.md).
+  /// nullopt = resolve from the AFL_HIER_* environment variables; when
+  /// enabled the run partitions clients across edge aggregator shards whose
+  /// coverage-mass partials merge at a root every sync_every rounds.
+  std::optional<hier::HierConfig> hier;
 };
 
 struct RoundRecord {

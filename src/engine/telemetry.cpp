@@ -11,7 +11,8 @@ namespace afl::engine {
 
 void trace_run_start(const RunResult& result, const FlRunConfig& config,
                      std::size_t threads, const net::Transport& transport,
-                     const char* mode) {
+                     const char* mode, std::size_t shards,
+                     std::size_t sync_every) {
   if (!obs::trace_enabled()) return;
   obs::TraceEvent ev("run_start");
   ev.field("schema", kTraceSchema)
@@ -26,6 +27,10 @@ void trace_run_start(const RunResult& result, const FlRunConfig& config,
       .field("lr", config.local.lr)
       .field("momentum", config.local.momentum);
   if (mode != nullptr) ev.field("mode", mode);
+  if (shards > 0) {
+    ev.field("shards", static_cast<std::uint64_t>(shards))
+        .field("sync_every", static_cast<std::uint64_t>(sync_every));
+  }
   if (transport.enabled()) {
     // Transport columns appear only on transport-backed runs so traces from
     // identity-path runs stay byte-identical to pre-transport builds.
@@ -101,7 +106,7 @@ void publish_run_status(const RunResult& result, std::size_t round,
 }
 
 void trace_dispatch_failure(const ClientSlot& s, const char* outcome,
-                            double virtual_time) {
+                            double virtual_time, int shard) {
   if (!obs::trace_enabled()) return;
   obs::TraceEvent ev("dispatch");
   ev.field("round", static_cast<std::uint64_t>(s.round))
@@ -109,6 +114,7 @@ void trace_dispatch_failure(const ClientSlot& s, const char* outcome,
       .field("sent", static_cast<std::uint64_t>(s.sent_index))
       .field("params", static_cast<std::uint64_t>(s.params_sent))
       .field("outcome", outcome);
+  if (shard >= 0) ev.field("shard", static_cast<std::uint64_t>(shard));
   if (virtual_time >= 0.0) ev.field("virtual_time", virtual_time);
   ev.field("dur_ms", 0.0);
   ev.emit();

@@ -18,11 +18,13 @@ namespace afl::engine {
 inline constexpr const char* kTraceSchema = "afl.trace.v1";
 
 /// Emits the run_start header. `mode` tags non-default execution models
-/// (the async engine passes "async"); null omits the field so synchronous
-/// traces stay byte-identical.
+/// (the async engine passes "async", the hierarchical engine "hier"); null
+/// omits the field so synchronous traces stay byte-identical. `shards` > 0
+/// adds the hierarchical topology columns (shards, sync_every).
 void trace_run_start(const RunResult& result, const FlRunConfig& config,
                      std::size_t threads, const net::Transport& transport,
-                     const char* mode = nullptr);
+                     const char* mode = nullptr, std::size_t shards = 0,
+                     std::size_t sync_every = 0);
 
 /// Emits the run_end summary. Adds a sim_seconds column when the run
 /// tracked simulated time (result.sim_seconds > 0).
@@ -35,8 +37,11 @@ void publish_run_status(const RunResult& result, std::size_t round,
 
 /// Emits a failed dispatch trace event. `virtual_time` >= 0 adds the async
 /// engine's simulated-clock column; negative omits it (synchronous path).
+/// `shard` >= 0 tags the record with its aggregation shard (hierarchical
+/// engine); negative omits the column so flat-engine traces are unchanged —
+/// afl-insight treats runs mixing tagged and untagged dispatches as bad data.
 void trace_dispatch_failure(const ClientSlot& slot, const char* outcome,
-                            double virtual_time = -1.0);
+                            double virtual_time = -1.0, int shard = -1);
 
 /// Byte/retransmit accounting + afl.net.* metrics for one frame transfer.
 /// Only ever called with the transport enabled, so the metric instruments are

@@ -1,8 +1,8 @@
 #include "fl/aggregate.hpp"
 
-#include <stdexcept>
-#include <vector>
+#include <cstdint>
 
+#include "fl/shard_aggregator.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 
@@ -19,40 +19,14 @@ obs::Counter& aggregate_updates() {
   return c;
 }
 
-/// Accumulates `src` (a prefix-slice-shaped tensor) into the flat accumulator
-/// of the global tensor `ref`, adding weight into coverage counters.
-void accumulate_prefix(const Tensor& src, const Tensor& ref, double weight,
-                       std::vector<double>& acc, std::vector<double>& cover) {
-  const Shape& ss = src.shape();
-  const Shape& fs = ref.shape();
-  if (ss.size() != fs.size()) {
-    throw std::invalid_argument("hetero_aggregate: rank mismatch");
-  }
-  for (std::size_t d = 0; d < ss.size(); ++d) {
-    if (ss[d] > fs[d]) {
-      throw std::invalid_argument("hetero_aggregate: client tensor exceeds global");
-    }
-  }
-  if (src.numel() == 0) return;
-  const std::size_t rank = ss.size();
-  const std::size_t inner = ss[rank - 1];
-  std::vector<std::size_t> idx(rank, 0);
-  std::size_t soff = 0;
-  for (;;) {
-    const std::size_t goff = ref.offset(idx);
-    for (std::size_t i = 0; i < inner; ++i) {
-      acc[goff + i] += static_cast<double>(src[soff + i]) * weight;
-      cover[goff + i] += weight;
-    }
-    soff += inner;
-    std::size_t d = rank - 1;
-    for (;;) {
-      if (d == 0) return;
-      --d;
-      if (++idx[d] < ss[d]) break;
-      idx[d] = 0;
-    }
-  }
+/// Both free functions are single-shard folds over the composable
+/// ShardAggregator (docs/HIERARCHY.md); only the validation mode differs.
+ParamSet fold_updates(const ParamSet& global,
+                      const std::vector<ClientUpdate>& updates,
+                      ShardAggregator::Mode mode) {
+  ShardAggregator agg(global, mode);
+  for (const auto& u : updates) agg.add(u);
+  return finalize_partial(agg.take_partial(), global);
 }
 
 }  // namespace
@@ -65,27 +39,7 @@ ParamSet fedavg_aggregate(const ParamSet& global,
       .field("updates", static_cast<std::uint64_t>(updates.size()))
       .field("tensors", static_cast<std::uint64_t>(global.size()));
   aggregate_updates().inc(updates.size());
-  if (updates.empty()) return global;
-  double total = 0.0;
-  for (const auto& u : updates) {
-    if (!same_structure(u.params, global)) {
-      throw std::invalid_argument("fedavg_aggregate: structure mismatch");
-    }
-    total += static_cast<double>(u.data_size) * u.weight;
-  }
-  if (total <= 0.0) return global;
-  ParamSet out;
-  for (const auto& [name, g] : global) {
-    Tensor t(g.shape());
-    for (const auto& u : updates) {
-      const Tensor& src = u.params.at(name);
-      const float w = static_cast<float>(static_cast<double>(u.data_size) *
-                                         u.weight / total);
-      for (std::size_t i = 0; i < t.numel(); ++i) t[i] += w * src[i];
-    }
-    out.emplace(name, std::move(t));
-  }
-  return out;
+  return fold_updates(global, updates, ShardAggregator::Mode::kFedAvg);
 }
 
 ParamSet hetero_aggregate(const ParamSet& global,
@@ -96,26 +50,7 @@ ParamSet hetero_aggregate(const ParamSet& global,
       .field("updates", static_cast<std::uint64_t>(updates.size()))
       .field("tensors", static_cast<std::uint64_t>(global.size()));
   aggregate_updates().inc(updates.size());
-  ParamSet out;
-  std::vector<double> acc, cover;
-  for (const auto& [name, g] : global) {
-    acc.assign(g.numel(), 0.0);
-    cover.assign(g.numel(), 0.0);
-    for (const auto& u : updates) {
-      auto it = u.params.find(name);
-      if (it == u.params.end()) continue;  // depth-pruned model: layer absent
-      accumulate_prefix(it->second, g,
-                        static_cast<double>(u.data_size) * u.weight, acc, cover);
-    }
-    Tensor t(g.shape());
-    for (std::size_t i = 0; i < g.numel(); ++i) {
-      // Parameters covered by no upload keep their previous value
-      // (Algorithm 2, line 14).
-      t[i] = cover[i] > 0.0 ? static_cast<float>(acc[i] / cover[i]) : g[i];
-    }
-    out.emplace(name, std::move(t));
-  }
-  return out;
+  return fold_updates(global, updates, ShardAggregator::Mode::kHetero);
 }
 
 }  // namespace afl

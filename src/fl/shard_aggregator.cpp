@@ -1,0 +1,183 @@
+#include "fl/shard_aggregator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace afl {
+namespace {
+
+/// Row-major strides matching Tensor::offset.
+std::vector<std::size_t> row_major_strides(const Shape& dims) {
+  std::vector<std::size_t> strides(dims.size(), 1);
+  for (std::size_t d = dims.size(); d-- > 1;) {
+    strides[d - 1] = strides[d] * dims[d];
+  }
+  return strides;
+}
+
+}  // namespace
+
+MassInt quantize_mass(double v) {
+  const double scaled = std::ldexp(v, kMassFracBits);
+  if (std::isnan(scaled)) return 0;
+  // Saturate instead of casting out-of-range doubles (which would be UB).
+  constexpr double kLimit = 0x1p126;
+  if (scaled >= kLimit) return static_cast<MassInt>(1) << 126;
+  if (scaled <= -kLimit) return -(static_cast<MassInt>(1) << 126);
+  return static_cast<MassInt>(scaled);
+}
+
+ShardAggregator::ShardAggregator(const ParamSet& global, Mode mode)
+    : mode_(mode) {
+  for (const auto& [name, g] : global) {
+    RefShape ref;
+    ref.dims = g.shape();
+    ref.strides = row_major_strides(ref.dims);
+    ref.numel = g.numel();
+    ShardPartial::TensorMass mass;
+    mass.value.assign(ref.numel, 0);
+    mass.weight.assign(ref.numel, 0);
+    partial_.tensors.emplace(name, std::move(mass));
+    ref_.emplace(name, std::move(ref));
+  }
+}
+
+void ShardAggregator::accumulate(const Tensor& src, const RefShape& ref,
+                                 ShardPartial::TensorMass& mass,
+                                 double weight) const {
+  const Shape& ss = src.shape();
+  if (mode_ == Mode::kFedAvg) {
+    if (ss != ref.dims) {
+      throw std::invalid_argument("fedavg_aggregate: structure mismatch");
+    }
+  } else {
+    if (ss.size() != ref.dims.size()) {
+      throw std::invalid_argument("hetero_aggregate: rank mismatch");
+    }
+    for (std::size_t d = 0; d < ss.size(); ++d) {
+      if (ss[d] > ref.dims[d]) {
+        throw std::invalid_argument(
+            "hetero_aggregate: client tensor exceeds global");
+      }
+    }
+  }
+  if (src.numel() == 0) return;
+  const MassInt wq = quantize_mass(weight);
+  const std::size_t rank = ss.size();
+  const std::size_t inner = ss[rank - 1];
+  std::vector<std::size_t> idx(rank, 0);
+  std::size_t soff = 0;
+  // Odometer walk over the prefix box, inner dimension contiguous (the same
+  // traversal hetero_aggregate always used).
+  for (;;) {
+    std::size_t goff = 0;
+    for (std::size_t d = 0; d < rank; ++d) goff += idx[d] * ref.strides[d];
+    for (std::size_t i = 0; i < inner; ++i) {
+      mass.value[goff + i] +=
+          quantize_mass(static_cast<double>(src[soff + i]) * weight);
+      mass.weight[goff + i] += wq;
+    }
+    soff += inner;
+    std::size_t d = rank - 1;
+    for (;;) {
+      if (d == 0) return;
+      --d;
+      if (++idx[d] < ss[d]) break;
+      idx[d] = 0;
+    }
+  }
+}
+
+void ShardAggregator::add(const ClientUpdate& update) {
+  if (mode_ == Mode::kFedAvg && update.params.size() != ref_.size()) {
+    throw std::invalid_argument("fedavg_aggregate: structure mismatch");
+  }
+  const double weight = static_cast<double>(update.data_size) * update.weight;
+  for (auto& [name, ref] : ref_) {
+    auto it = update.params.find(name);
+    if (it == update.params.end()) {
+      if (mode_ == Mode::kFedAvg) {
+        throw std::invalid_argument("fedavg_aggregate: structure mismatch");
+      }
+      continue;  // depth-pruned model: layer absent
+    }
+    accumulate(it->second, ref, partial_.tensors.at(name), weight);
+  }
+  ++partial_.updates;
+}
+
+void ShardAggregator::add(ClientUpdate&& update) {
+  add(static_cast<const ClientUpdate&>(update));
+  // Release the tensors now — the point of the rvalue path is that a shard
+  // folding 10^5 updates never retains them.
+  update.params.clear();
+}
+
+ShardPartial ShardAggregator::take_partial() {
+  ShardPartial out = std::move(partial_);
+  reset();
+  return out;
+}
+
+void ShardAggregator::reset() {
+  partial_.tensors.clear();
+  partial_.updates = 0;
+  for (const auto& [name, ref] : ref_) {
+    ShardPartial::TensorMass mass;
+    mass.value.assign(ref.numel, 0);
+    mass.weight.assign(ref.numel, 0);
+    partial_.tensors.emplace(name, std::move(mass));
+  }
+}
+
+void merge_partials(ShardPartial& into, ShardPartial&& from) {
+  if (into.tensors.empty()) {
+    into = std::move(from);
+    return;
+  }
+  if (from.tensors.empty()) return;
+  if (into.tensors.size() != from.tensors.size()) {
+    throw std::invalid_argument("merge_partials: structure mismatch");
+  }
+  for (auto& [name, mass] : into.tensors) {
+    auto it = from.tensors.find(name);
+    if (it == from.tensors.end() ||
+        it->second.value.size() != mass.value.size()) {
+      throw std::invalid_argument("merge_partials: structure mismatch");
+    }
+    for (std::size_t i = 0; i < mass.value.size(); ++i) {
+      mass.value[i] += it->second.value[i];
+      mass.weight[i] += it->second.weight[i];
+    }
+  }
+  into.updates += from.updates;
+}
+
+ParamSet finalize_partial(const ShardPartial& partial, const ParamSet& global) {
+  ParamSet out;
+  for (const auto& [name, g] : global) {
+    auto it = partial.tensors.find(name);
+    if (it == partial.tensors.end()) {
+      out.emplace(name, g);
+      continue;
+    }
+    const ShardPartial::TensorMass& mass = it->second;
+    if (mass.value.size() != g.numel()) {
+      throw std::invalid_argument("finalize_partial: structure mismatch");
+    }
+    Tensor t(g.shape());
+    for (std::size_t i = 0; i < g.numel(); ++i) {
+      // Elements covered by no upload keep their previous value (Algorithm 2,
+      // line 14). The 2^-72 fixed-point scale cancels in the ratio.
+      t[i] = mass.weight[i] > 0
+                 ? static_cast<float>(static_cast<double>(mass.value[i]) /
+                                      static_cast<double>(mass.weight[i]))
+                 : g[i];
+    }
+    out.emplace(name, std::move(t));
+  }
+  return out;
+}
+
+}  // namespace afl

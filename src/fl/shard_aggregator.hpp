@@ -1,0 +1,113 @@
+#pragma once
+// Composable, stateful aggregation (the hierarchical scale-out primitive —
+// see docs/HIERARCHY.md).
+//
+// A ShardAggregator folds ClientUpdates incrementally into per-element
+// coverage mass: for every element of the global parameter set it tracks
+//   value_sum  = sum over covering updates of  value * data_size * weight
+//   weight_sum = sum over covering updates of          data_size * weight
+// A ShardPartial carrying those two masses is mergeable: element-wise
+// addition composes aggregation across shards, because a weighted mean of
+// weighted means with carried coverage mass is exact (Algorithm 2 per-element
+// math). `hetero_aggregate` / `fedavg_aggregate` are thin wrappers over a
+// single-shard fold.
+//
+// Exactness contract: masses are accumulated in 128-bit *fixed-point*
+// (kMassFracBits fractional bits), not floating point. Each contribution is
+// quantized once — a pure per-update function — and integer addition is
+// exactly associative and commutative, so merging partials is bit-identical
+// for any grouping or order of updates:
+//     merge(fold(A), fold(B)) == fold(A ∪ B)     (exactly, 0 ulp)
+// This is what makes hierarchical runs invariant to the shard count
+// (tests/shard_aggregator_test.cpp, tests/hier_determinism_test.cpp).
+// The quantum is 2^-72 ≈ 2.1e-22; contributions smaller than that (including
+// coverage weights below 2^-72) round to zero mass, and total per-element
+// mass beyond ±2^126 · 2^-72 ≈ ±1.7e16 saturates — both far outside any
+// realistic parameter/weight range.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fl/aggregate.hpp"
+#include "nn/param.hpp"
+
+namespace afl {
+
+/// 128-bit signed fixed-point accumulator for one element's mass.
+using MassInt = __int128;
+
+/// Fractional bits of the fixed-point mass representation.
+inline constexpr int kMassFracBits = 72;
+
+/// Quantizes one real-valued contribution to fixed point (truncation toward
+/// zero, saturating). Deterministic and order-free by construction.
+MassInt quantize_mass(double v);
+
+/// Mergeable result of folding a set of ClientUpdates: per-element value and
+/// coverage-weight mass for every tensor of the global structure.
+struct ShardPartial {
+  struct TensorMass {
+    std::vector<MassInt> value;   // sum of value * data_size * weight
+    std::vector<MassInt> weight;  // sum of         data_size * weight
+  };
+  /// Keyed like the global ParamSet; always holds every global tensor name.
+  std::map<std::string, TensorMass> tensors;
+  /// Updates folded in (across all merged shards).
+  std::size_t updates = 0;
+
+  bool empty() const { return updates == 0; }
+};
+
+/// Accumulates ClientUpdates against a fixed global structure. The structure
+/// (names + shapes) is snapshotted at construction; updates may cover any
+/// dimension-wise prefix of each tensor (kHetero) or must match exactly
+/// (kFedAvg, the classic FedAvg validation).
+class ShardAggregator {
+ public:
+  enum class Mode { kHetero, kFedAvg };
+
+  explicit ShardAggregator(const ParamSet& global, Mode mode = Mode::kHetero);
+
+  /// Folds one update. Neither overload copies parameter tensors; the rvalue
+  /// overload additionally releases the update's ParamSet before returning
+  /// (the moved-from update is left empty), so edge aggregation over 10^5
+  /// clients never holds two copies of an update.
+  void add(const ClientUpdate& update);
+  void add(ClientUpdate&& update);
+
+  std::size_t updates() const { return partial_.updates; }
+  Mode mode() const { return mode_; }
+
+  const ShardPartial& partial() const { return partial_; }
+  /// Moves the accumulated partial out and resets this aggregator to empty.
+  ShardPartial take_partial();
+  void reset();
+
+ private:
+  struct RefShape {
+    Shape dims;
+    std::vector<std::size_t> strides;  // row-major, matching Tensor::offset
+    std::size_t numel = 0;
+  };
+
+  void accumulate(const Tensor& src, const RefShape& ref,
+                  ShardPartial::TensorMass& mass, double weight) const;
+
+  Mode mode_;
+  std::map<std::string, RefShape> ref_;
+  ShardPartial partial_;
+};
+
+/// Element-wise exact merge of two partials over the same global structure;
+/// `from` is consumed. Commutative and associative (integer sums).
+void merge_partials(ShardPartial& into, ShardPartial&& from);
+
+/// Collapses a partial into new global parameters: each covered element
+/// becomes value_mass / weight_mass (the fixed-point scale cancels), and
+/// elements with zero coverage mass keep their previous global value
+/// (Algorithm 2, line 14).
+ParamSet finalize_partial(const ShardPartial& partial, const ParamSet& global);
+
+}  // namespace afl

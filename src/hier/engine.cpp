@@ -1,0 +1,347 @@
+#include "hier/engine.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "engine/plan.hpp"
+#include "engine/telemetry.hpp"
+#include "engine/thread_pool.hpp"
+#include "obs/http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prof/prof.hpp"
+#include "obs/rss.hpp"
+#include "obs/status.hpp"
+#include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
+
+namespace afl::hier {
+
+using engine::publish_run_status;
+using engine::record_transfer;
+using engine::trace_dispatch_failure;
+using engine::trace_eval_point;
+using engine::trace_run_end;
+using engine::trace_run_start;
+
+EdgeAggregator::EdgeAggregator(std::size_t shard, const ParamSet& global,
+                               bool track_local_model)
+    : shard_(shard), agg_(global), track_local_model_(track_local_model) {
+  if (track_local_model_) model_ = global;
+}
+
+void EdgeAggregator::set_model(const ParamSet& global) {
+  if (track_local_model_) model_ = global;
+}
+
+std::size_t EdgeAggregator::end_round() {
+  ShardPartial part = agg_.take_partial();
+  const std::size_t updates = part.updates;
+  if (track_local_model_ && updates > 0) {
+    // Divergent mode: the shard advances its own model every round; elements
+    // its clients did not cover keep the shard's previous value.
+    model_ = finalize_partial(part, model_);
+  }
+  merge_partials(window_, std::move(part));
+  return updates;
+}
+
+ShardPartial EdgeAggregator::take_window() {
+  ShardPartial out = std::move(window_);
+  window_ = ShardPartial{};
+  return out;
+}
+
+void RootMerger::absorb(ShardPartial&& partial) {
+  merge_partials(window_, std::move(partial));
+}
+
+ParamSet RootMerger::commit(const ParamSet& base) {
+  ParamSet next = finalize_partial(window_, base);
+  window_ = ShardPartial{};
+  return next;
+}
+
+HierEngine::HierEngine(const FlRunConfig& config, const HierConfig& hier,
+                       const std::vector<DeviceSim>* devices)
+    : config_(config),
+      hier_(hier),
+      devices_(devices),
+      threads_(config.threads > 0 ? config.threads
+                                  : ThreadPool::threads_from_env()),
+      transport_(config.net ? *config.net : net::NetConfig::from_env(),
+                 config.seed) {
+  if (hier_.shards == 0) hier_.shards = 1;
+  if (hier_.sync_every == 0) hier_.sync_every = 1;
+}
+
+RunResult HierEngine::run(HierRoundPolicy& policy) {
+  const std::size_t num_shards = hier_.shards;
+  const std::size_t sync_every = hier_.sync_every;
+  const bool divergent = sync_every > 1;
+
+  Stopwatch watch;
+  RunResult result;
+  result.algorithm = policy.algorithm_name();
+
+  obs::ensure_default_http_server();
+  trace_run_start(result, config_, threads_, transport_, "hier", num_shards,
+                  sync_every);
+  publish_run_status(result, 0, config_.rounds, 0.0, threads_, /*active=*/true);
+
+  ThreadPool pool(threads_);
+  obs::metrics().gauge("afl.engine.pool.threads").set(static_cast<double>(pool.size()));
+  obs::metrics().gauge("afl.hier.shards").set(static_cast<double>(num_shards));
+  obs::metrics().gauge("afl.hier.sync_every").set(static_cast<double>(sync_every));
+  static obs::Histogram& queue_hist =
+      obs::metrics().histogram("afl.engine.client.queue.seconds");
+  static obs::Histogram& train_hist =
+      obs::metrics().histogram("afl.engine.client.train.seconds");
+  static obs::Histogram& merge_hist =
+      obs::metrics().histogram("afl.hier.merge.seconds");
+  static obs::Histogram& shard_updates_hist =
+      obs::metrics().histogram("afl.hier.shard.round.updates");
+  static obs::Counter& syncs_counter = obs::metrics().counter("afl.hier.syncs");
+
+  Rng rng(config_.seed);
+  policy.init_global(rng);
+
+  const auto shard_of = [num_shards](std::size_t client) {
+    return client % num_shards;
+  };
+
+  std::vector<EdgeAggregator> edges;
+  edges.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    edges.emplace_back(s, policy.hier_global(), divergent);
+  }
+  RootMerger root;
+  // Base of the current sync window: the global at the last root commit.
+  // Elements no shard covered during the window fall through to it.
+  ParamSet synced_global = divergent ? policy.hier_global() : ParamSet{};
+
+  double sim_total = 0.0;
+
+  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+    std::optional<RoundTelemetry> telemetry(std::in_place, result, round);
+    telemetry->set_net_enabled(transport_.enabled());
+    policy.begin_round(round, rng);
+
+    // Phase 1: the same sequential planning pass as the flat engine — one
+    // global selector, identical RNG draw order (see engine/plan.hpp). In
+    // divergent mode the wire carries the owning shard's local model.
+    engine::DispatchPayloadFn payload;  // null: split from the root global
+    if (divergent && transport_.enabled()) {
+      payload = [&](const ClientSlot& s) {
+        return policy.hier_dispatch_params(s, edges[shard_of(s.client)].model());
+      };
+    }
+    engine::RoundPlan plan = engine::plan_round(
+        policy, config_, devices_, transport_, round, rng, result, *telemetry,
+        payload,
+        [&](std::size_t client) { return static_cast<int>(shard_of(client)); });
+    std::vector<ClientSlot>& work = plan.work;
+
+    // Divergent identity path: train on the owning shard's model by pointing
+    // slot.rx at it (execute() splits rx down to back_index).
+    if (divergent && !transport_.enabled()) {
+      for (ClientSlot& s : work) s.rx = &edges[shard_of(s.client)].model();
+    }
+
+    // Phase 2 (parallel execution): the shared pool spans all shards; the
+    // per-client streams are derived WITHOUT the shard word, so the shard
+    // count can never perturb training randomness.
+    std::vector<TrainOutcome> outcomes(work.size());
+    std::vector<double> queue_seconds(work.size(), 0.0);
+    std::vector<double> exec_seconds(work.size(), 0.0);
+    Stopwatch exec_watch;
+    {
+      AFL_PROF_SPAN("engine.train");
+      pool.parallel_for(work.size(), [&](std::size_t i) {
+        AFL_PROF_SPAN("engine.client_train");
+        queue_seconds[i] = exec_watch.seconds();
+        Stopwatch item_watch;
+        Rng crng = Rng::derive(config_.seed, work[i].round, work[i].client);
+        outcomes[i] = policy.execute(work[i], crng);
+        exec_seconds[i] = item_watch.seconds();
+      });
+    }
+    const double exec_wall = exec_watch.seconds();
+
+    // Phase 3 (sequential commit): shard-major, slot order within each
+    // shard. Each slot's update folds straight into its edge's coverage
+    // mass — by rvalue, so no ParamSet is ever duplicated.
+    const double deadline = transport_.config().round_deadline_s;
+    double round_elapsed_max = 0.0;  // slowest client across all shards
+    for (std::size_t shard = 0; shard < num_shards; ++shard) {
+      EdgeAggregator& edge = edges[shard];
+      double shard_elapsed = 0.0;
+      for (std::size_t i = 0; i < work.size(); ++i) {
+        const ClientSlot& s = work[i];
+        if (shard_of(s.client) != shard) continue;
+        std::size_t bytes_up = 0;
+        if (transport_.enabled()) {
+          net::Transport::Session& sess = plan.sessions[i];
+          sess.clock().charge_compute(transport_.compute_seconds(s.params_back));
+          net::Delivery up = transport_.send(sess, net::FrameKind::kReturn,
+                                             outcomes[i].params, s.params_back);
+          record_transfer(result.comm, up.transfer, /*uplink=*/true);
+          shard_elapsed = std::max(shard_elapsed, sess.elapsed_seconds());
+          bytes_up = up.transfer.bytes;
+          if (!up.transfer.delivered) {
+            ++result.failed_trainings;
+            result.comm.record_drop();
+            obs::metrics().counter("afl.net.drops").inc();
+            telemetry->client_failed();
+            trace_dispatch_failure(s, "lost_uplink", -1.0,
+                                   static_cast<int>(shard));
+            policy.on_transport_failure(s);
+            continue;
+          }
+          if (transport_.config().round_deadline_s > 0.0 &&
+              sess.elapsed_seconds() > transport_.config().round_deadline_s) {
+            ++result.failed_trainings;
+            result.comm.record_straggler();
+            obs::metrics().counter("afl.net.stragglers").inc();
+            telemetry->client_failed();
+            trace_dispatch_failure(s, "deadline", -1.0,
+                                   static_cast<int>(shard));
+            policy.on_transport_failure(s);
+            continue;
+          }
+          if (!up.params.empty()) outcomes[i].params = std::move(up.params);
+        }
+        result.comm.record_return(s.params_back);
+        telemetry->add_train_seconds(outcomes[i].stats.seconds);
+        telemetry->client_ok();
+        queue_hist.record(queue_seconds[i]);
+        train_hist.record(exec_seconds[i]);
+        if (obs::trace_enabled()) {
+          obs::TraceEvent ev("dispatch");
+          ev.field("round", static_cast<std::uint64_t>(s.round))
+              .field("client", static_cast<std::uint64_t>(s.client))
+              .field("sent", static_cast<std::uint64_t>(s.sent_index))
+              .field("params", static_cast<std::uint64_t>(s.params_sent))
+              .field("outcome", "ok")
+              .field("shard", static_cast<std::uint64_t>(shard))
+              .field("back", static_cast<std::uint64_t>(s.back_index))
+              .field("params_back", static_cast<std::uint64_t>(s.params_back))
+              .field("train_ms", outcomes[i].stats.seconds * 1e3)
+              .field("dur_ms", exec_seconds[i] * 1e3);
+          if (transport_.enabled()) {
+            ev.field("bytes_down",
+                     static_cast<std::uint64_t>(plan.down_bytes[i]))
+                .field("bytes_up", static_cast<std::uint64_t>(bytes_up));
+          }
+          ev.emit();
+        }
+        edge.round_aggregator().add(
+            ClientUpdate{std::move(outcomes[i].params), outcomes[i].samples});
+      }
+      for (const auto& [client, elapsed] : plan.failed_downlink_seconds) {
+        if (shard_of(client) == shard) {
+          shard_elapsed = std::max(shard_elapsed, elapsed);
+        }
+      }
+      round_elapsed_max = std::max(round_elapsed_max, shard_elapsed);
+      if (transport_.enabled()) {
+        // The edge's round ends at its own slowest client (deadline-capped):
+        // shards progress independently between syncs.
+        const double shard_round =
+            deadline > 0.0 ? std::min(deadline, shard_elapsed) : shard_elapsed;
+        edge.clock().advance_to(edge.clock().now() + shard_round);
+      }
+    }
+    if (!work.empty() && exec_wall > 0.0) {
+      double busy = 0.0;
+      for (double s : exec_seconds) busy += s;
+      obs::metrics()
+          .gauge("afl.engine.pool.utilization")
+          .set(busy / (exec_wall * static_cast<double>(pool.size())));
+    }
+
+    // Phase 4 (edge fold + root sync when due).
+    const bool sync_round = (round % sync_every == 0) || round == config_.rounds;
+    {
+      AFL_PROF_SPAN("engine.aggregate");
+      Stopwatch agg_watch;
+      for (EdgeAggregator& edge : edges) {
+        shard_updates_hist.record(static_cast<double>(edge.end_round()));
+      }
+      if (sync_round) {
+        Stopwatch merge_watch;
+        for (EdgeAggregator& edge : edges) root.absorb(edge.take_window());
+        const ParamSet& base = divergent ? synced_global : policy.hier_global();
+        policy.hier_set_global(root.commit(base));
+        if (divergent) {
+          synced_global = policy.hier_global();
+          for (EdgeAggregator& edge : edges) edge.set_model(synced_global);
+        }
+        syncs_counter.inc();
+        merge_hist.record(merge_watch.seconds());
+        if (transport_.enabled()) {
+          // A root sync is a barrier: every edge clock aligns at the maximum.
+          double vmax = 0.0;
+          for (EdgeAggregator& edge : edges) {
+            vmax = std::max(vmax, edge.clock().now());
+          }
+          for (EdgeAggregator& edge : edges) edge.clock().advance_to(vmax);
+        }
+        obs::sample_rss();
+      }
+      telemetry->add_aggregate_seconds(agg_watch.seconds());
+    }
+    policy.end_round(round, *telemetry);
+
+    if (transport_.enabled()) {
+      const double round_sim = deadline > 0.0
+                                   ? std::min(deadline, round_elapsed_max)
+                                   : round_elapsed_max;
+      double vmax = 0.0;
+      for (EdgeAggregator& edge : edges) {
+        vmax = std::max(vmax, edge.clock().now());
+      }
+      sim_total = vmax;
+      telemetry->set_sim_time(round_sim, sim_total);
+    }
+
+    // Eval only on sync rounds (between syncs the root global is stale); with
+    // sync_every == 1 this is exactly the flat engine's cadence.
+    if (sync_round && config_.eval_every != 0 &&
+        (round % config_.eval_every == 0 || round == config_.rounds)) {
+      AFL_PROF_SPAN("engine.evaluate");
+      Stopwatch eval_watch;
+      policy.evaluate(round, result);
+      result.curve.push_back({round, result.final_full_acc, result.final_avg_acc,
+                              result.comm.waste_rate(),
+                              result.comm.round_waste_rate()});
+      telemetry->add_eval_seconds(eval_watch.seconds());
+      if (transport_.enabled()) {
+        result.note_time_to_acc(result.final_full_acc, sim_total, round);
+        trace_eval_point(round, sim_total, result.final_full_acc,
+                         result.final_avg_acc);
+      }
+    }
+    telemetry.reset();  // flush this round's metrics record
+    publish_run_status(result, round, config_.rounds, watch.seconds(), threads_,
+                       /*active=*/round < config_.rounds);
+  }
+
+  if (result.curve.empty()) {
+    policy.evaluate(config_.rounds, result);
+    result.curve.push_back({config_.rounds, result.final_full_acc,
+                            result.final_avg_acc, result.comm.waste_rate(),
+                            result.comm.round_waste_rate()});
+  }
+  result.wall_seconds = watch.seconds();
+  result.sim_seconds = sim_total;
+  obs::sample_rss();
+  publish_run_status(result, config_.rounds, config_.rounds,
+                     result.wall_seconds, threads_, /*active=*/false);
+  trace_run_end(result, transport_);
+  return result;
+}
+
+}  // namespace afl::hier

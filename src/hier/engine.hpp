@@ -1,0 +1,116 @@
+#pragma once
+// Hierarchical multi-aggregator engine (docs/HIERARCHY.md).
+//
+// Topology: the client population is partitioned across `shards` edge
+// aggregators by client_id % shards. Every round the engine runs the same
+// sequential planning pass as the flat RoundEngine (engine/plan.hpp) — one
+// global selector, one round RNG, identical draw order — then executes the
+// cohort on the shared thread pool and commits each client's update to the
+// EdgeAggregator owning it. Edges fold updates into per-element coverage
+// mass (fl/shard_aggregator.hpp); every `sync_every` edge rounds the
+// RootMerger adds the shard partials element-wise — an exact integer merge —
+// and finalizes the new global model.
+//
+// Determinism contract: with sync_every == 1 the RunResult is bit-identical
+// to the flat RoundEngine for ANY shard count and ANY AFL_THREADS. Planning
+// is shared code, execute() draws from the shard-independent
+// Rng::derive(seed, round, client) streams, and the fixed-point coverage
+// masses make the merge independent of update grouping. With sync_every > 1
+// shard models diverge locally between syncs (results then depend on shards
+// and sync_every — but still not on the thread count).
+//
+// Simulated time: each edge owns a VirtualClock (async/virtual_clock.hpp)
+// advanced by its own slowest client each round; a root sync is a barrier
+// that aligns every clock at the maximum. With sync_every == 1 this
+// reproduces the flat engine's round clock exactly.
+
+#include <cstddef>
+#include <vector>
+
+#include "async/virtual_clock.hpp"
+#include "engine/round_engine.hpp"
+#include "engine/run.hpp"
+#include "fl/shard_aggregator.hpp"
+#include "hier/config.hpp"
+#include "net/transport.hpp"
+#include "nn/param.hpp"
+#include "sim/device.hpp"
+
+namespace afl::hier {
+
+/// One aggregation shard: folds its partition's updates round by round,
+/// tracks its own simulated clock, and (when shard models diverge between
+/// syncs) maintains a shard-local model.
+class EdgeAggregator {
+ public:
+  /// `global` provides the structure snapshot; `track_local_model` is the
+  /// sync_every > 1 mode, where the edge re-finalizes a local model every
+  /// round instead of tracking the root global.
+  EdgeAggregator(std::size_t shard, const ParamSet& global,
+                 bool track_local_model);
+
+  std::size_t shard() const { return shard_; }
+  ShardAggregator& round_aggregator() { return agg_; }
+  async::VirtualClock& clock() { return clock_; }
+
+  /// Shard-local model (only meaningful when tracking one).
+  const ParamSet& model() const { return model_; }
+  /// Resets the local model to a freshly synced global.
+  void set_model(const ParamSet& global);
+
+  /// Closes the shard's round: locally finalizes the round partial into the
+  /// shard model (divergent mode) and folds it into the pending sync window.
+  /// Returns the number of updates the round contributed.
+  std::size_t end_round();
+
+  /// Moves the accumulated window partial out (the root merge input).
+  ShardPartial take_window();
+
+ private:
+  std::size_t shard_;
+  ShardAggregator agg_;
+  ShardPartial window_;
+  async::VirtualClock clock_;
+  bool track_local_model_;
+  ParamSet model_;
+};
+
+/// Merges shard window partials and commits the new global model. The merge
+/// is element-wise integer addition of coverage masses, so it is exact and
+/// independent of shard count or merge order.
+class RootMerger {
+ public:
+  void absorb(ShardPartial&& partial);
+  std::size_t updates() const { return window_.updates; }
+
+  /// Finalizes the merged window against `base` (elements with no coverage
+  /// keep base's value) and clears the window.
+  ParamSet commit(const ParamSet& base);
+
+ private:
+  ShardPartial window_;
+};
+
+/// Drives a HierRoundPolicy through config.rounds hierarchical rounds.
+/// `devices` follows the RoundEngine contract (may be null; must outlive the
+/// engine otherwise).
+class HierEngine {
+ public:
+  HierEngine(const FlRunConfig& config, const HierConfig& hier,
+             const std::vector<DeviceSim>* devices);
+
+  RunResult run(HierRoundPolicy& policy);
+
+  std::size_t threads() const { return threads_; }
+  const net::Transport& transport() const { return transport_; }
+  const HierConfig& hier_config() const { return hier_; }
+
+ private:
+  FlRunConfig config_;
+  HierConfig hier_;
+  const std::vector<DeviceSim>* devices_;
+  std::size_t threads_;
+  net::Transport transport_;
+};
+
+}  // namespace afl::hier

@@ -1,0 +1,39 @@
+#include "obs/rss.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace afl::obs {
+
+RssSample read_rss() {
+  RssSample sample;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return sample;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
+      sample.rss_bytes = static_cast<std::size_t>(kb) * 1024;
+    } else if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      sample.peak_bytes = static_cast<std::size_t>(kb) * 1024;
+    }
+  }
+  std::fclose(f);
+  sample.valid = sample.rss_bytes > 0 || sample.peak_bytes > 0;
+  return sample;
+}
+
+RssSample sample_rss() {
+  const RssSample sample = read_rss();
+  if (sample.valid) {
+    metrics().gauge("afl.proc.rss.bytes").set(static_cast<double>(sample.rss_bytes));
+    metrics()
+        .gauge("afl.proc.rss.peak.bytes")
+        .set(static_cast<double>(sample.peak_bytes));
+  }
+  return sample;
+}
+
+}  // namespace afl::obs

@@ -39,25 +39,32 @@ std::vector<double> ClientSelector::probabilities(
     std::size_t model_index, const std::vector<bool>& taken) const {
   const Level type = pool_.entry(model_index).level;
   const std::vector<std::size_t> entries = level_entries(type);
-  std::vector<double> weights(num_clients_, 0.0);
-  for (std::size_t c = 0; c < num_clients_; ++c) {
-    if (c < taken.size() && taken[c]) continue;
-    double w = 0.0;
+  const auto reward_of = [&](std::size_t c) {
     switch (strategy_) {
       case SelectionStrategy::kResourceCuriosity:
-        w = tables_.reward(entries, type, c);
-        break;
+        return tables_.reward(entries, type, c);
       case SelectionStrategy::kCuriosityOnly:
-        w = tables_.curiosity_reward(type, c);
-        break;
+        return tables_.curiosity_reward(type, c);
       case SelectionStrategy::kResourceOnly:
-        w = std::min(0.5, tables_.resource_reward(entries, c));
-        break;
+        return std::min(0.5, tables_.resource_reward(entries, c));
       case SelectionStrategy::kRandom:
-        w = 1.0;
-        break;
+        return 1.0;
     }
-    weights[c] = w;
+    return 0.0;
+  };
+  std::vector<double> weights(num_clients_, 0.0);
+  // Scale-out fast path: every never-dispatched client reads all-1.0 tables,
+  // so its reward is the same value — compute it once for the (at 10^5-10^6
+  // clients, vast) untouched majority instead of per client.
+  double fresh_w = -1.0;
+  for (std::size_t c = 0; c < num_clients_; ++c) {
+    if (c < taken.size() && taken[c]) continue;
+    if (tables_.untouched(c)) {
+      if (fresh_w < 0.0) fresh_w = reward_of(c);
+      weights[c] = fresh_w;
+    } else {
+      weights[c] = reward_of(c);
+    }
   }
   double total = 0.0;
   for (double w : weights) total += w;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -16,30 +15,37 @@ obs::Counter& rl_updates() {
   return c;
 }
 
-double row_mean(const std::vector<double>& row) {
-  if (row.empty()) return 0.0;
-  return std::accumulate(row.begin(), row.end(), 0.0) / static_cast<double>(row.size());
-}
-
 }  // namespace
 
 RlTables::RlTables(std::size_t pool_size, std::size_t p, std::size_t num_clients)
-    : pool_size_(pool_size),
-      p_(p),
-      num_clients_(num_clients),
-      tc_(3, std::vector<double>(num_clients, 1.0)),
-      tr_(pool_size, std::vector<double>(num_clients, 1.0)) {
+    : pool_size_(pool_size), p_(p), num_clients_(num_clients),
+      tc_(3), tr_(pool_size) {
   if (pool_size_ != 2 * p_ + 1) {
     throw std::invalid_argument("RlTables: pool size must be 2p+1");
   }
 }
 
+double RlTables::read(const Row& row, std::size_t client) const {
+  if (client >= num_clients_) {
+    throw std::out_of_range("RlTables: client index out of range");
+  }
+  const auto it = row.find(client);
+  return it == row.end() ? 1.0 : it->second;
+}
+
+double& RlTables::cell(Row& row, std::size_t client) {
+  if (client >= num_clients_) {
+    throw std::out_of_range("RlTables: client index out of range");
+  }
+  return row.try_emplace(client, 1.0).first->second;
+}
+
 double RlTables::curiosity(Level type, std::size_t client) const {
-  return tc_.at(static_cast<std::size_t>(type)).at(client);
+  return read(tc_.at(static_cast<std::size_t>(type)), client);
 }
 
 double RlTables::resource_score(std::size_t entry, std::size_t client) const {
-  return tr_.at(entry).at(client);
+  return read(tr_.at(entry), client);
 }
 
 void RlTables::update(std::size_t sent, Level sent_type, std::size_t back,
@@ -53,22 +59,24 @@ void RlTables::update(std::size_t sent, Level sent_type, std::size_t back,
       .field("client", static_cast<std::uint64_t>(client))
       .field("sent", static_cast<std::uint64_t>(sent))
       .field("back", static_cast<std::uint64_t>(back));
+  touched_.insert(client);
   // Lines 12-13: curiosity counts for both the sent and the returned type.
-  tc_[static_cast<std::size_t>(sent_type)][client] += 1.0;
-  tc_[static_cast<std::size_t>(back_type)][client] += 1.0;
+  cell(tc_[static_cast<std::size_t>(sent_type)], client) += 1.0;
+  cell(tc_[static_cast<std::size_t>(back_type)], client) += 1.0;
   const std::size_t last = pool_size_ - 1;  // L_1
   if (back == sent) {
     // Lines 15-18: no local pruning happened, so the client's capacity covers
     // m_i; reward m_i and everything above it, with an extra bonus on L_1.
-    for (std::size_t t = sent; t <= last; ++t) tr_[t][client] += 1.0;
-    tr_[last][client] += static_cast<double>(p_) - 1.0;
+    for (std::size_t t = sent; t <= last; ++t) cell(tr_[t], client) += 1.0;
+    cell(tr_[last], client) += static_cast<double>(p_) - 1.0;
   } else {
     // Lines 20-25: capacity sits between size(m_i') and the next-larger pool
     // model; boost m_i' and progressively punish larger entries.
-    tr_[back][client] += static_cast<double>(p_);
+    cell(tr_[back], client) += static_cast<double>(p_);
     double tau = 0.0;
     for (std::size_t t = back; t <= last; ++t) {
-      tr_[t][client] = std::max(tr_[t][client] - tau, 0.0);
+      double& v = cell(tr_[t], client);
+      v = std::max(v - tau, 0.0);
       tau += 1.0;
     }
   }
@@ -80,9 +88,11 @@ void RlTables::update_failure(std::size_t sent, Level sent_type, std::size_t cli
   span.field("outcome", "failure")
       .field("client", static_cast<std::uint64_t>(client))
       .field("sent", static_cast<std::uint64_t>(sent));
-  tc_[static_cast<std::size_t>(sent_type)][client] += 1.0;
+  touched_.insert(client);
+  cell(tc_[static_cast<std::size_t>(sent_type)], client) += 1.0;
   for (std::size_t t = sent; t < pool_size_; ++t) {
-    tr_[t][client] = std::max(tr_[t][client] - static_cast<double>(p_), 0.0);
+    double& v = cell(tr_[t], client);
+    v = std::max(v - static_cast<double>(p_), 0.0);
   }
 }
 
@@ -91,20 +101,32 @@ void RlTables::update_no_response(Level sent_type, std::size_t client) {
   obs::TraceSpan span("rl_update");
   span.field("outcome", "no_response")
       .field("client", static_cast<std::uint64_t>(client));
-  tc_[static_cast<std::size_t>(sent_type)][client] += 1.0;
+  touched_.insert(client);
+  cell(tc_[static_cast<std::size_t>(sent_type)], client) += 1.0;
 }
 
 std::vector<double> RlTables::mean_curiosity() const {
   std::vector<double> out;
   out.reserve(tc_.size());
-  for (const auto& row : tc_) out.push_back(row_mean(row));
+  for (const Row& row : tc_) {
+    // Absent cells are exactly 1.0, and every stored value is an
+    // integer-valued double, so this sum (and therefore the mean) is exact
+    // regardless of summation order.
+    double sum = static_cast<double>(num_clients_ - row.size());
+    for (const auto& [client, v] : row) sum += v;
+    out.push_back(num_clients_ > 0 ? sum / static_cast<double>(num_clients_) : 0.0);
+  }
   return out;
 }
 
 std::vector<double> RlTables::mean_resource() const {
   std::vector<double> out;
   out.reserve(tr_.size());
-  for (const auto& row : tr_) out.push_back(row_mean(row));
+  for (const Row& row : tr_) {
+    double sum = static_cast<double>(num_clients_ - row.size());
+    for (const auto& [client, v] : row) sum += v;
+    out.push_back(num_clients_ > 0 ? sum / static_cast<double>(num_clients_) : 0.0);
+  }
   return out;
 }
 
@@ -114,10 +136,10 @@ double RlTables::resource_reward(const std::vector<std::size_t>& level_entries,
   // k up to L_1. Denominator: p * (total score over the whole pool).
   double numerator = 0.0;
   for (std::size_t k : level_entries) {
-    for (std::size_t t = k; t < pool_size_; ++t) numerator += tr_[t][client];
+    for (std::size_t t = k; t < pool_size_; ++t) numerator += read(tr_[t], client);
   }
   double total = 0.0;
-  for (std::size_t t = 0; t < pool_size_; ++t) total += tr_[t][client];
+  for (std::size_t t = 0; t < pool_size_; ++t) total += read(tr_[t], client);
   const double denominator = static_cast<double>(p_) * total;
   if (denominator <= 0.0) return 0.0;
   return numerator / denominator;

@@ -6,8 +6,18 @@
 // R_c = 1/sqrt(T_c). Resource table T_r[pool-entry][client]: training scores
 // from which the server infers (without ever reading device state) which
 // model sizes a client can train. Both initialize to 1 (Algorithm 1, l.1-2).
+//
+// Storage is sparse: rows only materialize cells for clients that received at
+// least one update; absent cells read as the initial 1.0. At scale-out
+// populations (10^5-10^6 clients, docs/HIERARCHY.md) only the cohorts ever
+// dispatched occupy memory, and untouched(client) lets the selector share one
+// reward computation across the untouched majority. All cell values stay
+// integer-valued doubles, so every derived quantity (rewards, row means) is
+// bit-identical to the former dense representation.
 
 #include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "prune/model_pool.hpp"
@@ -24,6 +34,12 @@ class RlTables {
 
   double curiosity(Level type, std::size_t client) const;
   double resource_score(std::size_t entry, std::size_t client) const;
+
+  /// True iff no update ever touched `client`: every table cell still reads
+  /// the initial 1.0, so its reward equals any other untouched client's.
+  bool untouched(std::size_t client) const {
+    return touched_.find(client) == touched_.end();
+  }
 
   /// Algorithm 1 lines 12-26: record a dispatch of pool entry `sent` to
   /// `client` that came back as entry `back` (back == sent when the device
@@ -59,10 +75,17 @@ class RlTables {
   std::vector<double> mean_resource() const;
 
  private:
+  /// One sparse table row: client -> value, absent cells = 1.0.
+  using Row = std::unordered_map<std::size_t, double>;
+
+  double read(const Row& row, std::size_t client) const;
+  double& cell(Row& row, std::size_t client);
+
   std::size_t pool_size_, p_, num_clients_;
-  // T_c: 3 x |C|; T_r: (2p+1) x |C|.
-  std::vector<std::vector<double>> tc_;
-  std::vector<std::vector<double>> tr_;
+  // T_c: 3 x |C|; T_r: (2p+1) x |C|; rows materialize lazily.
+  std::vector<Row> tc_;
+  std::vector<Row> tr_;
+  std::unordered_set<std::size_t> touched_;
 };
 
 }  // namespace afl

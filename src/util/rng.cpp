@@ -139,4 +139,19 @@ Rng Rng::derive(std::uint64_t seed, std::uint64_t round, std::uint64_t client) {
   return Rng(splitmix64(x));
 }
 
+Rng Rng::derive(std::uint64_t seed, std::uint64_t shard, std::uint64_t round,
+                std::uint64_t client) {
+  // Same absorption chain with a shard/stream word spliced in; shard 0 does
+  // NOT collapse onto the three-word overload (the extra splitmix64 round
+  // decorrelates them), so three- and four-word streams never alias.
+  std::uint64_t x = seed;
+  std::uint64_t h = splitmix64(x);
+  x = h ^ (shard * 0x9fb21c651e98df25ULL);
+  h = splitmix64(x);
+  x = h ^ (round * 0xd1342543de82ef95ULL);
+  h = splitmix64(x);
+  x = h ^ (client * 0xaf251af3b0f025b5ULL);
+  return Rng(splitmix64(x));
+}
+
 }  // namespace afl

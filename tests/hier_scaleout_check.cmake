@@ -1,0 +1,59 @@
+# End-to-end hierarchical scale-out gate: runs the hier_scaleout example
+# (run 0 = flat RoundEngine, run 1 = hier 2 shards sync_every 1, run 2 = hier
+# 2 shards sync_every 3, one simulated fp16 transport) and asserts that
+#   - the example itself reports the flat and lockstep-sharded runs as
+#     BIT-IDENTICAL (the example exits 1 otherwise),
+#   - `afl-insight summary` renders the per-shard breakdown of the hier runs
+#     without tripping the mixed-tag corruption check, and
+#   - `afl-insight diff` of run 0 vs run 1 confirms zero accuracy drop — the
+#     shard-invariance report of docs/HIERARCHY.md.
+#
+# Invoked as:
+#   cmake -DEXAMPLE=<hier_scaleout> -DINSIGHT=<afl-insight> -DWORK_DIR=<dir>
+#         -P hier_scaleout_check.cmake
+
+if(NOT EXAMPLE OR NOT INSIGHT OR NOT WORK_DIR)
+  message(FATAL_ERROR "hier_scaleout_check.cmake needs -DEXAMPLE=..., -DINSIGHT=... and -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(TRACE "${WORK_DIR}/hier_scaleout.jsonl")
+
+execute_process(
+  COMMAND "${EXAMPLE}" "${TRACE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hier_scaleout exited ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "BIT-IDENTICAL")
+  message(FATAL_ERROR "hier_scaleout did not report shard invariance:\n${out}")
+endif()
+
+# summary must succeed (no mixed-tag refusal: tags are consistent per run)
+# and print the per-shard table for the hierarchical runs.
+execute_process(
+  COMMAND "${INSIGHT}" summary "${TRACE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "summary on the hier trace exited ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "per-shard breakdown")
+  message(FATAL_ERROR "summary missing the per-shard breakdown:\n${out}")
+endif()
+
+# Shard-invariance report: run 1 (lockstep hier) diffed against run 0 (flat)
+# with a zero accuracy-drop budget. Time/comm/bytes gates are loosened — the
+# runs are identical there too, but wall-clock ratios are machine noise.
+execute_process(
+  COMMAND "${INSIGHT}" diff "${TRACE}" "${TRACE}" --base-run 0 --cand-run 1
+          --max-acc-drop 0 --max-time-ratio 1000 --max-comm-ratio 1000
+          --max-bytes-ratio 1000
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 2)
+  message(FATAL_ERROR "sharded run regressed against the flat baseline:\n${out}")
+endif()
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "shard-invariance diff exited ${rc}:\n${out}${err}")
+endif()
+
+message(STATUS "hier scale-out checks passed")

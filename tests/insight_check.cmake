@@ -141,6 +141,54 @@ if(NOT out MATCHES "lost" OR NOT out MATCHES "late")
   message(FATAL_ERROR "net clients table missing lost/late columns:\n${out}")
 endif()
 
+# Hierarchical traces (docs/HIERARCHY.md): shard-tagged dispatch records get
+# a per-shard client/byte/straggler breakdown in summary; a run mixing tagged
+# and untagged dispatches is corrupt data and must exit 1, not crash.
+set(HIER "${WORK_DIR}/hier.jsonl")
+set(MIXED "${WORK_DIR}/mixed_tags.jsonl")
+file(WRITE "${HIER}"
+"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v1\",\"algo\":\"AdaptiveFL\",\"rounds\":1,\"seed\":7,\"threads\":1,\"mode\":\"hier\",\"shards\":2,\"sync_every\":1}
+{\"kind\":\"dispatch\",\"round\":1,\"client\":0,\"outcome\":\"ok\",\"params\":50,\"params_back\":50,\"train_ms\":4.0,\"shard\":0,\"bytes_down\":120,\"bytes_up\":60}
+{\"kind\":\"dispatch\",\"round\":1,\"client\":2,\"outcome\":\"ok\",\"params\":50,\"params_back\":50,\"train_ms\":4.2,\"shard\":0,\"bytes_down\":120,\"bytes_up\":60}
+{\"kind\":\"dispatch\",\"round\":1,\"client\":1,\"outcome\":\"deadline\",\"params\":50,\"shard\":1,\"bytes_down\":130}
+{\"kind\":\"round\",\"round\":1,\"dur_ms\":10.0,\"train_ms\":6.0,\"aggregate_ms\":2.0,\"eval_ms\":1.0,\"params_sent\":150,\"params_returned\":100,\"clients_ok\":2,\"clients_failed\":1,\"round_waste\":0.3}
+{\"kind\":\"run_end\",\"algo\":\"AdaptiveFL\",\"rounds\":1,\"full_acc\":0.80,\"params_sent\":150,\"params_returned\":100}
+")
+file(WRITE "${MIXED}"
+"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v1\",\"algo\":\"AdaptiveFL\",\"rounds\":1,\"seed\":7,\"threads\":1}
+{\"kind\":\"dispatch\",\"round\":1,\"client\":0,\"outcome\":\"ok\",\"params\":50,\"params_back\":50,\"train_ms\":4.0,\"shard\":0}
+{\"kind\":\"dispatch\",\"round\":1,\"client\":1,\"outcome\":\"ok\",\"params\":50,\"params_back\":50,\"train_ms\":4.0}
+{\"kind\":\"run_end\",\"algo\":\"AdaptiveFL\",\"rounds\":1,\"full_acc\":0.80,\"params_sent\":100,\"params_returned\":100}
+")
+
+execute_process(
+  COMMAND "${INSIGHT}" summary "${HIER}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "summary on a hier trace exited ${rc}: ${err}")
+endif()
+if(NOT out MATCHES "per-shard breakdown")
+  message(FATAL_ERROR "hier summary missing the per-shard table:\n${out}")
+endif()
+# Shard 0 served 2 distinct clients over 240 downlink bytes; shard 1's only
+# dispatch missed the deadline (1 straggler).
+if(NOT out MATCHES "\\| 0 +\\| 2 +\\| 2 +\\| 2 +\\| 0 +\\| 240")
+  message(FATAL_ERROR "hier summary shard-0 row wrong:\n${out}")
+endif()
+if(NOT out MATCHES "\\| 1 +\\| 1 +\\| 1 +\\| 0 +\\| 1 +\\| 130")
+  message(FATAL_ERROR "hier summary shard-1 straggler row wrong:\n${out}")
+endif()
+
+execute_process(
+  COMMAND "${INSIGHT}" summary "${MIXED}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "mixed-tag summary exited ${rc} (expected 1):\n${out}${err}")
+endif()
+if(NOT err MATCHES "mixes shard-tagged and untagged")
+  message(FATAL_ERROR "mixed-tag error does not name the problem:\n${err}")
+endif()
+
 # The bytes gate: 4x the wire bytes at identical accuracy/time/params must
 # trip --max-bytes-ratio (default 1.10) and exit 2...
 execute_process(

@@ -11,7 +11,10 @@
 //
 // A trace may contain several runs (one process running several algorithms);
 // records are segmented at `run_start` headers. clients/rounds/diff operate
-// on the last run unless --run selects another. `diff` compares final
+// on the last run unless --run selects another. `summary` adds a per-shard
+// client/byte/straggler breakdown when a run's dispatch records carry the
+// hierarchical engine's shard tags (docs/HIERARCHY.md), and exits 1 on a run
+// mixing shard-tagged and untagged dispatches (corrupt/interleaved trace). `diff` compares final
 // accuracy, round p95 wall time, and total dispatched params of the last run
 // in each file (--base-run / --cand-run select others, so one two-run trace
 // can diff against itself) and exits 2 when the candidate regresses past the
@@ -44,6 +47,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -177,6 +181,23 @@ struct RunStats {
   std::map<std::string, std::size_t> kind_counts;
   std::map<std::string, std::size_t> dispatch_outcomes;
 
+  // Per-shard rollup; populated only when dispatch records carry the "shard"
+  // tag written by the hierarchical engine (docs/HIERARCHY.md). Within one
+  // run the engine either tags every dispatch or none, so a run mixing tagged
+  // and untagged dispatches is bad data (two traces interleaved into one
+  // segment) — summary refuses it via mixed_shard_tags().
+  struct ShardAgg {
+    std::set<long long> clients;  // distinct clients this shard served
+    std::size_t dispatches = 0, ok = 0, stragglers = 0;
+    double bytes_down = 0.0, bytes_up = 0.0;  // 0 on transportless runs
+  };
+  std::map<long long, ShardAgg> shards;
+  std::size_t untagged_dispatches = 0;
+
+  bool mixed_shard_tags() const {
+    return !shards.empty() && untagged_dispatches > 0;
+  }
+
   std::size_t deadline_missed() const {
     const auto it = dispatch_outcomes.find("deadline");
     return it == dispatch_outcomes.end() ? 0 : it->second;
@@ -210,7 +231,20 @@ RunStats run_stats(const Run& run) {
         }
       }
     } else if (kind == "dispatch") {
-      s.dispatch_outcomes[str(r, "outcome", "?")]++;
+      const std::string outcome = str(r, "outcome", "?");
+      s.dispatch_outcomes[outcome]++;
+      if (r.count("shard") != 0) {
+        RunStats::ShardAgg& shard =
+            s.shards[static_cast<long long>(num(r, "shard"))];
+        ++shard.dispatches;
+        shard.clients.insert(static_cast<long long>(num(r, "client", -1)));
+        if (outcome == "ok") ++shard.ok;
+        if (outcome == "deadline") ++shard.stragglers;
+        shard.bytes_down += num(r, "bytes_down");
+        shard.bytes_up += num(r, "bytes_up");
+      } else {
+        ++s.untagged_dispatches;
+      }
     } else if (kind == "evaluate" && !has_run_end) {
       s.final_acc = num(r, "accuracy");
       s.has_acc = true;
@@ -238,6 +272,16 @@ int cmd_summary(const TraceFile& file) {
   for (std::size_t i = 0; i < file.runs.size(); ++i) {
     const Run& run = file.runs[i];
     const RunStats s = run_stats(run);
+    if (s.mixed_shard_tags()) {
+      std::fprintf(stderr,
+                   "afl-insight: %s run %zu mixes shard-tagged and untagged "
+                   "dispatch records (%zu shard(s), %zu untagged dispatch(es))"
+                   " — one run cannot come from both engines; trace is "
+                   "corrupt\n",
+                   file.path.c_str(), i, s.shards.size(),
+                   s.untagged_dispatches);
+      return 1;
+    }
     std::printf("run %zu: %s\n", i, run.label().c_str());
     Table t({"metric", "value"});
     t.add_row({"rounds", std::to_string(s.rounds)});
@@ -277,6 +321,19 @@ int cmd_summary(const TraceFile& file) {
         outcomes += outcome + "=" + std::to_string(count) + " ";
       }
       std::printf("dispatch outcomes: %s\n", outcomes.c_str());
+    }
+    if (!s.shards.empty()) {
+      std::printf("per-shard breakdown (hierarchical run):\n");
+      Table st({"shard", "clients", "dispatches", "ok", "stragglers",
+                "bytes down", "bytes up"});
+      for (const auto& [id, agg] : s.shards) {
+        st.add_row({std::to_string(id), std::to_string(agg.clients.size()),
+                    std::to_string(agg.dispatches), std::to_string(agg.ok),
+                    std::to_string(agg.stragglers),
+                    Table::fmt(agg.bytes_down, 0),
+                    Table::fmt(agg.bytes_up, 0)});
+      }
+      std::printf("%s", st.to_markdown().c_str());
     }
     std::printf("\n");
   }
