@@ -10,6 +10,7 @@
 
 #include "async/aggregator.hpp"
 #include "async/virtual_clock.hpp"
+#include "engine/lifecycle.hpp"
 #include "engine/telemetry.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/http.hpp"
@@ -93,6 +94,11 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
   std::size_t flushes = 0;
   double last_flush_time = 0.0;
 
+  // Dispatch-lifecycle tracing (afl.trace.v2): the event engine always
+  // models time, so the tracker is unconditionally active. The dispatch
+  // counter doubles as the stable lifecycle id (it already keys slot.round).
+  engine::LifecycleTracker lifecycle(true);
+
   std::optional<RoundTelemetry> telemetry(std::in_place, result, flushes + 1);
   telemetry->set_net_enabled(transport_.enabled());
 
@@ -126,6 +132,8 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
       p.version = agg.version();
       p.dispatch_time = clock.now();
       p.reuploads_left = async_.max_reuploads;
+      lifecycle.begin(s.round, s.round, s.client, clock.now(), /*shard=*/-1,
+                      static_cast<long long>(p.version));
 
       if (devices_ != nullptr && !(*devices_)[s.client].responds(rng)) {
         p.fail = FailKind::kNoResponse;
@@ -146,10 +154,16 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
       double ready_at = clock.now();
       if (transport_.enabled()) {
         p.sess = transport_.session(s.round, s.client);
+        p.sess.set_lifecycle_tags(static_cast<long long>(s.round), -1,
+                                  static_cast<long long>(p.version));
         net::Delivery down =
             transport_.send(p.sess, net::FrameKind::kDispatch,
                             policy.dispatch_params(s), s.params_sent);
         engine::record_transfer(result.comm, down.transfer, /*uplink=*/false);
+        lifecycle.phase(s.round, engine::kPhaseDownlink, clock.now(),
+                        clock.now() + p.sess.elapsed_seconds(),
+                        down.transfer.attempts, down.transfer.backoff_seconds,
+                        down.transfer.bytes);
         if (!down.transfer.delivered) {
           p.fail = FailKind::kLostDownlink;
           queue.push({clock.now() + p.sess.elapsed_seconds() +
@@ -165,7 +179,10 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
         }
         // Local compute charged exactly once per dispatch (ClientClock):
         // later re-uploads re-pay transfer only, never the training.
+        const double down_end = clock.now() + p.sess.elapsed_seconds();
         p.sess.clock().charge_compute(transport_.compute_seconds(s.params_back));
+        lifecycle.phase(s.round, engine::kPhaseCompute, down_end,
+                        clock.now() + p.sess.elapsed_seconds());
         ready_at += p.sess.elapsed_seconds();
       }
       policy.on_accepted(p.slot);
@@ -206,8 +223,13 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
       policy.aggregate(flushes);
       telemetry->add_aggregate_seconds(agg_watch.seconds());
     }
-    version_gauge.set(static_cast<double>(agg.commit_flush()));
+    const std::size_t new_version = agg.commit_flush();
+    version_gauge.set(static_cast<double>(new_version));
     flush_counter.inc();
+    // The buffer flush is the commit instant of every buffered update:
+    // buffer_wait runs from each arrival to here.
+    lifecycle.commit_window(clock.now(), /*commit_shard=*/-1,
+                            static_cast<long long>(new_version));
     obs::sample_rss();  // same memory gauges as the hierarchical engine's syncs
     policy.end_round(flushes, *telemetry);
     telemetry->set_sim_time(clock.now() - last_flush_time, clock.now());
@@ -227,7 +249,8 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
     }
     telemetry.reset();  // flush this window's metrics record
     engine::publish_run_status(result, flushes, config_.rounds, watch.seconds(),
-                               threads_, /*active=*/flushes < config_.rounds);
+                               threads_, /*active=*/flushes < config_.rounds,
+                               &lifecycle.blame());
     if (flushes < config_.rounds) {
       telemetry.emplace(result, flushes + 1);
       telemetry->set_net_enabled(transport_.enabled());
@@ -256,29 +279,40 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
         double arrive_at = e.time;
         if (transport_.enabled()) {
           const double before = p.sess.elapsed_seconds();
+          std::size_t up_attempts = 0;
+          double up_backoff = 0.0;
           net::Delivery up =
               transport_.send(p.sess, net::FrameKind::kReturn, p.outcome.params,
                               p.slot.params_back);
           engine::record_transfer(result.comm, up.transfer, /*uplink=*/true);
+          up_attempts += up.transfer.attempts;
+          up_backoff += up.transfer.backoff_seconds;
+          std::size_t up_bytes = up.transfer.bytes;
           while (!up.transfer.delivered && p.reuploads_left > 0) {
             // The client still holds its trained update: re-send the frame
             // after a backoff. Transfer time accrues; compute does not
             // (ClientClock already charged it).
             --p.reuploads_left;
             p.sess.add_seconds(async_.reupload_backoff_s);
+            up_backoff += async_.reupload_backoff_s;
             up = transport_.send(p.sess, net::FrameKind::kReturn,
                                  p.outcome.params, p.slot.params_back);
             engine::record_transfer(result.comm, up.transfer, /*uplink=*/true);
+            up_attempts += up.transfer.attempts;
+            up_backoff += up.transfer.backoff_seconds;
+            up_bytes += up.transfer.bytes;
           }
+          const double up_end = e.time + (p.sess.elapsed_seconds() - before);
+          lifecycle.phase(e.dispatch, engine::kPhaseUplink, e.time, up_end,
+                          up_attempts, up_backoff, up_bytes);
           if (!up.transfer.delivered) {
             p.fail = FailKind::kLostUplink;
-            queue.push({e.time + (p.sess.elapsed_seconds() - before) +
-                            async_.failure_timeout_s,
-                        e.dispatch, e.client, 0, EventKind::kFailure});
+            queue.push({up_end + async_.failure_timeout_s, e.dispatch, e.client,
+                        0, EventKind::kFailure});
             break;
           }
           if (!up.params.empty()) p.outcome.params = std::move(up.params);
-          arrive_at = e.time + (p.sess.elapsed_seconds() - before);
+          arrive_at = up_end;
         }
         queue.push({arrive_at, e.dispatch, e.client, 0, EventKind::kArrival});
         break;
@@ -292,8 +326,10 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
           stale_counter.inc();
           telemetry->client_failed();
           engine::trace_dispatch_failure(p.slot, "stale", clock.now());
+          lifecycle.drop(e.dispatch, "stale", clock.now());
           break;
         }
+        lifecycle.arrived(e.dispatch, clock.now());
         const std::size_t tau = agg.staleness(p.version);
         const double scale = agg.weight_scale(p.version);
         result.comm.record_return(p.slot.params_back);
@@ -332,22 +368,26 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
         switch (p.fail) {
           case FailKind::kNoResponse:
             engine::trace_dispatch_failure(p.slot, "no_response", clock.now());
+            lifecycle.drop(e.dispatch, "no_response", clock.now());
             policy.on_no_response(p.slot);
             break;
           case FailKind::kAdaptFailed:
             engine::trace_dispatch_failure(p.slot, "adapt_failed", clock.now());
+            lifecycle.drop(e.dispatch, "adapt_failed", clock.now());
             policy.on_adapt_failure(p.slot);
             break;
           case FailKind::kLostDownlink:
             result.comm.record_drop();
             obs::metrics().counter("afl.net.drops").inc();
             engine::trace_dispatch_failure(p.slot, "lost_downlink", clock.now());
+            lifecycle.drop(e.dispatch, "lost_downlink", clock.now());
             policy.on_transport_failure(p.slot);
             break;
           case FailKind::kLostUplink:
             result.comm.record_drop();
             obs::metrics().counter("afl.net.drops").inc();
             engine::trace_dispatch_failure(p.slot, "lost_uplink", clock.now());
+            lifecycle.drop(e.dispatch, "lost_uplink", clock.now());
             policy.on_transport_failure(p.slot);
             break;
         }
@@ -366,7 +406,8 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
   result.wall_seconds = watch.seconds();
   result.sim_seconds = last_flush_time;
   engine::publish_run_status(result, config_.rounds, config_.rounds,
-                             result.wall_seconds, threads_, /*active=*/false);
+                             result.wall_seconds, threads_, /*active=*/false,
+                             &lifecycle.blame());
   engine::trace_run_end(result, transport_);
   return result;
 }

@@ -1,10 +1,13 @@
 #include "core/experiment.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 
 #include "arch/zoo.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/env.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
@@ -247,6 +250,30 @@ RunResult run_algorithm_impl(Algorithm algorithm, const ExperimentEnv& env) {
 
 }  // namespace
 
+namespace {
+
+// Crash residue for the AFL_METRICS_JSONL sink: per-round metrics are only
+// written when a run completes, so a process dying mid-run would lose every
+// number. While a run is in flight, an obs::add_trace_flush_hook-registered
+// atexit hook dumps the live metrics registry to "<path>.partial"; a clean
+// completion removes it again, so the file's presence marks a truncated run.
+std::atomic<bool> g_run_in_flight{false};
+
+std::string& partial_metrics_path() {
+  static std::string path;
+  return path;
+}
+
+void flush_partial_metrics() {
+  if (!g_run_in_flight.load(std::memory_order_acquire)) return;
+  const std::string& path = partial_metrics_path();
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::trunc);
+  if (out) out << obs::metrics().to_jsonl();
+}
+
+}  // namespace
+
 RunResult run_algorithm(Algorithm algorithm, const ExperimentEnv& env) {
   AFL_LOG_INFO << "running " << algorithm_name(algorithm) << " on "
                << task_name(env.config.task) << " / " << model_name(env.config.model)
@@ -255,12 +282,18 @@ RunResult run_algorithm(Algorithm algorithm, const ExperimentEnv& env) {
                        ? ", alpha=" + std::to_string(env.config.alpha)
                        : "")
                << ", " << env.config.rounds << " rounds)";
+  const std::string metrics_path = env_or("AFL_METRICS_JSONL", "");
+  if (!metrics_path.empty()) {
+    partial_metrics_path() = metrics_path + ".partial";
+    obs::add_trace_flush_hook(&flush_partial_metrics);
+    g_run_in_flight.store(true, std::memory_order_release);
+  }
   RunResult result = run_algorithm_impl(algorithm, env);
+  g_run_in_flight.store(false, std::memory_order_release);
   print_run_summary(result);
   // Central AFL_METRICS_JSONL sink: every bench / example / test run dumps
   // its per-round metrics. The first run of the process truncates the file,
   // later runs append (records carry the algorithm tag to stay separable).
-  const std::string metrics_path = env_or("AFL_METRICS_JSONL", "");
   if (!metrics_path.empty()) {
     static bool appending = false;
     result.write_metrics_jsonl(metrics_path, appending);
@@ -268,6 +301,7 @@ RunResult run_algorithm(Algorithm algorithm, const ExperimentEnv& env) {
       std::fprintf(stderr, "writing per-round metrics to %s\n", metrics_path.c_str());
     }
     appending = true;
+    std::remove(partial_metrics_path().c_str());
   }
   return result;
 }

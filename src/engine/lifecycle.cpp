@@ -1,0 +1,179 @@
+#include "engine/lifecycle.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace afl::engine {
+namespace {
+
+/// Lazily-registered phase histograms: first touch happens only on active
+/// trackers, so time-less runs never add afl.lifecycle.* instruments to the
+/// registry (their metrics dumps stay byte-identical to v1 builds).
+obs::Histogram& phase_histogram(const char* phase) {
+  static obs::Histogram& select = obs::metrics().histogram("afl.lifecycle.select.seconds");
+  static obs::Histogram& downlink = obs::metrics().histogram("afl.lifecycle.downlink.seconds");
+  static obs::Histogram& compute = obs::metrics().histogram("afl.lifecycle.compute.seconds");
+  static obs::Histogram& uplink = obs::metrics().histogram("afl.lifecycle.uplink.seconds");
+  static obs::Histogram& buffer_wait = obs::metrics().histogram("afl.lifecycle.buffer_wait.seconds");
+  if (std::strcmp(phase, kPhaseDownlink) == 0) return downlink;
+  if (std::strcmp(phase, kPhaseCompute) == 0) return compute;
+  if (std::strcmp(phase, kPhaseUplink) == 0) return uplink;
+  if (std::strcmp(phase, kPhaseBufferWait) == 0) return buffer_wait;
+  return select;
+}
+
+}  // namespace
+
+void LifecycleTracker::begin(std::size_t id, std::size_t round,
+                             std::size_t client, double t_select, int shard,
+                             long long version) {
+  if (!active_) return;
+  DispatchRec rec;
+  rec.round = round;
+  rec.client = client;
+  rec.shard = shard;
+  rec.version = version;
+  rec.phases.push_back({kPhaseSelect, t_select, t_select, 0, 0.0, 0});
+  open_[id] = std::move(rec);
+}
+
+void LifecycleTracker::phase(std::size_t id, const char* name, double t0,
+                             double t1, std::size_t attempts, double backoff_s,
+                             std::size_t bytes) {
+  if (!active_) return;
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  it->second.phases.push_back({name, t0, t1, attempts, backoff_s, bytes});
+}
+
+void LifecycleTracker::drop(std::size_t id, const char* outcome, double t_end) {
+  if (!active_) return;
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  it->second.phases.push_back({kPhaseDrop, t_end, t_end, 0, 0.0, 0});
+  record_histograms(it->second);
+  emit(id, it->second, outcome, -1);
+  open_.erase(it);
+}
+
+void LifecycleTracker::arrived(std::size_t id, double t_arrival) {
+  if (!active_) return;
+  auto it = open_.find(id);
+  if (it != open_.end()) it->second.arrival = t_arrival;
+}
+
+void LifecycleTracker::commit_window(double t_commit, int commit_shard,
+                                     long long commit_version) {
+  if (!active_) return;
+  // The window's determining dispatch: the latest arrival (ties resolved to
+  // the highest id — the map iterates ascending, so >= keeps the last).
+  const DispatchRec* critical = nullptr;
+  for (auto it = open_.begin(); it != open_.end();) {
+    DispatchRec& rec = it->second;
+    if (rec.arrival < 0.0 ||
+        (commit_shard >= 0 && rec.shard != commit_shard)) {
+      ++it;
+      continue;
+    }
+    rec.phases.push_back(
+        {kPhaseBufferWait, rec.arrival, t_commit, 0, 0.0, 0});
+    rec.phases.push_back({kPhaseCommit, t_commit, t_commit, 0, 0.0, 0});
+    record_histograms(rec);
+    emit(it->first, rec, "ok", commit_version);
+    if (critical == nullptr || rec.arrival >= critical->arrival) {
+      critical_rec_ = rec;  // copy: the entry is erased below
+      critical = &critical_rec_;
+    }
+    it = open_.erase(it);
+  }
+  if (critical == nullptr) return;
+  for (const PhaseRec& p : critical->phases) {
+    const double dur = p.t1 - p.t0;
+    if (std::strcmp(p.name, kPhaseDownlink) == 0) {
+      blame_.downlink += dur - p.backoff_s;
+      blame_.backoff += p.backoff_s;
+    } else if (std::strcmp(p.name, kPhaseCompute) == 0) {
+      blame_.compute += dur;
+    } else if (std::strcmp(p.name, kPhaseUplink) == 0) {
+      blame_.uplink += dur - p.backoff_s;
+      blame_.backoff += p.backoff_s;
+    } else if (std::strcmp(p.name, kPhaseBufferWait) == 0) {
+      blame_.buffer_wait += dur;
+    }
+  }
+  blame_.valid = true;
+}
+
+void LifecycleTracker::root_wait(std::size_t round, int shard, double t0,
+                                 double t1) {
+  if (!active_ || !obs::trace_enabled()) return;
+  obs::TraceEvent ev("lifecycle");
+  ev.field("round", static_cast<std::uint64_t>(round))
+      .field("phase", "root_wait")
+      .field("t0", t0)
+      .field("t1", t1)
+      .field("shard", static_cast<std::uint64_t>(shard < 0 ? 0 : shard))
+      .field("level", "root");
+  ev.emit();
+}
+
+void LifecycleTracker::root_merge(std::size_t round, double t) {
+  if (!active_ || !obs::trace_enabled()) return;
+  obs::TraceEvent ev("lifecycle");
+  ev.field("round", static_cast<std::uint64_t>(round))
+      .field("phase", "root_merge")
+      .field("t0", t)
+      .field("t1", t)
+      .field("level", "root");
+  ev.emit();
+}
+
+void LifecycleTracker::emit(std::size_t id, const DispatchRec& rec,
+                            const char* outcome, long long commit_version) {
+  if (!obs::trace_enabled()) return;
+  for (std::size_t i = 0; i < rec.phases.size(); ++i) {
+    const PhaseRec& p = rec.phases[i];
+    const bool terminal = i + 1 == rec.phases.size();
+    obs::TraceEvent ev("lifecycle");
+    ev.field("dispatch", static_cast<std::uint64_t>(id))
+        .field("round", static_cast<std::uint64_t>(rec.round))
+        .field("client", static_cast<std::uint64_t>(rec.client))
+        .field("phase", p.name)
+        .field("t0", p.t0)
+        .field("t1", p.t1);
+    if (p.attempts > 0) {
+      ev.field("attempts", static_cast<std::uint64_t>(p.attempts));
+    }
+    if (p.backoff_s > 0.0) ev.field("backoff_s", p.backoff_s);
+    if (p.bytes > 0) ev.field("bytes", static_cast<std::uint64_t>(p.bytes));
+    if (rec.shard >= 0) {
+      ev.field("shard", static_cast<std::uint64_t>(rec.shard));
+    }
+    if (rec.version >= 0) {
+      ev.field("version", static_cast<std::int64_t>(rec.version));
+    }
+    if (terminal) {
+      if (commit_version >= 0) {
+        ev.field("commit_version", static_cast<std::int64_t>(commit_version));
+      }
+      ev.field("outcome", outcome);
+    }
+    ev.emit();
+  }
+}
+
+void LifecycleTracker::record_histograms(const DispatchRec& rec) {
+  for (const PhaseRec& p : rec.phases) {
+    if (std::strcmp(p.name, kPhaseSelect) == 0 ||
+        std::strcmp(p.name, kPhaseDrop) == 0 ||
+        std::strcmp(p.name, kPhaseCommit) == 0) {
+      continue;  // zero-length anchors carry no duration worth a histogram
+    }
+    phase_histogram(p.name).record(p.t1 - p.t0);
+  }
+}
+
+}  // namespace afl::engine

@@ -14,12 +14,14 @@ RoundPlan plan_round(RoundPolicy& policy, const FlRunConfig& config,
                      const net::Transport& transport, std::size_t round,
                      Rng& rng, RunResult& result, RoundTelemetry& telemetry,
                      const DispatchPayloadFn& payload,
-                     const ShardOfFn& shard_of) {
+                     const ShardOfFn& shard_of, LifecycleTracker* lifecycle,
+                     const TimeBaseFn& time_base, long long version) {
   RoundPlan plan;
   plan.work.reserve(config.clients_per_round);
   const auto shard_tag = [&](const ClientSlot& s) {
     return shard_of ? shard_of(s.client) : -1;
   };
+  const bool lc_on = lifecycle != nullptr && lifecycle->active();
   for (std::size_t slot = 0; slot < config.clients_per_round; ++slot) {
     ClientSlot s;
     s.round = round;
@@ -45,10 +47,18 @@ RoundPlan plan_round(RoundPolicy& policy, const FlRunConfig& config,
     // learns anything about the device, so it is recorded up front and
     // becomes pure waste on no-response / no-fit.
     result.comm.record_dispatch(s.params_sent);
+    const double lc_base =
+        lc_on && time_base ? time_base(s.client) : 0.0;
+    std::size_t lc_id = 0;
+    if (lc_on) {
+      lc_id = lifecycle->next_id();
+      lifecycle->begin(lc_id, round, s.client, lc_base, shard_tag(s), version);
+    }
     if (devices && !(*devices)[s.client].responds(rng)) {
       ++result.failed_trainings;
       telemetry.client_failed();
       trace_dispatch_failure(s, "no_response", -1.0, shard_tag(s));
+      if (lc_on) lifecycle->drop(lc_id, "no_response", lc_base);
       policy.on_no_response(s);
       continue;
     }
@@ -56,6 +66,7 @@ RoundPlan plan_round(RoundPolicy& policy, const FlRunConfig& config,
       ++result.failed_trainings;
       telemetry.client_failed();
       trace_dispatch_failure(s, "adapt_failed", -1.0, shard_tag(s));
+      if (lc_on) lifecycle->drop(lc_id, "adapt_failed", lc_base);
       policy.on_adapt_failure(s);
       continue;
     }
@@ -64,16 +75,28 @@ RoundPlan plan_round(RoundPolicy& policy, const FlRunConfig& config,
       // Lost frames (all retransmissions exhausted) exclude the client this
       // round exactly like an availability failure.
       net::Transport::Session sess = transport.session(round, s.client);
+      sess.set_lifecycle_tags(lc_on ? static_cast<long long>(lc_id) : -1,
+                              shard_tag(s), version);
       net::Delivery down = transport.send(
           sess, net::FrameKind::kDispatch,
           payload ? payload(s) : policy.dispatch_params(s), s.params_sent);
       record_transfer(result.comm, down.transfer, /*uplink=*/false);
+      if (lc_on) {
+        lifecycle->phase(lc_id, kPhaseDownlink, lc_base,
+                         lc_base + sess.elapsed_seconds(),
+                         down.transfer.attempts, down.transfer.backoff_seconds,
+                         down.transfer.bytes);
+      }
       if (!down.transfer.delivered) {
         ++result.failed_trainings;
         result.comm.record_drop();
         obs::metrics().counter("afl.net.drops").inc();
         telemetry.client_failed();
         trace_dispatch_failure(s, "lost_downlink", -1.0, shard_tag(s));
+        if (lc_on) {
+          lifecycle->drop(lc_id, "lost_downlink",
+                          lc_base + sess.elapsed_seconds());
+        }
         policy.on_transport_failure(s);
         plan.failed_downlink_seconds.emplace_back(s.client,
                                                   sess.elapsed_seconds());

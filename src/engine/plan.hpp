@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/lifecycle.hpp"
 #include "engine/round_engine.hpp"
 #include "engine/run.hpp"
 #include "net/transport.hpp"
@@ -52,15 +53,28 @@ using DispatchPayloadFn = std::function<ParamSet(const ClientSlot&)>;
 /// untagged (flat engines). Must be pure.
 using ShardOfFn = std::function<int(std::size_t client)>;
 
+/// Maps a client to its run-global virtual-clock offset at round start (the
+/// lifecycle timebase). The flat engine returns the accumulated sim clock;
+/// the hierarchical engine returns the owning edge's clock. Must be pure
+/// within one round.
+using TimeBaseFn = std::function<double(std::size_t client)>;
+
 /// Runs the sequential planning pass for `round`: select / capacity / adapt /
 /// dispatch accounting / availability / downlink transport / policy feedback
 /// hooks, in slot order. Mutates result.comm and failure counters exactly
-/// like the flat engine always did.
+/// like the flat engine always did. When `lifecycle` is active, every planned
+/// slot gets a sequential dispatch id (thread- and shard-count invariant),
+/// its select/downlink phases and early terminal outcomes are recorded, and
+/// the id/shard/version tags ride the transport session into the commit
+/// phase. `version` is the global-model version being dispatched (round - 1).
 RoundPlan plan_round(RoundPolicy& policy, const FlRunConfig& config,
                      const std::vector<DeviceSim>* devices,
                      const net::Transport& transport, std::size_t round,
                      Rng& rng, RunResult& result, RoundTelemetry& telemetry,
                      const DispatchPayloadFn& payload = nullptr,
-                     const ShardOfFn& shard_of = nullptr);
+                     const ShardOfFn& shard_of = nullptr,
+                     LifecycleTracker* lifecycle = nullptr,
+                     const TimeBaseFn& time_base = nullptr,
+                     long long version = -1);
 
 }  // namespace afl::engine

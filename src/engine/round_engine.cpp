@@ -7,12 +7,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/lifecycle.hpp"
 #include "engine/plan.hpp"
 #include "engine/telemetry.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof/prof.hpp"
+#include "obs/rss.hpp"
 #include "obs/status.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
@@ -57,6 +59,11 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
   // server stops waiting there), and rounds are serial.
   double sim_total = 0.0;
 
+  // Dispatch-lifecycle tracing (afl.trace.v2): active only when the run
+  // models time, so transportless traces stay byte-identical to v1 builds.
+  engine::LifecycleTracker lifecycle(transport_.enabled());
+  const engine::TimeBaseFn time_base = [&](std::size_t) { return sim_total; };
+
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
     // Held in an optional so it can be flushed (destroyed) before the status
     // publish — the telemetry destructor appends this round's metrics record.
@@ -69,7 +76,9 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
     // per-(round, client) Sessions, so they never perturb the round RNG.
     // Shared with the hierarchical engine (engine/plan.hpp).
     engine::RoundPlan plan = engine::plan_round(
-        policy, config_, devices_, transport_, round, rng, result, *telemetry);
+        policy, config_, devices_, transport_, round, rng, result, *telemetry,
+        /*payload=*/nullptr, /*shard_of=*/nullptr, &lifecycle, time_base,
+        /*version=*/static_cast<long long>(round) - 1);
     std::vector<ClientSlot>& work = plan.work;
     std::vector<net::Transport::Session>& sessions = plan.sessions;
     double round_clock_max = 0.0;  // slowest client session this round
@@ -109,10 +118,23 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
         // lost after all retries, or delivered past the round deadline
         // (stragglers), never reach commit()/aggregate().
         net::Transport::Session& sess = sessions[i];
+        const std::size_t lc_id =
+            sess.dispatch_id() >= 0 ? static_cast<std::size_t>(sess.dispatch_id())
+                                    : 0;
+        const double down_end = sess.elapsed_seconds();
         sess.clock().charge_compute(transport_.compute_seconds(s.params_back));
+        const double compute_end = sess.elapsed_seconds();
         net::Delivery up = transport_.send(sess, net::FrameKind::kReturn,
                                            outcomes[i].params, s.params_back);
         record_transfer(result.comm, up.transfer, /*uplink=*/true);
+        const double uplink_end = sess.elapsed_seconds();
+        if (lifecycle.active()) {
+          lifecycle.phase(lc_id, engine::kPhaseCompute, sim_total + down_end,
+                          sim_total + compute_end);
+          lifecycle.phase(lc_id, engine::kPhaseUplink, sim_total + compute_end,
+                          sim_total + uplink_end, up.transfer.attempts,
+                          up.transfer.backoff_seconds, up.transfer.bytes);
+        }
         round_clock_max = std::max(round_clock_max, sess.elapsed_seconds());
         if (!up.transfer.delivered) {
           ++result.failed_trainings;
@@ -120,6 +142,7 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
           obs::metrics().counter("afl.net.drops").inc();
           telemetry->client_failed();
           trace_dispatch_failure(s, "lost_uplink");
+          lifecycle.drop(lc_id, "lost_uplink", sim_total + uplink_end);
           policy.on_transport_failure(s);
           continue;
         }
@@ -130,9 +153,11 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
           obs::metrics().counter("afl.net.stragglers").inc();
           telemetry->client_failed();
           trace_dispatch_failure(s, "deadline");
+          lifecycle.drop(lc_id, "deadline", sim_total + uplink_end);
           policy.on_transport_failure(s);
           continue;
         }
+        lifecycle.arrived(lc_id, sim_total + uplink_end);
         if (!up.params.empty()) outcomes[i].params = std::move(up.params);
       }
       result.comm.record_return(s.params_back);
@@ -179,6 +204,10 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
                                    : round_clock_max;
       sim_total += round_sim;
       telemetry->set_sim_time(round_sim, sim_total);
+      // The round barrier is the commit instant of every buffered update:
+      // buffer_wait runs from each arrival to here.
+      lifecycle.commit_window(sim_total, /*commit_shard=*/-1,
+                              /*commit_version=*/static_cast<long long>(round));
     }
 
     if (config_.eval_every != 0 &&
@@ -197,8 +226,9 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
       }
     }
     telemetry.reset();  // flush this round's metrics record
+    obs::sample_rss();  // same per-boundary memory cadence as async/hier
     publish_run_status(result, round, config_.rounds, watch.seconds(), threads_,
-                       /*active=*/round < config_.rounds);
+                       /*active=*/round < config_.rounds, &lifecycle.blame());
   }
 
   if (result.curve.empty()) {
@@ -210,7 +240,8 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
   result.wall_seconds = watch.seconds();
   result.sim_seconds = sim_total;
   publish_run_status(result, config_.rounds, config_.rounds,
-                     result.wall_seconds, threads_, /*active=*/false);
+                     result.wall_seconds, threads_, /*active=*/false,
+                     &lifecycle.blame());
   trace_run_end(result, transport_);
   return result;
 }

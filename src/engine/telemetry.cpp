@@ -76,7 +76,8 @@ void trace_run_end(const RunResult& result, const net::Transport& transport) {
 
 void publish_run_status(const RunResult& result, std::size_t round,
                         std::size_t total_rounds, double elapsed_seconds,
-                        std::size_t threads, bool active) {
+                        std::size_t threads, bool active,
+                        const LifecycleBlame* blame) {
   obs::RunStatus s;
   s.active = active;
   s.set_algorithm(result.algorithm);
@@ -102,7 +103,20 @@ void publish_run_status(const RunResult& result, std::size_t round,
                                   static_cast<double>(total_rounds - round)
                             : 0.0;
   s.threads = threads;
+  if (blame != nullptr && blame->valid) {
+    s.cp_valid = true;
+    s.cp_downlink = blame->downlink;
+    s.cp_compute = blame->compute;
+    s.cp_uplink = blame->uplink;
+    s.cp_backoff = blame->backoff;
+    s.cp_buffer_wait = blame->buffer_wait;
+  }
   obs::run_status().publish(s);
+  // Round boundaries double as crash-residue refresh points: registered
+  // flush hooks (e.g. the AFL_METRICS_JSONL ".partial" dump) rewrite their
+  // sinks here, so even a kill that skips atexit leaves metrics at most one
+  // round stale.
+  obs::run_trace_flush_hooks();
 }
 
 void trace_dispatch_failure(const ClientSlot& s, const char* outcome,

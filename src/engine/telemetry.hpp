@@ -6,6 +6,7 @@
 
 #include <cstddef>
 
+#include "engine/lifecycle.hpp"
 #include "engine/round_engine.hpp"
 #include "engine/run.hpp"
 #include "fl/comm.hpp"
@@ -14,8 +15,10 @@
 namespace afl::engine {
 
 /// Trace schema label stamped on every run_start header; afl-insight refuses
-/// to diff traces whose schemas disagree.
-inline constexpr const char* kTraceSchema = "afl.trace.v1";
+/// to diff traces whose schemas disagree. v2 adds the dispatch-lifecycle
+/// records (engine/lifecycle.hpp) — a pure superset of v1, so v1 readers
+/// keep working on every record kind they know.
+inline constexpr const char* kTraceSchema = "afl.trace.v2";
 
 /// Emits the run_start header. `mode` tags non-default execution models
 /// (the async engine passes "async", the hierarchical engine "hier"); null
@@ -30,10 +33,13 @@ void trace_run_start(const RunResult& result, const FlRunConfig& config,
 /// tracked simulated time (result.sim_seconds > 0).
 void trace_run_end(const RunResult& result, const net::Transport& transport);
 
-/// Publishes a RunStatus snapshot to the live status board.
+/// Publishes a RunStatus snapshot to the live status board. `blame`, when
+/// non-null and valid, fills the snapshot's critical_path block (the online
+/// per-phase attribution from the run's LifecycleTracker).
 void publish_run_status(const RunResult& result, std::size_t round,
                         std::size_t total_rounds, double elapsed_seconds,
-                        std::size_t threads, bool active);
+                        std::size_t threads, bool active,
+                        const LifecycleBlame* blame = nullptr);
 
 /// Emits a failed dispatch trace event. `virtual_time` >= 0 adds the async
 /// engine's simulated-clock column; negative omits it (synchronous path).

@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "engine/lifecycle.hpp"
 #include "engine/plan.hpp"
 #include "engine/telemetry.hpp"
 #include "engine/thread_pool.hpp"
@@ -124,6 +125,14 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
 
   double sim_total = 0.0;
 
+  // Dispatch-lifecycle tracing (afl.trace.v2): each dispatch's timebase is
+  // its owning edge's virtual clock, so phases from diverging shards land on
+  // one run-global timeline. Active only when the run models time.
+  engine::LifecycleTracker lifecycle(transport_.enabled());
+  const engine::TimeBaseFn time_base = [&](std::size_t client) {
+    return edges[shard_of(client)].clock().now();
+  };
+
   for (std::size_t round = 1; round <= config_.rounds; ++round) {
     std::optional<RoundTelemetry> telemetry(std::in_place, result, round);
     telemetry->set_net_enabled(transport_.enabled());
@@ -141,7 +150,8 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
     engine::RoundPlan plan = engine::plan_round(
         policy, config_, devices_, transport_, round, rng, result, *telemetry,
         payload,
-        [&](std::size_t client) { return static_cast<int>(shard_of(client)); });
+        [&](std::size_t client) { return static_cast<int>(shard_of(client)); },
+        &lifecycle, time_base, /*version=*/static_cast<long long>(round) - 1);
     std::vector<ClientSlot>& work = plan.work;
 
     // Divergent identity path: train on the owning shard's model by pointing
@@ -177,6 +187,7 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
     double round_elapsed_max = 0.0;  // slowest client across all shards
     for (std::size_t shard = 0; shard < num_shards; ++shard) {
       EdgeAggregator& edge = edges[shard];
+      const double shard_base = edge.clock().now();  // round start of this edge
       double shard_elapsed = 0.0;
       for (std::size_t i = 0; i < work.size(); ++i) {
         const ClientSlot& s = work[i];
@@ -184,10 +195,25 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
         std::size_t bytes_up = 0;
         if (transport_.enabled()) {
           net::Transport::Session& sess = plan.sessions[i];
+          const std::size_t lc_id =
+              sess.dispatch_id() >= 0
+                  ? static_cast<std::size_t>(sess.dispatch_id())
+                  : 0;
+          const double down_end = sess.elapsed_seconds();
           sess.clock().charge_compute(transport_.compute_seconds(s.params_back));
+          const double compute_end = sess.elapsed_seconds();
           net::Delivery up = transport_.send(sess, net::FrameKind::kReturn,
                                              outcomes[i].params, s.params_back);
           record_transfer(result.comm, up.transfer, /*uplink=*/true);
+          const double uplink_end = sess.elapsed_seconds();
+          if (lifecycle.active()) {
+            lifecycle.phase(lc_id, engine::kPhaseCompute,
+                            shard_base + down_end, shard_base + compute_end);
+            lifecycle.phase(lc_id, engine::kPhaseUplink,
+                            shard_base + compute_end, shard_base + uplink_end,
+                            up.transfer.attempts, up.transfer.backoff_seconds,
+                            up.transfer.bytes);
+          }
           shard_elapsed = std::max(shard_elapsed, sess.elapsed_seconds());
           bytes_up = up.transfer.bytes;
           if (!up.transfer.delivered) {
@@ -197,6 +223,7 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
             telemetry->client_failed();
             trace_dispatch_failure(s, "lost_uplink", -1.0,
                                    static_cast<int>(shard));
+            lifecycle.drop(lc_id, "lost_uplink", shard_base + uplink_end);
             policy.on_transport_failure(s);
             continue;
           }
@@ -208,9 +235,11 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
             telemetry->client_failed();
             trace_dispatch_failure(s, "deadline", -1.0,
                                    static_cast<int>(shard));
+            lifecycle.drop(lc_id, "deadline", shard_base + uplink_end);
             policy.on_transport_failure(s);
             continue;
           }
+          lifecycle.arrived(lc_id, shard_base + uplink_end);
           if (!up.params.empty()) outcomes[i].params = std::move(up.params);
         }
         result.comm.record_return(s.params_back);
@@ -252,6 +281,9 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
         const double shard_round =
             deadline > 0.0 ? std::min(deadline, shard_elapsed) : shard_elapsed;
         edge.clock().advance_to(edge.clock().now() + shard_round);
+        // The edge's round barrier commits this shard's buffered updates.
+        lifecycle.commit_window(edge.clock().now(), static_cast<int>(shard),
+                                static_cast<long long>(round));
       }
     }
     if (!work.empty() && exec_wall > 0.0) {
@@ -287,7 +319,14 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
           for (EdgeAggregator& edge : edges) {
             vmax = std::max(vmax, edge.clock().now());
           }
-          for (EdgeAggregator& edge : edges) edge.clock().advance_to(vmax);
+          for (std::size_t s = 0; s < edges.size(); ++s) {
+            const double before = edges[s].clock().now();
+            if (before < vmax) {
+              lifecycle.root_wait(round, static_cast<int>(s), before, vmax);
+            }
+            edges[s].clock().advance_to(vmax);
+          }
+          lifecycle.root_merge(round, vmax);
         }
         obs::sample_rss();
       }
@@ -326,7 +365,7 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
     }
     telemetry.reset();  // flush this round's metrics record
     publish_run_status(result, round, config_.rounds, watch.seconds(), threads_,
-                       /*active=*/round < config_.rounds);
+                       /*active=*/round < config_.rounds, &lifecycle.blame());
   }
 
   if (result.curve.empty()) {
@@ -339,7 +378,8 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
   result.sim_seconds = sim_total;
   obs::sample_rss();
   publish_run_status(result, config_.rounds, config_.rounds,
-                     result.wall_seconds, threads_, /*active=*/false);
+                     result.wall_seconds, threads_, /*active=*/false,
+                     &lifecycle.blame());
   trace_run_end(result, transport_);
   return result;
 }

@@ -177,6 +177,7 @@ Delivery Transport::send(Session& session, FrameKind kind, const ParamSet& paylo
                    config_.backoff_base_s * static_cast<double>(1ULL << attempt));
       session.add_seconds(backoff);
       out.transfer.seconds += backoff;
+      out.transfer.backoff_seconds += backoff;
     }
   }
   return out;  // every attempt lost: the frame is dropped

@@ -80,6 +80,10 @@ struct TransferResult {
   std::size_t bytes = 0;     // on-wire bytes including retransmitted attempts
   std::size_t attempts = 0;  // 1 = no retransmission
   double seconds = 0.0;      // transfer + backoff time of this frame
+  /// Portion of `seconds` spent in inter-attempt backoff (0 when the first
+  /// attempt delivered). Lifecycle tracing blames it separately from wire
+  /// time so retransmission pressure is visible in critical-path reports.
+  double backoff_seconds = 0.0;
 };
 
 /// A transfer plus its decoded payload (empty in size-only mode or on loss).
@@ -138,11 +142,28 @@ class Transport {
     std::size_t round() const { return round_; }
     std::size_t client() const { return client_; }
 
+    /// Lifecycle tags carried alongside the channel state so causality
+    /// survives retransmits: the dispatch id, shard, and model version a
+    /// frame belongs to stay attached to the session across every retry
+    /// (docs/OBSERVABILITY.md, afl.trace.v2). -1 = untagged.
+    void set_lifecycle_tags(long long dispatch_id, int shard,
+                            long long version) {
+      dispatch_id_ = dispatch_id;
+      shard_ = shard;
+      version_ = version;
+    }
+    long long dispatch_id() const { return dispatch_id_; }
+    int shard() const { return shard_; }
+    long long version() const { return version_; }
+
    private:
     friend class Transport;
     Rng rng_{0};
     std::size_t round_ = 0;
     std::size_t client_ = 0;
+    long long dispatch_id_ = -1;
+    int shard_ = -1;
+    long long version_ = -1;
     ClientClock clock_;
   };
 

@@ -1,0 +1,198 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "obs/json.hpp"
+
+namespace afl::obs {
+namespace {
+
+/// Per-dispatch chain assembled from the record stream.
+struct Chain {
+  long long dispatch = -1;
+  long long client = -1;
+  int shard = -1;
+  std::vector<const LifecycleRecord*> phases;  // sorted by (t0, t1)
+  double start = 0.0;  // earliest phase t0 (the select instant)
+  double end = 0.0;    // latest phase t1
+
+  /// Latest instant actual work (not barrier waiting) ended at or before
+  /// `cap` — the arrival-order key that picks the causally-determining
+  /// dispatch at a commit barrier.
+  double work_end(double cap, double eps) const {
+    double best = start;
+    for (const LifecycleRecord* p : phases) {
+      if (p->t1 > cap + eps) continue;
+      if (p->phase == "buffer_wait" || p->phase == "commit") continue;
+      best = std::max(best, p->t1);
+    }
+    return best;
+  }
+  double reach(double cap, double eps) const {
+    double best = start;
+    for (const LifecycleRecord* p : phases) {
+      if (p->t1 <= cap + eps) best = std::max(best, p->t1);
+    }
+    return best;
+  }
+};
+
+bool is_transfer(const std::string& phase) {
+  return phase == "downlink" || phase == "uplink";
+}
+
+}  // namespace
+
+std::optional<LifecycleRecord> parse_lifecycle(
+    const std::map<std::string, std::string>& fields) {
+  auto kind = fields.find("kind");
+  if (kind == fields.end() || json_raw_string(kind->second) != "lifecycle") {
+    return std::nullopt;
+  }
+  LifecycleRecord rec;
+  const auto num = [&](const char* key, double fallback) {
+    auto it = fields.find(key);
+    return it == fields.end() ? fallback : json_raw_number(it->second, fallback);
+  };
+  const auto str = [&](const char* key) {
+    auto it = fields.find(key);
+    return it == fields.end() ? std::string()
+                              : json_raw_string(it->second);
+  };
+  rec.dispatch = static_cast<long long>(num("dispatch", -1));
+  rec.round = static_cast<long long>(num("round", -1));
+  rec.client = static_cast<long long>(num("client", -1));
+  rec.phase = str("phase");
+  rec.t0 = num("t0", 0.0);
+  rec.t1 = num("t1", 0.0);
+  rec.attempts = static_cast<long long>(num("attempts", 0));
+  rec.backoff_s = num("backoff_s", 0.0);
+  rec.bytes = static_cast<long long>(num("bytes", 0));
+  rec.shard = static_cast<int>(num("shard", -1));
+  rec.version = static_cast<long long>(num("version", -1));
+  rec.commit_version = static_cast<long long>(num("commit_version", -1));
+  rec.outcome = str("outcome");
+  rec.level = str("level");
+  if (rec.phase.empty()) return std::nullopt;
+  return rec;
+}
+
+CriticalPathResult critical_path(const std::vector<LifecycleRecord>& records,
+                                 double sim_seconds) {
+  CriticalPathResult out;
+
+  // Assemble chains. Dispatch-less hierarchy records (root_wait/root_merge)
+  // become pseudo-chains under synthetic negative keys, so a barrier wait can
+  // carry the path across an idle edge.
+  std::map<long long, Chain> chains;
+  long long next_pseudo = -2;
+  for (const LifecycleRecord& r : records) {
+    const long long key = r.dispatch >= 0 ? r.dispatch : next_pseudo--;
+    Chain& c = chains[key];
+    if (c.phases.empty()) {
+      c.dispatch = r.dispatch;
+      c.client = r.client;
+      c.shard = r.shard;
+      c.start = r.t0;
+      c.end = r.t1;
+    }
+    c.phases.push_back(&r);
+    c.start = std::min(c.start, r.t0);
+    c.end = std::max(c.end, r.t1);
+    if (r.shard >= 0) c.shard = r.shard;
+  }
+  for (auto& [key, c] : chains) {
+    (void)key;
+    std::sort(c.phases.begin(), c.phases.end(),
+              [](const LifecycleRecord* a, const LifecycleRecord* b) {
+                if (a->t0 != b->t0) return a->t0 < b->t0;
+                return a->t1 < b->t1;
+              });
+  }
+
+  double anchor = sim_seconds;
+  if (anchor <= 0.0) {
+    for (const auto& [key, c] : chains) {
+      (void)key;
+      anchor = std::max(anchor, c.end);
+    }
+  }
+  out.total = anchor;
+  if (anchor <= 0.0 || chains.empty()) return out;
+
+  const double eps = 1e-9 * std::max(1.0, anchor);
+  const auto blame_gap = [&](double t0, double t1) {
+    if (t1 - t0 <= eps) return;
+    out.by_phase["unattributed"] += t1 - t0;
+    out.unattributed += t1 - t0;
+    out.steps.push_back({-1, -1, -1, "unattributed", t0, t1, t1 - t0});
+  };
+
+  std::set<long long> used;
+  double cursor = anchor;
+  while (cursor > eps) {
+    // The furthest any unused chain reaches without passing the cursor.
+    double best_reach = -1.0;
+    for (const auto& [key, c] : chains) {
+      if (used.count(key)) continue;
+      best_reach = std::max(best_reach, c.reach(cursor, eps));
+    }
+    if (best_reach <= eps) {
+      blame_gap(0.0, cursor);
+      break;
+    }
+    if (best_reach < cursor - eps) {
+      blame_gap(best_reach, cursor);
+      cursor = best_reach;
+      continue;
+    }
+    // Among chains reaching the cursor, the determining one is the latest
+    // actual arrival (ties resolved to the highest dispatch id — the map is
+    // id-ordered, so >= keeps the last).
+    long long chosen = 0;
+    bool have = false;
+    double chosen_work = -1.0;
+    for (const auto& [key, c] : chains) {
+      if (used.count(key)) continue;
+      if (c.reach(cursor, eps) < cursor - eps) continue;
+      const double w = c.work_end(cursor, eps);
+      if (!have || w >= chosen_work) {
+        have = true;
+        chosen = key;
+        chosen_work = w;
+      }
+    }
+    const Chain& c = chains[chosen];
+    used.insert(chosen);
+    if (cursor - c.start <= eps) continue;  // zero-length chain: no progress
+    // Blame the chain's phases from the cursor back to its select instant.
+    double covered_to = cursor;
+    for (auto it = c.phases.rbegin(); it != c.phases.rend(); ++it) {
+      const LifecycleRecord& p = **it;
+      if (p.t0 >= covered_to - eps) continue;  // beyond the cursor
+      const double t1 = std::min(p.t1, covered_to);
+      const double dur = t1 - p.t0;
+      if (dur <= eps) continue;
+      if (p.t1 < covered_to - eps) blame_gap(p.t1, covered_to);
+      double wire = dur;
+      if (is_transfer(p.phase) && p.backoff_s > 0.0) {
+        const double backoff = std::min(p.backoff_s, dur);
+        wire = dur - backoff;
+        out.by_phase["backoff"] += backoff;
+      }
+      out.by_phase[p.phase] += wire;
+      out.attributed += dur;
+      if (c.client >= 0) out.by_client[c.client] += dur;
+      out.by_shard[c.shard] += dur;
+      out.steps.push_back({c.dispatch, c.client, c.shard, p.phase, p.t0, t1, dur});
+      covered_to = p.t0;
+    }
+    if (covered_to > c.start + eps) blame_gap(c.start, covered_to);
+    cursor = c.start;
+  }
+  return out;
+}
+
+}  // namespace afl::obs

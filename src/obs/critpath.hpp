@@ -1,0 +1,86 @@
+#pragma once
+// Critical-path analysis over afl.trace.v2 dispatch-lifecycle records
+// (engine/lifecycle.hpp, docs/OBSERVABILITY.md).
+//
+// The lifecycle stream is a causal DAG on the run's virtual clock: each
+// dispatch is a chain select -> downlink -> compute -> uplink -> buffer_wait
+// -> commit (or a terminal drop), and each commit/flush barrier joins the
+// chains that fed it. The analyzer reconstructs that DAG and walks it
+// backwards from the run's final simulated instant: at each cursor it picks
+// the dispatch whose phases reach the cursor (the one that determined it),
+// blames that dispatch's phase durations — transfer phases split into wire
+// time and retry backoff — and continues from the dispatch's select instant.
+// Virtual-clock gaps no phase covers are blamed "unattributed", so
+// attributed + unattributed always sums to the anchor time.
+//
+// The same walk explains each time-to-accuracy crossing: a TTA threshold is
+// reached at an eval point, and the chain into that eval point's commit
+// instant is exactly the chain the full walk passes through at that time.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace afl::obs {
+
+/// One parsed `lifecycle` record. dispatch < 0 = a dispatch-less record
+/// (hierarchical root_wait / root_merge, tagged level = "root").
+struct LifecycleRecord {
+  long long dispatch = -1;
+  long long round = -1;
+  long long client = -1;
+  std::string phase;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  long long attempts = 0;
+  double backoff_s = 0.0;
+  long long bytes = 0;
+  int shard = -1;
+  long long version = -1;
+  long long commit_version = -1;
+  std::string outcome;  // set on terminal records only
+  std::string level;    // "root" on dispatch-less hierarchy records
+};
+
+/// Parses one trace record's field map (json_object_fields output) into a
+/// LifecycleRecord; nullopt when the record is not kind == "lifecycle".
+std::optional<LifecycleRecord> parse_lifecycle(
+    const std::map<std::string, std::string>& fields);
+
+/// One step of the reconstructed critical path (commit-time descending).
+struct CriticalStep {
+  long long dispatch = -1;  // -1 on unattributed gap steps
+  long long client = -1;
+  int shard = -1;
+  std::string phase;  // "downlink", "backoff", ..., or "unattributed"
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double blame = 0.0;  // seconds charged to this step (t1 - t0)
+};
+
+struct CriticalPathResult {
+  double total = 0.0;         // the anchor: final simulated seconds analyzed
+  double attributed = 0.0;    // seconds blamed on named lifecycle phases
+  double unattributed = 0.0;  // virtual-clock gaps no phase covers
+  /// Blame per phase name (downlink/compute/uplink/backoff/buffer_wait/...,
+  /// plus "unattributed").
+  std::map<std::string, double> by_phase;
+  /// Blame per aggregation shard (key -1 = untagged dispatches).
+  std::map<int, double> by_shard;
+  /// Blame per client of the dispatches on the path.
+  std::map<long long, double> by_client;
+  /// The full chain, ordered from the final instant backwards.
+  std::vector<CriticalStep> steps;
+};
+
+/// Walks the critical path of one run's lifecycle records back from
+/// `sim_seconds` (<= 0 auto-derives the anchor from the latest record).
+/// Records may arrive in any order; dispatch-less root records participate
+/// as barrier phases of their shard.
+CriticalPathResult critical_path(const std::vector<LifecycleRecord>& records,
+                                 double sim_seconds);
+
+}  // namespace afl::obs

@@ -62,6 +62,14 @@ std::string render_status_json(const RunStatus& s) {
   out += ",\"wall_seconds\":" + fmt(s.wall_seconds);
   out += ",\"eta_seconds\":" + fmt(s.eta_seconds);
   out += ",\"threads\":" + std::to_string(s.threads);
+  if (s.cp_valid) {
+    out += ",\"critical_path\":{\"downlink\":" + fmt(s.cp_downlink);
+    out += ",\"compute\":" + fmt(s.cp_compute);
+    out += ",\"uplink\":" + fmt(s.cp_uplink);
+    out += ",\"backoff\":" + fmt(s.cp_backoff);
+    out += ",\"buffer_wait\":" + fmt(s.cp_buffer_wait);
+    out += '}';
+  }
   out += '}';
   return out;
 }

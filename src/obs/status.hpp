@@ -31,6 +31,15 @@ struct RunStatus {
   double wall_seconds = 0.0;    // elapsed run wall time at publish
   double eta_seconds = 0.0;     // wall/round * remaining rounds
   std::uint64_t threads = 1;
+  // Online critical-path attribution (simulated seconds per lifecycle phase,
+  // engine/lifecycle.hpp): filled only by runs that model virtual time.
+  // Rendered as a nested "critical_path" block when cp_valid.
+  bool cp_valid = false;
+  double cp_downlink = 0.0;
+  double cp_compute = 0.0;
+  double cp_uplink = 0.0;
+  double cp_backoff = 0.0;
+  double cp_buffer_wait = 0.0;
 
   void set_algorithm(std::string_view name);
 };

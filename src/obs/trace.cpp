@@ -2,10 +2,20 @@
 
 #include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <mutex>
+
+#ifdef _WIN32
+#include <io.h>
+#define AFL_FSYNC _commit
+#define AFL_FILENO _fileno
+#else
+#include <unistd.h>
+#define AFL_FSYNC fsync
+#define AFL_FILENO fileno
+#endif
 
 #include "obs/json.hpp"
 
@@ -19,9 +29,61 @@ clock::time_point process_start() {
   return start;
 }
 
+/// File descriptor of the open trace sink, readable from a signal handler.
+/// -1 = no sink. Kept outside TraceState so the fatal-signal hook needs no
+/// locks or heap access (both unsafe in signal context).
+std::atomic<int> g_trace_fd{-1};
+
+/// Extra flush callbacks (metrics sinks etc.), run from the atexit hook only
+/// — ordinary code, so they may lock and allocate. Fixed-size slots: hook
+/// registration is rare (a handful per process) and a vector would need a
+/// heap that might already be torn down at exit time.
+constexpr std::size_t kMaxFlushHooks = 8;
+std::atomic<TraceFlushHook> g_flush_hooks[kMaxFlushHooks] = {};
+std::atomic<std::size_t> g_flush_hook_count{0};
+
+void run_flush_hooks() {
+  const std::size_t n = g_flush_hook_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n && i < kMaxFlushHooks; ++i) {
+    TraceFlushHook hook = g_flush_hooks[i].load(std::memory_order_acquire);
+    if (hook != nullptr) hook();
+  }
+}
+
+void atexit_flush() {
+  run_flush_hooks();
+  flush_trace_sink();
+}
+
+/// Fatal-signal hook: push the trace tail to stable storage, then restore the
+/// default disposition and re-raise so the process still dies with the right
+/// status/core. Only async-signal-safe calls allowed here: fsync on a cached
+/// fd qualifies; fflush/mutexes do not (write_line fflushes per line, so the
+/// stdio buffer is empty except for a line racing the crash).
+void fatal_signal_flush(int signo) {
+  const int fd = g_trace_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) AFL_FSYNC(fd);
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+void install_flush_hooks() {
+  static bool installed = false;  // guarded by TraceState::mu at call sites
+  if (installed) return;
+  installed = true;
+  std::atexit(atexit_flush);
+  static const int kFatalSignals[] = {SIGSEGV, SIGFPE, SIGILL, SIGABRT,
+                                      SIGTERM, SIGINT,
+#ifndef _WIN32
+                                      SIGBUS
+#endif
+  };
+  for (int signo : kFatalSignals) std::signal(signo, fatal_signal_flush);
+}
+
 struct TraceState {
   std::mutex mu;
-  std::ofstream out;
+  std::FILE* out = nullptr;
   std::atomic<bool> enabled{false};
 
   TraceState() {
@@ -32,26 +94,40 @@ struct TraceState {
 
   void open(const std::string& path) {
     std::lock_guard<std::mutex> lock(mu);
-    if (out.is_open()) out.close();
+    if (out != nullptr) {
+      std::fclose(out);
+      out = nullptr;
+      g_trace_fd.store(-1, std::memory_order_relaxed);
+    }
     if (path.empty()) {
       enabled.store(false, std::memory_order_relaxed);
       return;
     }
-    out.open(path, std::ios::trunc);
-    if (!out) {
+    out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
       std::fprintf(stderr, "[WARN] obs: cannot open trace file %s; tracing disabled\n",
                    path.c_str());
       enabled.store(false, std::memory_order_relaxed);
       return;
     }
+    g_trace_fd.store(AFL_FILENO(out), std::memory_order_relaxed);
+    install_flush_hooks();
     enabled.store(true, std::memory_order_relaxed);
   }
 
   void write_line(const std::string& line) {
     std::lock_guard<std::mutex> lock(mu);
-    if (!out.is_open()) return;
-    out << line << '\n';
-    out.flush();  // trace volume is low (control-plane events, not kernels)
+    if (out == nullptr) return;
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fputc('\n', out);
+    std::fflush(out);  // trace volume is low (control-plane events, not kernels)
+  }
+
+  void flush() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (out == nullptr) return;
+    std::fflush(out);
+    AFL_FSYNC(AFL_FILENO(out));
   }
 };
 
@@ -75,6 +151,24 @@ void append_number(std::string& buf, double v) {
 bool trace_enabled() { return state().enabled.load(std::memory_order_relaxed); }
 
 void set_trace_path(const std::string& path) { state().open(path); }
+
+void flush_trace_sink() { state().flush(); }
+
+void run_trace_flush_hooks() { run_flush_hooks(); }
+
+bool add_trace_flush_hook(TraceFlushHook hook) {
+  if (hook == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state().mu);
+  install_flush_hooks();
+  const std::size_t n = g_flush_hook_count.load(std::memory_order_relaxed);
+  if (n >= kMaxFlushHooks) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (g_flush_hooks[i].load(std::memory_order_relaxed) == hook) return true;
+  }
+  g_flush_hooks[n].store(hook, std::memory_order_release);
+  g_flush_hook_count.store(n + 1, std::memory_order_release);
+  return true;
+}
 
 double trace_now_ms() {
   return std::chrono::duration<double, std::milli>(clock::now() - process_start())

@@ -20,8 +20,31 @@ namespace afl::obs {
 bool trace_enabled();
 
 /// Opens (truncating) `path` as the trace sink; empty path closes the sink
-/// and disables tracing. Thread-safe.
+/// and disables tracing. Thread-safe. Opening a sink also registers the
+/// atexit + fatal-signal flush hooks, so a truncated run still leaves an
+/// analyzable trace on disk (docs/OBSERVABILITY.md).
 void set_trace_path(const std::string& path);
+
+/// Pushes any buffered trace output to stable storage (fflush + fsync).
+/// Called automatically at exit and from the fatal-signal hook; safe to call
+/// any time from ordinary (non-signal) context.
+void flush_trace_sink();
+
+/// Registers an extra sink-flush callback run by the atexit hook alongside
+/// the trace flush (e.g. a metrics JSONL stream). Callbacks must be plain
+/// function pointers, may lock/allocate (they never run in signal context),
+/// and must be cheap + idempotent: the engines also refresh them at every
+/// round boundary via run_trace_flush_hooks(), so a SIGKILL-style death —
+/// which skips atexit — still leaves residue at most one round stale.
+/// Returns false when the fixed hook table is full. Duplicate registrations
+/// are collapsed.
+using TraceFlushHook = void (*)();
+bool add_trace_flush_hook(TraceFlushHook hook);
+
+/// Runs every registered flush hook now (ordinary context, not the trace
+/// sink itself). Called by the engines at round boundaries so crash residue
+/// stays fresh even when the process dies without reaching atexit.
+void run_trace_flush_hooks();
 
 /// Milliseconds since process start (well, since the obs layer was first
 /// touched) — the timebase of every trace record.

@@ -7,12 +7,31 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "async/config.hpp"
 #include "core/experiment.hpp"
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 
 namespace afl {
 namespace {
+
+/// The afl.trace.v2 lifecycle records of a trace file, with the wall-clock
+/// ts_ms envelope stripped — everything after it is virtual-clock data and
+/// part of the byte-identity determinism contract.
+std::vector<std::string> lifecycle_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"kind\":\"lifecycle\"") == std::string::npos) continue;
+    lines.push_back(line.substr(line.find("\"kind\"")));
+  }
+  return lines;
+}
 
 ExperimentConfig tiny_config() {
   ExperimentConfig cfg;
@@ -139,6 +158,40 @@ TEST(AsyncDeterminism, StalenessCutoffStillDeterministic) {
   const RunResult serial = run_async(env, 1, slow_net(), acfg);
   const RunResult parallel = run_async(env, 8, slow_net(), acfg);
   expect_identical(serial, parallel);
+}
+
+TEST(AsyncDeterminism, LifecycleTraceIdenticalAcrossThreadCounts) {
+  // Lifecycle records are emitted from the engine thread in event-queue
+  // order (buffered per dispatch, released at commit/drop), so the stream —
+  // retransmit backoffs and stale drops included — must be byte-identical at
+  // any AFL_THREADS setting.
+  net::NetConfig net = slow_net();
+  net.codec = net::Codec::kInt8;
+  net.channel.loss_prob = 0.2;
+  net.max_retries = 2;
+  net.backoff_base_s = 0.01;
+  net.backoff_cap_s = 0.05;
+  const ExperimentEnv env = make_env(tiny_config());
+  const std::string p1 = ::testing::TempDir() + "async_lc_t1.jsonl";
+  const std::string p2 = ::testing::TempDir() + "async_lc_t2.jsonl";
+  const std::string p8 = ::testing::TempDir() + "async_lc_t8.jsonl";
+  obs::set_trace_path(p1);
+  run_async(env, 1, net, buffered(3, 6));
+  obs::set_trace_path(p2);
+  run_async(env, 2, net, buffered(3, 6));
+  obs::set_trace_path(p8);
+  run_async(env, 8, net, buffered(3, 6));
+  obs::set_trace_path("");
+  const std::vector<std::string> a = lifecycle_lines(p1);
+  const std::vector<std::string> b = lifecycle_lines(p2);
+  const std::vector<std::string> c = lifecycle_lines(p8);
+  ASSERT_FALSE(a.empty());  // the async engine always models time
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "lifecycle record " << i;
+    EXPECT_EQ(a[i], c[i]) << "lifecycle record " << i;
+  }
 }
 
 }  // namespace

@@ -57,4 +57,43 @@ if(NOT out MATCHES "sim s to acc")
   message(FATAL_ERROR "diff output missing the time-to-accuracy row:\n${out}")
 endif()
 
+# Lifecycle gates on the same trace (docs/OBSERVABILITY.md): both runs emit
+# afl.trace.v2 lifecycle records, so validate must pass and critical-path
+# must attribute at least 95% of each run's simulated time to named phases —
+# the walk only leaves an "unattributed" residue when the emitters lose
+# causality.
+execute_process(
+  COMMAND "${INSIGHT}" validate "${TRACE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lifecycle validate exited ${rc}:\n${out}${err}")
+endif()
+
+foreach(run 0 1)
+  execute_process(
+    COMMAND "${INSIGHT}" critical-path "${TRACE}" --run ${run}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "critical-path --run ${run} exited ${rc}:\n${out}${err}")
+  endif()
+  if(NOT out MATCHES "attributed [0-9.]+ s \\(([0-9.]+)%\\)")
+    message(FATAL_ERROR "critical-path --run ${run} missing attribution line:\n${out}")
+  endif()
+  if(CMAKE_MATCH_1 LESS 95)
+    message(FATAL_ERROR "critical-path --run ${run} attributed only ${CMAKE_MATCH_1}% (< 95%):\n${out}")
+  endif()
+endforeach()
+
+# The Perfetto export must be syntactically valid JSON with duration slices.
+execute_process(
+  COMMAND "${INSIGHT}" export-chrome "${TRACE}" --out "${WORK_DIR}/chrome.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "export-chrome exited ${rc}:\n${out}${err}")
+endif()
+file(READ "${WORK_DIR}/chrome.json" chrome)
+if(NOT chrome MATCHES "\"traceEvents\":\\[" OR NOT chrome MATCHES "\"ph\":\"X\"")
+  message(FATAL_ERROR "export-chrome output is not a trace_event document")
+endif()
+
 message(STATUS "async timeline checks passed")

@@ -1,0 +1,186 @@
+// Unit tests of the critical-path analyzer (obs/critpath.hpp) against
+// hand-built lifecycle DAGs with known blame: single chains, commit barriers
+// joining several dispatches, retry-backoff splits, cross-round chain links,
+// unattributed gaps, and hierarchical root-barrier records.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/critpath.hpp"
+#include "obs/json.hpp"
+
+namespace afl::obs {
+namespace {
+
+LifecycleRecord rec(long long dispatch, long long client, const char* phase,
+                    double t0, double t1) {
+  LifecycleRecord r;
+  r.dispatch = dispatch;
+  r.round = 1;
+  r.client = client;
+  r.phase = phase;
+  r.t0 = t0;
+  r.t1 = t1;
+  return r;
+}
+
+/// One full dispatch chain: select at t0, downlink/compute/uplink with the
+/// given boundaries, buffer_wait to the commit instant.
+void add_chain(std::vector<LifecycleRecord>& out, long long dispatch,
+               long long client, double select, double down_end,
+               double compute_end, double up_end, double commit) {
+  out.push_back(rec(dispatch, client, "select", select, select));
+  out.push_back(rec(dispatch, client, "downlink", select, down_end));
+  out.push_back(rec(dispatch, client, "compute", down_end, compute_end));
+  out.push_back(rec(dispatch, client, "uplink", compute_end, up_end));
+  out.push_back(rec(dispatch, client, "buffer_wait", up_end, commit));
+  LifecycleRecord commit_rec = rec(dispatch, client, "commit", commit, commit);
+  commit_rec.outcome = "ok";
+  out.push_back(commit_rec);
+}
+
+TEST(CriticalPath, SingleChainFullyAttributed) {
+  std::vector<LifecycleRecord> records;
+  add_chain(records, 1, 0, 0.0, 1.0, 5.0, 6.0, 8.0);
+  const CriticalPathResult cp = critical_path(records, 8.0);
+  EXPECT_DOUBLE_EQ(cp.total, 8.0);
+  EXPECT_NEAR(cp.attributed, 8.0, 1e-9);
+  EXPECT_NEAR(cp.unattributed, 0.0, 1e-9);
+  EXPECT_NEAR(cp.by_phase.at("downlink"), 1.0, 1e-9);
+  EXPECT_NEAR(cp.by_phase.at("compute"), 4.0, 1e-9);
+  EXPECT_NEAR(cp.by_phase.at("uplink"), 1.0, 1e-9);
+  EXPECT_NEAR(cp.by_phase.at("buffer_wait"), 2.0, 1e-9);
+  EXPECT_EQ(cp.by_phase.count("unattributed"), 0u);
+  EXPECT_NEAR(cp.by_client.at(0), 8.0, 1e-9);
+}
+
+TEST(CriticalPath, RetryBackoffSplitOutOfTransferPhases) {
+  std::vector<LifecycleRecord> records;
+  add_chain(records, 1, 0, 0.0, 1.0, 5.0, 6.0, 6.0);
+  // The uplink [5,6] spent 0.4 s in retry backoff; blame splits into 0.6 s of
+  // wire time and 0.4 s of "backoff".
+  for (LifecycleRecord& r : records) {
+    if (r.phase == "uplink") {
+      r.attempts = 2;
+      r.backoff_s = 0.4;
+    }
+  }
+  const CriticalPathResult cp = critical_path(records, 6.0);
+  EXPECT_NEAR(cp.by_phase.at("uplink"), 0.6, 1e-9);
+  EXPECT_NEAR(cp.by_phase.at("backoff"), 0.4, 1e-9);
+  EXPECT_NEAR(cp.attributed, 6.0, 1e-9);  // the split preserves the total
+}
+
+TEST(CriticalPath, BarrierPicksTheLatestArrival) {
+  // Two dispatches join one commit at t=6: client 0 arrived at 4 (waited 2 s),
+  // client 1 arrived at 6 (determined the window). The path must blame client
+  // 1's chain — compute/uplink time — not client 0's buffer_wait.
+  std::vector<LifecycleRecord> records;
+  add_chain(records, 1, 0, 0.0, 0.5, 3.0, 4.0, 6.0);
+  add_chain(records, 2, 1, 0.0, 0.5, 5.0, 6.0, 6.0);
+  const CriticalPathResult cp = critical_path(records, 6.0);
+  EXPECT_NEAR(cp.by_client.at(1), 6.0, 1e-9);
+  EXPECT_EQ(cp.by_client.count(0), 0u);
+  EXPECT_NEAR(cp.by_phase.at("compute"), 4.5, 1e-9);  // client 1's [0.5, 5]
+  EXPECT_NEAR(cp.unattributed, 0.0, 1e-9);
+}
+
+TEST(CriticalPath, ChainsLinkAcrossRounds) {
+  // Round 1 commits at 4; round 2's dispatch is selected at 4 and commits at
+  // 9. The walk crosses the barrier: [4,9] blamed on dispatch 2, [0,4] on
+  // dispatch 1, nothing unattributed.
+  std::vector<LifecycleRecord> records;
+  add_chain(records, 1, 0, 0.0, 1.0, 3.0, 4.0, 4.0);
+  add_chain(records, 2, 1, 4.0, 5.0, 8.0, 9.0, 9.0);
+  const CriticalPathResult cp = critical_path(records, 9.0);
+  EXPECT_NEAR(cp.attributed, 9.0, 1e-9);
+  EXPECT_NEAR(cp.unattributed, 0.0, 1e-9);
+  EXPECT_NEAR(cp.by_client.at(0), 4.0, 1e-9);
+  EXPECT_NEAR(cp.by_client.at(1), 5.0, 1e-9);
+}
+
+TEST(CriticalPath, GapBeforeFirstSelectIsUnattributed) {
+  // The only chain starts at t=2; [0,2] has no cause in the trace and must be
+  // reported as unattributed, not silently dropped or misblamed.
+  std::vector<LifecycleRecord> records;
+  add_chain(records, 1, 0, 2.0, 3.0, 6.0, 7.0, 8.0);
+  const CriticalPathResult cp = critical_path(records, 8.0);
+  EXPECT_NEAR(cp.attributed, 6.0, 1e-9);
+  EXPECT_NEAR(cp.unattributed, 2.0, 1e-9);
+  EXPECT_NEAR(cp.by_phase.at("unattributed"), 2.0, 1e-9);
+}
+
+TEST(CriticalPath, AnchorAutoDerivedFromRecords) {
+  std::vector<LifecycleRecord> records;
+  add_chain(records, 1, 0, 0.0, 1.0, 5.0, 6.0, 8.0);
+  const CriticalPathResult cp = critical_path(records, /*sim_seconds=*/0.0);
+  EXPECT_DOUBLE_EQ(cp.total, 8.0);
+  EXPECT_NEAR(cp.attributed, 8.0, 1e-9);
+}
+
+TEST(CriticalPath, RootBarrierRecordCarriesThePathAcrossIdleEdges) {
+  // Hierarchical shape: shard 0's edge finished at 5, shard 1's at 8; the
+  // root barrier holds shard 0 from 5 to 8 (root_wait) before the merge. The
+  // walk must pass through shard 1's chain, never stall at 8.
+  std::vector<LifecycleRecord> records;
+  add_chain(records, 1, 0, 0.0, 1.0, 4.0, 5.0, 5.0);
+  add_chain(records, 2, 1, 0.0, 1.0, 7.0, 8.0, 8.0);
+  for (LifecycleRecord& r : records) r.shard = r.dispatch == 1 ? 0 : 1;
+  LifecycleRecord wait = rec(-1, -1, "root_wait", 5.0, 8.0);
+  wait.shard = 0;
+  wait.level = "root";
+  records.push_back(wait);
+  const CriticalPathResult cp = critical_path(records, 8.0);
+  EXPECT_NEAR(cp.attributed, 8.0, 1e-9);
+  EXPECT_NEAR(cp.unattributed, 0.0, 1e-9);
+  // The determining chain is shard 1's straggler, not the idle wait.
+  EXPECT_NEAR(cp.by_shard.at(1), 8.0, 1e-9);
+}
+
+TEST(CriticalPath, EmptyInputYieldsEmptyResult) {
+  const CriticalPathResult cp = critical_path({}, 0.0);
+  EXPECT_DOUBLE_EQ(cp.total, 0.0);
+  EXPECT_TRUE(cp.steps.empty());
+}
+
+TEST(CriticalPath, StepsDescendFromTheAnchor) {
+  std::vector<LifecycleRecord> records;
+  add_chain(records, 1, 0, 0.0, 1.0, 3.0, 4.0, 4.0);
+  add_chain(records, 2, 1, 4.0, 5.0, 8.0, 9.0, 9.0);
+  const CriticalPathResult cp = critical_path(records, 9.0);
+  ASSERT_FALSE(cp.steps.empty());
+  for (std::size_t i = 1; i < cp.steps.size(); ++i) {
+    EXPECT_LE(cp.steps[i].t1, cp.steps[i - 1].t1 + 1e-9) << "step " << i;
+  }
+  EXPECT_NEAR(cp.steps.front().t1, 9.0, 1e-9);
+}
+
+TEST(ParseLifecycle, RoundTripsARealRecordLine) {
+  const std::string line =
+      "{\"ts_ms\":172.47,\"kind\":\"lifecycle\",\"dispatch\":7,\"round\":2,"
+      "\"client\":3,\"phase\":\"uplink\",\"t0\":5.25,\"t1\":6.5,"
+      "\"attempts\":2,\"backoff_s\":0.125,\"bytes\":94071,\"shard\":1,"
+      "\"version\":4}";
+  const auto r = parse_lifecycle(json_object_fields(line));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->dispatch, 7);
+  EXPECT_EQ(r->client, 3);
+  EXPECT_EQ(r->phase, "uplink");
+  EXPECT_DOUBLE_EQ(r->t0, 5.25);
+  EXPECT_DOUBLE_EQ(r->t1, 6.5);
+  EXPECT_EQ(r->attempts, 2);
+  EXPECT_DOUBLE_EQ(r->backoff_s, 0.125);
+  EXPECT_EQ(r->bytes, 94071);
+  EXPECT_EQ(r->shard, 1);
+  EXPECT_EQ(r->version, 4);
+}
+
+TEST(ParseLifecycle, RejectsOtherRecordKinds) {
+  const std::string line = "{\"ts_ms\":1.0,\"kind\":\"dispatch\",\"round\":1}";
+  EXPECT_FALSE(parse_lifecycle(json_object_fields(line)).has_value());
+}
+
+}  // namespace
+}  // namespace afl::obs

@@ -7,11 +7,30 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "core/experiment.hpp"
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 
 namespace afl {
 namespace {
+
+/// The afl.trace.v2 lifecycle records of a trace file, with the wall-clock
+/// ts_ms envelope stripped — everything after it is virtual-clock data and
+/// part of the byte-identity determinism contract.
+std::vector<std::string> lifecycle_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"kind\":\"lifecycle\"") == std::string::npos) continue;
+    lines.push_back(line.substr(line.find("\"kind\"")));
+  }
+  return lines;
+}
 
 ExperimentConfig tiny_config() {
   ExperimentConfig cfg;
@@ -152,6 +171,38 @@ TEST(EngineDeterminism, LossyChannelIdenticalAcrossThreadCounts) {
     EXPECT_EQ(serial.round_metrics[i].stragglers,
               parallel.round_metrics[i].stragglers);
   }
+}
+
+TEST(EngineDeterminism, LifecycleTraceIdenticalAcrossThreadCounts) {
+  // The dispatch-lifecycle stream (docs/OBSERVABILITY.md) is emitted from
+  // sequential engine code only, so it must be byte-identical — record order
+  // included — no matter how many worker threads ran the training closures.
+  const ExperimentEnv env = make_env(tiny_config());
+  const std::string p1 = ::testing::TempDir() + "engine_lc_t1.jsonl";
+  const std::string p8 = ::testing::TempDir() + "engine_lc_t8.jsonl";
+  obs::set_trace_path(p1);
+  run_lossy(env, 1);
+  obs::set_trace_path(p8);
+  run_lossy(env, 8);
+  obs::set_trace_path("");
+  const std::vector<std::string> a = lifecycle_lines(p1);
+  const std::vector<std::string> b = lifecycle_lines(p8);
+  ASSERT_FALSE(a.empty());  // a lossy transport run must emit lifecycles
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "lifecycle record " << i;
+  }
+}
+
+TEST(EngineDeterminism, TransportlessRunEmitsNoLifecycleRecords) {
+  // Without a transport there is no virtual clock to anchor phases to; the
+  // tracker must stay inert so transportless traces look exactly as before.
+  const ExperimentEnv env = make_env(tiny_config());
+  const std::string path = ::testing::TempDir() + "engine_lc_off.jsonl";
+  obs::set_trace_path(path);
+  run_with_threads(Algorithm::kAdaptiveFl, env, 2);
+  obs::set_trace_path("");
+  EXPECT_TRUE(lifecycle_lines(path).empty());
 }
 
 }  // namespace

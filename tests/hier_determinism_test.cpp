@@ -10,12 +10,31 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "core/experiment.hpp"
 #include "hier/config.hpp"
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 
 namespace afl {
 namespace {
+
+/// The afl.trace.v2 lifecycle records of a trace file, with the wall-clock
+/// ts_ms envelope stripped — everything after it is virtual-clock data and
+/// part of the byte-identity determinism contract.
+std::vector<std::string> lifecycle_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"kind\":\"lifecycle\"") == std::string::npos) continue;
+    lines.push_back(line.substr(line.find("\"kind\"")));
+  }
+  return lines;
+}
 
 ExperimentConfig tiny_config() {
   ExperimentConfig cfg;
@@ -149,6 +168,32 @@ TEST(HierDeterminism, DivergentModeEvalsOnlyAtSyncRounds) {
   ASSERT_EQ(r.curve.size(), 2u);
   EXPECT_EQ(r.curve[0].round, 3u);
   EXPECT_EQ(r.curve[1].round, 4u);
+}
+
+TEST(HierDeterminism, LifecycleTraceIdenticalAcrossThreadCounts) {
+  // At a fixed shard count the lifecycle stream — shard tags, edge-clock
+  // phases, and root barrier records included — must be byte-identical at any
+  // AFL_THREADS setting. (Across shard counts records legitimately differ:
+  // shard tags and per-shard commit windows encode the topology.)
+  const ExperimentEnv env = make_env(tiny_config());
+  for (std::size_t shards : {std::size_t{2}, std::size_t{8}}) {
+    const std::string p1 = ::testing::TempDir() + "hier_lc_s" +
+                           std::to_string(shards) + "_t1.jsonl";
+    const std::string p8 = ::testing::TempDir() + "hier_lc_s" +
+                           std::to_string(shards) + "_t8.jsonl";
+    obs::set_trace_path(p1);
+    run_hier(env, 1, /*lossy=*/true, shards);
+    obs::set_trace_path(p8);
+    run_hier(env, 8, /*lossy=*/true, shards);
+    obs::set_trace_path("");
+    const std::vector<std::string> a = lifecycle_lines(p1);
+    const std::vector<std::string> b = lifecycle_lines(p8);
+    ASSERT_FALSE(a.empty()) << "shards " << shards;
+    ASSERT_EQ(a.size(), b.size()) << "shards " << shards;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "shards " << shards << " record " << i;
+    }
+  }
 }
 
 TEST(HierDeterminism, AsyncAndHierAreMutuallyExclusive) {

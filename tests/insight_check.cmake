@@ -36,7 +36,7 @@ file(WRITE "${CAND}"
 ")
 
 file(WRITE "${BAD_SCHEMA}"
-"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v2\",\"algo\":\"AdaptiveFL\"}
+"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v3\",\"algo\":\"AdaptiveFL\"}
 ")
 
 # Transport-backed traces: same learning numbers, but with wire-byte columns.
@@ -272,6 +272,111 @@ execute_process(
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(NOT rc EQUAL 1)
   message(FATAL_ERROR "bad bench schema exited ${rc} (expected 1):\n${out}${err}")
+endif()
+
+# ---------------------------------------------------------------------------
+# afl.trace.v2 lifecycle records: validate / critical-path / export-chrome.
+# LC_OK is a hand-built run whose critical path is fully known: dispatch 1
+# spans [0,8] (downlink 1s, compute 4s, uplink 1s of which 0.5s is retry
+# backoff, buffer_wait 2s, commit at 8); dispatch 2 dies on the downlink.
+set(LC_OK "${WORK_DIR}/lifecycle_ok.jsonl")
+set(LC_ORPHAN "${WORK_DIR}/lifecycle_orphan.jsonl")
+file(WRITE "${LC_OK}"
+"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v2\",\"algo\":\"AdaptiveFL\",\"rounds\":1,\"seed\":7,\"threads\":1,\"codec\":\"fp32\",\"net_loss\":0.1,\"net_deadline_ms\":2000}
+{\"kind\":\"lifecycle\",\"dispatch\":1,\"round\":1,\"client\":0,\"phase\":\"select\",\"t0\":0,\"t1\":0,\"version\":0}
+{\"kind\":\"lifecycle\",\"dispatch\":1,\"round\":1,\"client\":0,\"phase\":\"downlink\",\"t0\":0,\"t1\":1,\"attempts\":1,\"bytes\":100,\"version\":0}
+{\"kind\":\"lifecycle\",\"dispatch\":1,\"round\":1,\"client\":0,\"phase\":\"compute\",\"t0\":1,\"t1\":5,\"version\":0}
+{\"kind\":\"lifecycle\",\"dispatch\":1,\"round\":1,\"client\":0,\"phase\":\"uplink\",\"t0\":5,\"t1\":6,\"attempts\":2,\"backoff_s\":0.5,\"bytes\":100,\"version\":0}
+{\"kind\":\"lifecycle\",\"dispatch\":1,\"round\":1,\"client\":0,\"phase\":\"buffer_wait\",\"t0\":6,\"t1\":8,\"version\":0}
+{\"kind\":\"lifecycle\",\"dispatch\":1,\"round\":1,\"client\":0,\"phase\":\"commit\",\"t0\":8,\"t1\":8,\"version\":0,\"commit_version\":1,\"outcome\":\"ok\"}
+{\"kind\":\"lifecycle\",\"dispatch\":2,\"round\":1,\"client\":1,\"phase\":\"select\",\"t0\":0,\"t1\":0,\"version\":0}
+{\"kind\":\"lifecycle\",\"dispatch\":2,\"round\":1,\"client\":1,\"phase\":\"downlink\",\"t0\":0,\"t1\":2,\"attempts\":1,\"bytes\":100,\"version\":0}
+{\"kind\":\"lifecycle\",\"dispatch\":2,\"round\":1,\"client\":1,\"phase\":\"drop\",\"t0\":2,\"t1\":2,\"outcome\":\"lost_downlink\"}
+{\"kind\":\"run_end\",\"algo\":\"AdaptiveFL\",\"rounds\":1,\"full_acc\":0.80,\"params_sent\":100,\"params_returned\":100,\"sim_seconds\":8}
+")
+# Dispatch 3 has phases but no select and no terminal outcome: orphan data.
+file(WRITE "${LC_ORPHAN}"
+"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v2\",\"algo\":\"AdaptiveFL\",\"rounds\":1,\"seed\":7,\"threads\":1}
+{\"kind\":\"lifecycle\",\"dispatch\":3,\"round\":1,\"client\":0,\"phase\":\"downlink\",\"t0\":0,\"t1\":1}
+")
+
+execute_process(
+  COMMAND "${INSIGHT}" validate "${LC_OK}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "validate on a complete lifecycle trace exited ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "lifecycles ok")
+  message(FATAL_ERROR "validate did not report lifecycles ok:\n${out}")
+endif()
+if(NOT out MATCHES "2 dispatch")
+  message(FATAL_ERROR "validate miscounted dispatches:\n${out}")
+endif()
+
+# v1 traces carry no lifecycle records; validate passes with a note instead of
+# failing, so the same CI gate works on old traces.
+execute_process(
+  COMMAND "${INSIGHT}" validate "${BASE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "validate on a v1 trace exited ${rc} (expected 0):\n${out}${err}")
+endif()
+if(NOT out MATCHES "no lifecycle records")
+  message(FATAL_ERROR "validate on a v1 trace missing the note:\n${out}")
+endif()
+
+execute_process(
+  COMMAND "${INSIGHT}" validate "${LC_ORPHAN}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "validate on orphan phases exited ${rc} (expected 1):\n${out}${err}")
+endif()
+if(NOT err MATCHES "orphan phases")
+  message(FATAL_ERROR "validate error does not name the orphan:\n${err}")
+endif()
+
+# critical-path must fully attribute the hand-built chain: compute 4s = 50%
+# of the 8s run, with the 0.5s retry backoff split out of the uplink.
+execute_process(
+  COMMAND "${INSIGHT}" critical-path "${LC_OK}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "critical-path exited ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "attributed 8.000 s \\(100.0%\\)")
+  message(FATAL_ERROR "critical-path did not fully attribute the run:\n${out}")
+endif()
+if(NOT out MATCHES "\\| compute +\\| 4.000 +\\| 50.0")
+  message(FATAL_ERROR "critical-path compute blame wrong:\n${out}")
+endif()
+if(NOT out MATCHES "\\| backoff +\\| 0.500")
+  message(FATAL_ERROR "critical-path did not split retry backoff:\n${out}")
+endif()
+
+# ...and refuses a trace without lifecycle records (exit 1).
+execute_process(
+  COMMAND "${INSIGHT}" critical-path "${BASE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "critical-path on a v1 trace exited ${rc} (expected 1):\n${out}${err}")
+endif()
+
+# export-chrome writes trace_event JSON with duration events.
+execute_process(
+  COMMAND "${INSIGHT}" export-chrome "${LC_OK}" --out "${WORK_DIR}/chrome.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "export-chrome exited ${rc}:\n${out}${err}")
+endif()
+file(READ "${WORK_DIR}/chrome.json" chrome)
+if(NOT chrome MATCHES "\"traceEvents\":\\[")
+  message(FATAL_ERROR "export-chrome output is not a trace_event document:\n${chrome}")
+endif()
+if(NOT chrome MATCHES "\"ph\":\"X\"")
+  message(FATAL_ERROR "export-chrome output has no duration events:\n${chrome}")
+endif()
+if(NOT chrome MATCHES "\"name\":\"compute\"")
+  message(FATAL_ERROR "export-chrome output missing the compute slice:\n${chrome}")
 endif()
 
 message(STATUS "afl-insight CLI checks passed")

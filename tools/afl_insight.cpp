@@ -5,6 +5,9 @@
 //   afl-insight clients <trace> [--run N]  per-client drill-down
 //   afl-insight rounds  <trace> [N]        slowest-N rounds
 //   afl-insight timeline <trace>           simulated time-to-accuracy curves
+//   afl-insight validate <trace>           lifecycle completeness check
+//   afl-insight critical-path <trace>      virtual-clock blame breakdown
+//   afl-insight export-chrome <trace>      Chrome trace_event / Perfetto JSON
 //   afl-insight diff <a> <b> [thresholds]  run-vs-run regression check
 //   afl-insight bench show <snap|dir>      render BENCH_*.json snapshots
 //   afl-insight bench diff <base> <cand>   snapshot-vs-snapshot perf gate
@@ -21,7 +24,16 @@
 // thresholds
 // (--max-acc-drop, --max-time-ratio, --max-comm-ratio, --max-bytes-ratio —
 // the last applies only when the baseline trace carries wire-byte columns),
-// which makes it usable as a CI perf gate. With --tta-acc the diff also
+// which makes it usable as a CI perf gate. `validate` checks every
+// afl.trace.v2 lifecycle record stream for completeness (each dispatch has a
+// select phase, exactly one terminal outcome, and time-ordered phases) and
+// exits 1 on orphan or out-of-order phases — the CI sanity gate on the
+// lifecycle emitters. `critical-path` reconstructs the causal chain that
+// determined the run's final simulated instant (obs/critpath.hpp) and prints
+// per-phase / per-shard / top-client blame tables. `export-chrome` converts
+// lifecycle records into Chrome trace_event JSON (one process per run, one
+// track per client) loadable in Perfetto / chrome://tracing (--out writes to
+// a file, default stdout). With --tta-acc the diff also
 // compares the simulated seconds each run needed to first reach that
 // accuracy (from eval_point events; see docs/ASYNC.md) and gates the
 // candidate at --max-tta-ratio times the baseline. `timeline` prints the
@@ -52,6 +64,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critpath.hpp"
 #include "obs/json.hpp"
 #include "util/table.hpp"
 
@@ -60,8 +73,18 @@ namespace {
 using afl::Table;
 using Record = std::map<std::string, std::string>;
 
-constexpr const char* kSchema = "afl.trace.v1";
+// Understood trace schemas. v2 added `lifecycle` records (see
+// docs/OBSERVABILITY.md); every v1 record kind is unchanged in v2, so both
+// load identically — lifecycle-aware commands just find no records in v1.
+constexpr const char* kSchemas[] = {"afl.trace.v1", "afl.trace.v2"};
 constexpr const char* kBenchSchema = "afl.bench.v1";
+
+bool schema_supported(const std::string& schema) {
+  for (const char* s : kSchemas) {
+    if (schema == s) return true;
+  }
+  return false;
+}
 
 // EX_USAGE: the caller got the command line wrong (unknown command, missing
 // argument, nonexistent input file) — distinct from 1 (the file exists but
@@ -123,11 +146,11 @@ int load_trace(const std::string& path, TraceFile& out) {
     }
     if (is_kind(rec, "run_start")) {
       const std::string schema = str(rec, "schema");
-      if (schema != kSchema) {
+      if (!schema_supported(schema)) {
         std::fprintf(stderr,
                      "afl-insight: %s declares trace schema \"%s\" but this "
-                     "tool understands \"%s\"\n",
-                     path.c_str(), schema.c_str(), kSchema);
+                     "tool understands \"%s\" and \"%s\"\n",
+                     path.c_str(), schema.c_str(), kSchemas[0], kSchemas[1]);
         return 1;
       }
       Run run;
@@ -510,6 +533,265 @@ int cmd_timeline(const TraceFile& file, int run_index) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// afl.trace.v2 lifecycle records (engine/lifecycle.hpp, obs/critpath.hpp).
+
+std::vector<afl::obs::LifecycleRecord> lifecycle_records(const Run& run) {
+  std::vector<afl::obs::LifecycleRecord> records;
+  for (const Record& r : run.events) {
+    if (auto rec = afl::obs::parse_lifecycle(r)) records.push_back(*rec);
+  }
+  return records;
+}
+
+/// The run's final simulated instant: run_end's sim_seconds when present,
+/// else the last eval_point's virtual_time, else 0 (auto-derive downstream).
+double run_anchor(const Run& run) {
+  double anchor = 0.0;
+  for (const Record& r : run.events) {
+    if (is_kind(r, "eval_point")) {
+      anchor = std::max(anchor, num(r, "virtual_time"));
+    } else if (is_kind(r, "run_end")) {
+      const double s = num(r, "sim_seconds");
+      if (s > 0.0) anchor = std::max(anchor, s);
+    }
+  }
+  return anchor;
+}
+
+/// Lifecycle completeness check. Every dispatch must carry a select phase,
+/// exactly one terminal outcome, and time-ordered phases; violations exit 1.
+/// Runs without lifecycle records (v1 traces, transportless runs) pass with a
+/// note — the gate targets emitters that do write lifecycles.
+int cmd_validate(const TraceFile& file) {
+  int errors = 0;
+  const auto fail = [&](std::size_t run, long long dispatch, const char* what) {
+    std::fprintf(stderr, "afl-insight: %s run %zu dispatch %lld: %s\n",
+                 file.path.c_str(), run, dispatch, what);
+    ++errors;
+  };
+  for (std::size_t i = 0; i < file.runs.size(); ++i) {
+    const std::vector<afl::obs::LifecycleRecord> records =
+        lifecycle_records(file.runs[i]);
+    if (records.empty()) {
+      std::printf("run %zu: %s — no lifecycle records (pre-v2 or "
+                  "transportless run)\n",
+                  i, file.runs[i].label().c_str());
+      continue;
+    }
+    struct Group {
+      bool select = false;
+      std::size_t terminals = 0;
+      double select_t0 = 0.0, min_t0 = 0.0;
+      std::size_t phases = 0;
+    };
+    std::map<long long, Group> groups;
+    for (const afl::obs::LifecycleRecord& r : records) {
+      if (r.t1 < r.t0) fail(i, r.dispatch, "phase ends before it starts");
+      if (r.dispatch < 0) {
+        // Dispatch-less hierarchy barrier records; only ordering applies.
+        if (r.level != "root") fail(i, r.dispatch, "dispatch-less record "
+                                    "without level=root");
+        continue;
+      }
+      Group& g = groups[r.dispatch];
+      if (g.phases == 0) g.min_t0 = r.t0;
+      ++g.phases;
+      g.min_t0 = std::min(g.min_t0, r.t0);
+      if (r.phase == "select") {
+        g.select = true;
+        g.select_t0 = r.t0;
+      }
+      if (!r.outcome.empty()) ++g.terminals;
+    }
+    std::size_t ok = 0;
+    for (const auto& [dispatch, g] : groups) {
+      bool good = true;
+      if (!g.select) {
+        fail(i, dispatch, "orphan phases: no select record");
+        good = false;
+      }
+      if (g.terminals == 0) {
+        fail(i, dispatch, "incomplete lifecycle: no terminal outcome");
+        good = false;
+      } else if (g.terminals > 1) {
+        fail(i, dispatch, "multiple terminal outcomes");
+        good = false;
+      }
+      if (g.select && g.min_t0 < g.select_t0) {
+        fail(i, dispatch, "phase starts before its select instant");
+        good = false;
+      }
+      if (good) ++ok;
+    }
+    std::printf("run %zu: %s — %zu lifecycle record(s), %zu dispatch(es), "
+                "%zu complete\n",
+                i, file.runs[i].label().c_str(), records.size(), groups.size(),
+                ok);
+  }
+  if (errors > 0) {
+    std::fprintf(stderr, "afl-insight: %d lifecycle violation(s)\n", errors);
+    return 1;
+  }
+  std::printf("lifecycles ok\n");
+  return 0;
+}
+
+int cmd_critical_path(const TraceFile& file, int run_index, std::size_t top_k) {
+  const Run* run = pick_run(file, run_index);
+  if (run == nullptr) return 1;
+  const std::vector<afl::obs::LifecycleRecord> records = lifecycle_records(*run);
+  if (records.empty()) {
+    std::fprintf(stderr,
+                 "afl-insight: no lifecycle records in %s (run %s) — "
+                 "critical-path needs an afl.trace.v2 trace from a "
+                 "transport-backed or async run\n",
+                 file.path.c_str(), run->label().c_str());
+    return 1;
+  }
+  const afl::obs::CriticalPathResult cp =
+      afl::obs::critical_path(records, run_anchor(*run));
+
+  std::printf("critical path of run: %s\n", run->label().c_str());
+  std::printf("final simulated time: %.3f s | attributed %.3f s (%.1f%%) | "
+              "unattributed %.3f s\n",
+              cp.total, cp.attributed,
+              cp.total > 0 ? 100.0 * cp.attributed / cp.total : 0.0,
+              cp.unattributed);
+
+  // by_phase descending — the headline "where did the time go" table.
+  std::vector<std::pair<std::string, double>> phases(cp.by_phase.begin(),
+                                                     cp.by_phase.end());
+  std::stable_sort(phases.begin(), phases.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  Table t({"phase", "seconds", "% of run"});
+  for (const auto& [phase, seconds] : phases) {
+    t.add_row({phase, Table::fmt(seconds, 3),
+               Table::fmt(cp.total > 0 ? 100.0 * seconds / cp.total : 0.0, 1)});
+  }
+  std::printf("%s", t.to_markdown().c_str());
+
+  // Shard table only when the run carried shard tags (hierarchical engine).
+  bool tagged = false;
+  for (const auto& [shard, seconds] : cp.by_shard) tagged |= shard >= 0;
+  if (tagged) {
+    Table st({"shard", "seconds on path", "% of run"});
+    for (const auto& [shard, seconds] : cp.by_shard) {
+      st.add_row({shard < 0 ? std::string("(untagged)") : std::to_string(shard),
+                  Table::fmt(seconds, 3),
+                  Table::fmt(cp.total > 0 ? 100.0 * seconds / cp.total : 0.0, 1)});
+    }
+    std::printf("per-shard blame:\n%s", st.to_markdown().c_str());
+  }
+
+  std::vector<std::pair<long long, double>> clients(cp.by_client.begin(),
+                                                    cp.by_client.end());
+  std::stable_sort(clients.begin(), clients.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (clients.size() > top_k) clients.resize(top_k);
+  if (!clients.empty()) {
+    Table ct({"client", "seconds on path", "% of run"});
+    for (const auto& [client, seconds] : clients) {
+      ct.add_row({std::to_string(client), Table::fmt(seconds, 3),
+                  Table::fmt(cp.total > 0 ? 100.0 * seconds / cp.total : 0.0, 1)});
+    }
+    std::printf("top %zu client(s) on the path:\n%s", clients.size(),
+                ct.to_markdown().c_str());
+  }
+  return 0;
+}
+
+/// Converts lifecycle records to Chrome trace_event JSON: pid = run index,
+/// tid = client (root barrier records on a dedicated track), ts/dur in
+/// microseconds of the virtual clock. Loadable in Perfetto / chrome://tracing.
+int cmd_export_chrome(const TraceFile& file, const std::string& out_path) {
+  constexpr long long kRootTid = 1000000;  // past any real client id
+  std::string json = "{\"traceEvents\":[";
+  bool first = true;
+  bool any = false;
+  const auto emit = [&](const std::string& event) {
+    if (!first) json += ',';
+    first = false;
+    json += event;
+  };
+  char buf[256];
+  for (std::size_t i = 0; i < file.runs.size(); ++i) {
+    const std::vector<afl::obs::LifecycleRecord> records =
+        lifecycle_records(file.runs[i]);
+    if (records.empty()) continue;
+    any = true;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%zu,"
+                  "\"args\":{\"name\":\"run %zu: %s\"}}",
+                  i, i,
+                  afl::obs::json_escape(file.runs[i].label()).c_str());
+    emit(buf);
+    std::set<long long> tids;
+    for (const afl::obs::LifecycleRecord& r : records) {
+      const long long tid = r.dispatch < 0 ? kRootTid : r.client;
+      if (tids.insert(tid).second) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%zu,"
+                      "\"tid\":%lld,\"args\":{\"name\":\"%s\"}}",
+                      i, tid,
+                      tid == kRootTid
+                          ? "root barrier"
+                          : ("client " + std::to_string(tid)).c_str());
+        emit(buf);
+      }
+      const double ts_us = r.t0 * 1e6;
+      const double dur_us = (r.t1 - r.t0) * 1e6;
+      std::string args = "{\"dispatch\":" + std::to_string(r.dispatch) +
+                         ",\"round\":" + std::to_string(r.round);
+      if (r.shard >= 0) args += ",\"shard\":" + std::to_string(r.shard);
+      if (r.attempts > 0) args += ",\"attempts\":" + std::to_string(r.attempts);
+      if (r.bytes > 0) args += ",\"bytes\":" + std::to_string(r.bytes);
+      if (!r.outcome.empty()) {
+        args += ",\"outcome\":\"" + afl::obs::json_escape(r.outcome) + "\"";
+      }
+      args += '}';
+      if (dur_us > 0.0) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"lifecycle\",\"ph\":\"X\","
+                      "\"pid\":%zu,\"tid\":%lld,\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"args\":",
+                      afl::obs::json_escape(r.phase).c_str(), i, tid, ts_us,
+                      dur_us);
+      } else {
+        // Instant markers for the zero-length select/commit/drop points.
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"lifecycle\",\"ph\":\"i\","
+                      "\"s\":\"t\",\"pid\":%zu,\"tid\":%lld,\"ts\":%.3f,"
+                      "\"args\":",
+                      afl::obs::json_escape(r.phase).c_str(), i, tid, ts_us);
+      }
+      emit(buf + args + "}");
+    }
+  }
+  json += "],\"displayTimeUnit\":\"ms\"}";
+  if (!any) {
+    std::fprintf(stderr,
+                 "afl-insight: no lifecycle records in %s — nothing to "
+                 "export\n",
+                 file.path.c_str());
+    return 1;
+  }
+  if (out_path.empty() || out_path == "-") {
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::fprintf(stderr, "afl-insight: cannot write %s\n", out_path.c_str());
+    return kExitUsage;
+  }
+  out << json << '\n';
+  out.close();
+  std::printf("wrote %zu trace event bytes to %s\n", json.size() + 1,
+              out_path.c_str());
+  return 0;
+}
+
 int cmd_diff(const TraceFile& base, const TraceFile& cand, int base_run,
              int cand_run, double max_acc_drop, double max_time_ratio,
              double max_comm_ratio, double max_bytes_ratio, double tta_acc,
@@ -878,6 +1160,10 @@ int usage() {
                "  clients <trace> [--run N]           per-client drill-down\n"
                "  rounds <trace> [N] [--run N]        slowest-N rounds (default 5)\n"
                "  timeline <trace> [--run N]          simulated time-to-accuracy curves\n"
+               "  validate <trace>                    lifecycle completeness check (exit 1 on orphans)\n"
+               "  critical-path <trace> [--run N]     virtual-clock blame breakdown\n"
+               "       [--top K]                      clients shown on the path (5)\n"
+               "  export-chrome <trace> [--out FILE]  Chrome trace_event JSON (Perfetto; stdout default)\n"
                "  diff <baseline> <candidate>         regression check (exit 2 on regression)\n"
                "       [--max-acc-drop X]             allowed absolute accuracy drop (0.02)\n"
                "       [--max-time-ratio X]           allowed round-p95 ratio (1.50)\n"
@@ -939,6 +1225,8 @@ int main(int argc, char** argv) {
   double max_acc_drop = 0.02, max_time_ratio = 1.50, max_comm_ratio = 1.10;
   double max_bytes_ratio = 1.10;
   double tta_acc = 0.0, max_tta_ratio = 1.00;  // tta gate off until --tta-acc
+  int top_k = 5;            // critical-path client rows
+  std::string out_path;     // export-chrome destination; empty = stdout
   std::vector<std::string> positional;
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto flag_value = [&](double& out) {
@@ -967,13 +1255,20 @@ int main(int argc, char** argv) {
       if (!flag_value(tta_acc)) return usage();
     } else if (args[i] == "--max-tta-ratio") {
       if (!flag_value(max_tta_ratio)) return usage();
+    } else if (args[i] == "--top") {
+      if (i + 1 >= args.size()) return usage();
+      top_k = std::max(1, std::atoi(args[++i].c_str()));
+    } else if (args[i] == "--out") {
+      if (i + 1 >= args.size()) return usage();
+      out_path = args[++i];
     } else {
       positional.push_back(args[i]);
     }
   }
   if (positional.empty()) return usage();
   if (cmd != "summary" && cmd != "clients" && cmd != "rounds" &&
-      cmd != "timeline" && cmd != "diff") {
+      cmd != "timeline" && cmd != "validate" && cmd != "critical-path" &&
+      cmd != "export-chrome" && cmd != "diff") {
     std::fprintf(stderr, "afl-insight: unknown command \"%s\"\n", cmd.c_str());
     return usage();
   }
@@ -991,6 +1286,11 @@ int main(int argc, char** argv) {
     return cmd_rounds(file, run_index, top_n);
   }
   if (cmd == "timeline") return cmd_timeline(file, run_index);
+  if (cmd == "validate") return cmd_validate(file);
+  if (cmd == "critical-path") {
+    return cmd_critical_path(file, run_index, static_cast<std::size_t>(top_k));
+  }
+  if (cmd == "export-chrome") return cmd_export_chrome(file, out_path);
   // diff
   if (positional.size() != 2) return usage();
   TraceFile cand;
