@@ -1,0 +1,120 @@
+// Population-dynamics stress scenario (docs/POPULATION.md): the same seeded
+// smoke environment run twice — first with a static, always-on fleet, then
+// under a churn storm where 30% of the active population rotates out (and an
+// equal-sized slice of fresh clients rotates in) every simulated hour, a
+// random stretch of present clients goes dark each epoch, and every client
+// sits behind its own sampled channel profile instead of the shared link.
+//
+// The rotation epoch is literal: the static run measures the simulated
+// seconds one federated round costs on this transport, and the churn run
+// rotates every ceil(3600 / round_sim_s) rounds. AdaptiveFL's RL selector
+// only learns about departures the hard way (missed responses), so the run
+// doubles as a selector-robustness check.
+//
+// Exits nonzero unless the churn run's final full accuracy stays within
+// 0.10 of the static run — the "no accuracy collapse" CI gate
+// (tests/churn_storm_check.cmake).
+//
+//   ./churn_storm [trace.jsonl] [rounds]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afl;
+
+  const char* trace_path = argc > 1 ? argv[1] : "churn_storm_trace.jsonl";
+  const std::size_t rounds =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 30;
+  obs::set_trace_path(trace_path);
+
+  // Seeded smoke environment: 16 tiered devices, 6 selected per round, so a
+  // quarter of the fleet can be absent at any instant while the cohort still
+  // fills from present clients most rounds.
+  ExperimentConfig cfg;
+  cfg.num_clients = 16;
+  cfg.clients_per_round = 6;
+  cfg.samples_per_client = 25;
+  cfg.test_samples = 100;
+  cfg.image_hw = 8;
+  cfg.rounds = rounds;
+  cfg.local_epochs = 2;
+  cfg.batch_size = 25;
+  cfg.eval_every = 3;
+  ExperimentEnv env = make_env(cfg);
+
+  // Transport with a deterministic compute charge slow enough that one round
+  // costs simulated minutes — so "rotate every simulated hour" is a handful
+  // of rounds, not hundreds.
+  net::NetConfig net;
+  net.enabled = true;
+  net.codec = net::Codec::kFp16;
+  net.channel.bandwidth_bytes_per_s = 256 * 1024.0;
+  net.channel.latency_s = 0.02;
+  net.compute_s_per_kparam = 7.0;
+  net.round_deadline_s = 0.0;  // no deadline: absences fail, nobody is cut
+  env.run.net = net;
+
+  // Run 0: static population (explicitly disabled so AFL_POP_* in the
+  // environment cannot skew the baseline).
+  env.run.pop = pop::PopConfig{};
+  const RunResult static_run = run_algorithm(Algorithm::kAdaptiveFl, env);
+
+  const double round_sim_s =
+      static_run.sim_seconds / static_cast<double>(std::max<std::size_t>(rounds, 1));
+  const std::size_t rotate_every = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(3600.0 / std::max(round_sim_s, 1e-9))));
+
+  // Run 1: the storm. A quarter of the fleet is absent at any instant, 30%
+  // of the active set rotates every simulated hour, present clients go dark
+  // for two-round stretches now and then, and each client gets its own
+  // bandwidth / latency / loss draw around the shared base channel.
+  pop::PopConfig storm;
+  storm.enabled = true;
+  storm.active_frac = 0.75;
+  storm.rotate_every = rotate_every;
+  storm.rotate_frac = 0.3;
+  storm.dark_prob = 0.05;
+  storm.dark_len = 2;
+  storm.channels = true;
+  storm.bw_spread = 1.0;
+  storm.latency_spread = 0.5;
+  storm.loss_max = 0.02;
+  env.run.pop = storm;
+  const RunResult churn_run = run_algorithm(Algorithm::kAdaptiveFl, env);
+
+  std::printf("rotation epoch: every %zu rounds (~%.0f sim s/round, 3600 s/hour)\n\n",
+              rotate_every, round_sim_s);
+  Table t({"population", "final full (%)", "best full (%)", "sim seconds",
+           "failed trainings"});
+  t.add_row({"static", Table::fmt_pct(static_run.final_full_acc),
+             Table::fmt_pct(static_run.best_full_acc()),
+             Table::fmt(static_run.sim_seconds, 2),
+             std::to_string(static_run.failed_trainings)});
+  t.add_row({"churn storm", Table::fmt_pct(churn_run.final_full_acc),
+             Table::fmt_pct(churn_run.best_full_acc()),
+             Table::fmt(churn_run.sim_seconds, 2),
+             std::to_string(churn_run.failed_trainings)});
+  std::printf("%s\n", t.to_markdown().c_str());
+  std::printf("trace written to %s — try `afl-insight summary %s`\n",
+              trace_path, trace_path);
+
+  // The CI gate: churn must not collapse accuracy.
+  const double drop = static_run.final_full_acc - churn_run.final_full_acc;
+  if (drop > 0.10) {
+    std::fprintf(stderr,
+                 "FAIL: churn storm dropped final accuracy by %.4f "
+                 "(> 0.10 allowed): static %.4f vs churn %.4f\n",
+                 drop, static_run.final_full_acc, churn_run.final_full_acc);
+    return 1;
+  }
+  std::printf("churn-vs-static final accuracy drop %.4f within 0.10 budget\n",
+              drop);
+  return 0;
+}

@@ -51,6 +51,14 @@ class AsyncAggregator {
     return ++version_;
   }
 
+  /// Snapshot restore (docs/POPULATION.md): reinstates the committed version
+  /// counter. Snapshots are cut at flush boundaries, where the buffer is
+  /// empty by construction.
+  void restore(std::size_t version) {
+    version_ = version;
+    buffered_ = 0;
+  }
+
  private:
   std::size_t buffer_size_;
   double alpha_;

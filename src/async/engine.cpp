@@ -11,6 +11,7 @@
 #include "async/aggregator.hpp"
 #include "async/virtual_clock.hpp"
 #include "engine/lifecycle.hpp"
+#include "engine/snapshot.hpp"
 #include "engine/telemetry.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/http.hpp"
@@ -23,8 +24,16 @@
 namespace afl::async {
 namespace {
 
-/// Why a dispatch's kFailure event was scheduled.
-enum class FailKind { kNoResponse, kAdaptFailed, kLostDownlink, kLostUplink };
+/// Why a dispatch's kFailure event was scheduled. Enumerator order is part of
+/// the snapshot format (serialized as an integer) — append only.
+enum class FailKind {
+  kNoResponse,
+  kAdaptFailed,
+  kLostDownlink,
+  kLostUplink,
+  kDeparted,  // population churn: client left the fleet (docs/POPULATION.md)
+  kWentDark,  // population churn: client temporarily unreachable
+};
 
 /// One in-flight dispatch, keyed by its dispatch id. Stored in a std::map so
 /// training waves iterate in dispatch order (determinism).
@@ -41,13 +50,108 @@ struct Pending {
   FailKind fail = FailKind::kNoResponse;
 };
 
+// ---- Pending serialization (engine snapshots, docs/POPULATION.md) ---------
+// A snapshot is cut at a flush boundary, so the aggregation buffer is empty
+// but up to `concurrency` dispatches are mid-flight: their slots, channel
+// sessions (RNG position + clock), decoded downlinks, and — when the lazy
+// training wave already ran — trained outcomes all have to survive verbatim
+// for the resumed event sequence to be bit-identical.
+
+void write_slot(SnapshotWriter& w, const ClientSlot& s) {
+  w.u64(s.round);
+  w.u64(s.slot);
+  w.u64(s.client);
+  w.u64(s.capacity);
+  w.u64(s.sent_index);
+  w.u64(s.params_sent);
+  w.u64(s.trainable ? 1 : 0);
+  w.u64(s.back_index);
+  w.u64(s.params_back);
+}
+
+void read_slot(SnapshotReader& r, ClientSlot& s) {
+  s.round = r.u64();
+  s.slot = r.u64();
+  s.client = r.u64();
+  s.capacity = r.u64();
+  s.sent_index = r.u64();
+  s.params_sent = r.u64();
+  s.trainable = r.u64() != 0;
+  s.back_index = r.u64();
+  s.params_back = r.u64();
+}
+
+void write_pending(SnapshotWriter& w, std::size_t id, const Pending& p) {
+  w.u64(id);
+  write_slot(w, p.slot);
+  const Rng::State st = p.sess.rng_state();
+  for (int i = 0; i < 4; ++i) w.u64(st.s[i]);
+  w.u64(st.has_cached_normal ? 1 : 0);
+  w.f64(st.cached_normal);
+  w.u64(p.sess.round());
+  w.u64(p.sess.client());
+  w.f64(p.sess.elapsed_seconds());
+  w.u64(p.sess.clock().compute_charged() ? 1 : 0);
+  w.u64(p.version);
+  w.f64(p.dispatch_time);
+  w.u64(p.reuploads_left);
+  w.u64(p.accepted ? 1 : 0);
+  w.u64(p.trained ? 1 : 0);
+  w.u64(static_cast<std::uint64_t>(p.fail));
+  w.u64(p.rx ? 1 : 0);
+  if (p.rx) w.params(*p.rx);
+  if (p.trained) {
+    w.params(p.outcome.params);
+    w.u64(p.outcome.samples);
+    w.f64(p.outcome.stats.mean_loss);
+    w.u64(p.outcome.stats.samples_seen);
+    w.f64(p.outcome.stats.seconds);
+  }
+}
+
+std::size_t read_pending(SnapshotReader& r, Pending& p) {
+  const std::size_t id = static_cast<std::size_t>(r.u64());
+  read_slot(r, p.slot);
+  Rng::State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = r.u64();
+  st.has_cached_normal = r.u64() != 0;
+  st.cached_normal = r.f64();
+  const std::size_t sess_round = r.u64();
+  const std::size_t sess_client = r.u64();
+  const double elapsed = r.f64();
+  const bool compute_charged = r.u64() != 0;
+  p.sess.restore(sess_round, sess_client, st, elapsed, compute_charged);
+  p.version = r.u64();
+  p.dispatch_time = r.f64();
+  p.reuploads_left = r.u64();
+  p.accepted = r.u64() != 0;
+  p.trained = r.u64() != 0;
+  p.fail = static_cast<FailKind>(r.u64());
+  p.sess.set_lifecycle_tags(static_cast<long long>(id), -1,
+                            static_cast<long long>(p.version));
+  if (r.u64() != 0) {
+    p.rx = std::make_unique<ParamSet>(r.params());
+    p.slot.rx = p.rx.get();
+  }
+  if (p.trained) {
+    p.outcome.params = r.params();
+    p.outcome.samples = r.u64();
+    p.outcome.stats.mean_loss = r.f64();
+    p.outcome.stats.samples_seen = r.u64();
+    p.outcome.stats.seconds = r.f64();
+  }
+  return id;
+}
+
 }  // namespace
 
 AsyncEngine::AsyncEngine(const FlRunConfig& config, AsyncConfig async,
-                         const std::vector<DeviceSim>* devices)
+                         const std::vector<DeviceSim>* devices,
+                         const pop::Population* population)
     : config_(config),
       async_(async),
       devices_(devices),
+      population_(population),
       threads_(config.threads > 0 ? config.threads
                                   : ThreadPool::threads_from_env()),
       transport_(config.net ? *config.net : net::NetConfig::from_env(),
@@ -58,6 +162,9 @@ AsyncEngine::AsyncEngine(const FlRunConfig& config, AsyncConfig async,
   if (devices_ != nullptr) {
     async_.concurrency = std::min(async_.concurrency, devices_->size());
   }
+  if (population_ != nullptr && population_->has_channels()) {
+    transport_.set_client_channels(population_->channels());
+  }
 }
 
 RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
@@ -66,7 +173,8 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
   result.algorithm = policy.algorithm_name() + "+Async";
 
   obs::ensure_default_http_server();
-  engine::trace_run_start(result, config_, threads_, transport_, "async");
+  engine::trace_run_start(result, config_, threads_, transport_, "async",
+                          /*shards=*/0, /*sync_every=*/0, population_);
   engine::publish_run_status(result, 0, config_.rounds, 0.0, threads_,
                              /*active=*/true);
 
@@ -99,8 +207,53 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
   // counter doubles as the stable lifecycle id (it already keys slot.round).
   engine::LifecycleTracker lifecycle(true);
 
+  // Snapshot/resume (docs/POPULATION.md). Async snapshots are cut at flush
+  // boundaries: the buffer is empty, but in-flight dispatches (and their
+  // pending events) are captured verbatim so the resumed event sequence —
+  // and therefore the RunResult — is bit-identical to the uninterrupted run.
+  const engine::SnapshotPlan snap = engine::SnapshotPlan::resolve(config_);
+  if (snap.resume_enabled()) {
+    SnapshotReader reader(snap.resume_from);
+    flushes = engine::read_header(reader, engine::kAsyncSnapshotFormat, config_,
+                                  result.algorithm);
+    engine::read_result(reader, result);
+    engine::read_rng(reader, rng);
+    clock.restore(reader.f64());
+    last_flush_time = reader.f64();
+    next_dispatch = reader.u64();
+    agg.restore(reader.u64());
+    policy.restore_state(reader);
+    const std::uint64_t n_pending = reader.u64();
+    for (std::uint64_t i = 0; i < n_pending; ++i) {
+      Pending p;
+      const std::size_t id = read_pending(reader, p);
+      // The client is still in flight: re-mark it busy and reopen its
+      // lifecycle record (earlier phases were flushed with the old process;
+      // blame attribution restarts, bit-identity of the result does not).
+      policy.set_client_busy(p.slot.client, true);
+      lifecycle.begin(id, id, p.slot.client, p.dispatch_time, /*shard=*/-1,
+                      static_cast<long long>(p.version));
+      pending.emplace(id, std::move(p));
+    }
+    const std::uint64_t n_events = reader.u64();
+    std::vector<Event> events(n_events);
+    for (Event& e : events) {
+      e.time = reader.f64();
+      e.dispatch = reader.u64();
+      e.client = reader.u64();
+      e.seq = reader.u64();
+      e.kind = static_cast<EventKind>(reader.u64());
+    }
+    queue.restore(std::move(events), reader.u64());
+    reader.expect_end();
+  }
+
   std::optional<RoundTelemetry> telemetry(std::in_place, result, flushes + 1);
   telemetry->set_net_enabled(transport_.enabled());
+  if (population_ != nullptr) {
+    // One churn record per flush window — the async analogue of a round.
+    engine::trace_churn(flushes + 1, population_->round_churn(flushes + 1));
+  }
 
   // Keeps `concurrency` dispatches in flight. All RNG draws (model/client
   // selection, capacity, availability, transport streams) happen here on the
@@ -135,6 +288,25 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
       lifecycle.begin(s.round, s.round, s.client, clock.now(), /*shard=*/-1,
                       static_cast<long long>(p.version));
 
+      if (devices_ != nullptr) {
+        // Population churn (src/pop/, docs/POPULATION.md): presence is keyed
+        // by the flush window (the async analogue of the sync round). A
+        // departed or dark client is dispatched to but never replies; no RNG
+        // draw happens for it, so enabling churn never shifts the streams of
+        // the clients that are present.
+        const PresenceSchedule::State presence =
+            (*devices_)[s.client].presence_state(flushes + 1);
+        if (presence != PresenceSchedule::State::kPresent) {
+          p.fail = presence == PresenceSchedule::State::kAbsent
+                       ? FailKind::kDeparted
+                       : FailKind::kWentDark;
+          queue.push({clock.now() + async_.failure_timeout_s, s.round, s.client,
+                      0, EventKind::kFailure});
+          pending.emplace(s.round, std::move(p));
+          ++next_dispatch;
+          continue;
+        }
+      }
       if (devices_ != nullptr && !(*devices_)[s.client].responds(rng)) {
         p.fail = FailKind::kNoResponse;
         queue.push({clock.now() + async_.failure_timeout_s, s.round, s.client,
@@ -251,13 +423,60 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
     engine::publish_run_status(result, flushes, config_.rounds, watch.seconds(),
                                threads_, /*active=*/flushes < config_.rounds,
                                &lifecycle.blame());
-    if (flushes < config_.rounds) {
+    if (snap.due(flushes)) {
+      SnapshotWriter w(snap.snapshot_path);
+      engine::write_header(w, engine::kAsyncSnapshotFormat, config_,
+                           result.algorithm, flushes);
+      engine::write_result(w, result);
+      engine::write_rng(w, rng);
+      w.f64(clock.now());
+      w.f64(last_flush_time);
+      w.u64(next_dispatch);
+      w.u64(agg.version());
+      policy.snapshot_state(w);
+      w.u64(pending.size());
+      for (const auto& [id, p] : pending) {  // std::map: dispatch order
+        write_pending(w, id, p);
+      }
+      // Events serialize in pop order (the comparator's total order), so two
+      // snapshots of the same logical state are byte-identical regardless of
+      // the live heap layout.
+      std::vector<Event> events = queue.events();
+      std::sort(events.begin(), events.end(),
+                [](const Event& a, const Event& b) { return event_after(b, a); });
+      w.u64(events.size());
+      for (const Event& e : events) {
+        w.f64(e.time);
+        w.u64(e.dispatch);
+        w.u64(e.client);
+        w.u64(e.seq);
+        w.u64(static_cast<std::uint64_t>(e.kind));
+      }
+      w.u64(queue.next_seq());
+      w.finish();
+    }
+    if (flushes < config_.rounds && !snap.stop_after(flushes)) {
       telemetry.emplace(result, flushes + 1);
       telemetry->set_net_enabled(transport_.enabled());
+      if (population_ != nullptr) {
+        engine::trace_churn(flushes + 1, population_->round_churn(flushes + 1));
+      }
     }
   };
 
   while (flushes < config_.rounds) {
+    if (snap.stop_after(flushes)) {
+      // Killed-at-flush-k semantics: hand back the partial result; a later
+      // run resumes from the snapshot and reproduces the full run exactly.
+      telemetry.reset();
+      result.wall_seconds = watch.seconds();
+      result.sim_seconds = last_flush_time;
+      engine::publish_run_status(result, flushes, config_.rounds,
+                                 result.wall_seconds, threads_,
+                                 /*active=*/false, &lifecycle.blame());
+      engine::trace_run_end(result, transport_);
+      return result;
+    }
     top_up();
     if (queue.empty()) {
       // Nothing in flight and nothing dispatchable. Flush what the buffer
@@ -369,6 +588,16 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
           case FailKind::kNoResponse:
             engine::trace_dispatch_failure(p.slot, "no_response", clock.now());
             lifecycle.drop(e.dispatch, "no_response", clock.now());
+            policy.on_no_response(p.slot);
+            break;
+          case FailKind::kDeparted:
+            engine::trace_dispatch_failure(p.slot, "departed", clock.now());
+            lifecycle.drop(e.dispatch, "departed", clock.now());
+            policy.on_no_response(p.slot);
+            break;
+          case FailKind::kWentDark:
+            engine::trace_dispatch_failure(p.slot, "went_dark", clock.now());
+            lifecycle.drop(e.dispatch, "went_dark", clock.now());
             policy.on_no_response(p.slot);
             break;
           case FailKind::kAdaptFailed:

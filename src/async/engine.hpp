@@ -28,6 +28,7 @@
 #include "engine/round_engine.hpp"
 #include "engine/run.hpp"
 #include "net/transport.hpp"
+#include "pop/population.hpp"
 #include "sim/device.hpp"
 
 namespace afl::async {
@@ -36,9 +37,13 @@ class AsyncEngine {
  public:
   /// `async.enabled` is assumed; zero-valued knobs resolve against the run
   /// config (buffer_size -> clients_per_round, concurrency -> 2 * buffer,
-  /// capped at the fleet size). `devices` as in RoundEngine.
+  /// capped at the fleet size). `devices` as in RoundEngine. `population`
+  /// (optional, not owned) supplies churn telemetry and per-client channel
+  /// profiles (docs/POPULATION.md); churn presence itself reaches the engine
+  /// through the devices' presence pointers, keyed by the flush window.
   AsyncEngine(const FlRunConfig& config, AsyncConfig async,
-              const std::vector<DeviceSim>* devices);
+              const std::vector<DeviceSim>* devices,
+              const pop::Population* population = nullptr);
 
   RunResult run(AsyncRoundPolicy& policy);
 
@@ -50,6 +55,7 @@ class AsyncEngine {
   FlRunConfig config_;
   AsyncConfig async_;
   const std::vector<DeviceSim>* devices_;
+  const pop::Population* population_;
   std::size_t threads_;
   net::Transport transport_;
 };

@@ -7,9 +7,9 @@
 // breaks the (practically impossible, but cheap to rule out) case of two
 // events sharing all of time/dispatch/client.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 namespace afl::async {
@@ -27,6 +27,9 @@ class VirtualClock {
     now_ = t;
     return true;
   }
+
+  /// Snapshot restore (docs/POPULATION.md): reinstates a serialized instant.
+  void restore(double t) { now_ = t; }
 
  private:
   double now_ = 0.0;
@@ -61,22 +64,42 @@ inline bool event_after(const Event& a, const Event& b) {
   return a.seq > b.seq;
 }
 
-/// Min-heap of simulation events under the total order above.
+/// Min-heap of simulation events under the total order above. Backed by an
+/// explicit vector + push_heap/pop_heap rather than std::priority_queue so
+/// engine snapshots can iterate the pending set (events()) and rebuild it on
+/// resume (restore()) — because the comparator is a strict total order, the
+/// pop sequence is a pure function of the event set, so heap layout never
+/// needs to survive a snapshot.
 class EventQueue {
  public:
   void push(Event e) {
     e.seq = next_seq_++;
-    heap_.push(e);
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), After{});
   }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
-  const Event& top() const { return heap_.top(); }
+  const Event& top() const { return heap_.front(); }
 
   Event pop() {
-    Event e = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), After{});
+    Event e = heap_.back();
+    heap_.pop_back();
     return e;
+  }
+
+  /// Pending events in unspecified (heap) order — snapshot writers must sort
+  /// by the total order before serializing.
+  const std::vector<Event>& events() const { return heap_; }
+  std::size_t next_seq() const { return next_seq_; }
+
+  /// Snapshot restore: reinstates a serialized event set verbatim (seq
+  /// fields included) and the insertion counter.
+  void restore(std::vector<Event> events, std::size_t next_seq) {
+    heap_ = std::move(events);
+    std::make_heap(heap_.begin(), heap_.end(), After{});
+    next_seq_ = next_seq;
   }
 
  private:
@@ -85,7 +108,7 @@ class EventQueue {
       return event_after(a, b);
     }
   };
-  std::priority_queue<Event, std::vector<Event>, After> heap_;
+  std::vector<Event> heap_;
   std::size_t next_seq_ = 0;
 };
 

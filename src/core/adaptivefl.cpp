@@ -1,5 +1,7 @@
 #include "core/adaptivefl.hpp"
 
+#include <array>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +11,7 @@
 #include "hier/engine.hpp"
 #include "fl/evaluate.hpp"
 #include "nn/init.hpp"
+#include "pop/population.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -179,6 +182,38 @@ class AdaptiveFlPolicy final : public HierRoundPolicy {
     }
   }
 
+  void snapshot_state(SnapshotWriter& w) const override {
+    // Engine snapshot (docs/POPULATION.md): the global model plus the RL
+    // tables' sparse state. The dump is sorted by (row, client), so two
+    // snapshots of identical logical state are byte-identical. The busy /
+    // taken set is NOT saved: the sync engine resets it per round, and the
+    // async engine re-marks it from the restored in-flight set.
+    w.params(global_);
+    const RlTables::Dump dump = selector_.tables().dump();
+    w.u64(dump.cells.size());
+    for (const std::array<double, 3>& cell : dump.cells) {
+      w.f64(cell[0]);
+      w.f64(cell[1]);
+      w.f64(cell[2]);
+    }
+    w.u64(dump.touched.size());
+    for (std::size_t client : dump.touched) w.u64(client);
+  }
+
+  void restore_state(SnapshotReader& r) override {
+    global_ = r.params();
+    RlTables::Dump dump;
+    dump.cells.resize(r.u64());
+    for (std::array<double, 3>& cell : dump.cells) {
+      cell[0] = r.f64();
+      cell[1] = r.f64();
+      cell[2] = r.f64();
+    }
+    dump.touched.resize(r.u64());
+    for (std::size_t& client : dump.touched) client = r.u64();
+    selector_.tables().restore(dump);
+  }
+
   void evaluate(std::size_t, RunResult& result) override {
     const std::size_t heads[3] = {pool_.level_head_index(Level::kLarge),
                                   pool_.level_head_index(Level::kMedium),
@@ -240,6 +275,24 @@ AdaptiveFl::AdaptiveFl(const ArchSpec& spec, const PoolConfig& pool_config,
 RunResult AdaptiveFl::run() {
   AdaptiveFlPolicy policy(spec_, pool_, data_, config_, options_, selector_, global_,
                           has_initial_);
+  // Population dynamics (src/pop/, docs/POPULATION.md): churn schedules
+  // attach to the device fleet, per-client channel profiles install into the
+  // engine's transport, and the sampled channel quality becomes an RL
+  // selector observation feature. A null population is a static fleet and
+  // leaves every engine path byte-identical.
+  const pop::PopConfig pop_cfg =
+      config_.pop ? *config_.pop : pop::PopConfig::from_env();
+  std::unique_ptr<pop::Population> population =
+      pop::Population::create(pop_cfg, data_.num_clients(), config_.seed);
+  if (population) {
+    population->attach(devices_);
+    if (pop_cfg.channels) {
+      const net::NetConfig net_cfg =
+          config_.net ? *config_.net : net::NetConfig::from_env();
+      population->sample_channels(net_cfg.channel);
+      selector_.set_channel_quality(population->channel_quality());
+    }
+  }
   const async::AsyncConfig async_cfg =
       config_.async ? *config_.async : async::AsyncConfig::from_env();
   const hier::HierConfig hier_cfg =
@@ -249,14 +302,14 @@ RunResult AdaptiveFl::run() {
         "AdaptiveFl: async and hierarchical execution are mutually exclusive");
   }
   if (async_cfg.enabled) {
-    async::AsyncEngine engine(config_, async_cfg, &devices_);
+    async::AsyncEngine engine(config_, async_cfg, &devices_, population.get());
     return engine.run(policy);
   }
   if (hier_cfg.enabled) {
-    hier::HierEngine engine(config_, hier_cfg, &devices_);
+    hier::HierEngine engine(config_, hier_cfg, &devices_, population.get());
     return engine.run(policy);
   }
-  RoundEngine engine(config_, &devices_);
+  RoundEngine engine(config_, &devices_, population.get());
   return engine.run(policy);
 }
 

@@ -84,6 +84,9 @@ class AllLargePolicy final : public CohortPolicy {
 
   void aggregate(std::size_t) override { global_ = fedavg_aggregate(global_, updates_); }
 
+  void snapshot_state(SnapshotWriter& w) const override { w.params(global_); }
+  void restore_state(SnapshotReader& r) override { global_ = r.params(); }
+
   void evaluate(std::size_t, RunResult& result) override {
     const double acc =
         eval_params(spec_, full_plan_, {}, global_, data_.test, config_.eval_batch);
@@ -165,6 +168,13 @@ class DecoupledPolicy final : public CohortPolicy {
     for (int l = 0; l < 3; ++l) {
       globals_[l] = fedavg_aggregate(globals_[l], updates_[l]);
     }
+  }
+
+  void snapshot_state(SnapshotWriter& w) const override {
+    for (const ParamSet& g : globals_) w.params(g);
+  }
+  void restore_state(SnapshotReader& r) override {
+    for (ParamSet& g : globals_) g = r.params();
   }
 
   void evaluate(std::size_t, RunResult& result) override {
@@ -250,6 +260,9 @@ class HeteroFlPolicy final : public CohortPolicy {
   }
 
   void aggregate(std::size_t) override { global_ = hetero_aggregate(global_, updates_); }
+
+  void snapshot_state(SnapshotWriter& w) const override { w.params(global_); }
+  void restore_state(SnapshotReader& r) override { global_ = r.params(); }
 
   void evaluate(std::size_t, RunResult& result) override {
     double sum = 0.0;

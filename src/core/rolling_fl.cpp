@@ -76,6 +76,11 @@ class RollingFlPolicy final : public RoundPolicy {
     global_ = rolling_aggregate(global_, spec_, updates_);
   }
 
+  // The rolling window is derived from the round index, so the global model
+  // is the policy's entire persistent state.
+  void snapshot_state(SnapshotWriter& w) const override { w.params(global_); }
+  void restore_state(SnapshotReader& r) override { global_ = r.params(); }
+
   void evaluate(std::size_t round, RunResult& result) override {
     double sum = 0.0;
     for (std::size_t l = 0; l < level_ratios_.size(); ++l) {

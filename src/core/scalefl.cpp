@@ -94,6 +94,9 @@ class ScaleFlPolicy final : public RoundPolicy {
 
   void aggregate(std::size_t) override { global_ = hetero_aggregate(global_, updates_); }
 
+  void snapshot_state(SnapshotWriter& w) const override { w.params(global_); }
+  void restore_state(SnapshotReader& r) override { global_ = r.params(); }
+
   void evaluate(std::size_t, RunResult& result) override {
     double sum = 0.0;
     for (std::size_t l = 0; l < levels_.size(); ++l) {

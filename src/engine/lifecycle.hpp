@@ -71,6 +71,11 @@ class LifecycleTracker {
   /// sequential planning pass; the async engine brings its own counter.
   std::size_t next_id() { return ++last_id_; }
 
+  /// Snapshot/resume (docs/POPULATION.md): the id counter survives a resume
+  /// so post-resume dispatches continue the sequence instead of reusing ids.
+  std::size_t last_id() const { return last_id_; }
+  void set_last_id(std::size_t id) { last_id_ = id; }
+
   /// Opens a dispatch: records the zero-length select instant at `t_select`
   /// and the identity tags every later record of this dispatch carries.
   /// `version` is the global-model version the dispatch was split from.

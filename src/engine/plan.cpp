@@ -54,6 +54,25 @@ RoundPlan plan_round(RoundPolicy& policy, const FlRunConfig& config,
       lc_id = lifecycle->next_id();
       lifecycle->begin(lc_id, round, s.client, lc_base, shard_tag(s), version);
     }
+    if (devices) {
+      // Population churn (src/pop/, docs/POPULATION.md): a departed or dark
+      // client is dispatched to (the server cannot know) but never replies.
+      // No RNG draw happens for non-present clients, so enabling churn never
+      // shifts the streams of the clients that are present.
+      const PresenceSchedule::State presence =
+          (*devices)[s.client].presence_state(round);
+      if (presence != PresenceSchedule::State::kPresent) {
+        const char* outcome = presence == PresenceSchedule::State::kAbsent
+                                  ? "departed"
+                                  : "went_dark";
+        ++result.failed_trainings;
+        telemetry.client_failed();
+        trace_dispatch_failure(s, outcome, -1.0, shard_tag(s));
+        if (lc_on) lifecycle->drop(lc_id, outcome, lc_base);
+        policy.on_no_response(s);
+        continue;
+      }
+    }
     if (devices && !(*devices)[s.client].responds(rng)) {
       ++result.failed_trainings;
       telemetry.client_failed();

@@ -9,6 +9,7 @@
 
 #include "engine/lifecycle.hpp"
 #include "engine/plan.hpp"
+#include "engine/snapshot.hpp"
 #include "engine/telemetry.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/http.hpp"
@@ -28,12 +29,18 @@ using engine::trace_eval_point;
 using engine::trace_run_end;
 using engine::trace_run_start;
 
-RoundEngine::RoundEngine(const FlRunConfig& config, const std::vector<DeviceSim>* devices)
+RoundEngine::RoundEngine(const FlRunConfig& config, const std::vector<DeviceSim>* devices,
+                         const pop::Population* population)
     : config_(config),
       devices_(devices),
+      population_(population),
       threads_(config.threads > 0 ? config.threads : ThreadPool::threads_from_env()),
       transport_(config.net ? *config.net : net::NetConfig::from_env(),
-                 config.seed) {}
+                 config.seed) {
+  if (population_ != nullptr && population_->has_channels()) {
+    transport_.set_client_channels(population_->channels());
+  }
+}
 
 RunResult RoundEngine::run(RoundPolicy& policy) {
   Stopwatch watch;
@@ -41,7 +48,8 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
   result.algorithm = policy.algorithm_name();
 
   obs::ensure_default_http_server();
-  trace_run_start(result, config_, threads_, transport_);
+  trace_run_start(result, config_, threads_, transport_, /*mode=*/nullptr,
+                  /*shards=*/0, /*sync_every=*/0, population_);
   publish_run_status(result, 0, config_.rounds, 0.0, threads_, /*active=*/true);
 
   ThreadPool pool(threads_);
@@ -64,11 +72,33 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
   engine::LifecycleTracker lifecycle(transport_.enabled());
   const engine::TimeBaseFn time_base = [&](std::size_t) { return sim_total; };
 
-  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+  // Snapshot/resume (docs/POPULATION.md). Resume restores the partial
+  // result, round RNG, simulated clock, lifecycle id counter, and policy
+  // state over the freshly built structure from init_global(), so round
+  // k+1 starts bit-identically to the uninterrupted run.
+  const engine::SnapshotPlan snap = engine::SnapshotPlan::resolve(config_);
+  std::size_t start_round = 1;
+  if (snap.resume_enabled()) {
+    SnapshotReader reader(snap.resume_from);
+    const std::size_t at = engine::read_header(reader, engine::kSyncSnapshotFormat,
+                                               config_, result.algorithm);
+    engine::read_result(reader, result);
+    engine::read_rng(reader, rng);
+    sim_total = reader.f64();
+    lifecycle.set_last_id(reader.u64());
+    policy.restore_state(reader);
+    reader.expect_end();
+    start_round = at + 1;
+  }
+
+  for (std::size_t round = start_round; round <= config_.rounds; ++round) {
     // Held in an optional so it can be flushed (destroyed) before the status
     // publish — the telemetry destructor appends this round's metrics record.
     std::optional<RoundTelemetry> telemetry(std::in_place, result, round);
     telemetry->set_net_enabled(transport_.enabled());
+    if (population_ != nullptr) {
+      engine::trace_churn(round, population_->round_churn(round));
+    }
     policy.begin_round(round, rng);
 
     // Phase 1 (sequential planning): every RNG draw and every piece of
@@ -229,6 +259,28 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
     obs::sample_rss();  // same per-boundary memory cadence as async/hier
     publish_run_status(result, round, config_.rounds, watch.seconds(), threads_,
                        /*active=*/round < config_.rounds, &lifecycle.blame());
+
+    if (snap.due(round)) {
+      SnapshotWriter w(snap.snapshot_path);
+      engine::write_header(w, engine::kSyncSnapshotFormat, config_,
+                           result.algorithm, round);
+      engine::write_result(w, result);
+      engine::write_rng(w, rng);
+      w.f64(sim_total);
+      w.u64(lifecycle.last_id());
+      policy.snapshot_state(w);
+      w.finish();
+    }
+    if (snap.stop_after(round)) {
+      // Killed-at-round-k semantics: hand back the partial result; a later
+      // run resumes from the snapshot and reproduces the full run exactly.
+      result.wall_seconds = watch.seconds();
+      result.sim_seconds = sim_total;
+      publish_run_status(result, round, config_.rounds, result.wall_seconds,
+                         threads_, /*active=*/false, &lifecycle.blame());
+      trace_run_end(result, transport_);
+      return result;
+    }
   }
 
   if (result.curve.empty()) {

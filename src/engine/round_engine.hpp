@@ -40,13 +40,16 @@
 
 #include <cstddef>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "engine/run.hpp"
 #include "fl/local_train.hpp"
 #include "net/transport.hpp"
+#include "nn/checkpoint.hpp"
 #include "nn/param.hpp"
+#include "pop/population.hpp"
 #include "sim/device.hpp"
 #include "util/rng.hpp"
 
@@ -156,6 +159,26 @@ class RoundPolicy {
   /// result.final_full_acc / final_avg_acc. The engine appends the curve
   /// point (with the comm-waste columns) afterwards.
   virtual void evaluate(std::size_t round, RunResult& result) = 0;
+
+  /// Engine snapshot/resume (docs/POPULATION.md): serializes the policy's
+  /// own state (global model, RL tables, ...) beyond what the engine
+  /// captures, and restores it on resume. The layout is policy-private but
+  /// must be deterministic (sorted containers) so two snapshots of identical
+  /// logical state are byte-identical. restore_state() is called after
+  /// init_global(), so structure exists and only values need rewinding.
+  /// The defaults throw: a policy that silently snapshots nothing would
+  /// resume from a round-0 model and diverge without any error. Only called
+  /// when a snapshot/resume plan is active.
+  virtual void snapshot_state(SnapshotWriter& w) const {
+    (void)w;
+    throw std::runtime_error(algorithm_name() +
+                             " does not implement snapshot_state()");
+  }
+  virtual void restore_state(SnapshotReader& r) {
+    (void)r;
+    throw std::runtime_error(algorithm_name() +
+                             " does not implement restore_state()");
+  }
 };
 
 /// Extension of RoundPolicy consumed by the async engine (src/async/,
@@ -212,7 +235,11 @@ class HierRoundPolicy : public AsyncRoundPolicy {
 /// it must hold one profile per client and outlive the engine.
 class RoundEngine {
  public:
-  RoundEngine(const FlRunConfig& config, const std::vector<DeviceSim>* devices);
+  /// `population` (optional, not owned) supplies churn telemetry and
+  /// per-client channel profiles (docs/POPULATION.md); the churn schedules
+  /// themselves reach the engine through the devices' presence pointers.
+  RoundEngine(const FlRunConfig& config, const std::vector<DeviceSim>* devices,
+              const pop::Population* population = nullptr);
 
   RunResult run(RoundPolicy& policy);
 
@@ -226,6 +253,7 @@ class RoundEngine {
  private:
   FlRunConfig config_;
   const std::vector<DeviceSim>* devices_;
+  const pop::Population* population_;
   std::size_t threads_;
   net::Transport transport_;
 };

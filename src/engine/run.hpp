@@ -16,6 +16,7 @@
 #include "hier/config.hpp"
 #include "net/transport.hpp"
 #include "nn/param.hpp"
+#include "pop/config.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -46,6 +47,21 @@ struct FlRunConfig {
   /// enabled the run partitions clients across edge aggregator shards whose
   /// coverage-mass partials merge at a root every sync_every rounds.
   std::optional<hier::HierConfig> hier;
+  /// Population dynamics: churn + per-client channels (see
+  /// docs/POPULATION.md). nullopt = resolve from the AFL_POP_* environment
+  /// variables; a disabled config keeps the static fleet and every legacy
+  /// RNG stream byte-identical.
+  std::optional<pop::PopConfig> pop;
+
+  /// Engine snapshot/resume (docs/POPULATION.md). Empty snapshot_path
+  /// disables snapshotting entirely. nullopt fields resolve from the
+  /// environment: AFL_SNAPSHOT (path), AFL_SNAPSHOT_EVERY (rounds between
+  /// snapshots, default 1), AFL_STOP_AFTER (halt after round k, 0 = never),
+  /// AFL_RESUME (path to resume from).
+  std::optional<std::string> snapshot_path;
+  std::optional<std::size_t> snapshot_every;
+  std::optional<std::size_t> stop_after_round;
+  std::optional<std::string> resume_from;
 };
 
 struct RoundRecord {

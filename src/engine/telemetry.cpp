@@ -1,5 +1,6 @@
 #include "engine/telemetry.hpp"
 
+#include <algorithm>
 #include <cstdint>
 
 #include "obs/metrics.hpp"
@@ -12,7 +13,7 @@ namespace afl::engine {
 void trace_run_start(const RunResult& result, const FlRunConfig& config,
                      std::size_t threads, const net::Transport& transport,
                      const char* mode, std::size_t shards,
-                     std::size_t sync_every) {
+                     std::size_t sync_every, const pop::Population* population) {
   if (!obs::trace_enabled()) return;
   obs::TraceEvent ev("run_start");
   ev.field("schema", kTraceSchema)
@@ -39,6 +40,49 @@ void trace_run_start(const RunResult& result, const FlRunConfig& config,
         .field("net_loss", net.channel.loss_prob)
         .field("net_deadline_ms", net.round_deadline_s * 1e3);
   }
+  if (population != nullptr) {
+    // Population columns (afl.trace.v3): fleet size, churn knobs, and the
+    // sampled per-client channel spread. Static-fleet runs omit them all.
+    const pop::PopConfig& pc = population->config();
+    ev.field("pop_clients", static_cast<std::uint64_t>(population->size()))
+        .field("pop_active_frac", pc.active_frac)
+        .field("pop_rotate_every", static_cast<std::uint64_t>(pc.rotate_every))
+        .field("pop_rotate_frac", pc.rotate_frac)
+        .field("pop_dark_prob", pc.dark_prob);
+    if (population->has_channels()) {
+      double bw_min = 0.0, bw_max = 0.0;
+      bool first = true;
+      for (const net::ChannelConfig& ch : population->channels()) {
+        if (first) {
+          bw_min = bw_max = ch.bandwidth_bytes_per_s;
+          first = false;
+        } else {
+          bw_min = std::min(bw_min, ch.bandwidth_bytes_per_s);
+          bw_max = std::max(bw_max, ch.bandwidth_bytes_per_s);
+        }
+      }
+      ev.field("pop_bw_min", bw_min).field("pop_bw_max", bw_max);
+    }
+  }
+  ev.emit();
+}
+
+void trace_churn(std::size_t round, const pop::RoundChurn& churn) {
+  static obs::Counter& joins = obs::metrics().counter("afl.pop.joins");
+  static obs::Counter& departures = obs::metrics().counter("afl.pop.departures");
+  static obs::Counter& dark = obs::metrics().counter("afl.pop.dark.rounds");
+  static obs::Gauge& active = obs::metrics().gauge("afl.pop.active");
+  joins.inc(churn.joins);
+  departures.inc(churn.departures);
+  dark.inc(churn.dark);
+  active.set(static_cast<double>(churn.active));
+  if (!obs::trace_enabled()) return;
+  obs::TraceEvent ev("churn");
+  ev.field("round", static_cast<std::uint64_t>(round))
+      .field("active", static_cast<std::uint64_t>(churn.active))
+      .field("dark", static_cast<std::uint64_t>(churn.dark))
+      .field("joins", static_cast<std::uint64_t>(churn.joins))
+      .field("departures", static_cast<std::uint64_t>(churn.departures));
   ev.emit();
 }
 

@@ -16,18 +16,29 @@ namespace afl::engine {
 
 /// Trace schema label stamped on every run_start header; afl-insight refuses
 /// to diff traces whose schemas disagree. v2 adds the dispatch-lifecycle
-/// records (engine/lifecycle.hpp) — a pure superset of v1, so v1 readers
-/// keep working on every record kind they know.
-inline constexpr const char* kTraceSchema = "afl.trace.v2";
+/// records (engine/lifecycle.hpp); v3 adds per-round `churn` records, the
+/// departed/went_dark dispatch outcomes, and population run_start columns
+/// (src/pop/, docs/POPULATION.md) — each a pure superset of its predecessor,
+/// so older readers keep working on every record kind they know.
+inline constexpr const char* kTraceSchema = "afl.trace.v3";
 
 /// Emits the run_start header. `mode` tags non-default execution models
 /// (the async engine passes "async", the hierarchical engine "hier"); null
 /// omits the field so synchronous traces stay byte-identical. `shards` > 0
 /// adds the hierarchical topology columns (shards, sync_every).
+/// `population`, when non-null, adds the population columns (fleet size,
+/// churn knobs, channel spread); null keeps static-fleet traces unchanged.
 void trace_run_start(const RunResult& result, const FlRunConfig& config,
                      std::size_t threads, const net::Transport& transport,
                      const char* mode = nullptr, std::size_t shards = 0,
-                     std::size_t sync_every = 0);
+                     std::size_t sync_every = 0,
+                     const pop::Population* population = nullptr);
+
+/// Emits a per-round `churn` record (afl.trace.v3) with the population
+/// membership deltas, and feeds the afl.pop.* counters. Call once per round
+/// (or per async flush window) — only when a population is attached, so
+/// static-fleet traces gain no records.
+void trace_churn(std::size_t round, const pop::RoundChurn& churn);
 
 /// Emits the run_end summary. Adds a sim_seconds column when the run
 /// tracked simulated time (result.sim_seconds > 0).

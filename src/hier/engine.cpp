@@ -4,10 +4,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "engine/lifecycle.hpp"
 #include "engine/plan.hpp"
+#include "engine/snapshot.hpp"
 #include "engine/telemetry.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/http.hpp"
@@ -66,16 +69,21 @@ ParamSet RootMerger::commit(const ParamSet& base) {
 }
 
 HierEngine::HierEngine(const FlRunConfig& config, const HierConfig& hier,
-                       const std::vector<DeviceSim>* devices)
+                       const std::vector<DeviceSim>* devices,
+                       const pop::Population* population)
     : config_(config),
       hier_(hier),
       devices_(devices),
+      population_(population),
       threads_(config.threads > 0 ? config.threads
                                   : ThreadPool::threads_from_env()),
       transport_(config.net ? *config.net : net::NetConfig::from_env(),
                  config.seed) {
   if (hier_.shards == 0) hier_.shards = 1;
   if (hier_.sync_every == 0) hier_.sync_every = 1;
+  if (population_ != nullptr && population_->has_channels()) {
+    transport_.set_client_channels(population_->channels());
+  }
 }
 
 RunResult HierEngine::run(HierRoundPolicy& policy) {
@@ -89,7 +97,7 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
 
   obs::ensure_default_http_server();
   trace_run_start(result, config_, threads_, transport_, "hier", num_shards,
-                  sync_every);
+                  sync_every, population_);
   publish_run_status(result, 0, config_.rounds, 0.0, threads_, /*active=*/true);
 
   ThreadPool pool(threads_);
@@ -133,9 +141,43 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
     return edges[shard_of(client)].clock().now();
   };
 
-  for (std::size_t round = 1; round <= config_.rounds; ++round) {
+  // Snapshot/resume (docs/POPULATION.md): only root-sync boundaries are
+  // snapshottable — edge and root merge windows are empty there, and in
+  // divergent mode every edge model was just reset to the synced global, so
+  // the file needs only the edge clocks plus the policy's own state.
+  const engine::SnapshotPlan snap = engine::SnapshotPlan::resolve(config_);
+  std::size_t start_round = 1;
+  if (snap.resume_enabled()) {
+    SnapshotReader reader(snap.resume_from);
+    const std::size_t at = engine::read_header(reader, engine::kHierSnapshotFormat,
+                                               config_, result.algorithm);
+    engine::read_result(reader, result);
+    engine::read_rng(reader, rng);
+    sim_total = reader.f64();
+    lifecycle.set_last_id(reader.u64());
+    const std::uint64_t n_edges = reader.u64();
+    if (n_edges != num_shards) {
+      throw std::runtime_error(
+          "snapshot: shard count mismatch (file has " + std::to_string(n_edges) +
+          " edges, run has " + std::to_string(num_shards) + ")");
+    }
+    for (EdgeAggregator& edge : edges) edge.clock().restore(reader.f64());
+    policy.restore_state(reader);
+    reader.expect_end();
+    if (divergent) {
+      // At a sync boundary every edge tracks the freshly synced global.
+      synced_global = policy.hier_global();
+      for (EdgeAggregator& edge : edges) edge.set_model(synced_global);
+    }
+    start_round = at + 1;
+  }
+
+  for (std::size_t round = start_round; round <= config_.rounds; ++round) {
     std::optional<RoundTelemetry> telemetry(std::in_place, result, round);
     telemetry->set_net_enabled(transport_.enabled());
+    if (population_ != nullptr) {
+      engine::trace_churn(round, population_->round_churn(round));
+    }
     policy.begin_round(round, rng);
 
     // Phase 1: the same sequential planning pass as the flat engine — one
@@ -366,6 +408,31 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
     telemetry.reset();  // flush this round's metrics record
     publish_run_status(result, round, config_.rounds, watch.seconds(), threads_,
                        /*active=*/round < config_.rounds, &lifecycle.blame());
+
+    // Snapshots (and stop-after) fire only on sync rounds: between syncs the
+    // edge windows hold un-merged coverage mass that the format deliberately
+    // does not carry.
+    if (sync_round && snap.due(round)) {
+      SnapshotWriter w(snap.snapshot_path);
+      engine::write_header(w, engine::kHierSnapshotFormat, config_,
+                           result.algorithm, round);
+      engine::write_result(w, result);
+      engine::write_rng(w, rng);
+      w.f64(sim_total);
+      w.u64(lifecycle.last_id());
+      w.u64(edges.size());
+      for (EdgeAggregator& edge : edges) w.f64(edge.clock().now());
+      policy.snapshot_state(w);
+      w.finish();
+    }
+    if (sync_round && snap.stop_after(round)) {
+      result.wall_seconds = watch.seconds();
+      result.sim_seconds = sim_total;
+      publish_run_status(result, round, config_.rounds, result.wall_seconds,
+                         threads_, /*active=*/false, &lifecycle.blame());
+      trace_run_end(result, transport_);
+      return result;
+    }
   }
 
   if (result.curve.empty()) {

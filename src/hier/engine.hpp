@@ -34,6 +34,7 @@
 #include "hier/config.hpp"
 #include "net/transport.hpp"
 #include "nn/param.hpp"
+#include "pop/population.hpp"
 #include "sim/device.hpp"
 
 namespace afl::hier {
@@ -93,11 +94,19 @@ class RootMerger {
 
 /// Drives a HierRoundPolicy through config.rounds hierarchical rounds.
 /// `devices` follows the RoundEngine contract (may be null; must outlive the
-/// engine otherwise).
+/// engine otherwise). `population` (optional, not owned) supplies churn
+/// telemetry and per-client channel profiles (docs/POPULATION.md); presence
+/// itself reaches the planner through the devices' presence pointers.
+///
+/// Snapshot/resume (docs/POPULATION.md): snapshots are cut only at root-sync
+/// boundaries, where every edge window and the root merge window are empty —
+/// so the file carries just the edge clocks plus the policy state, and in
+/// divergent mode every edge model equals the freshly synced global.
 class HierEngine {
  public:
   HierEngine(const FlRunConfig& config, const HierConfig& hier,
-             const std::vector<DeviceSim>* devices);
+             const std::vector<DeviceSim>* devices,
+             const pop::Population* population = nullptr);
 
   RunResult run(HierRoundPolicy& policy);
 
@@ -109,6 +118,7 @@ class HierEngine {
   FlRunConfig config_;
   HierConfig hier_;
   const std::vector<DeviceSim>* devices_;
+  const pop::Population* population_;
   std::size_t threads_;
   net::Transport transport_;
 };

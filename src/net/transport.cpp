@@ -134,11 +134,12 @@ Delivery Transport::send(Session& session, FrameKind kind, const ParamSet& paylo
   const std::size_t frame_bytes =
       size_only ? estimate_frame_bytes(payload_params, config_.codec) : frame.size();
   const FaultSpec* fault = fault_for(kind, session.round_, session.client_);
+  const ChannelConfig& channel = channel_for(session.client_);
 
   for (std::size_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
     ++out.transfer.attempts;
     out.transfer.bytes += frame_bytes;
-    double seconds = transfer_seconds(config_.channel, frame_bytes);
+    double seconds = transfer_seconds(channel, frame_bytes);
     const FaultSpec* f = attempt == 0 ? fault : nullptr;
     if (f != nullptr && f->kind == FaultSpec::Kind::kDelay) seconds += f->delay_s;
     session.add_seconds(seconds);
@@ -162,7 +163,7 @@ Delivery Transport::send(Session& session, FrameKind kind, const ParamSet& paylo
           lost = true;
         }
       }
-    } else if (attempt_lost(config_.channel, session.rng_)) {
+    } else if (attempt_lost(channel, session.rng_)) {
       lost = true;
     }
 

@@ -124,6 +124,12 @@ class Transport {
     }
     bool compute_charged() const { return compute_charged_; }
 
+    /// Snapshot restore (docs/POPULATION.md): reinstates a serialized clock.
+    void restore(double elapsed, bool compute_charged) {
+      elapsed_ = elapsed;
+      compute_charged_ = compute_charged;
+    }
+
    private:
     double elapsed_ = 0.0;
     bool compute_charged_ = false;
@@ -156,6 +162,19 @@ class Transport {
     int shard() const { return shard_; }
     long long version() const { return version_; }
 
+    /// Snapshot accessors (docs/POPULATION.md): the channel RNG position and
+    /// identity of an in-flight session, so async dispatches survive engine
+    /// snapshot/resume mid-transfer with bit-identical draws.
+    Rng::State rng_state() const { return rng_.state(); }
+    void restore(std::size_t round, std::size_t client, const Rng::State& rng,
+                 double elapsed, bool compute_charged) {
+      round_ = round;
+      client_ = client;
+      rng_.set_state(rng);
+      clock_ = ClientClock();
+      clock_.restore(elapsed, compute_charged);
+    }
+
    private:
     friend class Transport;
     Rng rng_{0};
@@ -168,6 +187,20 @@ class Transport {
   };
 
   Session session(std::size_t round, std::size_t client) const;
+
+  /// Per-client channel overrides (src/pop/, docs/POPULATION.md). When the
+  /// table is non-empty, send() routes client c through client_channels[c]
+  /// instead of the shared config().channel; an empty table (the default)
+  /// keeps the single-channel behavior byte-identical. Clients beyond the
+  /// table fall back to the shared channel.
+  void set_client_channels(std::vector<ChannelConfig> channels) {
+    client_channels_ = std::move(channels);
+  }
+  bool has_client_channels() const { return !client_channels_.empty(); }
+  const ChannelConfig& channel_for(std::size_t client) const {
+    return client < client_channels_.size() ? client_channels_[client]
+                                            : config_.channel;
+  }
 
   /// Ships `payload` as one frame through the channel, retrying lost or
   /// corrupt frames with capped exponential backoff. With an empty payload
@@ -183,6 +216,7 @@ class Transport {
 
   NetConfig config_;
   std::uint64_t seed_ = 0;
+  std::vector<ChannelConfig> client_channels_;
 };
 
 }  // namespace afl::net

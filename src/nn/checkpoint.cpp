@@ -18,6 +18,7 @@ namespace {
 // magic. Both load; save always writes v2.
 constexpr char kMagicV1[8] = {'A', 'F', 'L', 'C', 'K', 'P', 'T', '1'};
 constexpr char kMagicV2[8] = {'A', 'F', 'L', 'C', 'K', 'P', 'T', '2'};
+constexpr char kMagicSnap[8] = {'A', 'F', 'L', 'S', 'N', 'A', 'P', '1'};
 // Guards against loading corrupted / truncated files into huge allocations.
 constexpr std::uint64_t kMaxNameLen = 4096;
 constexpr std::uint64_t kMaxRank = 8;
@@ -71,14 +72,7 @@ ParamSet read_body(std::istream& in) {
   return params;
 }
 
-}  // namespace
-
-void save_checkpoint(const ParamSet& params, const std::string& path) {
-  AFL_PROF_SPAN("ckpt.save");
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path + " for write");
-  out.write(kMagicV2, sizeof(kMagicV2));
-  CrcWriter w{out};
+void write_params_body(CrcWriter& w, const ParamSet& params) {
   w.write_u64(params.size());
   for (const auto& [name, tensor] : params) {
     w.write_u64(name.size());
@@ -87,6 +81,17 @@ void save_checkpoint(const ParamSet& params, const std::string& path) {
     for (std::size_t d = 0; d < tensor.rank(); ++d) w.write_u64(tensor.dim(d));
     w.write(tensor.data(), tensor.numel() * sizeof(float));
   }
+}
+
+}  // namespace
+
+void save_checkpoint(const ParamSet& params, const std::string& path) {
+  AFL_PROF_SPAN("ckpt.save");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path + " for write");
+  out.write(kMagicV2, sizeof(kMagicV2));
+  CrcWriter w{out};
+  write_params_body(w, params);
   const std::uint32_t crc = crc32_final(w.state);
   out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
   if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
@@ -121,6 +126,114 @@ ParamSet load_checkpoint(const std::string& path) {
     throw std::runtime_error("checkpoint: bad magic in " + path);
   }
   return read_body(in);  // legacy v1: no integrity trailer
+}
+
+struct SnapshotWriter::Impl {
+  std::ofstream out;
+  std::string path;
+  std::uint32_t crc = kCrc32Init;
+  bool finished = false;
+
+  void write(const void* data, std::size_t size) {
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+    crc = crc32_update(crc, data, size);
+  }
+};
+
+SnapshotWriter::SnapshotWriter(const std::string& path) : impl_(new Impl) {
+  impl_->path = path;
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) throw std::runtime_error("snapshot: cannot open " + path + " for write");
+  impl_->out.write(kMagicSnap, sizeof(kMagicSnap));
+}
+
+SnapshotWriter::~SnapshotWriter() = default;
+
+void SnapshotWriter::u64(std::uint64_t v) { impl_->write(&v, sizeof(v)); }
+
+void SnapshotWriter::f64(double v) { impl_->write(&v, sizeof(v)); }
+
+void SnapshotWriter::str(const std::string& s) {
+  u64(s.size());
+  impl_->write(s.data(), s.size());
+}
+
+void SnapshotWriter::params(const ParamSet& p) {
+  CrcWriter w{impl_->out, impl_->crc};
+  write_params_body(w, p);
+  impl_->crc = w.state;
+}
+
+void SnapshotWriter::finish() {
+  if (impl_->finished) throw std::runtime_error("snapshot: finish() called twice");
+  impl_->finished = true;
+  const std::uint32_t crc = crc32_final(impl_->crc);
+  impl_->out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  impl_->out.close();
+  if (!impl_->out) throw std::runtime_error("snapshot: write failed for " + impl_->path);
+}
+
+struct SnapshotReader::Impl {
+  std::string path;
+  std::istringstream body;
+
+  void read(void* data, std::size_t size) {
+    body.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!body) throw std::runtime_error("snapshot: truncated field in " + path);
+  }
+};
+
+SnapshotReader::SnapshotReader(const std::string& path) : impl_(new Impl) {
+  impl_->path = path;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("snapshot: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagicSnap, sizeof(kMagicSnap)) != 0) {
+    throw std::runtime_error("snapshot: bad magic in " + path);
+  }
+  std::string body((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (body.size() < sizeof(std::uint32_t)) {
+    throw std::runtime_error("snapshot: truncated file " + path);
+  }
+  const std::size_t payload = body.size() - sizeof(std::uint32_t);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, body.data() + payload, sizeof(stored));
+  if (crc32(body.data(), payload) != stored) {
+    throw std::runtime_error("snapshot: CRC mismatch (corrupted file) in " + path);
+  }
+  impl_->body.str(body.substr(0, payload));
+}
+
+SnapshotReader::~SnapshotReader() = default;
+
+std::uint64_t SnapshotReader::u64() {
+  std::uint64_t v = 0;
+  impl_->read(&v, sizeof(v));
+  return v;
+}
+
+double SnapshotReader::f64() {
+  double v = 0;
+  impl_->read(&v, sizeof(v));
+  return v;
+}
+
+std::string SnapshotReader::str() {
+  const std::uint64_t len = u64();
+  if (len > kMaxNameLen) throw std::runtime_error("snapshot: string too long in " + impl_->path);
+  std::string s(len, '\0');
+  impl_->read(s.data(), len);
+  return s;
+}
+
+ParamSet SnapshotReader::params() { return read_body(impl_->body); }
+
+void SnapshotReader::expect_end() {
+  if (impl_->body.peek() != std::istringstream::traits_type::eof()) {
+    throw std::runtime_error("snapshot: trailing bytes in " + impl_->path +
+                             " (writer/reader layout mismatch)");
+  }
 }
 
 }  // namespace afl

@@ -12,6 +12,8 @@
 // same names/shapes (server restart, warm-starting an experiment, shipping a
 // trained global model to an edge deployment).
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "nn/param.hpp"
@@ -23,5 +25,61 @@ void save_checkpoint(const ParamSet& params, const std::string& path);
 
 /// Reads a checkpoint; throws std::runtime_error on I/O or format errors.
 ParamSet load_checkpoint(const std::string& path);
+
+/// Streaming writer for engine snapshots (docs/POPULATION.md).
+///
+/// Format: magic "AFLSNAP1" (8 bytes), then a caller-defined sequence of
+/// typed primitives (u64 / f64 / length-prefixed strings / embedded ParamSet
+/// bodies in the checkpoint layout above), then a u32 CRC-32 trailer over
+/// every byte after the magic — the same integrity scheme as AFLCKPT2.
+/// Readers must consume fields in exactly the order they were written; the
+/// engines version their layout with a leading format string.
+class SnapshotWriter {
+ public:
+  /// Opens `path` (truncating) and writes the magic; throws on I/O failure.
+  explicit SnapshotWriter(const std::string& path);
+  ~SnapshotWriter();
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(const std::string& s);
+  void params(const ParamSet& p);
+
+  /// Writes the CRC trailer and closes the file; throws on I/O failure.
+  /// Must be called exactly once; the destructor aborts the file (leaves it
+  /// CRC-less, hence unloadable) if finish() was never reached.
+  void finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Counterpart reader: buffers the whole file, verifies magic + CRC up
+/// front (so a flipped bit anywhere reports as corruption, never as a
+/// structural mis-parse), then hands out fields in write order. Throws
+/// std::runtime_error on I/O, magic, CRC, or truncation errors.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(const std::string& path);
+  ~SnapshotReader();
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  ParamSet params();
+
+  /// Throws if unread payload bytes remain — catches layout drift between
+  /// writer and reader.
+  void expect_end();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace afl

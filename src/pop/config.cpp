@@ -1,0 +1,25 @@
+#include "pop/config.hpp"
+
+#include "util/env.hpp"
+
+namespace afl::pop {
+
+PopConfig PopConfig::from_env() {
+  PopConfig c;
+  c.enabled = env_or("AFL_POP", 0) != 0;
+  c.active_frac = env_or("AFL_POP_ACTIVE_FRAC", c.active_frac);
+  c.rotate_every = static_cast<std::size_t>(
+      env_or("AFL_POP_ROTATE_EVERY", static_cast<int>(c.rotate_every)));
+  c.rotate_frac = env_or("AFL_POP_ROTATE_FRAC", c.rotate_frac);
+  c.dark_prob = env_or("AFL_POP_DARK_PROB", c.dark_prob);
+  c.dark_len = static_cast<std::size_t>(
+      env_or("AFL_POP_DARK_LEN", static_cast<int>(c.dark_len)));
+  c.trace_path = env_or("AFL_POP_TRACE", c.trace_path);
+  c.channels = env_or("AFL_POP_CHANNELS", 0) != 0;
+  c.bw_spread = env_or("AFL_POP_BW_SPREAD", c.bw_spread);
+  c.latency_spread = env_or("AFL_POP_LAT_SPREAD", c.latency_spread);
+  c.loss_max = env_or("AFL_POP_LOSS_MAX", c.loss_max);
+  return c;
+}
+
+}  // namespace afl::pop

@@ -1,0 +1,73 @@
+#pragma once
+// Configuration of the population-dynamics subsystem (src/pop/,
+// docs/POPULATION.md). Standalone header (no library dependencies) so
+// FlRunConfig can embed it without the engines linking against afl_pop —
+// the same pattern as async/config.hpp.
+//
+// Population dynamics cover three orthogonal effects:
+//   - churn: a parametric ring-rotation process (plus optional scripted
+//     trace overrides) under which clients join mid-run, depart permanently,
+//     or go dark for a stretch of rounds;
+//   - per-client channels: bandwidth/latency/loss sampled once per client
+//     around the run's base ChannelConfig, replacing the single shared
+//     channel model;
+//   - both are pure functions of (seed, round, client) via Rng::derive, so
+//     runs stay bit-identical at any AFL_THREADS / shard count and a
+//     disabled population leaves every legacy RNG stream untouched.
+
+#include <cstddef>
+#include <string>
+
+namespace afl::pop {
+
+struct PopConfig {
+  /// Master switch. Disabled (default) keeps the static fleet.
+  bool enabled = false;
+
+  /// Fraction of the fleet present at any instant (0 < f <= 1). The rest are
+  /// absent — departed or not yet joined.
+  double active_frac = 1.0;
+  /// Rounds per rotation epoch; every epoch boundary a slice of the active
+  /// set departs and an equal-sized slice of absent clients joins. 0 = no
+  /// rotation (static membership).
+  std::size_t rotate_every = 0;
+  /// Fraction of the *active* set replaced at each epoch boundary.
+  double rotate_frac = 0.0;
+
+  /// Probability a present client goes dark for one dark block (sampled
+  /// i.i.d. per (client, block) from a derived stream). Dark clients are
+  /// dispatched to but never reply — the server only learns via the missing
+  /// response (or the async staleness cutoff).
+  double dark_prob = 0.0;
+  /// Rounds per dark block.
+  std::size_t dark_len = 1;
+
+  /// Optional scripted churn trace (docs/POPULATION.md). Lines:
+  ///   join <client> <round>
+  ///   leave <client> <round>
+  ///   dark <client> <round> <len>
+  /// A client with any scripted record follows the script exclusively; all
+  /// other clients follow the parametric process above.
+  std::string trace_path;
+
+  /// Sample a per-client channel profile around the run's base channel
+  /// (src/net/channel.*). Requires the simulated transport.
+  bool channels = false;
+  /// Per-client bandwidth multiplier is log-uniform in
+  /// [1/(1+bw_spread), 1+bw_spread]; 0 keeps the base bandwidth.
+  double bw_spread = 0.0;
+  /// Per-client latency multiplier is uniform in [1, 1+latency_spread].
+  double latency_spread = 0.0;
+  /// Per-client loss probability is uniform in [base_loss, loss_max] (only
+  /// when loss_max exceeds the base channel's loss).
+  double loss_max = 0.0;
+
+  /// Resolves the AFL_POP_* environment variables (docs/POPULATION.md):
+  /// AFL_POP (master, unset/"0" = disabled), AFL_POP_ACTIVE_FRAC,
+  /// AFL_POP_ROTATE_EVERY, AFL_POP_ROTATE_FRAC, AFL_POP_DARK_PROB,
+  /// AFL_POP_DARK_LEN, AFL_POP_TRACE, AFL_POP_CHANNELS, AFL_POP_BW_SPREAD,
+  /// AFL_POP_LAT_SPREAD, AFL_POP_LOSS_MAX.
+  static PopConfig from_env();
+};
+
+}  // namespace afl::pop

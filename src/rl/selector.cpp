@@ -66,6 +66,14 @@ std::vector<double> ClientSelector::probabilities(
       weights[c] = reward_of(c);
     }
   }
+  if (!channel_quality_.empty()) {
+    // Channel-state observation feature: discount each candidate by its
+    // (normalized) channel quality. Applied outside the untouched fast path
+    // because quality varies per client even when rewards do not.
+    for (std::size_t c = 0; c < num_clients_ && c < channel_quality_.size(); ++c) {
+      weights[c] *= std::max(channel_quality_[c], 0.0);
+    }
+  }
   double total = 0.0;
   for (double w : weights) total += w;
   if (total <= 0.0) {

@@ -27,6 +27,17 @@ class ClientSelector {
   RlTables& tables() { return tables_; }
   const RlTables& tables() const { return tables_; }
 
+  /// Optional per-client channel-quality observation feature in (0, 1]
+  /// (src/pop/, docs/POPULATION.md): selection weights are multiplied by the
+  /// client's quality, biasing the learned policy toward well-connected
+  /// clients the way the wireless-FL literature conditions scheduling on
+  /// channel state. An empty vector (the default) leaves the selection
+  /// arithmetic — and therefore legacy RNG streams — byte-identical.
+  void set_channel_quality(std::vector<double> quality) {
+    channel_quality_ = std::move(quality);
+  }
+  const std::vector<double>& channel_quality() const { return channel_quality_; }
+
   /// Picks a client for pool entry `model_index`, excluding clients whose
   /// slot in `taken` is true (each client trains at most one model per
   /// round). Returns nullopt when no client is available.
@@ -52,6 +63,7 @@ class ClientSelector {
   std::size_t num_clients_;
   SelectionStrategy strategy_;
   RlTables tables_;
+  std::vector<double> channel_quality_;  // empty = feature off
 };
 
 }  // namespace afl

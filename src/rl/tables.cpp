@@ -149,6 +149,42 @@ double RlTables::curiosity_reward(Level type, std::size_t client) const {
   return 1.0 / std::sqrt(curiosity(type, client));
 }
 
+RlTables::Dump RlTables::dump() const {
+  Dump d;
+  auto emit = [&](const std::vector<Row>& rows, std::size_t offset) {
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (const auto& [client, v] : rows[r]) {
+        d.cells.push_back({static_cast<double>(offset + r),
+                           static_cast<double>(client), v});
+      }
+    }
+  };
+  emit(tc_, 0);
+  emit(tr_, tc_.size());
+  std::sort(d.cells.begin(), d.cells.end());
+  d.touched.assign(touched_.begin(), touched_.end());
+  std::sort(d.touched.begin(), d.touched.end());
+  return d;
+}
+
+void RlTables::restore(const Dump& dump) {
+  for (Row& row : tc_) row.clear();
+  for (Row& row : tr_) row.clear();
+  touched_.clear();
+  for (const auto& [row_d, client_d, v] : dump.cells) {
+    const std::size_t row = static_cast<std::size_t>(row_d);
+    const std::size_t client = static_cast<std::size_t>(client_d);
+    if (row < tc_.size()) {
+      cell(tc_[row], client) = v;
+    } else if (row - tc_.size() < tr_.size()) {
+      cell(tr_[row - tc_.size()], client) = v;
+    } else {
+      throw std::out_of_range("RlTables::restore: row index out of range");
+    }
+  }
+  touched_.insert(dump.touched.begin(), dump.touched.end());
+}
+
 double RlTables::reward(const std::vector<std::size_t>& level_entries, Level type,
                         std::size_t client) const {
   // R = min(0.5, R_s) * R_c: the 50% cap stops strong clients from

@@ -15,6 +15,7 @@
 // integer-valued doubles, so every derived quantity (rewards, row means) is
 // bit-identical to the former dense representation.
 
+#include <array>
 #include <cstddef>
 #include <unordered_map>
 #include <unordered_set>
@@ -73,6 +74,20 @@ class RlTables {
   /// per pool entry (2p+1 entries), averaged over clients.
   std::vector<double> mean_curiosity() const;
   std::vector<double> mean_resource() const;
+
+  /// Engine snapshot/resume (docs/POPULATION.md): the full sparse state as
+  /// plain data. Cells are sorted by (row, client) so a dump is a
+  /// deterministic function of the logical table contents, independent of
+  /// unordered_map iteration order.
+  struct Dump {
+    /// (row index, client, value) triples; tc rows come first (rows 0..2),
+    /// then tr rows offset by 3.
+    std::vector<std::array<double, 3>> cells;
+    std::vector<std::size_t> touched;  // sorted client ids
+  };
+  Dump dump() const;
+  /// Restores a dump into this table (shape must match the constructor).
+  void restore(const Dump& dump);
 
  private:
   /// One sparse table row: client -> value, absent cells = 1.0.

@@ -76,6 +76,23 @@ class Rng {
   static Rng derive(std::uint64_t seed, std::uint64_t shard,
                     std::uint64_t round, std::uint64_t client);
 
+  /// Complete generator state, exposed for engine snapshots
+  /// (docs/POPULATION.md). Restoring a State resumes the stream exactly,
+  /// including the Box-Muller cached half-pair.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, has_cached_normal_, cached_normal_};
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    has_cached_normal_ = st.has_cached_normal;
+    cached_normal_ = st.cached_normal;
+  }
+
  private:
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;

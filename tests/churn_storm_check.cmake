@@ -1,0 +1,60 @@
+# Population-dynamics CI gate (docs/POPULATION.md): runs the churn_storm
+# example — static fleet vs a 30%-per-simulated-hour rotation storm on the
+# same seeded environment — and asserts that
+#   - the example itself exits 0 (it returns nonzero when churn drops final
+#     accuracy more than 0.10 below the static run),
+#   - `afl-insight summary` renders the population columns rolled up from the
+#     afl.trace.v3 churn records, and
+#   - `afl-insight validate` accepts the churn-bearing trace (every dispatch
+#     lifecycle complete, departed/went_dark outcomes included).
+#
+# Invoked as:
+#   cmake -DEXAMPLE=<churn_storm> -DINSIGHT=<afl-insight> -DWORK_DIR=<dir>
+#         -P churn_storm_check.cmake
+
+if(NOT EXAMPLE OR NOT INSIGHT OR NOT WORK_DIR)
+  message(FATAL_ERROR "churn_storm_check.cmake needs -DEXAMPLE=..., -DINSIGHT=... and -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(TRACE "${WORK_DIR}/churn_storm.jsonl")
+
+execute_process(
+  COMMAND "${EXAMPLE}" "${TRACE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "churn_storm exited ${rc} (accuracy collapse or crash):\n${out}${err}")
+endif()
+if(NOT out MATCHES "within 0.10 budget")
+  message(FATAL_ERROR "churn_storm did not report the accuracy gate:\n${out}")
+endif()
+
+# The summary must roll the churn records up into population rows, and the
+# storm must actually have churned (a zero-rotation run would pass the
+# accuracy gate vacuously).
+execute_process(
+  COMMAND "${INSIGHT}" summary "${TRACE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "summary exited ${rc}:\n${out}${err}")
+endif()
+foreach(row "pop clients" "pop joins" "pop departures" "pop dark client-rounds"
+        "pop channel bw spread")
+  if(NOT out MATCHES "${row}")
+    message(FATAL_ERROR "summary missing the \"${row}\" row:\n${out}")
+  endif()
+endforeach()
+if(NOT out MATCHES "departed=[1-9]")
+  message(FATAL_ERROR "churn run produced no departed dispatches — the storm never rotated:\n${out}")
+endif()
+
+# Lifecycle completeness across churn: departed / went_dark dispatches must
+# still close their lifecycle records.
+execute_process(
+  COMMAND "${INSIGHT}" validate "${TRACE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lifecycle validate exited ${rc}:\n${out}${err}")
+endif()
+
+message(STATUS "churn storm checks passed")

@@ -36,7 +36,7 @@ file(WRITE "${CAND}"
 ")
 
 file(WRITE "${BAD_SCHEMA}"
-"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v3\",\"algo\":\"AdaptiveFL\"}
+"{\"kind\":\"run_start\",\"schema\":\"afl.trace.v4\",\"algo\":\"AdaptiveFL\"}
 ")
 
 # Transport-backed traces: same learning numbers, but with wire-byte columns.
@@ -94,7 +94,7 @@ execute_process(
 if(NOT rc EQUAL 2)
   message(FATAL_ERROR "regressed diff exited ${rc} (expected 2):\n${out}${err}")
 endif()
-if(NOT out MATCHES "REGRESSION: accuracy")
+if(NOT out MATCHES "REGRESSION: final full acc")
   message(FATAL_ERROR "regressed diff missed the accuracy regression:\n${out}")
 endif()
 if(NOT out MATCHES "REGRESSION: round p95")

@@ -73,10 +73,13 @@ namespace {
 using afl::Table;
 using Record = std::map<std::string, std::string>;
 
-// Understood trace schemas. v2 added `lifecycle` records (see
-// docs/OBSERVABILITY.md); every v1 record kind is unchanged in v2, so both
-// load identically — lifecycle-aware commands just find no records in v1.
-constexpr const char* kSchemas[] = {"afl.trace.v1", "afl.trace.v2"};
+// Understood trace schemas. v2 added `lifecycle` records, v3 the population
+// `churn` records plus departed/went_dark dispatch outcomes (see
+// docs/OBSERVABILITY.md); each version is a pure superset of its
+// predecessor, so all load identically — newer-record-aware commands just
+// find no such records in older traces.
+constexpr const char* kSchemas[] = {"afl.trace.v1", "afl.trace.v2",
+                                    "afl.trace.v3"};
 constexpr const char* kBenchSchema = "afl.bench.v1";
 
 bool schema_supported(const std::string& schema) {
@@ -149,8 +152,9 @@ int load_trace(const std::string& path, TraceFile& out) {
       if (!schema_supported(schema)) {
         std::fprintf(stderr,
                      "afl-insight: %s declares trace schema \"%s\" but this "
-                     "tool understands \"%s\" and \"%s\"\n",
-                     path.c_str(), schema.c_str(), kSchemas[0], kSchemas[1]);
+                     "tool understands \"%s\" through \"%s\"\n",
+                     path.c_str(), schema.c_str(), kSchemas[0],
+                     kSchemas[sizeof(kSchemas) / sizeof(kSchemas[0]) - 1]);
         return 1;
       }
       Run run;
@@ -203,6 +207,11 @@ struct RunStats {
   std::string codec;  // run_start header; empty on transportless runs
   std::map<std::string, std::size_t> kind_counts;
   std::map<std::string, std::size_t> dispatch_outcomes;
+
+  // Population churn rollup (afl.trace.v3 `churn` records, docs/POPULATION.md).
+  bool has_churn = false;
+  double joins = 0.0, departures = 0.0, dark_rounds = 0.0;
+  double last_active = 0.0;
 
   // Per-shard rollup; populated only when dispatch records carry the "shard"
   // tag written by the hierarchical engine (docs/HIERARCHY.md). Within one
@@ -268,6 +277,12 @@ RunStats run_stats(const Run& run) {
       } else {
         ++s.untagged_dispatches;
       }
+    } else if (kind == "churn") {
+      s.has_churn = true;
+      s.joins += num(r, "joins");
+      s.departures += num(r, "departures");
+      s.dark_rounds += num(r, "dark");
+      s.last_active = num(r, "active");
     } else if (kind == "evaluate" && !has_run_end) {
       s.final_acc = num(r, "accuracy");
       s.has_acc = true;
@@ -331,6 +346,23 @@ int cmd_summary(const TraceFile& file) {
       t.add_row({"stragglers (deadline)", Table::fmt(s.stragglers, 0)});
       t.add_row({"deadline-missed clients",
                  std::to_string(s.deadline_missed())});
+    }
+    if (s.has_churn) {
+      // Population columns (afl.trace.v3): fleet size and churn knobs come
+      // from the run_start header; join/departure/dark totals from the
+      // per-round churn records.
+      t.add_row({"pop clients", Table::fmt(num(run.header, "pop_clients"), 0)});
+      t.add_row({"pop active (last round)", Table::fmt(s.last_active, 0)});
+      t.add_row({"pop joins", Table::fmt(s.joins, 0)});
+      t.add_row({"pop departures", Table::fmt(s.departures, 0)});
+      t.add_row({"pop dark client-rounds", Table::fmt(s.dark_rounds, 0)});
+      if (run.header.count("pop_bw_min") != 0) {
+        const double bw_min = num(run.header, "pop_bw_min");
+        const double bw_max = num(run.header, "pop_bw_max");
+        t.add_row({"pop channel bw spread",
+                   Table::fmt(bw_min, 0) + " - " + Table::fmt(bw_max, 0) +
+                       " B/s"});
+      }
     }
     std::printf("%s", t.to_markdown().c_str());
     std::string kinds;
@@ -795,7 +827,7 @@ int cmd_export_chrome(const TraceFile& file, const std::string& out_path) {
 int cmd_diff(const TraceFile& base, const TraceFile& cand, int base_run,
              int cand_run, double max_acc_drop, double max_time_ratio,
              double max_comm_ratio, double max_bytes_ratio, double tta_acc,
-             double max_tta_ratio) {
+             double max_tta_ratio, bool acc_best) {
   const Run* a = pick_run(base, base_run);
   const Run* b = pick_run(cand, cand_run);
   if (a == nullptr || b == nullptr) return 1;
@@ -807,13 +839,32 @@ int cmd_diff(const TraceFile& base, const TraceFile& cand, int base_run,
   }
   const RunStats sa = run_stats(*a);
   const RunStats sb = run_stats(*b);
+  const std::vector<EvalPoint> points_a = eval_points(*a);
+  const std::vector<EvalPoint> points_b = eval_points(*b);
+
+  // Accuracy gate input: final (run_end) by default, or the best evaluation
+  // seen anywhere on the curve with --acc-metric best — the steadier choice
+  // for async runs, whose accuracy oscillates between buffer flushes.
+  const char* acc_label = acc_best ? "best full acc" : "final full acc";
+  double acc_a = sa.final_acc, acc_b = sb.final_acc;
+  bool has_acc_a = sa.has_acc, has_acc_b = sb.has_acc;
+  if (acc_best) {
+    for (const EvalPoint& p : points_a) {
+      if (!has_acc_a || p.full_acc > acc_a) acc_a = p.full_acc;
+      has_acc_a = true;
+    }
+    for (const EvalPoint& p : points_b) {
+      if (!has_acc_b || p.full_acc > acc_b) acc_b = p.full_acc;
+      has_acc_b = true;
+    }
+  }
 
   std::printf("baseline : %s (%s)\n", base.path.c_str(), a->label().c_str());
   std::printf("candidate: %s (%s)\n\n", cand.path.c_str(), b->label().c_str());
   Table t({"metric", "baseline", "candidate", "delta"});
-  t.add_row({"final full acc", sa.has_acc ? Table::fmt(sa.final_acc, 4) : "n/a",
-             sb.has_acc ? Table::fmt(sb.final_acc, 4) : "n/a",
-             Table::fmt(sb.final_acc - sa.final_acc, 4)});
+  t.add_row({acc_label, has_acc_a ? Table::fmt(acc_a, 4) : "n/a",
+             has_acc_b ? Table::fmt(acc_b, 4) : "n/a",
+             Table::fmt(acc_b - acc_a, 4)});
   t.add_row({"round p95 ms", Table::fmt(sa.p95_round_ms, 2),
              Table::fmt(sb.p95_round_ms, 2),
              sa.p95_round_ms > 0
@@ -832,8 +883,8 @@ int cmd_diff(const TraceFile& base, const TraceFile& cand, int base_run,
   }
   double tta_a = -1.0, tta_b = -1.0;
   if (tta_acc > 0) {
-    tta_a = time_to_accuracy(eval_points(*a), tta_acc);
-    tta_b = time_to_accuracy(eval_points(*b), tta_acc);
+    tta_a = time_to_accuracy(points_a, tta_acc);
+    tta_b = time_to_accuracy(points_b, tta_acc);
     t.add_row({"sim s to acc " + Table::fmt(tta_acc, 2),
                tta_a < 0 ? "n/a" : Table::fmt(tta_a, 3),
                tta_b < 0 ? "n/a" : Table::fmt(tta_b, 3),
@@ -843,9 +894,9 @@ int cmd_diff(const TraceFile& base, const TraceFile& cand, int base_run,
   std::printf("%s\n", t.to_markdown().c_str());
 
   int regressions = 0;
-  if (sa.has_acc && sb.has_acc && sb.final_acc < sa.final_acc - max_acc_drop) {
-    std::printf("REGRESSION: accuracy dropped %.4f (> %.4f allowed)\n",
-                sa.final_acc - sb.final_acc, max_acc_drop);
+  if (has_acc_a && has_acc_b && acc_b < acc_a - max_acc_drop) {
+    std::printf("REGRESSION: %s dropped %.4f (> %.4f allowed)\n", acc_label,
+                acc_a - acc_b, max_acc_drop);
     ++regressions;
   }
   if (sa.p95_round_ms > 0 && sb.p95_round_ms > sa.p95_round_ms * max_time_ratio) {
@@ -1166,6 +1217,7 @@ int usage() {
                "  export-chrome <trace> [--out FILE]  Chrome trace_event JSON (Perfetto; stdout default)\n"
                "  diff <baseline> <candidate>         regression check (exit 2 on regression)\n"
                "       [--max-acc-drop X]             allowed absolute accuracy drop (0.02)\n"
+               "       [--acc-metric final|best]      accuracy gated: run_end vs curve max (final)\n"
                "       [--max-time-ratio X]           allowed round-p95 ratio (1.50)\n"
                "       [--max-comm-ratio X]           allowed params-sent ratio (1.10)\n"
                "       [--max-bytes-ratio X]          allowed wire-bytes ratio (1.10)\n"
@@ -1225,6 +1277,7 @@ int main(int argc, char** argv) {
   double max_acc_drop = 0.02, max_time_ratio = 1.50, max_comm_ratio = 1.10;
   double max_bytes_ratio = 1.10;
   double tta_acc = 0.0, max_tta_ratio = 1.00;  // tta gate off until --tta-acc
+  bool acc_best = false;    // diff --acc-metric best
   int top_k = 5;            // critical-path client rows
   std::string out_path;     // export-chrome destination; empty = stdout
   std::vector<std::string> positional;
@@ -1255,6 +1308,11 @@ int main(int argc, char** argv) {
       if (!flag_value(tta_acc)) return usage();
     } else if (args[i] == "--max-tta-ratio") {
       if (!flag_value(max_tta_ratio)) return usage();
+    } else if (args[i] == "--acc-metric") {
+      if (i + 1 >= args.size()) return usage();
+      const std::string metric = args[++i];
+      if (metric != "final" && metric != "best") return usage();
+      acc_best = metric == "best";
     } else if (args[i] == "--top") {
       if (i + 1 >= args.size()) return usage();
       top_k = std::max(1, std::atoi(args[++i].c_str()));
@@ -1297,5 +1355,5 @@ int main(int argc, char** argv) {
   if (const int rc = load_trace(positional[1], cand)) return rc;
   return cmd_diff(file, cand, base_run, cand_run, max_acc_drop,
                   max_time_ratio, max_comm_ratio, max_bytes_ratio, tta_acc,
-                  max_tta_ratio);
+                  max_tta_ratio, acc_best);
 }
