@@ -161,6 +161,69 @@ BENCHMARK(BM_CodecDecode)
     ->Args({static_cast<long>(net::Codec::kInt8), 64 * 1024})
     ->Args({static_cast<long>(net::Codec::kInt8), 1024 * 1024});
 
+// Sparse-uplink kernels (docs/COMPRESSION.md). Gaussian data is the
+// worst case for top-k selection: no exact zeros, so nth_element sees a
+// fully contested magnitude ordering.
+
+void BM_TopKSelect(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k =
+      net::codec_kept_coords(n, static_cast<net::Codec>(state.range(1)));
+  Rng rng(9);
+  std::vector<float> data(n);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    std::vector<std::uint32_t> kept = net::topk_select(data.data(), n, k);
+    benchmark::DoNotOptimize(kept.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations() * n));
+}
+BENCHMARK(BM_TopKSelect)
+    ->Args({64 * 1024, static_cast<long>(net::Codec::kTopK1)})
+    ->Args({64 * 1024, static_cast<long>(net::Codec::kTopK10)})
+    ->Args({1024 * 1024, static_cast<long>(net::Codec::kTopK10)});
+
+void BM_SparseEncode(benchmark::State& state) {
+  const net::Codec codec = static_cast<net::Codec>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  Rng rng(10);
+  Tensor t = Tensor::randn({n}, rng);
+  std::vector<std::uint8_t> buf;
+  buf.reserve(net::encoded_payload_size(n, codec));
+  for (auto _ : state) {
+    buf.clear();
+    net::encode_tensor(t, codec, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  // Rate is dense-equivalent input bytes, comparable with BM_CodecEncode.
+  state.SetBytesProcessed(
+      static_cast<long>(state.iterations() * n * sizeof(float)));
+}
+BENCHMARK(BM_SparseEncode)
+    ->Args({static_cast<long>(net::Codec::kTopK1), 64 * 1024})
+    ->Args({static_cast<long>(net::Codec::kTopK10), 64 * 1024})
+    ->Args({static_cast<long>(net::Codec::kTopK10), 1024 * 1024});
+
+void BM_SparseDecode(benchmark::State& state) {
+  const net::Codec codec = static_cast<net::Codec>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  Rng rng(11);
+  Tensor t = Tensor::randn({n}, rng);
+  std::vector<std::uint8_t> buf;
+  net::encode_tensor(t, codec, buf);
+  const Shape shape{n};
+  for (auto _ : state) {
+    Tensor back = net::decode_tensor(buf.data(), buf.size(), shape, codec);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<long>(state.iterations() * n * sizeof(float)));
+}
+BENCHMARK(BM_SparseDecode)
+    ->Args({static_cast<long>(net::Codec::kTopK1), 64 * 1024})
+    ->Args({static_cast<long>(net::Codec::kTopK10), 64 * 1024})
+    ->Args({static_cast<long>(net::Codec::kTopK10), 1024 * 1024});
+
 void print_kernel_histograms() {
   if (!obs::kernel_profiling_enabled()) return;
   std::fprintf(stderr, "\nobs kernel histograms (afl.tensor.*):\n");

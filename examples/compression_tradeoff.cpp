@@ -1,0 +1,114 @@
+// Uplink-compression trade-off scenario (docs/COMPRESSION.md): the same
+// seeded environment run twice — first with dense fp32 frames both ways,
+// then with the uplink switched to top-k(10%) sparsification with per-client
+// error-feedback residuals while the downlink stays fp32.
+//
+// Exits nonzero unless the sparse run holds BOTH ends of the bargain:
+//   - best full accuracy within 0.05 of the dense run (error feedback must
+//     recover what the mask drops), and
+//   - at least 5x fewer uplink payload bytes (the whole point of shipping
+//     ~10% of the coordinates).
+// These are the same thresholds the CI gate re-checks from the trace via
+// `afl-insight diff --acc-metric best --max-acc-drop 0.05
+//  --max-uplink-bytes-ratio 0.2` (tests/compression_tradeoff_check.cmake).
+//
+// The fleet trains homogeneous full-size models (AllLarge): error feedback
+// needs stable per-client tensor shapes to accumulate across rounds, and
+// AdaptiveFL's per-round submodel reassignment resets a residual row every
+// time a client's imported shapes change (see "Interaction with
+// heterogeneous submodels" in docs/COMPRESSION.md).
+//
+//   ./compression_tradeoff [trace.jsonl] [rounds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afl;
+
+  const char* trace_path = argc > 1 ? argv[1] : "compression_tradeoff_trace.jsonl";
+  const std::size_t rounds =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 30;
+  obs::set_trace_path(trace_path);
+
+  // Seeded smoke environment, identical for both runs: the only difference
+  // between them is the uplink codec.
+  ExperimentConfig cfg;
+  cfg.num_clients = 16;
+  cfg.clients_per_round = 6;
+  cfg.samples_per_client = 25;
+  cfg.test_samples = 100;
+  cfg.image_hw = 8;
+  cfg.rounds = rounds;
+  cfg.local_epochs = 2;
+  cfg.batch_size = 25;
+  cfg.eval_every = 3;
+  ExperimentEnv env = make_env(cfg);
+
+  net::NetConfig net;
+  net.enabled = true;
+  net.codec = net::Codec::kFp32;
+  net.channel.bandwidth_bytes_per_s = 256 * 1024.0;
+  net.channel.latency_s = 0.02;
+  net.compute_s_per_kparam = 0.5;
+  env.run.net = net;
+  env.run.pop = pop::PopConfig{};  // insulate from AFL_POP_* in the env
+
+  // Run 0: dense fp32 in both directions.
+  const RunResult dense = run_algorithm(Algorithm::kAllLarge, env);
+
+  // Run 1: top-k(10%) + error feedback on the uplink only.
+  env.run.net->uplink_codec = net::Codec::kTopK10;
+  const RunResult sparse = run_algorithm(Algorithm::kAllLarge, env);
+
+  const double up_ratio =
+      sparse.comm.bytes_returned() > 0
+          ? static_cast<double>(dense.comm.bytes_returned()) /
+                static_cast<double>(sparse.comm.bytes_returned())
+          : 0.0;
+  Table t({"uplink", "final full (%)", "best full (%)", "bytes down",
+           "bytes up", "sim seconds"});
+  t.add_row({"fp32", Table::fmt_pct(dense.final_full_acc),
+             Table::fmt_pct(dense.best_full_acc()),
+             std::to_string(dense.comm.bytes_sent()),
+             std::to_string(dense.comm.bytes_returned()),
+             Table::fmt(dense.sim_seconds, 2)});
+  t.add_row({"topk10 + EF", Table::fmt_pct(sparse.final_full_acc),
+             Table::fmt_pct(sparse.best_full_acc()),
+             std::to_string(sparse.comm.bytes_sent()),
+             std::to_string(sparse.comm.bytes_returned()),
+             Table::fmt(sparse.sim_seconds, 2)});
+  std::printf("%s\n", t.to_markdown().c_str());
+  std::printf("uplink bytes: %.2fx fewer than dense fp32\n", up_ratio);
+  std::printf("trace written to %s — try `afl-insight bytes %s`\n",
+              trace_path, trace_path);
+
+  // Gate 1: error feedback must keep the sparse run's best accuracy within
+  // 0.05 of dense.
+  const double drop = dense.best_full_acc() - sparse.best_full_acc();
+  if (drop > 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: sparse uplink dropped best accuracy by %.4f "
+                 "(> 0.05 allowed): dense %.4f vs sparse %.4f\n",
+                 drop, dense.best_full_acc(), sparse.best_full_acc());
+    return 1;
+  }
+  // Gate 2: the uplink savings must actually materialize.
+  if (up_ratio < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: uplink only shrank %.2fx (>= 5x required): "
+                 "dense %llu bytes vs sparse %llu bytes\n",
+                 up_ratio,
+                 static_cast<unsigned long long>(dense.comm.bytes_returned()),
+                 static_cast<unsigned long long>(sparse.comm.bytes_returned()));
+    return 1;
+  }
+  std::printf("sparse-vs-dense best accuracy drop %.4f within 0.05 budget, "
+              "uplink %.2fx smaller\n",
+              drop, up_ratio);
+  return 0;
+}

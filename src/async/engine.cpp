@@ -10,6 +10,7 @@
 
 #include "async/aggregator.hpp"
 #include "async/virtual_clock.hpp"
+#include "compress/compressor.hpp"
 #include "engine/lifecycle.hpp"
 #include "engine/snapshot.hpp"
 #include "engine/telemetry.hpp"
@@ -48,6 +49,9 @@ struct Pending {
   double dispatch_time = 0.0;
   std::size_t reuploads_left = 0;
   FailKind fail = FailKind::kNoResponse;
+  /// Sparse uplink (src/compress/): the reference the masked delta was coded
+  /// against, frozen at encode time so async staleness cannot skew decoding.
+  std::unique_ptr<ParamSet> upref;
 };
 
 // ---- Pending serialization (engine snapshots, docs/POPULATION.md) ---------
@@ -81,7 +85,8 @@ void read_slot(SnapshotReader& r, ClientSlot& s) {
   s.params_back = r.u64();
 }
 
-void write_pending(SnapshotWriter& w, std::size_t id, const Pending& p) {
+void write_pending(SnapshotWriter& w, std::size_t id, const Pending& p,
+                   bool compress_on) {
   w.u64(id);
   write_slot(w, p.slot);
   const Rng::State st = p.sess.rng_state();
@@ -107,9 +112,15 @@ void write_pending(SnapshotWriter& w, std::size_t id, const Pending& p) {
     w.u64(p.outcome.stats.samples_seen);
     w.f64(p.outcome.stats.seconds);
   }
+  if (compress_on) {
+    // Written only when compression is active, so uncompressed snapshots
+    // stay byte-identical to pre-compression builds.
+    w.u64(p.upref ? 1 : 0);
+    if (p.upref) w.params(*p.upref);
+  }
 }
 
-std::size_t read_pending(SnapshotReader& r, Pending& p) {
+std::size_t read_pending(SnapshotReader& r, Pending& p, bool compress_on) {
   const std::size_t id = static_cast<std::size_t>(r.u64());
   read_slot(r, p.slot);
   Rng::State st;
@@ -139,6 +150,9 @@ std::size_t read_pending(SnapshotReader& r, Pending& p) {
     p.outcome.stats.mean_loss = r.f64();
     p.outcome.stats.samples_seen = r.u64();
     p.outcome.stats.seconds = r.f64();
+  }
+  if (compress_on && r.u64() != 0) {
+    p.upref = std::make_unique<ParamSet>(r.params());
   }
   return id;
 }
@@ -207,6 +221,10 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
   // counter doubles as the stable lifecycle id (it already keys slot.round).
   engine::LifecycleTracker lifecycle(true);
 
+  // Sparsifying uplink + error feedback (src/compress/, docs/COMPRESSION.md).
+  compress::Compressor compressor(transport_,
+                                  compress::CompressConfig::from_env());
+
   // Snapshot/resume (docs/POPULATION.md). Async snapshots are cut at flush
   // boundaries: the buffer is empty, but in-flight dispatches (and their
   // pending events) are captured verbatim so the resumed event sequence —
@@ -222,11 +240,12 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
     last_flush_time = reader.f64();
     next_dispatch = reader.u64();
     agg.restore(reader.u64());
+    if (compressor.enabled()) compressor.restore(reader);
     policy.restore_state(reader);
     const std::uint64_t n_pending = reader.u64();
     for (std::uint64_t i = 0; i < n_pending; ++i) {
       Pending p;
-      const std::size_t id = read_pending(reader, p);
+      const std::size_t id = read_pending(reader, p, compressor.enabled());
       // The client is still in flight: re-mark it busy and reopen its
       // lifecycle record (earlier phases were flushed with the old process;
       // blame attribution restarts, bit-identity of the result does not).
@@ -300,6 +319,7 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
           p.fail = presence == PresenceSchedule::State::kAbsent
                        ? FailKind::kDeparted
                        : FailKind::kWentDark;
+          if (p.fail == FailKind::kDeparted) compressor.on_departed(s.client);
           queue.push({clock.now() + async_.failure_timeout_s, s.round, s.client,
                       0, EventKind::kFailure});
           pending.emplace(s.round, std::move(p));
@@ -433,10 +453,11 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
       w.f64(last_flush_time);
       w.u64(next_dispatch);
       w.u64(agg.version());
+      if (compressor.enabled()) compressor.snapshot(w);
       policy.snapshot_state(w);
       w.u64(pending.size());
       for (const auto& [id, p] : pending) {  // std::map: dispatch order
-        write_pending(w, id, p);
+        write_pending(w, id, p, compressor.enabled());
       }
       // Events serialize in pop order (the comparator's total order), so two
       // snapshots of the same logical state are byte-identical regardless of
@@ -497,6 +518,12 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
         if (!p.trained) train_wave();
         double arrive_at = e.time;
         if (transport_.enabled()) {
+          if (compressor.enabled() && !p.upref) {
+            // Encode exactly once per dispatch: re-uploads re-ship the same
+            // masked delta, and a resumed pending keeps its serialized upref.
+            p.upref = std::make_unique<ParamSet>(policy.upload_reference(p.slot));
+            compressor.encode_update(p.slot.client, p.outcome.params, *p.upref);
+          }
           const double before = p.sess.elapsed_seconds();
           std::size_t up_attempts = 0;
           double up_backoff = 0.0;
@@ -526,6 +553,8 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
                           up_attempts, up_backoff, up_bytes);
           if (!up.transfer.delivered) {
             p.fail = FailKind::kLostUplink;
+            // Error feedback: the lost masked delta returns to the residual.
+            compressor.reclaim(p.slot.client, p.outcome.params);
             queue.push({up_end + async_.failure_timeout_s, e.dispatch, e.client,
                         0, EventKind::kFailure});
             break;
@@ -546,6 +575,9 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
           telemetry->client_failed();
           engine::trace_dispatch_failure(p.slot, "stale", clock.now());
           lifecycle.drop(e.dispatch, "stale", clock.now());
+          // Staleness-safe error feedback: the discarded delta's mass is
+          // re-deposited instead of lost.
+          if (p.upref) compressor.reclaim(p.slot.client, p.outcome.params);
           break;
         }
         lifecycle.arrived(e.dispatch, clock.now());
@@ -572,6 +604,7 @@ RunResult AsyncEngine::run(AsyncRoundPolicy& policy) {
               .field("dur_ms", (clock.now() - p.dispatch_time) * 1e3);
           ev.emit();
         }
+        if (p.upref) compressor.decode_update(p.outcome.params, *p.upref);
         policy.commit_weighted(p.slot, std::move(p.outcome), scale);
         agg.note_buffered();
         occupancy_hist.record(static_cast<double>(agg.buffered()));

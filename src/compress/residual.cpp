@@ -1,0 +1,77 @@
+#include "compress/residual.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace afl::compress {
+
+ResidualEntry& ResidualStore::entry(std::size_t client, const std::string& tensor) {
+  return rows_[client][tensor];
+}
+
+const ResidualEntry* ResidualStore::find(std::size_t client,
+                                         const std::string& tensor) const {
+  const auto c = rows_.find(client);
+  if (c == rows_.end()) return nullptr;
+  const auto t = c->second.find(tensor);
+  return t == c->second.end() ? nullptr : &t->second;
+}
+
+void ResidualStore::drop_client(std::size_t client) { rows_.erase(client); }
+
+std::size_t ResidualStore::num_coords() const {
+  std::size_t n = 0;
+  for (const auto& [client, tensors] : rows_) {
+    for (const auto& [name, e] : tensors) n += e.coords.size();
+  }
+  return n;
+}
+
+void ResidualStore::snapshot(SnapshotWriter& w) const {
+  w.u64(rows_.size());
+  for (const auto& [client, tensors] : rows_) {
+    w.u64(client);
+    w.u64(tensors.size());
+    for (const auto& [name, e] : tensors) {
+      w.str(name);
+      w.u64(e.dims.size());
+      for (const std::size_t d : e.dims) w.u64(d);
+      std::vector<std::pair<std::uint32_t, float>> coords(e.coords.begin(),
+                                                          e.coords.end());
+      std::sort(coords.begin(), coords.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      w.u64(coords.size());
+      for (const auto& [idx, v] : coords) {
+        w.u64(idx);
+        w.f64(static_cast<double>(v));
+      }
+    }
+  }
+}
+
+void ResidualStore::restore(SnapshotReader& r) {
+  rows_.clear();
+  const std::uint64_t n_clients = r.u64();
+  for (std::uint64_t c = 0; c < n_clients; ++c) {
+    const std::size_t client = static_cast<std::size_t>(r.u64());
+    const std::uint64_t n_tensors = r.u64();
+    auto& tensors = rows_[client];
+    for (std::uint64_t t = 0; t < n_tensors; ++t) {
+      const std::string name = r.str();
+      ResidualEntry& e = tensors[name];
+      const std::uint64_t rank = r.u64();
+      e.dims.resize(rank);
+      for (std::uint64_t d = 0; d < rank; ++d) {
+        e.dims[d] = static_cast<std::size_t>(r.u64());
+      }
+      const std::uint64_t nnz = r.u64();
+      e.coords.reserve(nnz);
+      for (std::uint64_t i = 0; i < nnz; ++i) {
+        const std::uint32_t idx = static_cast<std::uint32_t>(r.u64());
+        e.coords[idx] = static_cast<float>(r.f64());
+      }
+    }
+  }
+}
+
+}  // namespace afl::compress

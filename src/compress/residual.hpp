@@ -1,0 +1,63 @@
+#pragma once
+// Per-client error-feedback residual accumulators for the sparsifying uplink
+// (docs/COMPRESSION.md).
+//
+// When a top-k codec drops a coordinate, its gradient mass is not lost: the
+// Compressor re-deposits it here and folds it back into the client's next
+// delta before selection. Rows are stored sparsely — a hash map per
+// (client, tensor) keyed by flat index, like the RL tables — so lazy runs
+// over huge populations only pay for clients that actually trained.
+//
+// Determinism: all mutation happens on the engine's sequential commit path,
+// rows are value-keyed (insertion order never matters), and snapshot()
+// serializes in sorted (client, tensor, index) order, so resumed runs are
+// bit-identical at any AFL_THREADS / shard count.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/checkpoint.hpp"
+
+namespace afl::compress {
+
+/// The residual of one (client, tensor): flat index -> leftover mass, plus
+/// the shape those flat indices are taken against. A client whose submodel
+/// geometry changes between rounds gets a fresh row — flat indices are not
+/// comparable across shapes (the one documented case where mass is dropped).
+struct ResidualEntry {
+  std::vector<std::size_t> dims;
+  std::unordered_map<std::uint32_t, float> coords;
+};
+
+class ResidualStore {
+ public:
+  /// The row for (client, tensor), created empty on first use.
+  ResidualEntry& entry(std::size_t client, const std::string& tensor);
+
+  /// Read-only lookup; nullptr when the row does not exist.
+  const ResidualEntry* find(std::size_t client, const std::string& tensor) const;
+
+  /// Drops every row of `client` (population churn, docs/POPULATION.md).
+  void drop_client(std::size_t client);
+
+  std::size_t num_clients() const { return rows_.size(); }
+  /// Total stored coordinates across all rows.
+  std::size_t num_coords() const;
+  bool empty() const { return rows_.empty(); }
+  void clear() { rows_.clear(); }
+
+  /// AFLSNAP1 serialization in sorted (client, tensor, index) order; values
+  /// ride as f64 (exact for every f32). restore() replaces the store.
+  void snapshot(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
+ private:
+  // Ordered outer maps keep snapshot order canonical without re-sorting.
+  std::map<std::size_t, std::map<std::string, ResidualEntry>> rows_;
+};
+
+}  // namespace afl::compress

@@ -117,6 +117,12 @@ class AdaptiveFlPolicy final : public HierRoundPolicy {
     return pool_.split(global_, s.sent_index);
   }
 
+  ParamSet upload_reference(const ClientSlot& s) const override {
+    // Mirrors execute()'s import exactly (docs/COMPRESSION.md).
+    return s.rx ? pool_.split(*s.rx, s.back_index)
+                : pool_.split(global_, s.back_index);
+  }
+
   TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
     Model local = pool_.build(s.back_index);
     // s.rx is the codec-decoded downlink payload (sized sent_index); the

@@ -68,6 +68,11 @@ class AllLargePolicy final : public CohortPolicy {
 
   ParamSet dispatch_params(const ClientSlot&) const override { return global_; }
 
+  ParamSet upload_reference(const ClientSlot& s) const override {
+    // Mirrors execute()'s import exactly (docs/COMPRESSION.md).
+    return s.rx ? *s.rx : global_;
+  }
+
   TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
     Model local = build_full_model(spec_);
     local.import_params(s.rx ? *s.rx : global_);
@@ -148,6 +153,10 @@ class DecoupledPolicy final : public CohortPolicy {
 
   ParamSet dispatch_params(const ClientSlot& s) const override {
     return globals_[s.back_index];
+  }
+
+  ParamSet upload_reference(const ClientSlot& s) const override {
+    return s.rx ? *s.rx : globals_[s.back_index];
   }
 
   TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
@@ -241,6 +250,10 @@ class HeteroFlPolicy final : public CohortPolicy {
 
   ParamSet dispatch_params(const ClientSlot& s) const override {
     return prune_params(global_, spec_, level_plans_[s.back_index]);
+  }
+
+  ParamSet upload_reference(const ClientSlot& s) const override {
+    return s.rx ? *s.rx : prune_params(global_, spec_, level_plans_[s.back_index]);
   }
 
   TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {

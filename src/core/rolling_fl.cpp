@@ -55,6 +55,14 @@ class RollingFlPolicy final : public RoundPolicy {
     s.params_sent = level_params_.back();
   }
 
+  ParamSet upload_reference(const ClientSlot& s) const override {
+    // Mirrors execute()'s import exactly (docs/COMPRESSION.md); the rolling
+    // window is a pure function of (ratio, round), so the same plan rebuilds.
+    const RollingPlan plan =
+        make_rolling_plan(spec_, level_ratios_[s.back_index], s.round);
+    return rolling_extract(global_, spec_, plan);
+  }
+
   TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
     const double ratio = level_ratios_[s.back_index];
     const RollingPlan plan = make_rolling_plan(spec_, ratio, s.round);

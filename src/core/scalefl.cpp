@@ -76,6 +76,12 @@ class ScaleFlPolicy final : public RoundPolicy {
     s.params_sent = levels_.back().params;
   }
 
+  ParamSet upload_reference(const ClientSlot& s) const override {
+    // Mirrors execute()'s import exactly (docs/COMPRESSION.md).
+    const ScaleFlLevel& level = levels_[s.back_index];
+    return prune_to_shapes(global_, model_shapes(spec_, level.plan, level.options));
+  }
+
   TrainOutcome execute(const ClientSlot& s, Rng& rng) const override {
     const ScaleFlLevel& level = levels_[s.back_index];
     Model model = build_model(spec_, level.plan, nullptr, level.options);

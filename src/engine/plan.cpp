@@ -65,6 +65,9 @@ RoundPlan plan_round(RoundPolicy& policy, const FlRunConfig& config,
         const char* outcome = presence == PresenceSchedule::State::kAbsent
                                   ? "departed"
                                   : "went_dark";
+        if (presence == PresenceSchedule::State::kAbsent) {
+          plan.departed.push_back(s.client);
+        }
         ++result.failed_trainings;
         telemetry.client_failed();
         trace_dispatch_failure(s, outcome, -1.0, shard_tag(s));

@@ -41,6 +41,10 @@ struct RoundPlan {
   /// no work slot survives, but the failed session still advances the round
   /// clock of whichever aggregator owns the client.
   std::vector<std::pair<std::size_t, double>> failed_downlink_seconds;
+  /// Clients whose dispatch found them departed from the fleet (population
+  /// churn, PresenceSchedule::State::kAbsent) — the engines hand these to the
+  /// compression subsystem so stale residuals are dropped (docs/COMPRESSION.md).
+  std::vector<std::size_t> departed;
 };
 
 /// Downlink payload override: what the wire carries for a slot. Null uses

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "compress/compressor.hpp"
 #include "engine/lifecycle.hpp"
 #include "engine/plan.hpp"
 #include "engine/snapshot.hpp"
@@ -72,6 +73,11 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
   engine::LifecycleTracker lifecycle(transport_.enabled());
   const engine::TimeBaseFn time_base = [&](std::size_t) { return sim_total; };
 
+  // Sparsifying uplink + error feedback (src/compress/, docs/COMPRESSION.md).
+  // Disabled unless the transport's uplink codec is top-k; disabled it is a
+  // pure no-op and runs stay byte-identical.
+  compress::Compressor compressor(transport_, compress::CompressConfig::from_env());
+
   // Snapshot/resume (docs/POPULATION.md). Resume restores the partial
   // result, round RNG, simulated clock, lifecycle id counter, and policy
   // state over the freshly built structure from init_global(), so round
@@ -86,6 +92,7 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
     engine::read_rng(reader, rng);
     sim_total = reader.f64();
     lifecycle.set_last_id(reader.u64());
+    if (compressor.enabled()) compressor.restore(reader);
     policy.restore_state(reader);
     reader.expect_end();
     start_round = at + 1;
@@ -111,6 +118,9 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
         /*version=*/static_cast<long long>(round) - 1);
     std::vector<ClientSlot>& work = plan.work;
     std::vector<net::Transport::Session>& sessions = plan.sessions;
+    if (compressor.enabled()) {
+      for (const std::size_t client : plan.departed) compressor.on_departed(client);
+    }
     double round_clock_max = 0.0;  // slowest client session this round
     for (const auto& [client, elapsed] : plan.failed_downlink_seconds) {
       (void)client;
@@ -154,6 +164,13 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
         const double down_end = sess.elapsed_seconds();
         sess.clock().charge_compute(transport_.compute_seconds(s.params_back));
         const double compute_end = sess.elapsed_seconds();
+        ParamSet upref;
+        if (compressor.enabled()) {
+          // Turn the trained parameters into a masked top-k delta against
+          // what this slot imported; the transport's sparse codec ships it.
+          upref = policy.upload_reference(s);
+          compressor.encode_update(s.client, outcomes[i].params, upref);
+        }
         net::Delivery up = transport_.send(sess, net::FrameKind::kReturn,
                                            outcomes[i].params, s.params_back);
         record_transfer(result.comm, up.transfer, /*uplink=*/true);
@@ -173,6 +190,9 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
           telemetry->client_failed();
           trace_dispatch_failure(s, "lost_uplink");
           lifecycle.drop(lc_id, "lost_uplink", sim_total + uplink_end);
+          // Error feedback: the discarded masked delta returns to the
+          // client's residual so its mass ships with the next update.
+          compressor.reclaim(s.client, outcomes[i].params);
           policy.on_transport_failure(s);
           continue;
         }
@@ -184,11 +204,13 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
           telemetry->client_failed();
           trace_dispatch_failure(s, "deadline");
           lifecycle.drop(lc_id, "deadline", sim_total + uplink_end);
+          compressor.reclaim(s.client, outcomes[i].params);
           policy.on_transport_failure(s);
           continue;
         }
         lifecycle.arrived(lc_id, sim_total + uplink_end);
         if (!up.params.empty()) outcomes[i].params = std::move(up.params);
+        compressor.decode_update(outcomes[i].params, upref);
       }
       result.comm.record_return(s.params_back);
       telemetry->add_train_seconds(outcomes[i].stats.seconds);
@@ -268,6 +290,7 @@ RunResult RoundEngine::run(RoundPolicy& policy) {
       engine::write_rng(w, rng);
       w.f64(sim_total);
       w.u64(lifecycle.last_id());
+      if (compressor.enabled()) compressor.snapshot(w);
       policy.snapshot_state(w);
       w.finish();
     }

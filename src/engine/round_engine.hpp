@@ -138,6 +138,23 @@ class RoundPolicy {
     return {};
   }
 
+  /// The parameter set execute() imported for this slot — what the trained
+  /// update is measured against when a sparsifying uplink codec is active
+  /// (src/compress/, docs/COMPRESSION.md): the uplink ships
+  /// top-k(trained - upload_reference() + residual). Must return exactly
+  /// what execute() read (slot.rx when present, else the policy's current
+  /// global split for the slot), with matching names and shapes. The default
+  /// throws: silently compressing against the wrong reference would corrupt
+  /// training, so policies must opt in explicitly.
+  virtual ParamSet upload_reference(const ClientSlot& slot) const {
+    (void)slot;
+    throw std::runtime_error(
+        algorithm_name() +
+        " does not implement upload_reference(); sparse uplink codecs "
+        "(AFL_NET_CODEC=topk*) need the policy to expose the imported "
+        "parameter set");
+  }
+
   /// One client's local work: build -> import -> train -> export. Runs on a
   /// worker thread; must be effectively const (no shared-state mutation) and
   /// must draw randomness only from `rng`.

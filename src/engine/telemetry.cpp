@@ -39,6 +39,12 @@ void trace_run_start(const RunResult& result, const FlRunConfig& config,
     ev.field("codec", net::codec_name(net.codec))
         .field("net_loss", net.channel.loss_prob)
         .field("net_deadline_ms", net.round_deadline_s * 1e3);
+    if (net.uplink() != net.codec) {
+      // Split-direction transport (docs/COMPRESSION.md): the column appears
+      // only when the uplink codec diverges, so symmetric-codec traces stay
+      // byte-identical.
+      ev.field("uplink_codec", net::codec_name(net.uplink()));
+    }
   }
   if (population != nullptr) {
     // Population columns (afl.trace.v3): fleet size, churn knobs, and the
@@ -105,8 +111,11 @@ void trace_run_end(const RunResult& result, const net::Transport& transport) {
       .field("waste_rate", result.comm.waste_rate())
       .field("failed_trainings", static_cast<std::uint64_t>(result.failed_trainings));
   if (transport.enabled()) {
-    ev.field("codec", net::codec_name(transport.codec()))
-        .field("bytes_sent", static_cast<std::uint64_t>(result.comm.bytes_sent()))
+    ev.field("codec", net::codec_name(transport.codec()));
+    if (transport.uplink_codec() != transport.codec()) {
+      ev.field("uplink_codec", net::codec_name(transport.uplink_codec()));
+    }
+    ev.field("bytes_sent", static_cast<std::uint64_t>(result.comm.bytes_sent()))
         .field("bytes_returned",
                static_cast<std::uint64_t>(result.comm.bytes_returned()))
         .field("retransmits", static_cast<std::uint64_t>(result.comm.retransmits()))

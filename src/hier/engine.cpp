@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "compress/compressor.hpp"
 #include "engine/lifecycle.hpp"
 #include "engine/plan.hpp"
 #include "engine/snapshot.hpp"
@@ -141,6 +142,12 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
     return edges[shard_of(client)].clock().now();
   };
 
+  // Sparsifying uplink + error feedback (src/compress/, docs/COMPRESSION.md).
+  // Residual rows are per-client and clients map to exactly one shard, so the
+  // shard-major commit order below cannot perturb the store's final state —
+  // sync_every=1 sharded runs stay bit-identical to the flat engine.
+  compress::Compressor compressor(transport_, compress::CompressConfig::from_env());
+
   // Snapshot/resume (docs/POPULATION.md): only root-sync boundaries are
   // snapshottable — edge and root merge windows are empty there, and in
   // divergent mode every edge model was just reset to the synced global, so
@@ -162,6 +169,7 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
           " edges, run has " + std::to_string(num_shards) + ")");
     }
     for (EdgeAggregator& edge : edges) edge.clock().restore(reader.f64());
+    if (compressor.enabled()) compressor.restore(reader);
     policy.restore_state(reader);
     reader.expect_end();
     if (divergent) {
@@ -195,6 +203,9 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
         [&](std::size_t client) { return static_cast<int>(shard_of(client)); },
         &lifecycle, time_base, /*version=*/static_cast<long long>(round) - 1);
     std::vector<ClientSlot>& work = plan.work;
+    if (compressor.enabled()) {
+      for (const std::size_t client : plan.departed) compressor.on_departed(client);
+    }
 
     // Divergent identity path: train on the owning shard's model by pointing
     // slot.rx at it (execute() splits rx down to back_index).
@@ -244,6 +255,11 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
           const double down_end = sess.elapsed_seconds();
           sess.clock().charge_compute(transport_.compute_seconds(s.params_back));
           const double compute_end = sess.elapsed_seconds();
+          ParamSet upref;
+          if (compressor.enabled()) {
+            upref = policy.upload_reference(s);
+            compressor.encode_update(s.client, outcomes[i].params, upref);
+          }
           net::Delivery up = transport_.send(sess, net::FrameKind::kReturn,
                                              outcomes[i].params, s.params_back);
           record_transfer(result.comm, up.transfer, /*uplink=*/true);
@@ -266,6 +282,7 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
             trace_dispatch_failure(s, "lost_uplink", -1.0,
                                    static_cast<int>(shard));
             lifecycle.drop(lc_id, "lost_uplink", shard_base + uplink_end);
+            compressor.reclaim(s.client, outcomes[i].params);
             policy.on_transport_failure(s);
             continue;
           }
@@ -278,11 +295,13 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
             trace_dispatch_failure(s, "deadline", -1.0,
                                    static_cast<int>(shard));
             lifecycle.drop(lc_id, "deadline", shard_base + uplink_end);
+            compressor.reclaim(s.client, outcomes[i].params);
             policy.on_transport_failure(s);
             continue;
           }
           lifecycle.arrived(lc_id, shard_base + uplink_end);
           if (!up.params.empty()) outcomes[i].params = std::move(up.params);
+          compressor.decode_update(outcomes[i].params, upref);
         }
         result.comm.record_return(s.params_back);
         telemetry->add_train_seconds(outcomes[i].stats.seconds);
@@ -422,6 +441,7 @@ RunResult HierEngine::run(HierRoundPolicy& policy) {
       w.u64(lifecycle.last_id());
       w.u64(edges.size());
       for (EdgeAggregator& edge : edges) w.f64(edge.clock().now());
+      if (compressor.enabled()) compressor.snapshot(w);
       policy.snapshot_state(w);
       w.finish();
     }

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <numeric>
 
 #include "obs/prof/prof.hpp"
+#include "obs/timer.hpp"
 
 namespace afl::net {
 namespace {
@@ -30,6 +33,53 @@ float read_f32(const std::uint8_t* p) {
 
 constexpr std::size_t kInt8HeaderBytes = 8;  // f32 min + f32 scale
 
+// Local varints for sparse payload internals. Same LEB128 wire format as
+// net/wire.cpp, but failures here are codec-level (CodecError), not frame
+// truncation, so the helpers live on this side of the layer.
+void varint_append(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  while (v >= 0x80u) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::size_t varint_bytes(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80u) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t varint_read(const std::uint8_t* data, std::size_t size,
+                          std::size_t* cursor, const std::string& what) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (*cursor >= size) throw CodecError("codec: truncated " + what);
+    const std::uint8_t byte = data[(*cursor)++];
+    v |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if (!(byte & 0x80u)) return v;
+    shift += 7;
+  }
+  throw CodecError("codec: overlong varint in " + what);
+}
+
+/// Magnitude key of the top-k order. NaN maps to +inf so the comparator
+/// stays a strict weak ordering on any input.
+float topk_magnitude(float v) {
+  const float m = std::fabs(v);
+  return std::isnan(m) ? std::numeric_limits<float>::infinity() : m;
+}
+
+/// Tensor context suffix for decode errors: ` (tensor "name")` or nothing.
+std::string tensor_context(std::string_view name) {
+  if (name.empty()) return std::string{};
+  return " (tensor \"" + std::string(name) + "\")";
+}
+
 }  // namespace
 
 const char* codec_name(Codec codec) {
@@ -40,15 +90,93 @@ const char* codec_name(Codec codec) {
       return "fp16";
     case Codec::kInt8:
       return "int8";
+    case Codec::kTopK1:
+      return "topk1";
+    case Codec::kTopK5:
+      return "topk5";
+    case Codec::kTopK10:
+      return "topk10";
+    case Codec::kTopK25:
+      return "topk25";
   }
   return "?";
 }
 
 std::optional<Codec> codec_from_name(std::string_view name) {
-  if (name == "fp32") return Codec::kFp32;
-  if (name == "fp16") return Codec::kFp16;
-  if (name == "int8") return Codec::kInt8;
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "fp32") return Codec::kFp32;
+  if (lower == "fp16") return Codec::kFp16;
+  if (lower == "int8") return Codec::kInt8;
+  if (lower == "topk1") return Codec::kTopK1;
+  if (lower == "topk5") return Codec::kTopK5;
+  if (lower == "topk10") return Codec::kTopK10;
+  if (lower == "topk25") return Codec::kTopK25;
+  if (lower == "topk") return Codec::kTopK10;  // default sparsifier
   return std::nullopt;
+}
+
+const char* codec_valid_names() {
+  return "fp32|fp16|int8|topk1|topk5|topk10|topk25|topk";
+}
+
+Codec codec_parse(std::string_view name, std::string_view context) {
+  const auto parsed = codec_from_name(name);
+  if (!parsed) {
+    throw std::invalid_argument(std::string(context) + ": unknown codec \"" +
+                                std::string(name) + "\" (valid: " +
+                                codec_valid_names() + ")");
+  }
+  return *parsed;
+}
+
+bool codec_is_sparse(Codec codec) { return codec_topk_percent(codec) != 0; }
+
+unsigned codec_topk_percent(Codec codec) {
+  switch (codec) {
+    case Codec::kTopK1:
+      return 1;
+    case Codec::kTopK5:
+      return 5;
+    case Codec::kTopK10:
+      return 10;
+    case Codec::kTopK25:
+      return 25;
+    default:
+      return 0;
+  }
+}
+
+std::size_t codec_kept_coords(std::size_t numel, Codec codec) {
+  const unsigned pct = codec_topk_percent(codec);
+  if (pct == 0) return numel;
+  if (numel == 0) return 0;
+  return std::max<std::size_t>(1, (numel * pct + 99) / 100);
+}
+
+std::vector<std::uint32_t> topk_select(const float* data, std::size_t n,
+                                       std::size_t k) {
+  static obs::Histogram& hist =
+      obs::metrics().histogram("afl.net.topk_select.seconds");
+  obs::KernelTimer timer(hist);
+  k = std::min(k, n);
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  const auto larger = [data](std::uint32_t a, std::uint32_t b) {
+    const float ma = topk_magnitude(data[a]);
+    const float mb = topk_magnitude(data[b]);
+    if (ma != mb) return ma > mb;
+    return a < b;  // ties keep the lower index: fully deterministic
+  };
+  if (k < n) {
+    std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                     idx.end(), larger);
+    idx.resize(k);
+  }
+  std::sort(idx.begin(), idx.end());
+  return idx;
 }
 
 std::uint16_t float_to_half(float value) {
@@ -90,14 +218,16 @@ float half_to_float(std::uint16_t half) {
   if (exp == 0) {
     if (mant == 0) {
       f = sign;  // signed zero
-    } else {     // subnormal: renormalize
+    } else {  // subnormal: renormalize
+      // mant = 1.f * 2^(10-shift) after the loop, and a subnormal half is
+      // mant * 2^-24, so the value is 1.f * 2^(-14-shift).
       int shift = 0;
       while (!(mant & 0x400u)) {
         mant <<= 1;
         ++shift;
       }
       mant &= 0x3FFu;
-      f = sign | (static_cast<std::uint32_t>(127 - 15 - shift) << 23) | (mant << 13);
+      f = sign | (static_cast<std::uint32_t>(127 - 14 - shift) << 23) | (mant << 13);
     }
   } else if (exp == 31) {
     f = sign | 0x7F800000u | (mant << 13);
@@ -117,8 +247,32 @@ std::size_t encoded_payload_size(std::size_t numel, Codec codec) {
       return numel * 2;
     case Codec::kInt8:
       return kInt8HeaderBytes + numel;
+    case Codec::kTopK1:
+    case Codec::kTopK5:
+    case Codec::kTopK10:
+    case Codec::kTopK25: {
+      // Worst case: every index delta at the maximal varint width for a
+      // 32-bit index (5 bytes) plus the f32 value. Real payloads are much
+      // smaller — kept coordinates cluster, so deltas are short varints.
+      const std::size_t k = codec_kept_coords(numel, codec);
+      return varint_bytes(k) + k * (5 + 4);
+    }
   }
   return 0;
+}
+
+std::size_t encoded_payload_size(const Tensor& t, Codec codec) {
+  if (!codec_is_sparse(codec)) return encoded_payload_size(t.numel(), codec);
+  const std::size_t n = t.numel();
+  const std::vector<std::uint32_t> kept =
+      topk_select(t.data(), n, codec_kept_coords(n, codec));
+  std::size_t bytes = varint_bytes(kept.size());
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    bytes += varint_bytes(i == 0 ? kept[i] : kept[i] - prev) + 4;
+    prev = kept[i];
+  }
+  return bytes;
 }
 
 std::size_t encode_tensor(const Tensor& t, Codec codec, std::vector<std::uint8_t>& out) {
@@ -192,18 +346,83 @@ std::size_t encode_tensor(const Tensor& t, Codec codec, std::vector<std::uint8_t
       }
       break;
     }
+    case Codec::kTopK1:
+    case Codec::kTopK5:
+    case Codec::kTopK10:
+    case Codec::kTopK25: {
+      // Sparse payload: varint k, then k (index varint-delta, f32 value)
+      // pairs in ascending index order. Exactly codec_kept_coords(n) entries
+      // are always emitted — even zero-valued ones — so the payload size is
+      // a pure function of (content, shape) and decode can cross-check k.
+      static obs::Histogram& hist =
+          obs::metrics().histogram("afl.net.sparse_encode.seconds");
+      obs::KernelTimer timer(hist);  // includes the nested topk_select time
+      const std::vector<std::uint32_t> kept =
+          topk_select(data, n, codec_kept_coords(n, codec));
+      varint_append(kept.size(), out);
+      std::uint32_t prev = 0;
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        varint_append(i == 0 ? kept[i] : kept[i] - prev, out);
+        prev = kept[i];
+        append_f32(out, data[kept[i]]);
+      }
+      break;
+    }
   }
   return out.size() - start;
 }
 
 Tensor decode_tensor(const std::uint8_t* data, std::size_t size, const Shape& shape,
-                     Codec codec) {
+                     Codec codec, std::string_view name) {
   AFL_PROF_SPAN("net.decode");
   const std::size_t n = shape_numel(shape);
+  if (codec_is_sparse(codec)) {
+    // Sparse payloads are self-describing: parse and validate the index
+    // stream instead of a fixed size check. Dropped coordinates are zero.
+    static obs::Histogram& hist =
+        obs::metrics().histogram("afl.net.sparse_decode.seconds");
+    obs::KernelTimer timer(hist);
+    Tensor t{Shape(shape)};
+    float* out = t.data();
+    std::memset(out, 0, n * sizeof(float));
+    std::size_t cur = 0;
+    const std::uint64_t k = varint_read(data, size, &cur, "sparse count");
+    if (k != codec_kept_coords(n, codec)) {
+      throw CodecError("codec: sparse payload keeps " + std::to_string(k) +
+                       " coords, expected " +
+                       std::to_string(codec_kept_coords(n, codec)) +
+                       " for shape " + shape_to_string(shape) + " under " +
+                       codec_name(codec) + tensor_context(name));
+    }
+    std::uint64_t idx = 0;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const std::uint64_t delta = varint_read(data, size, &cur, "sparse index");
+      if (i > 0 && delta == 0) {
+        throw CodecError("codec: non-increasing sparse index" +
+                         tensor_context(name));
+      }
+      idx = i == 0 ? delta : idx + delta;
+      if (idx >= n) {
+        throw CodecError("codec: sparse index " + std::to_string(idx) +
+                         " out of range for shape " + shape_to_string(shape) +
+                         tensor_context(name));
+      }
+      if (cur + 4 > size) {
+        throw CodecError("codec: truncated sparse value" + tensor_context(name));
+      }
+      out[idx] = read_f32(data + cur);
+      cur += 4;
+    }
+    if (cur != size) {
+      throw CodecError("codec: trailing bytes after sparse payload" +
+                       tensor_context(name));
+    }
+    return t;
+  }
   if (size != encoded_payload_size(n, codec)) {
     throw CodecError("codec: payload size " + std::to_string(size) +
                      " does not match shape " + shape_to_string(shape) + " under " +
-                     codec_name(codec));
+                     codec_name(codec) + tensor_context(name));
   }
   Tensor t{Shape(shape)};
   float* out = t.data();
@@ -238,6 +457,14 @@ Tensor decode_tensor(const std::uint8_t* data, std::size_t size, const Shape& sh
       }
       break;
     }
+    case Codec::kTopK1:
+    case Codec::kTopK5:
+    case Codec::kTopK10:
+    case Codec::kTopK25:
+      // Unreachable: the sparse family decodes in the early-return branch
+      // above; listed so -Wswitch flags any future codec addition.
+      throw CodecError("codec: sparse codec reached dense decode path" +
+                       tensor_context(name));
   }
   return t;
 }
@@ -261,6 +488,14 @@ double codec_error_bound(Codec codec, float lo, float hi) {
                                     std::fabs(static_cast<double>(hi))) *
                                1e-6;
     }
+    case Codec::kTopK1:
+    case Codec::kTopK5:
+    case Codec::kTopK10:
+    case Codec::kTopK25:
+      // A dropped coordinate decodes to zero, so the per-scalar error can be
+      // the full magnitude of any in-range value. Kept coordinates are exact.
+      return std::max(std::fabs(static_cast<double>(lo)),
+                      std::fabs(static_cast<double>(hi)));
   }
   return 0.0;
 }

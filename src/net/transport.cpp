@@ -79,13 +79,17 @@ NetConfig NetConfig::from_env() {
   const std::string master = env_or("AFL_NET", "");
   if (master.empty() || master == "0") return cfg;
   cfg.enabled = true;
-  const std::string codec = env_or("AFL_NET_CODEC", "fp32");
-  const auto parsed = codec_from_name(codec);
-  if (!parsed) {
-    throw std::invalid_argument("AFL_NET_CODEC: unknown codec \"" + codec +
-                                "\" (fp32|fp16|int8)");
+  const Codec parsed = codec_parse(env_or("AFL_NET_CODEC", "fp32"), "AFL_NET_CODEC");
+  if (codec_is_sparse(parsed)) {
+    // Sparse codecs only make sense on the delta-coded uplink: the downlink
+    // ships full parameter sets, which top-k would destroy. AFL_NET_CODEC=
+    // topk* therefore means "sparse uplink, fp32 downlink".
+    cfg.uplink_codec = parsed;
+  } else {
+    cfg.codec = parsed;
   }
-  cfg.codec = *parsed;
+  const std::string up = env_or("AFL_NET_UPLINK_CODEC", "");
+  if (!up.empty()) cfg.uplink_codec = codec_parse(up, "AFL_NET_UPLINK_CODEC");
   // Megabits/s on the knob, bytes/s in the model.
   cfg.channel.bandwidth_bytes_per_s = env_or("AFL_NET_BW_MBPS", 0.0) * 1e6 / 8.0;
   cfg.channel.latency_s = env_or("AFL_NET_LATENCY_MS", 0.0) / 1e3;
@@ -101,7 +105,14 @@ NetConfig NetConfig::from_env() {
 }
 
 Transport::Transport(NetConfig config, std::uint64_t run_seed)
-    : config_(std::move(config)), seed_(run_seed) {}
+    : config_(std::move(config)), seed_(run_seed) {
+  if (codec_is_sparse(config_.codec)) {
+    // Normalize a sparse codec placed on the shared knob: route it to the
+    // uplink and keep the downlink dense (see NetConfig::uplink_codec).
+    if (!config_.uplink_codec) config_.uplink_codec = config_.codec;
+    config_.codec = Codec::kFp32;
+  }
+}
 
 Transport::Session Transport::session(std::size_t round, std::size_t client) const {
   Session s;
@@ -126,13 +137,14 @@ Delivery Transport::send(Session& session, FrameKind kind, const ParamSet& paylo
                          std::size_t payload_params) const {
   Delivery out;
   const bool size_only = payload.empty();
+  const Codec codec =
+      kind == FrameKind::kReturn ? config_.uplink() : config_.codec;
   std::vector<std::uint8_t> frame;
   if (!size_only) {
-    frame = encode_frame({kind, config_.codec, session.round_, session.client_},
-                         payload);
+    frame = encode_frame({kind, codec, session.round_, session.client_}, payload);
   }
   const std::size_t frame_bytes =
-      size_only ? estimate_frame_bytes(payload_params, config_.codec) : frame.size();
+      size_only ? estimate_frame_bytes(payload_params, codec) : frame.size();
   const FaultSpec* fault = fault_for(kind, session.round_, session.client_);
   const ChannelConfig& channel = channel_for(session.client_);
 

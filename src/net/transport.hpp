@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,13 @@ struct NetConfig {
   /// Master switch. Disabled (default) keeps the engine's identity path.
   bool enabled = false;
   Codec codec = Codec::kFp32;
+  /// Uplink-only codec override (docs/COMPRESSION.md). Sparse codecs are
+  /// delta-coded and only meaningful on return frames, so AFL_NET_CODEC=topk*
+  /// lands here (downlink stays `codec`); AFL_NET_UPLINK_CODEC sets it
+  /// directly. Unset means the uplink uses `codec` like always.
+  std::optional<Codec> uplink_codec;
+  /// The codec return frames are encoded with.
+  Codec uplink() const { return uplink_codec ? *uplink_codec : codec; }
   ChannelConfig channel;
   /// Retransmissions allowed per frame beyond the first attempt. A frame
   /// lost on every attempt is dropped and its client excluded this round.
@@ -100,6 +108,7 @@ class Transport {
   bool enabled() const { return config_.enabled; }
   const NetConfig& config() const { return config_; }
   Codec codec() const { return config_.codec; }
+  Codec uplink_codec() const { return config_.uplink(); }
 
   /// Deterministic straggler term for `params` trained parameters.
   double compute_seconds(std::size_t params) const {

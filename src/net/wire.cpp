@@ -75,7 +75,10 @@ std::vector<std::uint8_t> encode_frame(const FrameHeader& header, const ParamSet
     out.insert(out.end(), name.begin(), name.end());
     varint_encode(tensor.rank(), out);
     for (std::size_t d = 0; d < tensor.rank(); ++d) varint_encode(tensor.dim(d), out);
-    varint_encode(encoded_payload_size(tensor.numel(), header.codec), out);
+    // Sparse payload sizes are content-dependent, so frames carry the exact
+    // length (encoded_payload_size(tensor, codec)); dense codecs are a pure
+    // function of numel and the two overloads agree.
+    varint_encode(encoded_payload_size(tensor, header.codec), out);
     encode_tensor(tensor, header.codec, out);
   }
   put_u32_le(out, crc32(out.data() + sizeof(kMagic), out.size() - sizeof(kMagic)));
@@ -104,7 +107,7 @@ ParamSet decode_frame(const std::uint8_t* data, std::size_t size, FrameHeader* h
     throw WireError("wire: unknown frame kind " + std::to_string(kind));
   }
   const std::uint8_t codec = data[cur++];
-  if (codec > static_cast<std::uint8_t>(Codec::kInt8)) {
+  if (codec > static_cast<std::uint8_t>(Codec::kTopK25)) {
     throw WireError("wire: unknown codec " + std::to_string(codec));
   }
   FrameHeader h;
@@ -134,7 +137,7 @@ ParamSet decode_frame(const std::uint8_t* data, std::size_t size, FrameHeader* h
     if (cur + payload_len > end) throw WireError("wire: truncated payload");
     Tensor t;
     try {
-      t = decode_tensor(data + cur, payload_len, shape, h.codec);
+      t = decode_tensor(data + cur, payload_len, shape, h.codec, name);
     } catch (const CodecError& e) {
       throw WireError(std::string("wire: ") + e.what());
     }

@@ -1,0 +1,81 @@
+# Uplink-compression CI gate (docs/COMPRESSION.md): runs the
+# compression_tradeoff example — dense fp32 vs top-k(10%)+error-feedback
+# uplink on the same seeded environment — and asserts that
+#   - the example itself exits 0 (it returns nonzero when the sparse run
+#     loses more than 0.05 best accuracy or saves less than 5x uplink bytes),
+#   - `afl-insight bytes` renders the bytes-vs-accuracy view with the split
+#     uplink codec column,
+#   - `afl-insight diff` re-derives both gates from the trace alone:
+#     --acc-metric best --max-acc-drop 0.05 and --max-uplink-bytes-ratio 0.2
+#     (sparse uplink must ship at most 20% of the dense bytes), and
+#   - `afl-insight validate` accepts the sparse-uplink trace.
+#
+# Invoked as:
+#   cmake -DEXAMPLE=<compression_tradeoff> -DINSIGHT=<afl-insight>
+#         -DWORK_DIR=<dir> -P compression_tradeoff_check.cmake
+
+if(NOT EXAMPLE OR NOT INSIGHT OR NOT WORK_DIR)
+  message(FATAL_ERROR "compression_tradeoff_check.cmake needs -DEXAMPLE=..., -DINSIGHT=... and -DWORK_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(TRACE "${WORK_DIR}/compression_tradeoff.jsonl")
+
+execute_process(
+  COMMAND "${EXAMPLE}" "${TRACE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "compression_tradeoff exited ${rc} (accuracy or savings gate failed):\n${out}${err}")
+endif()
+if(NOT out MATCHES "within 0.05 budget")
+  message(FATAL_ERROR "compression_tradeoff did not report the accuracy gate:\n${out}")
+endif()
+
+# The bytes view must label the sparse run with its uplink codec and report
+# a compression ratio against dense fp32.
+execute_process(
+  COMMAND "${INSIGHT}" bytes "${TRACE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bytes view exited ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "topk10")
+  message(FATAL_ERROR "bytes view missing the topk10 uplink column:\n${out}")
+endif()
+
+# Re-derive both gates from the trace alone: run 0 (dense) is the baseline,
+# run 1 (sparse) the candidate. Wall-time/params gates are left loose — the
+# runs are identical apart from the codec; only accuracy and bytes matter.
+execute_process(
+  COMMAND "${INSIGHT}" diff "${TRACE}" "${TRACE}" --base-run 0 --cand-run 1
+          --acc-metric best --max-acc-drop 0.05
+          --max-time-ratio 100 --max-comm-ratio 1.10
+          --max-bytes-ratio 1.0 --max-uplink-bytes-ratio 0.2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "diff gate exited ${rc} — sparse uplink regressed:\n${out}${err}")
+endif()
+if(NOT out MATCHES "uplink bytes")
+  message(FATAL_ERROR "diff output missing the uplink bytes row:\n${out}")
+endif()
+
+# Sanity: a doctored gate must trip. Demanding a 100x uplink saving from a
+# 10%-top-k run has to exit 2, proving the gate is actually wired up.
+execute_process(
+  COMMAND "${INSIGHT}" diff "${TRACE}" "${TRACE}" --base-run 0 --cand-run 1
+          --max-acc-drop 1.0 --max-time-ratio 100 --max-comm-ratio 100
+          --max-bytes-ratio 100 --max-uplink-bytes-ratio 0.01
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "doctored uplink gate exited ${rc} (expected 2):\n${out}${err}")
+endif()
+
+# Lifecycle completeness with a sparse uplink: every dispatch still closes.
+execute_process(
+  COMMAND "${INSIGHT}" validate "${TRACE}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lifecycle validate exited ${rc}:\n${out}${err}")
+endif()
+
+message(STATUS "compression tradeoff checks passed")

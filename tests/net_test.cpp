@@ -124,6 +124,12 @@ TEST(Codec, HalfConversionSpecials) {
   EXPECT_EQ(net::half_to_float(net::float_to_half(-2.5f)), -2.5f);
   EXPECT_EQ(net::half_to_float(net::float_to_half(6.1035156e-05f)),
             6.1035156e-05f);  // smallest normal half
+  // Subnormal halves are exact multiples of 2^-24 and must round-trip too
+  // (a renormalization off-by-one here once halved every subnormal).
+  EXPECT_EQ(net::half_to_float(net::float_to_half(5.9604645e-08f)),
+            5.9604645e-08f);  // smallest subnormal half, 2^-24
+  EXPECT_EQ(net::half_to_float(net::float_to_half(6.0975552e-05f)),
+            6.0975552e-05f);  // largest subnormal half, 1023 * 2^-24
 }
 
 TEST(Codec, Int8ConstantTensorIsExact) {
@@ -183,6 +189,114 @@ TEST(CodecProperty, BoundedRoundTripOverAllPoolShapes) {
       expect_bounded_roundtrip(tensor, Codec::kFp16);
       expect_bounded_roundtrip(tensor, Codec::kInt8);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse top-k codecs (docs/COMPRESSION.md)
+// ---------------------------------------------------------------------------
+
+TEST(CodecNames, SparseFamilyRoundTripsAndAliases) {
+  for (Codec c : {Codec::kTopK1, Codec::kTopK5, Codec::kTopK10, Codec::kTopK25}) {
+    const auto parsed = net::codec_from_name(net::codec_name(c));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, c);
+    EXPECT_TRUE(net::codec_is_sparse(c));
+  }
+  // "topk" is the default-percentage alias, and parsing ignores case.
+  EXPECT_EQ(net::codec_from_name("topk"), Codec::kTopK10);
+  EXPECT_EQ(net::codec_from_name("TopK25"), Codec::kTopK25);
+  EXPECT_EQ(net::codec_from_name("FP16"), Codec::kFp16);
+  EXPECT_EQ(net::codec_from_name("Int8"), Codec::kInt8);
+}
+
+TEST(CodecNames, ParseRejectionListsValidCodecs) {
+  EXPECT_EQ(net::codec_parse("tOpK5", "AFL_NET_CODEC"), Codec::kTopK5);
+  try {
+    net::codec_parse("bf16", "AFL_NET_CODEC");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("AFL_NET_CODEC"), std::string::npos) << what;
+    EXPECT_NE(what.find("bf16"), std::string::npos) << what;
+    EXPECT_NE(what.find(net::codec_valid_names()), std::string::npos) << what;
+  }
+}
+
+TEST(Codec, KeptCoordsFormula) {
+  // max(1, ceil(numel * pct / 100)); empty tensors keep nothing.
+  EXPECT_EQ(net::codec_kept_coords(0, Codec::kTopK10), 0u);
+  EXPECT_EQ(net::codec_kept_coords(1, Codec::kTopK1), 1u);
+  EXPECT_EQ(net::codec_kept_coords(100, Codec::kTopK1), 1u);
+  EXPECT_EQ(net::codec_kept_coords(101, Codec::kTopK1), 2u);
+  EXPECT_EQ(net::codec_kept_coords(10, Codec::kTopK10), 1u);
+  EXPECT_EQ(net::codec_kept_coords(11, Codec::kTopK10), 2u);
+  EXPECT_EQ(net::codec_kept_coords(8, Codec::kTopK25), 2u);
+  EXPECT_EQ(net::codec_kept_coords(100, Codec::kFp32), 100u);  // dense
+}
+
+TEST(Codec, TopKRoundTripKeepsLargestExactly) {
+  Tensor t({8});
+  const float values[] = {0.1f, -3.0f, 0.2f, 2.5f, -0.05f, 0.0f, 1.0f, -0.7f};
+  for (std::size_t i = 0; i < t.numel(); ++i) t.data()[i] = values[i];
+  std::vector<std::uint8_t> buf;
+  const std::size_t appended = net::encode_tensor(t, Codec::kTopK25, buf);
+  EXPECT_EQ(appended, net::encoded_payload_size(t, Codec::kTopK25));
+  EXPECT_LE(appended, net::encoded_payload_size(t.numel(), Codec::kTopK25));
+  Tensor back = net::decode_tensor(buf.data(), buf.size(), t.shape(), Codec::kTopK25);
+  // k = ceil(8 * 25%) = 2: indices 1 (-3.0) and 3 (2.5) survive bit-exact.
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    if (i == 1 || i == 3) {
+      EXPECT_EQ(back.data()[i], t.data()[i]) << i;
+    } else {
+      EXPECT_EQ(back.data()[i], 0.0f) << i;
+    }
+  }
+}
+
+TEST(Codec, TopKSelectBreaksTiesTowardLowerIndex) {
+  const float data[] = {1.0f, -1.0f, 1.0f, 0.5f};
+  const std::vector<std::uint32_t> kept = net::topk_select(data, 4, 2);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 0u);
+  EXPECT_EQ(kept[1], 1u);
+}
+
+TEST(Codec, SparseCorruptionAndTruncationThrow) {
+  Rng rng(55);
+  Tensor t = Tensor::randn({6, 6}, rng);
+  std::vector<std::uint8_t> buf;
+  net::encode_tensor(t, Codec::kTopK10, buf);
+  // Truncation.
+  EXPECT_THROW(
+      net::decode_tensor(buf.data(), buf.size() - 1, t.shape(), Codec::kTopK10),
+      net::CodecError);
+  // Trailing bytes.
+  std::vector<std::uint8_t> longer = buf;
+  longer.push_back(0x00);
+  EXPECT_THROW(
+      net::decode_tensor(longer.data(), longer.size(), t.shape(), Codec::kTopK10),
+      net::CodecError);
+  // Wrong declared count: the leading varint must equal codec_kept_coords.
+  std::vector<std::uint8_t> bad = buf;
+  bad[0] = static_cast<std::uint8_t>(bad[0] + 1);
+  EXPECT_THROW(
+      net::decode_tensor(bad.data(), bad.size(), t.shape(), Codec::kTopK10),
+      net::CodecError);
+}
+
+TEST(Codec, ErrorsQuoteTensorNameAndShape) {
+  Rng rng(56);
+  Tensor t = Tensor::randn({3, 4}, rng);
+  std::vector<std::uint8_t> buf;
+  net::encode_tensor(t, Codec::kTopK10, buf);
+  try {
+    net::decode_tensor(buf.data(), buf.size() - 1, t.shape(), Codec::kTopK10,
+                       "conv1.w");
+    FAIL() << "expected CodecError";
+  } catch (const net::CodecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("conv1.w"), std::string::npos) << what;
   }
 }
 

@@ -169,6 +169,61 @@ TEST(SnapshotResume, HierEngineBitIdentical) {
   }
 }
 
+// Sparse-uplink variants (docs/COMPRESSION.md): the per-client error-feedback
+// residuals are engine state — a resume that lost them would ship different
+// masked deltas from round k+1 on and diverge. Each engine must carry the
+// compressor section through its AFLSNAP1 snapshot bit-identically.
+
+TEST(SnapshotResume, SyncEngineWithCompressionBitIdentical) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ExperimentEnv env = small_env();
+    env.run.threads = threads;
+    env.run.net->uplink_codec = net::Codec::kTopK10;
+    check_resume(env, "sync_topk_t" + std::to_string(threads), 3);
+  }
+}
+
+TEST(SnapshotResume, AsyncEngineWithCompressionBitIdentical) {
+  // The async snapshot additionally freezes each in-flight dispatch's upload
+  // reference (the masked delta is encoded exactly once per dispatch).
+  ExperimentEnv env = small_env();
+  env.run.net->uplink_codec = net::Codec::kTopK10;
+  async::AsyncConfig acfg;
+  acfg.enabled = true;
+  acfg.buffer_size = 3;
+  acfg.concurrency = 5;
+  acfg.staleness_alpha = 0.3;
+  env.run.async = acfg;
+  env.run.net->round_deadline_s = 0.0;
+  check_resume(env, "async_topk", 3);
+}
+
+TEST(SnapshotResume, HierEngineWithCompressionBitIdentical) {
+  ExperimentEnv env = small_env();
+  env.run.net->uplink_codec = net::Codec::kTopK10;
+  hier::HierConfig hcfg;
+  hcfg.enabled = true;
+  hcfg.shards = 2;
+  hcfg.sync_every = 2;
+  env.run.hier = hcfg;
+  check_resume(env, "hier_topk", 4);
+}
+
+TEST(SnapshotResume, CompressionUnderChurnBitIdentical) {
+  // Churn + compression: departed clients' residuals are dropped during
+  // planning, which must replay identically on the resumed leg.
+  ExperimentEnv env = small_env();
+  env.run.net->uplink_codec = net::Codec::kTopK10;
+  pop::PopConfig storm;
+  storm.enabled = true;
+  storm.active_frac = 0.75;
+  storm.rotate_every = 2;
+  storm.rotate_frac = 0.4;
+  storm.dark_prob = 0.1;
+  env.run.pop = storm;
+  check_resume(env, "sync_topk_churn", 3);
+}
+
 TEST(SnapshotResume, CorruptedSnapshotIsRejected) {
   ExperimentEnv env = small_env();
   const std::string path = snap_path("corrupt");

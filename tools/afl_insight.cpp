@@ -2,6 +2,7 @@
 // benchmark snapshots.
 //
 //   afl-insight summary <trace>            per-run phase/time breakdown
+//   afl-insight bytes <trace>              bytes-vs-accuracy view per run
 //   afl-insight clients <trace> [--run N]  per-client drill-down
 //   afl-insight rounds  <trace> [N]        slowest-N rounds
 //   afl-insight timeline <trace>           simulated time-to-accuracy curves
@@ -23,7 +24,10 @@
 // can diff against itself) and exits 2 when the candidate regresses past the
 // thresholds
 // (--max-acc-drop, --max-time-ratio, --max-comm-ratio, --max-bytes-ratio —
-// the last applies only when the baseline trace carries wire-byte columns),
+// the last applies only when the baseline trace carries wire-byte columns —
+// plus --max-uplink-bytes-ratio, off by default, gating bytes_returned alone:
+// with a ratio below 1 it *demands* uplink savings, which is how the
+// compression CI job certifies sparse codecs, see docs/COMPRESSION.md),
 // which makes it usable as a CI perf gate. `validate` checks every
 // afl.trace.v2 lifecycle record stream for completeness (each dispatch has a
 // select phase, exactly one terminal outcome, and time-ordered phases) and
@@ -205,6 +209,10 @@ struct RunStats {
   double bytes_sent = 0.0, bytes_returned = 0.0;
   double retransmits = 0.0, stragglers = 0.0;
   std::string codec;  // run_start header; empty on transportless runs
+  // Uplink codec when it diverges from the shared codec — the sparsifying
+  // compression subsystem (docs/COMPRESSION.md) writes the column on
+  // run_start/run_end only for split-direction transports.
+  std::string uplink_codec;
   std::map<std::string, std::size_t> kind_counts;
   std::map<std::string, std::size_t> dispatch_outcomes;
 
@@ -239,6 +247,7 @@ struct RunStats {
 RunStats run_stats(const Run& run) {
   RunStats s;
   s.codec = str(run.header, "codec");
+  s.uplink_codec = str(run.header, "uplink_codec");
   std::vector<double> round_ms;
   bool has_run_end = false;
   for (const Record& r : run.events) {
@@ -300,6 +309,9 @@ RunStats run_stats(const Run& run) {
         s.retransmits = num(r, "retransmits");
         s.stragglers = num(r, "stragglers");
       }
+      if (r.count("uplink_codec") != 0) {
+        s.uplink_codec = str(r, "uplink_codec");
+      }
     }
   }
   s.p95_round_ms = percentile(round_ms, 95.0);
@@ -340,8 +352,20 @@ int cmd_summary(const TraceFile& file) {
     t.add_row({"params returned", Table::fmt(s.params_returned, 0)});
     if (s.has_bytes) {
       const std::string codec = s.codec.empty() ? "?" : s.codec;
+      const std::string up_codec =
+          s.uplink_codec.empty() ? codec : s.uplink_codec;
       t.add_row({"bytes sent [" + codec + "]", Table::fmt(s.bytes_sent, 0)});
-      t.add_row({"bytes returned [" + codec + "]", Table::fmt(s.bytes_returned, 0)});
+      t.add_row(
+          {"bytes returned [" + up_codec + "]", Table::fmt(s.bytes_returned, 0)});
+      if (!s.uplink_codec.empty() && s.bytes_returned > 0 &&
+          s.params_returned > 0) {
+        // Uplink compression ratio vs a dense fp32 uplink of the same
+        // committed parameter volume (4 bytes/param). Retransmitted frames
+        // count against the wire side, so the ratio is end-to-end honest.
+        t.add_row({"uplink compression vs fp32",
+                   Table::fmt(s.params_returned * 4.0 / s.bytes_returned, 2) +
+                       "x"});
+      }
       t.add_row({"retransmits", Table::fmt(s.retransmits, 0)});
       t.add_row({"stragglers (deadline)", Table::fmt(s.stragglers, 0)});
       t.add_row({"deadline-missed clients",
@@ -391,6 +415,47 @@ int cmd_summary(const TraceFile& file) {
       std::printf("%s", st.to_markdown().c_str());
     }
     std::printf("\n");
+  }
+  return 0;
+}
+
+/// Bytes-vs-accuracy view across all runs in one trace: what each codec pair
+/// paid on the wire for the accuracy it reached (docs/COMPRESSION.md). The
+/// per-run best full accuracy comes from the eval_point curve (falling back
+/// to run_end), so async runs whose final flush dips are compared fairly.
+int cmd_bytes(const TraceFile& file) {
+  Table t({"run", "algo", "codec", "uplink", "bytes down", "bytes up",
+           "up vs fp32", "best acc"});
+  bool any_bytes = false;
+  for (std::size_t i = 0; i < file.runs.size(); ++i) {
+    const Run& run = file.runs[i];
+    const RunStats s = run_stats(run);
+    double best_acc = s.final_acc;
+    bool has_acc = s.has_acc;
+    for (const Record& r : run.events) {
+      if (!is_kind(r, "eval_point")) continue;
+      const double acc = num(r, "full_acc");
+      if (!has_acc || acc > best_acc) best_acc = acc;
+      has_acc = true;
+    }
+    if (s.has_bytes) any_bytes = true;
+    const std::string codec = s.codec.empty() ? "-" : s.codec;
+    const std::string uplink = s.uplink_codec.empty() ? codec : s.uplink_codec;
+    const bool ratio_known = !s.uplink_codec.empty() && s.bytes_returned > 0 &&
+                             s.params_returned > 0;
+    t.add_row({std::to_string(i), str(run.header, "algo", "?"), codec, uplink,
+               s.has_bytes ? Table::fmt(s.bytes_sent, 0) : "-",
+               s.has_bytes ? Table::fmt(s.bytes_returned, 0) : "-",
+               ratio_known
+                   ? Table::fmt(s.params_returned * 4.0 / s.bytes_returned, 2) +
+                         "x"
+                   : "-",
+               has_acc ? Table::fmt(best_acc, 4) : "n/a"});
+  }
+  std::printf("bytes vs accuracy:\n%s", t.to_markdown().c_str());
+  if (!any_bytes) {
+    std::printf("(no wire-byte columns — all runs ran the identity "
+                "transport; set AFL_NET_* to get byte accounting)\n");
   }
   return 0;
 }
@@ -826,7 +891,8 @@ int cmd_export_chrome(const TraceFile& file, const std::string& out_path) {
 
 int cmd_diff(const TraceFile& base, const TraceFile& cand, int base_run,
              int cand_run, double max_acc_drop, double max_time_ratio,
-             double max_comm_ratio, double max_bytes_ratio, double tta_acc,
+             double max_comm_ratio, double max_bytes_ratio,
+             double max_uplink_bytes_ratio, double tta_acc,
              double max_tta_ratio, bool acc_best) {
   const Run* a = pick_run(base, base_run);
   const Run* b = pick_run(cand, cand_run);
@@ -880,6 +946,11 @@ int cmd_diff(const TraceFile& base, const TraceFile& cand, int base_run,
     const double total_b = sb.bytes_sent + sb.bytes_returned;
     t.add_row({"bytes on wire", Table::fmt(total_a, 0), Table::fmt(total_b, 0),
                total_a > 0 ? Table::fmt(total_b / total_a, 3) + "x" : "n/a"});
+    t.add_row({"uplink bytes", Table::fmt(sa.bytes_returned, 0),
+               Table::fmt(sb.bytes_returned, 0),
+               sa.bytes_returned > 0
+                   ? Table::fmt(sb.bytes_returned / sa.bytes_returned, 3) + "x"
+                   : "n/a"});
   }
   double tta_a = -1.0, tta_b = -1.0;
   if (tta_acc > 0) {
@@ -916,6 +987,16 @@ int cmd_diff(const TraceFile& base, const TraceFile& cand, int base_run,
   if (sa.has_bytes && bytes_a > 0 && bytes_b > bytes_a * max_bytes_ratio) {
     std::printf("REGRESSION: wire bytes %.2fx baseline (> %.2fx allowed)\n",
                 bytes_b / bytes_a, max_bytes_ratio);
+    ++regressions;
+  }
+  // Uplink-only gate, active only when --max-uplink-bytes-ratio was given.
+  // The compression CI job uses it with a ratio < 1 to *require* savings:
+  // a sparse-uplink candidate must ship at most that fraction of the dense
+  // baseline's return bytes (docs/COMPRESSION.md).
+  if (max_uplink_bytes_ratio > 0 && sa.has_bytes && sa.bytes_returned > 0 &&
+      sb.bytes_returned > sa.bytes_returned * max_uplink_bytes_ratio) {
+    std::printf("REGRESSION: uplink bytes %.2fx baseline (> %.2fx allowed)\n",
+                sb.bytes_returned / sa.bytes_returned, max_uplink_bytes_ratio);
     ++regressions;
   }
   // Time-to-accuracy gate, active only when --tta-acc was given. Baseline
@@ -1208,6 +1289,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: afl-insight <command> [args]\n"
                "  summary <trace>                     per-run phase/time breakdown\n"
+               "  bytes <trace>                       bytes-vs-accuracy view per run\n"
                "  clients <trace> [--run N]           per-client drill-down\n"
                "  rounds <trace> [N] [--run N]        slowest-N rounds (default 5)\n"
                "  timeline <trace> [--run N]          simulated time-to-accuracy curves\n"
@@ -1221,6 +1303,7 @@ int usage() {
                "       [--max-time-ratio X]           allowed round-p95 ratio (1.50)\n"
                "       [--max-comm-ratio X]           allowed params-sent ratio (1.10)\n"
                "       [--max-bytes-ratio X]          allowed wire-bytes ratio (1.10)\n"
+               "       [--max-uplink-bytes-ratio X]   allowed uplink-bytes ratio (off; <1 demands savings)\n"
                "       [--tta-acc X]                  gate simulated time to accuracy X (off)\n"
                "       [--max-tta-ratio X]            allowed time-to-acc ratio (1.00)\n"
                "       [--base-run N] [--cand-run N]  run index inside each trace (last)\n"
@@ -1276,6 +1359,7 @@ int main(int argc, char** argv) {
   int base_run = -1, cand_run = -1;       // diff-side run selectors
   double max_acc_drop = 0.02, max_time_ratio = 1.50, max_comm_ratio = 1.10;
   double max_bytes_ratio = 1.10;
+  double max_uplink_bytes_ratio = 0.0;  // uplink gate off until the flag
   double tta_acc = 0.0, max_tta_ratio = 1.00;  // tta gate off until --tta-acc
   bool acc_best = false;    // diff --acc-metric best
   int top_k = 5;            // critical-path client rows
@@ -1304,6 +1388,8 @@ int main(int argc, char** argv) {
       if (!flag_value(max_comm_ratio)) return usage();
     } else if (args[i] == "--max-bytes-ratio") {
       if (!flag_value(max_bytes_ratio)) return usage();
+    } else if (args[i] == "--max-uplink-bytes-ratio") {
+      if (!flag_value(max_uplink_bytes_ratio)) return usage();
     } else if (args[i] == "--tta-acc") {
       if (!flag_value(tta_acc)) return usage();
     } else if (args[i] == "--max-tta-ratio") {
@@ -1324,9 +1410,9 @@ int main(int argc, char** argv) {
     }
   }
   if (positional.empty()) return usage();
-  if (cmd != "summary" && cmd != "clients" && cmd != "rounds" &&
-      cmd != "timeline" && cmd != "validate" && cmd != "critical-path" &&
-      cmd != "export-chrome" && cmd != "diff") {
+  if (cmd != "summary" && cmd != "bytes" && cmd != "clients" &&
+      cmd != "rounds" && cmd != "timeline" && cmd != "validate" &&
+      cmd != "critical-path" && cmd != "export-chrome" && cmd != "diff") {
     std::fprintf(stderr, "afl-insight: unknown command \"%s\"\n", cmd.c_str());
     return usage();
   }
@@ -1335,6 +1421,7 @@ int main(int argc, char** argv) {
   if (const int rc = load_trace(positional[0], file)) return rc;
 
   if (cmd == "summary") return cmd_summary(file);
+  if (cmd == "bytes") return cmd_bytes(file);
   if (cmd == "clients") return cmd_clients(file, run_index);
   if (cmd == "rounds") {
     std::size_t top_n = 5;
@@ -1354,6 +1441,6 @@ int main(int argc, char** argv) {
   TraceFile cand;
   if (const int rc = load_trace(positional[1], cand)) return rc;
   return cmd_diff(file, cand, base_run, cand_run, max_acc_drop,
-                  max_time_ratio, max_comm_ratio, max_bytes_ratio, tta_acc,
-                  max_tta_ratio, acc_best);
+                  max_time_ratio, max_comm_ratio, max_bytes_ratio,
+                  max_uplink_bytes_ratio, tta_acc, max_tta_ratio, acc_best);
 }
